@@ -1,0 +1,189 @@
+// Microbenchmarks (google-benchmark) for the primitives every simulation
+// leans on: Keccak-256, RLP, the Merkle-Patricia trie, U256 arithmetic,
+// the simulation signatures, EVM execution, and block production/import.
+#include <benchmark/benchmark.h>
+
+#include "core/chain.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/keccak.hpp"
+#include "evm/assembler.hpp"
+#include "evm/contracts.hpp"
+#include "evm/executor.hpp"
+#include "rlp/rlp.hpp"
+#include "support/rng.hpp"
+#include "trie/trie.hpp"
+
+namespace {
+
+using namespace forksim;
+
+void BM_Keccak256(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) benchmark::DoNotOptimize(keccak256(data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Keccak256)->Arg(32)->Arg(1024)->Arg(65536);
+
+void BM_RlpEncodeBlock(benchmark::State& state) {
+  core::Block block;
+  block.header.number = 1'920'000;
+  block.header.difficulty = U256(62'000'000'000'000ull);
+  const PrivateKey key = PrivateKey::from_seed(1);
+  for (int i = 0; i < 50; ++i)
+    block.transactions.push_back(core::make_transaction(
+        key, static_cast<std::uint64_t>(i), derive_address(key),
+        core::ether(1), std::nullopt));
+  for (auto _ : state) benchmark::DoNotOptimize(block.encode());
+}
+BENCHMARK(BM_RlpEncodeBlock);
+
+void BM_RlpDecodeBlock(benchmark::State& state) {
+  core::Block block;
+  const PrivateKey key = PrivateKey::from_seed(1);
+  for (int i = 0; i < 50; ++i)
+    block.transactions.push_back(core::make_transaction(
+        key, static_cast<std::uint64_t>(i), derive_address(key),
+        core::ether(1), std::nullopt));
+  const Bytes wire = block.encode();
+  for (auto _ : state) benchmark::DoNotOptimize(core::Block::decode(wire));
+}
+BENCHMARK(BM_RlpDecodeBlock);
+
+void BM_TrieInsert1k(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<std::pair<Bytes, Bytes>> kv;
+  for (int i = 0; i < 1000; ++i) {
+    Bytes key(32);
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.uniform(256));
+    kv.emplace_back(key, Bytes(40, static_cast<std::uint8_t>(i)));
+  }
+  for (auto _ : state) {
+    trie::Trie t;
+    for (const auto& [k, v] : kv) t.put(k, v);
+    benchmark::DoNotOptimize(t.size());
+  }
+}
+BENCHMARK(BM_TrieInsert1k);
+
+void BM_TrieRootHash1k(benchmark::State& state) {
+  Rng rng(1);
+  trie::Trie t;
+  for (int i = 0; i < 1000; ++i) {
+    Bytes key(32);
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.uniform(256));
+    t.put(key, Bytes(40, static_cast<std::uint8_t>(i)));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(t.root_hash());
+}
+BENCHMARK(BM_TrieRootHash1k);
+
+void BM_U256DivMod(benchmark::State& state) {
+  const U256 a = U256::from_dec(
+                     "115792089237316195423570985008687907853269984665640")
+                     .value_or(U256(1));
+  const U256 b(62'000'000'000'000ull);
+  for (auto _ : state) benchmark::DoNotOptimize(U256::divmod(a, b));
+}
+BENCHMARK(BM_U256DivMod);
+
+void BM_SignatureRoundTrip(benchmark::State& state) {
+  const PrivateKey key = PrivateKey::from_seed(7);
+  const Hash256 digest = keccak256(std::string_view("payload"));
+  for (auto _ : state) {
+    const Signature sig = sign(key, digest);
+    benchmark::DoNotOptimize(recover(digest, sig));
+  }
+}
+BENCHMARK(BM_SignatureRoundTrip);
+
+void BM_EvmCounterCall(benchmark::State& state) {
+  core::State st;
+  const Address contract = Address::left_padded(Bytes{0xc0});
+  const Address caller = Address::left_padded(Bytes{0xca});
+  st.set_code(contract, evm::contracts::counter_runtime());
+  st.add_balance(caller, core::ether(1));
+  core::BlockContext ctx;
+  ctx.gas_limit = 4'712'388;
+  const evm::GasSchedule schedule = evm::GasSchedule::homestead();
+  for (auto _ : state) {
+    evm::Vm vm(st, ctx, schedule, caller, core::gwei(20));
+    evm::CallParams params;
+    params.caller = caller;
+    params.address = contract;
+    params.code_address = contract;
+    params.gas = 100'000;
+    benchmark::DoNotOptimize(vm.call(params));
+  }
+}
+BENCHMARK(BM_EvmCounterCall);
+
+void BM_EvmArithmeticLoop(benchmark::State& state) {
+  // a 100-iteration countdown loop of arithmetic
+  evm::Asm a;
+  const auto loop = a.make_label();
+  const auto done = a.make_label();
+  a.push(std::uint64_t{100});
+  a.bind(loop);                                    // [i]
+  a.push(std::uint64_t{1});                        // [i, 1]
+  a.op(static_cast<evm::Op>(0x90));                // SWAP1 -> [1, i]
+  a.op(evm::Op::kSub);                             // [i-1]
+  a.op(evm::Op::kDup1).op(evm::Op::kIszero);       // [i-1, i-1==0]
+  a.jumpi(done);
+  a.jump(loop);
+  a.bind(done);
+  a.op(evm::Op::kStop);
+  const Bytes code = a.build();
+
+  core::State st;
+  const Address contract = Address::left_padded(Bytes{0xc1});
+  st.set_code(contract, code);
+  core::BlockContext ctx;
+  const evm::GasSchedule schedule = evm::GasSchedule::homestead();
+  for (auto _ : state) {
+    evm::Vm vm(st, ctx, schedule, contract, core::gwei(20));
+    evm::CallParams params;
+    params.caller = contract;
+    params.address = contract;
+    params.code_address = contract;
+    params.gas = 1'000'000;
+    benchmark::DoNotOptimize(vm.call(params));
+  }
+}
+BENCHMARK(BM_EvmArithmeticLoop);
+
+void BM_ProduceAndImportBlock(benchmark::State& state) {
+  evm::EvmExecutor executor;
+  const PrivateKey alice = PrivateKey::from_seed(1);
+  core::GenesisAlloc alloc = {{derive_address(alice), core::ether(1'000'000)}};
+  const Address miner = Address::left_padded(Bytes{0x99});
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Blockchain chain(core::ChainConfig::mainnet_pre_fork(), executor,
+                           alloc);
+    std::vector<core::Transaction> txs;
+    for (std::uint64_t i = 0; i < 20; ++i)
+      txs.push_back(core::make_transaction(alice, i, miner, core::ether(1),
+                                           std::nullopt));
+    state.ResumeTiming();
+    core::Block block = chain.produce_block(miner, 14, txs);
+    benchmark::DoNotOptimize(chain.import(block));
+  }
+}
+BENCHMARK(BM_ProduceAndImportBlock);
+
+void BM_DifficultyCalc(benchmark::State& state) {
+  const core::ChainConfig config = core::ChainConfig::mainnet_pre_fork();
+  const U256 parent(62'000'000'000'000ull);
+  std::uint64_t t = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::next_difficulty(config, 1'920'000, t + 14, parent, t));
+    ++t;
+  }
+}
+BENCHMARK(BM_DifficultyCalc);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,168 @@
+// The DAO saga, end to end, on real protocol components:
+//
+//   1. a crowdfunding "bank" contract with the send-before-zero bug is
+//      deployed and funded (the DAO, April 2016);
+//   2. an attacker contract drains it through reentrancy (June 2016);
+//   3. a hard fork is scheduled: the ETH side applies the irregular state
+//      change returning the loot, the ETC side refuses (July 20 2016);
+//   4. both chains continue — two networks, one shared pre-fork history.
+//
+//   ./build/examples/dao_fork
+#include <iostream>
+
+#include "core/chain.hpp"
+#include "evm/contracts.hpp"
+#include "evm/executor.hpp"
+
+using namespace forksim;
+using namespace forksim::core;
+
+namespace {
+
+Block mine(Blockchain& chain, const Address& miner,
+           const std::vector<Transaction>& txs = {}) {
+  Block b = chain.produce_block(miner, chain.head().header.timestamp + 14,
+                                txs);
+  const auto outcome = chain.import(b);
+  if (outcome.result != ImportResult::kImported) {
+    std::cerr << "unexpected import failure: " << to_string(outcome.result)
+              << "\n";
+    std::exit(1);
+  }
+  return b;
+}
+
+std::string eth_str(const Wei& wei) {
+  return (wei / ether(1)).to_dec() + " ether";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== the DAO fork, reproduced ==\n\n";
+
+  const PrivateKey investor = PrivateKey::from_seed(1);
+  const PrivateKey attacker = PrivateKey::from_seed(666);
+  const Address miner = derive_address(PrivateKey::from_seed(99));
+  const Address refund_contract = derive_address(PrivateKey::from_seed(777));
+
+  constexpr BlockNumber kForkBlock = 7;
+  const GenesisAlloc alloc = {{derive_address(investor), ether(500)},
+                              {derive_address(attacker), ether(10)}};
+
+  evm::EvmExecutor executor;
+  Blockchain pre_fork(ChainConfig::mainnet_pre_fork(), executor, alloc);
+
+  // --- act 1: the DAO, operating as designed ------------------------------
+  const Transaction deploy_dao = make_transaction(
+      investor, 0, std::nullopt, Wei(0), std::nullopt, gwei(20), 3'000'000,
+      evm::wrap_as_init_code(evm::contracts::mini_dao_runtime()));
+  Block b1 = mine(pre_fork, miner, {deploy_dao});
+  const Address dao =
+      *(*pre_fork.receipts_of(b1.hash()))[0].created_contract;
+  std::cout << "block 1: DAO (crowdfunding + voting) deployed at 0x"
+            << dao.hex() << "\n";
+
+  const Transaction invest =
+      make_transaction(investor, 1, dao, ether(300), std::nullopt, gwei(20),
+                       200'000, evm::contracts::dao_deposit_calldata());
+  mine(pre_fork, miner, {invest});
+  std::cout << "block 2: investor deposits 300 ether for voting power; "
+            << "DAO balance " << eth_str(pre_fork.head_state().balance(dao))
+            << "\n";
+
+  // the DAO working as intended: fund a project by majority vote
+  const Address project = derive_address(PrivateKey::from_seed(321));
+  const Transaction propose = make_transaction(
+      investor, 2, dao, Wei(0), std::nullopt, gwei(20), 300'000,
+      evm::contracts::dao_propose_calldata(project, ether(40)));
+  const Transaction vote =
+      make_transaction(investor, 3, dao, Wei(0), std::nullopt, gwei(20),
+                       300'000, evm::contracts::dao_vote_calldata());
+  const Transaction execute =
+      make_transaction(investor, 4, dao, Wei(0), std::nullopt, gwei(20),
+                       300'000, evm::contracts::dao_execute_calldata());
+  mine(pre_fork, miner, {propose, vote, execute});
+  std::cout << "block 3: proposal -> vote -> execute; project funded with "
+            << eth_str(pre_fork.head_state().balance(project)) << "\n";
+
+  // --- act 2: the drain ---------------------------------------------------
+  const Transaction deploy_attack = make_transaction(
+      attacker, 0, std::nullopt, Wei(0), std::nullopt, gwei(20), 2'000'000,
+      evm::wrap_as_init_code(evm::contracts::reentrancy_attacker_runtime(
+          20, evm::contracts::kDaoDeposit, evm::contracts::kDaoWithdraw)));
+  Block b3 = mine(pre_fork, miner, {deploy_attack});
+  const Address drainer =
+      *(*pre_fork.receipts_of(b3.hash()))[0].created_contract;
+
+  // gas must fit under the 4.7M block gas limit or the miner skips the tx
+  const Transaction start = make_transaction(
+      attacker, 1, drainer, ether(1), std::nullopt, gwei(20), 4'000'000,
+      evm::contracts::attacker_start_calldata(dao));
+  mine(pre_fork, miner, {start});
+  const Wei loot = pre_fork.head_state().balance(drainer);
+  std::cout << "block 5: reentrancy drain via withdraw() — attacker "
+               "contract holds "
+            << eth_str(loot) << " (deposited only 1)\n";
+  std::cout << "         DAO balance now "
+            << eth_str(pre_fork.head_state().balance(dao)) << "\n\n";
+
+  // --- act 3: the community splits ----------------------------------------
+  // Two client populations run from the same history with different
+  // configs; both schedule the fork at block 6, only ETH supports it.
+  Blockchain eth(ChainConfig::eth(kForkBlock), executor, alloc);
+  Blockchain etc(ChainConfig::etc(kForkBlock, std::nullopt), executor, alloc);
+  eth.set_dao_accounts({drainer}, refund_contract);
+  etc.set_dao_accounts({drainer}, refund_contract);
+
+  // replay the shared pre-fork history into both
+  for (BlockNumber n = 1; n <= pre_fork.height(); ++n) {
+    const Block* b = pre_fork.block_by_number(n);
+    if (eth.import(*b).result != ImportResult::kImported ||
+        etc.import(*b).result != ImportResult::kImported) {
+      std::cerr << "pre-fork history must be shared!\n";
+      return 1;
+    }
+  }
+  std::cout << "pre-fork history (blocks 1.." << pre_fork.height()
+            << ") accepted by both client populations\n";
+
+  mine(eth, miner);  // block 5 on each side (still identical rules)
+  mine(etc, miner);
+
+  // block 6: the fork block
+  Block eth_fork = mine(eth, miner);
+  Block etc_fork = mine(etc, miner);
+  std::cout << "\nblock 6 (the fork block):\n";
+  std::cout << "  ETH: 0x" << eth_fork.hash().hex().substr(0, 16)
+            << "... extra_data=\""
+            << std::string(eth_fork.header.extra_data.begin(),
+                           eth_fork.header.extra_data.end())
+            << "\"\n";
+  std::cout << "  ETC: 0x" << etc_fork.hash().hex().substr(0, 16)
+            << "... extra_data=\"\"\n";
+
+  // each side rejects the other's fork block: the permanent partition
+  std::cout << "  ETC imports ETH's fork block -> "
+            << to_string(etc.import(eth_fork).result) << "\n";
+  std::cout << "  ETH imports ETC's fork block -> "
+            << to_string(eth.import(etc_fork).result) << "\n\n";
+
+  // --- act 4: two worlds ---------------------------------------------------
+  std::cout << "after the fork:\n";
+  std::cout << "  ETH: attacker contract "
+            << eth_str(eth.head_state().balance(drainer))
+            << ", refund contract "
+            << eth_str(eth.head_state().balance(refund_contract)) << "\n";
+  std::cout << "  ETC: attacker contract "
+            << eth_str(etc.head_state().balance(drainer))
+            << ", refund contract "
+            << eth_str(etc.head_state().balance(refund_contract))
+            << "  (\"code is law\")\n";
+
+  mine(eth, miner);
+  mine(etc, miner);
+  std::cout << "\nboth chains keep producing blocks (height " << eth.height()
+            << " each) — a persistent network partition.\n";
+  return 0;
+}

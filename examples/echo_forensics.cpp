@@ -1,0 +1,97 @@
+// Echo forensics — implementing the paper's future work:
+//
+//   "exploring the transactions to detect malicious versus benign
+//    rebroadcasts"  (§4)
+//
+// Nine months of simulated cross-chain echoes, each carrying ground truth
+// (attacker replay vs. dual-intent sender), classified by the rule-based
+// detector in analysis/forensics.hpp. Prints the confusion matrix, the
+// precision/recall, and a threshold sweep.
+//
+//   ./build/examples/echo_forensics
+#include <iostream>
+
+#include "analysis/forensics.hpp"
+#include "sim/replay.hpp"
+#include "sim/workload.hpp"
+#include "support/table.hpp"
+
+using namespace forksim;
+using namespace forksim::sim;
+using namespace forksim::analysis;
+
+int main() {
+  std::cout << "== echo forensics: malicious vs benign rebroadcasts ==\n\n";
+
+  // generate nine months of labeled echoes
+  Rng rng(4);
+  WorkloadModel workload(WorkloadParams{}, rng.fork());
+  ReplayParams params;
+  params.benign_echo = 0.05;  // enough benign traffic to make it interesting
+  ReplaySim replay(params, rng.fork());
+  std::vector<ReplaySim::EchoSample> samples;
+  replay.set_sample_sink(&samples);
+
+  for (double day = 0; day < 270.0; ++day) {
+    const auto load = workload.step(day);
+    replay.step(day, load.eth_txs, load.etc_txs);
+  }
+
+  std::vector<std::pair<EchoFeatures, EchoLabel>> labeled;
+  std::size_t malicious = 0;
+  for (const auto& s : samples) {
+    EchoFeatures f;
+    f.delay_seconds = s.delay_seconds;
+    f.sender_active_on_dest = s.sender_active_on_dest;
+    f.self_transfer = s.self_transfer;
+    f.value_ether = s.value_ether;
+    labeled.emplace_back(
+        f, s.is_attack ? EchoLabel::kMalicious : EchoLabel::kBenign);
+    if (s.is_attack) ++malicious;
+  }
+  std::cout << "dataset: " << labeled.size() << " echoes, " << malicious
+            << " malicious (" << fmt(100.0 * malicious / labeled.size(), 1)
+            << "%)\n\n";
+
+  // the default classifier
+  const ConfusionMatrix m = evaluate(labeled);
+  std::cout << m.to_string() << "\n";
+  std::cout << "precision " << fmt(m.precision(), 3) << ", recall "
+            << fmt(m.recall(), 3) << ", accuracy " << fmt(m.accuracy(), 3)
+            << "\n\n";
+
+  // threshold sweep: the operating curve an investigator would choose from
+  Table sweep({"threshold", "precision", "recall", "accuracy"});
+  for (double threshold : {0.3, 0.4, 0.5, 0.6, 0.7}) {
+    ClassifierParams p;
+    p.threshold = threshold;
+    const ConfusionMatrix mt = evaluate(labeled, p);
+    sweep.add_row({fmt(threshold, 2), fmt(mt.precision(), 3),
+                   fmt(mt.recall(), 3), fmt(mt.accuracy(), 3)});
+  }
+  sweep.print(std::cout);
+
+  // single-feature ablation: which signals carry the detection?
+  std::cout << "\nfeature ablation (accuracy with one signal zeroed):\n";
+  auto ablate = [&](const char* name, auto&& mutate) {
+    auto copy = labeled;
+    for (auto& [f, label] : copy) mutate(f);
+    std::cout << "  without " << name << ": "
+              << fmt(evaluate(copy).accuracy(), 3) << " (full: "
+              << fmt(m.accuracy(), 3) << ")\n";
+  };
+  ablate("delay", [](EchoFeatures& f) { f.delay_seconds = 300; });
+  ablate("dest-activity",
+         [](EchoFeatures& f) { f.sender_active_on_dest = false; });
+  ablate("self-transfer", [](EchoFeatures& f) { f.self_transfer = false; });
+  ablate("value", [](EchoFeatures& f) { f.value_ether = 10; });
+
+  if (m.accuracy() < 0.8) {
+    std::cout << "\nclassifier accuracy degraded — investigate\n";
+    return 1;
+  }
+  std::cout << "\n(the feature distributions are simulation assumptions — "
+               "see analysis/forensics.hpp;\nthe harness is the point: "
+               "labeled echoes in, operating curve out.)\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+// The paper's measurement methodology, end to end:
+//
+//   "To collect data, we ran full Ethereum nodes in both the ETH and ETC
+//    networks... We then exported all block and transaction information
+//    from the nodes and processed it in a separate database."  (§3.1)
+//
+// This example runs full nodes through the fork on the simulated network
+// while users transact (and an attacker rebroadcasts legacy transactions
+// across the partition), then exports both canonical chains into
+// analysis::ChainIndex and prints the measurement report: block production,
+// transaction volumes, contract fractions, pool (coinbase) concentration,
+// and detected echoes.
+//
+//   ./build/examples/export_and_analyze
+#include <iostream>
+
+#include "analysis/chainindex.hpp"
+#include "sim/scenario.hpp"
+#include "support/table.hpp"
+
+using namespace forksim;
+using namespace forksim::sim;
+using analysis::Chain;
+
+int main() {
+  std::cout << "== export & analyze (the paper's §3.1 pipeline) ==\n\n";
+
+  ScenarioParams params;
+  params.nodes_eth = 6;
+  params.nodes_etc = 3;
+  params.miners_per_side_eth = 3;
+  params.miners_per_side_etc = 2;
+  params.fork_block = 10;
+  params.total_hashrate = 4e4;
+  params.etc_hashpower_fraction = 0.3;
+  params.seed = 77;
+  ForkScenario scenario(params);
+
+  // run past the fork
+  std::cout << "running the network through the fork";
+  for (int i = 0; i < 600 && (scenario.best_height_etc() < 14 ||
+                              scenario.best_height_eth() < 14);
+       ++i) {
+    scenario.run_for(60.0);
+    if (i % 10 == 0) std::cout << "." << std::flush;
+  }
+  std::cout << " done (ETH height " << scenario.best_height_eth()
+            << ", ETC height " << scenario.best_height_etc() << ")\n";
+
+  // users transact on both sides; an attacker echoes ETH txs into ETC
+  FullNode& eth_node = scenario.node(0);
+  FullNode& etc_node = scenario.node(params.nodes_eth);
+  Rng rng(123);
+  std::size_t injected = 0;
+  std::size_t echoed = 0;
+  for (int round = 0; round < 30; ++round) {
+    const auto& key = scenario.accounts()[rng.uniform(
+        scenario.accounts().size())];
+    const Address sender = derive_address(key);
+    const Address to = derive_address(
+        scenario.accounts()[rng.uniform(scenario.accounts().size())]);
+    const std::uint64_t nonce =
+        eth_node.chain().head_state().nonce(sender);
+    const auto tx = core::make_transaction(key, nonce, to, core::ether(1),
+                                           std::nullopt);
+    if (eth_node.submit_transaction(tx) == core::PoolAddResult::kAdded) {
+      ++injected;
+      // the §3.3 attacker: rebroadcast the same bytes into the other chain
+      if (rng.chance(0.6) &&
+          etc_node.submit_transaction(tx) == core::PoolAddResult::kAdded)
+        ++echoed;
+    }
+    scenario.run_for(120.0);
+  }
+  scenario.run_for(600.0);
+  std::cout << "injected " << injected << " ETH transactions, attacker "
+            << "rebroadcast " << echoed << " of them into ETC\n\n";
+
+  // ---- the export step ----------------------------------------------------
+  analysis::ChainIndex index;
+  index.ingest_chain(Chain::kEth, eth_node.chain());
+  index.ingest_chain(Chain::kEtc, etc_node.chain());
+
+  // ---- the analysis step ----------------------------------------------------
+  Table summary({"metric", "ETH", "ETC"});
+  summary.add_row({"canonical blocks", std::to_string(index.block_count(Chain::kEth)),
+                   std::to_string(index.block_count(Chain::kEtc))});
+  summary.add_row({"transactions", std::to_string(index.tx_count(Chain::kEth)),
+                   std::to_string(index.tx_count(Chain::kEtc))});
+  summary.add_row(
+      {"top-1 pool share",
+       fmt(index.top_pool_share(Chain::kEth, 1) * 100, 1) + "%",
+       fmt(index.top_pool_share(Chain::kEtc, 1) * 100, 1) + "%"});
+  summary.add_row(
+      {"top-3 pool share",
+       fmt(index.top_pool_share(Chain::kEth, 3) * 100, 1) + "%",
+       fmt(index.top_pool_share(Chain::kEtc, 3) * 100, 1) + "%"});
+  summary.print(std::cout);
+
+  std::cout << "\ncoinbase (pool) histogram, ETH:\n";
+  for (const auto& [addr, wins] : index.coinbase_histogram(Chain::kEth))
+    std::cout << "  0x" << addr.hex().substr(0, 12) << "...  " << wins
+              << " blocks\n";
+
+  std::cout << "\ncross-chain echoes detected by the pipeline: "
+            << index.echoes().total_echoes() << " (into ETC: "
+            << index.echoes().echoes_into(Chain::kEtc) << ")\n";
+  for (const auto& echo : index.echo_log()) {
+    const auto* record = index.transaction(
+        echo.echoed_on == Chain::kEtc ? Chain::kEtc : Chain::kEth, echo.tx);
+    std::cout << "  tx 0x" << echo.tx.hex().substr(0, 12)
+              << "... first on "
+              << (echo.first_seen == Chain::kEth ? "ETH" : "ETC")
+              << ", echoed on "
+              << (echo.echoed_on == Chain::kEth ? "ETH" : "ETC");
+    if (record != nullptr)
+      std::cout << " (block " << record->block_number << ")";
+    std::cout << "\n";
+  }
+
+  if (index.echoes().total_echoes() == 0) {
+    std::cout << "\nno echoes landed this run — rerun with another seed\n";
+    return 1;
+  }
+  std::cout << "\nthe same pipeline the authors ran — on simulated chains.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Watch the partition form: a live network of full protocol nodes (Kademlia
+// discovery, Status handshakes, DAO challenges, block gossip) mining toward
+// a scheduled hard fork. The monitor prints the network state every few
+// simulated minutes — peer links across the divide, best heights, distinct
+// heads — as the one network becomes two.
+//
+//   ./build/examples/partition_monitor
+#include <iomanip>
+#include <iostream>
+
+#include "core/headerchain.hpp"
+#include "sim/scenario.hpp"
+#include "support/table.hpp"
+
+using namespace forksim;
+using namespace forksim::sim;
+
+int main() {
+  std::cout << "== partition monitor ==\n";
+
+  ScenarioParams params;
+  params.nodes_eth = 8;
+  params.nodes_etc = 4;
+  params.miners_per_side_eth = 3;
+  params.miners_per_side_etc = 2;
+  params.fork_block = 15;
+  params.total_hashrate = 4e4;
+  params.etc_hashpower_fraction = 0.25;
+  params.seed = 2016;
+  ForkScenario scenario(params);
+
+  std::cout << params.nodes_eth << " fork-supporting nodes, "
+            << params.nodes_etc << " fork-rejecting nodes, fork at block "
+            << params.fork_block << "\n\n";
+
+  Table table({"t (min)", "ETH height", "ETC height", "distinct heads",
+               "cross-side links", "wrong-fork drops"});
+
+  bool partition_seen = false;
+  for (int minute = 0; minute <= 120; minute += 5) {
+    if (minute > 0) scenario.run_for(300.0);
+    const auto eth_h = scenario.best_height_eth();
+    const auto etc_h = scenario.best_height_etc();
+    const auto links = scenario.cross_side_links();
+    const auto drops = scenario.total_wrong_fork_drops();
+    table.add_row({std::to_string(minute), std::to_string(eth_h),
+                   std::to_string(etc_h),
+                   std::to_string(scenario.distinct_heads()),
+                   std::to_string(links), std::to_string(drops)});
+    if (eth_h >= params.fork_block && etc_h >= params.fork_block &&
+        links == 0 && drops > 0)
+      partition_seen = true;
+    if (partition_seen && minute >= 60) break;
+  }
+  table.print(std::cout);
+
+  std::cout << "\n";
+  if (!partition_seen) {
+    std::cout << "partition did not complete within the window — rerun with "
+                 "a different seed\n";
+    return 1;
+  }
+
+  // show the two histories side by side around the fork
+  std::cout << "canonical chains around the fork block:\n";
+  const auto& eth_chain = scenario.node(0).chain();
+  const auto& etc_chain = scenario.node(params.nodes_eth).chain();
+  for (core::BlockNumber n = params.fork_block - 2;
+       n <= std::min(eth_chain.height(), etc_chain.height()); ++n) {
+    const auto* e = eth_chain.block_by_number(n);
+    const auto* c = etc_chain.block_by_number(n);
+    if (e == nullptr || c == nullptr) break;
+    const bool same = e->hash() == c->hash();
+    std::cout << "  block " << std::setw(3) << n << ":  ETH 0x"
+              << e->hash().hex().substr(0, 12) << "  ETC 0x"
+              << c->hash().hex().substr(0, 12)
+              << (same ? "   (shared)" : "   <-- diverged") << "\n";
+    if (n >= params.fork_block + 3) break;
+  }
+
+  // a block-explorer-style light monitor: two header chains (one per
+  // config) fed from the full nodes' canonical histories — the cheap way a
+  // measurement study tracks both sides (analysis/chainindex.hpp ingests
+  // full blocks the same way)
+  core::HeaderChain eth_monitor(core::ChainConfig::eth(params.fork_block),
+                                eth_chain.genesis().header);
+  core::HeaderChain etc_monitor(
+      core::ChainConfig::etc(params.fork_block, std::nullopt),
+      etc_chain.genesis().header);
+  // network id 1 is shared; the monitors' configs differ only in the rule
+  for (core::BlockNumber n = 1; n <= eth_chain.height(); ++n)
+    eth_monitor.import(eth_chain.block_by_number(n)->header);
+  for (core::BlockNumber n = 1; n <= etc_chain.height(); ++n)
+    etc_monitor.import(etc_chain.block_by_number(n)->header);
+  std::cout << "\nlight monitors (headers only): ETH at height "
+            << eth_monitor.height() << ", ETC at height "
+            << etc_monitor.height() << "\n";
+  // cross-feeding fails exactly at the fork block
+  const auto verdict = etc_monitor.import(
+      eth_chain.block_by_number(params.fork_block)->header);
+  std::cout << "ETC monitor fed ETH's fork header -> "
+            << core::to_string(verdict) << "\n";
+
+  std::cout << "\nthe networks separated: every fork-rejecting node dropped "
+               "its fork-supporting peers\n(and vice versa) after the DAO "
+               "challenge — a permanent partition, as in the paper.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Quickstart: the forksim core API in five minutes.
+//
+// Builds a chain with the full EVM executor, funds accounts, mines blocks
+// with transactions, deploys and calls a contract, and inspects state —
+// everything a downstream user needs to get going.
+//
+//   cmake --build build && ./build/examples/quickstart
+#include <iostream>
+
+#include "core/chain.hpp"
+#include "core/txpool.hpp"
+#include "evm/assembler.hpp"
+#include "evm/contracts.hpp"
+#include "evm/executor.hpp"
+
+using namespace forksim;
+using namespace forksim::core;
+
+int main() {
+  std::cout << "== forksim quickstart ==\n\n";
+
+  // 1. keys and addresses -------------------------------------------------
+  const PrivateKey alice = PrivateKey::from_seed(1);
+  const PrivateKey bob = PrivateKey::from_seed(2);
+  const Address miner = derive_address(PrivateKey::from_seed(99));
+  std::cout << "alice: 0x" << derive_address(alice).hex() << "\n";
+  std::cout << "bob:   0x" << derive_address(bob).hex() << "\n\n";
+
+  // 2. a blockchain with the full EVM and a genesis allocation ------------
+  evm::EvmExecutor executor;
+  Blockchain chain(ChainConfig::mainnet_pre_fork(), executor,
+                   {{derive_address(alice), ether(1000)}});
+  std::cout << "genesis hash: 0x" << chain.genesis().hash().hex() << "\n";
+  std::cout << "alice balance: "
+            << chain.head_state().balance(derive_address(alice)).to_dec()
+            << " wei\n\n";
+
+  // 3. a signed transfer, mined into block 1 ------------------------------
+  const Transaction transfer = make_transaction(
+      alice, /*nonce=*/0, derive_address(bob), ether(25),
+      /*chain_id=*/std::nullopt);
+  Block block1 = chain.produce_block(miner, /*timestamp=*/14, {transfer});
+  auto outcome = chain.import(block1);
+  std::cout << "block 1 import: " << to_string(outcome.result)
+            << ", txs: " << block1.transactions.size()
+            << ", difficulty: " << block1.header.difficulty.to_dec() << "\n";
+  std::cout << "bob balance:   "
+            << chain.head_state().balance(derive_address(bob)).to_dec()
+            << " wei\n";
+  std::cout << "miner reward:  "
+            << chain.head_state().balance(miner).to_dec() << " wei\n\n";
+
+  // 4. deploy a contract (a one-slot counter) and poke it ------------------
+  const Bytes init = evm::wrap_as_init_code(evm::contracts::counter_runtime());
+  const Transaction deploy = make_transaction(
+      alice, 1, /*to=*/std::nullopt, Wei(0), std::nullopt, gwei(20),
+      1'000'000, init);
+  Block block2 = chain.produce_block(miner, 28, {deploy});
+  chain.import(block2);
+  const auto* receipts = chain.receipts_of(block2.hash());
+  const Address counter = *(*receipts)[0].created_contract;
+  std::cout << "counter contract at 0x" << counter.hex() << "\n";
+
+  const Transaction poke =
+      make_transaction(alice, 2, counter, Wei(0), std::nullopt, gwei(20),
+                       100'000);
+  Block block3 = chain.produce_block(miner, 42, {poke, /* and a transfer */
+                                                 make_transaction(
+                                                     bob, 0,
+                                                     derive_address(alice),
+                                                     ether(1), std::nullopt)});
+  chain.import(block3);
+  std::cout << "counter value: "
+            << chain.head_state().storage_at(counter, U256(0)).to_dec()
+            << " (after 1 call)\n\n";
+
+  // 5. the chain is a real chain ------------------------------------------
+  std::cout << "height " << chain.height() << ", head 0x"
+            << chain.head().hash().hex().substr(0, 16) << "..., TD "
+            << chain.head_total_difficulty().to_dec() << "\n";
+  std::cout << "state root 0x" << chain.head().header.state_root.hex()
+            << "\n";
+
+  // every block links to its parent and commits to its body
+  for (BlockNumber n = 1; n <= chain.height(); ++n) {
+    const Block* b = chain.block_by_number(n);
+    if (!b->transactions_root_matches()) {
+      std::cout << "INVARIANT VIOLATION at block " << n << "\n";
+      return 1;
+    }
+  }
+  std::cout << "\nall block commitments verified — done.\n";
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Cross-chain replay ("echo") attack and its mitigations — the paper's
+// §3.3 vulnerability as runnable code.
+//
+// A user holds pre-fork funds, so the same account exists on ETH and ETC.
+// She pays a merchant on ETH with a legacy transaction; the merchant (or
+// anyone) rebroadcasts the identical bytes on ETC and collects her ETC too.
+// Then the mitigations: EIP-155 chain ids, and splitting funds to fresh
+// per-chain addresses.
+//
+//   ./build/examples/replay_attack
+#include <iostream>
+
+#include "analysis/echo.hpp"
+#include "core/chain.hpp"
+#include "core/receipt.hpp"
+#include "evm/executor.hpp"
+
+using namespace forksim;
+using namespace forksim::core;
+
+namespace {
+
+Block mine(Blockchain& chain, const std::vector<Transaction>& txs) {
+  static const Address kMiner = derive_address(PrivateKey::from_seed(99));
+  Block b = chain.produce_block(kMiner, chain.head().header.timestamp + 14,
+                                txs);
+  chain.import(b);
+  return b;
+}
+
+std::string eth_str(const Wei& wei) {
+  return (wei / ether(1)).to_dec() + " ether";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== cross-chain transaction replay ==\n\n";
+
+  const PrivateKey user = PrivateKey::from_seed(1);
+  const PrivateKey merchant = PrivateKey::from_seed(2);
+  const Address user_addr = derive_address(user);
+  const Address merchant_addr = derive_address(merchant);
+
+  // the same pre-fork account exists — with the same balance — on both
+  // chains (ETC activates EIP-155 at block 3 in this compressed timeline)
+  const GenesisAlloc alloc = {{user_addr, ether(100)}};
+  evm::EvmExecutor executor;
+  Blockchain eth(ChainConfig::eth(0), executor, alloc);
+  Blockchain etc(ChainConfig::etc(0, /*eip155_block=*/3), executor, alloc);
+
+  std::cout << "user on ETH: " << eth_str(eth.head_state().balance(user_addr))
+            << ",  on ETC: " << eth_str(etc.head_state().balance(user_addr))
+            << " (pre-fork account)\n\n";
+
+  analysis::EchoDetector detector;
+
+  // --- the attack ---------------------------------------------------------
+  std::cout << "1) user pays the merchant 10 ether on ETH with a LEGACY "
+               "(no chain id) transaction\n";
+  const Transaction legacy = make_transaction(user, 0, merchant_addr,
+                                              ether(10), std::nullopt);
+  mine(eth, {legacy});
+  detector.observe(analysis::Chain::kEth, legacy.hash(), 1.0);
+  std::cout << "   ETH: merchant has "
+            << eth_str(eth.head_state().balance(merchant_addr)) << "\n";
+
+  std::cout << "2) the merchant rebroadcasts the identical bytes on ETC\n";
+  const auto replayed = Transaction::decode(legacy.encode());  // wire copy
+  Block etc_block = mine(etc, {*replayed});
+  const bool included = !etc_block.transactions.empty();
+  std::cout << "   ETC accepts it: " << (included ? "YES" : "no")
+            << " — merchant now also has "
+            << eth_str(etc.head_state().balance(merchant_addr))
+            << " on ETC\n";
+  if (auto echo = detector.observe(analysis::Chain::kEtc, legacy.hash(), 2.0))
+    std::cout << "   echo detector: tx first seen on ETH, echoed on ETC "
+                 "(1 echo recorded)\n\n";
+
+  // --- mitigation 1: EIP-155 ----------------------------------------------
+  std::cout << "3) after EIP-155 activates on ETC, the user pays with a "
+               "chain-id-61 transaction\n";
+  // advance ETC past its EIP-155 block
+  mine(etc, {});
+  mine(etc, {});
+  const Transaction protected_tx = make_transaction(
+      user, 1, merchant_addr, ether(10), /*chain_id=*/61);
+  Block etc_paid = mine(etc, {protected_tx});
+  std::cout << "   included on ETC: "
+            << (etc_paid.transactions.empty() ? "no" : "YES") << "\n";
+
+  std::cout << "4) replaying the protected tx on ETH fails validation\n";
+  TxError why{};
+  const auto verdict =
+      validate_transaction(eth.head_state(), protected_tx, eth.config(),
+                           eth.height() + 1, 8'000'000, why);
+  std::cout << "   ETH verdict: "
+            << (verdict ? "accepted (BUG!)" : to_string(why)) << "\n\n";
+
+  // --- mitigation 2: address splitting --------------------------------------
+  std::cout << "5) defense in depth: the user splits funds to a fresh "
+               "ETH-only address\n";
+  const PrivateKey fresh = PrivateKey::from_seed(1001);
+  const Transaction split = make_transaction(user, 1, derive_address(fresh),
+                                             ether(50), std::nullopt);
+  mine(eth, {split});
+  // the same split tx *can* be replayed on ETC (it is legacy!) — but the
+  // user wants that: it splits her ETC to the same fresh key's address,
+  // which she also controls. From then on the histories diverge.
+  const Transaction fresh_spend = make_transaction(
+      fresh, 0, merchant_addr, ether(5), std::nullopt);
+  mine(eth, {fresh_spend});
+  std::cout << "   fresh-address tx on ETH: nonce 0 spent\n";
+
+  TxError replay_why{};
+  const auto replay_fresh =
+      validate_transaction(etc.head_state(), fresh_spend, etc.config(),
+                           etc.height() + 1, 8'000'000, replay_why);
+  std::cout << "   replaying it on ETC: "
+            << (replay_fresh ? "valid (balances diverged: would move "
+                               "nothing the user still wants)"
+                             : to_string(replay_why))
+            << "\n\n";
+
+  std::cout << "echo count for this session: " << detector.total_echoes()
+            << " (into ETC: "
+            << detector.echoes_into(analysis::Chain::kEtc) << ")\n";
+  std::cout << "\nsummary: legacy txs replay across the fork; EIP-155 binds "
+               "a tx to one chain;\nfresh addresses isolate post-fork "
+               "funds. Exactly the timeline the paper documents.\n";
+  return 0;
+}

@@ -1,0 +1,24 @@
+#include "analysis/echo.hpp"
+
+namespace forksim::analysis {
+
+std::optional<EchoDetector::Echo> EchoDetector::observe(Chain chain,
+                                                        const Hash256& tx,
+                                                        SimTime time) {
+  if (chain == Chain::kEth) ++seen_eth_;
+  else ++seen_etc_;
+
+  auto it = first_.find(tx);
+  if (it == first_.end()) {
+    first_.emplace(tx, FirstSeen{chain, time, false});
+    return std::nullopt;
+  }
+  FirstSeen& origin = it->second;
+  if (origin.chain == chain || origin.echoed) return std::nullopt;
+  origin.echoed = true;
+  if (chain == Chain::kEth) ++echoes_into_eth_;
+  else ++echoes_into_etc_;
+  return Echo{tx, origin.chain, chain, origin.time, time};
+}
+
+}  // namespace forksim::analysis

@@ -1,0 +1,56 @@
+// Echo detection — the paper's §3.3 methodology: "we say that there was an
+// 'echo' in ETH if we first saw that same transaction appear in ETC (and
+// vice versa)". Works on transaction hashes observed per chain, exactly as
+// the authors matched their two full nodes' exports. A pre-EIP-155
+// transaction has the same hash on both chains (same bytes), so hash
+// equality is the cross-chain identity.
+#pragma once
+
+#include <unordered_map>
+
+#include "support/bytes.hpp"
+#include "support/timeseries.hpp"
+
+namespace forksim::analysis {
+
+enum class Chain : std::uint8_t { kEth = 0, kEtc = 1 };
+
+class EchoDetector {
+ public:
+  struct Echo {
+    Hash256 tx;
+    Chain first_seen;
+    Chain echoed_on;
+    SimTime first_time;
+    SimTime echo_time;
+  };
+
+  /// Record a transaction observed in a block on `chain` at `time`.
+  /// Returns the echo record if this observation completes a cross-chain
+  /// pair (first occurrence on this chain).
+  std::optional<Echo> observe(Chain chain, const Hash256& tx, SimTime time);
+
+  std::uint64_t echoes_into(Chain chain) const noexcept {
+    return chain == Chain::kEth ? echoes_into_eth_ : echoes_into_etc_;
+  }
+  std::uint64_t total_echoes() const noexcept {
+    return echoes_into_eth_ + echoes_into_etc_;
+  }
+  std::uint64_t observed(Chain chain) const noexcept {
+    return chain == Chain::kEth ? seen_eth_ : seen_etc_;
+  }
+
+ private:
+  struct FirstSeen {
+    Chain chain;
+    SimTime time;
+    bool echoed = false;
+  };
+  std::unordered_map<Hash256, FirstSeen, Hash256Hasher> first_;
+  std::uint64_t echoes_into_eth_ = 0;
+  std::uint64_t echoes_into_etc_ = 0;
+  std::uint64_t seen_eth_ = 0;
+  std::uint64_t seen_etc_ = 0;
+};
+
+}  // namespace forksim::analysis

@@ -1,0 +1,76 @@
+#include "analysis/forensics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace forksim::analysis {
+
+EchoVerdict classify_echo(const EchoFeatures& features,
+                          const ClassifierParams& params) {
+  double score = 0.5;
+
+  // delay: smooth ramp — instant rebroadcast is a strong benign signal,
+  // watch-and-replay a strong malicious one
+  const double delay_ratio =
+      std::clamp(features.delay_seconds / params.slow_delay_seconds, 0.0, 2.0);
+  score += 0.20 * (delay_ratio - 0.5);
+
+  if (features.sender_active_on_dest) score -= 0.30;
+  if (features.self_transfer) score -= 0.25;
+  if (features.value_ether >= params.high_value_ether) score += 0.10;
+
+  EchoVerdict verdict;
+  verdict.score = std::clamp(score, 0.0, 1.0);
+  verdict.label = verdict.score >= params.threshold ? EchoLabel::kMalicious
+                                                    : EchoLabel::kBenign;
+  return verdict;
+}
+
+double ConfusionMatrix::precision() const noexcept {
+  const auto denom = true_malicious + false_malicious;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_malicious) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionMatrix::recall() const noexcept {
+  const auto denom = true_malicious + false_benign;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_malicious) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+  return total() == 0
+             ? 0.0
+             : static_cast<double>(true_malicious + true_benign) /
+                   static_cast<double>(total());
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream os;
+  os << "                 actual malicious  actual benign\n"
+     << "pred. malicious  " << true_malicious << "\t\t   " << false_malicious
+     << "\n"
+     << "pred. benign     " << false_benign << "\t\t   " << true_benign
+     << "\n";
+  return os.str();
+}
+
+ConfusionMatrix evaluate(
+    const std::vector<std::pair<EchoFeatures, EchoLabel>>& labeled,
+    const ClassifierParams& params) {
+  ConfusionMatrix m;
+  for (const auto& [features, truth] : labeled) {
+    const EchoVerdict verdict = classify_echo(features, params);
+    const bool predicted_malicious = verdict.label == EchoLabel::kMalicious;
+    const bool is_malicious = truth == EchoLabel::kMalicious;
+    if (predicted_malicious && is_malicious) ++m.true_malicious;
+    else if (predicted_malicious && !is_malicious) ++m.false_malicious;
+    else if (!predicted_malicious && is_malicious) ++m.false_benign;
+    else ++m.true_benign;
+  }
+  return m;
+}
+
+}  // namespace forksim::analysis

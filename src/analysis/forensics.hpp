@@ -1,0 +1,82 @@
+// Echo forensics — the paper's future work, implemented:
+//
+//   "Our findings open up a number of interesting avenues for future work,
+//    such as exploring the transactions to detect malicious versus benign
+//    rebroadcasts..."  (§4)
+//
+// A rebroadcast is *benign* when the original sender intended the transfer
+// on both chains (dual-intent users, wallet consolidation) and *malicious*
+// when a third party replays someone else's transaction to double-collect.
+// The classifier scores observable features of an echo:
+//
+//   * rebroadcast delay — dual-intent senders broadcast to both networks
+//     within seconds; attackers watch confirmed blocks and replay later;
+//   * sender activity on the destination chain — a sender with independent
+//     (non-echo) history there plausibly participates in both networks;
+//   * self-transfer — consolidating funds to your own address is a classic
+//     benign pattern (and the recommended splitting defense looks like it);
+//   * transferred value — attackers preferentially replay large transfers.
+//
+// The weights are hand-set heuristics; ablate via evaluate() against
+// labeled data (the replay simulation produces ground truth).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace forksim::analysis {
+
+struct EchoFeatures {
+  /// Seconds between the original inclusion and the echo's inclusion.
+  double delay_seconds = 0;
+  /// The sender has independent (non-echo) transactions on the destination
+  /// chain.
+  bool sender_active_on_dest = false;
+  /// The echoed transaction pays the sender's own address.
+  bool self_transfer = false;
+  /// Transferred value, in ether.
+  double value_ether = 0;
+};
+
+enum class EchoLabel { kBenign, kMalicious };
+
+struct EchoVerdict {
+  EchoLabel label = EchoLabel::kBenign;
+  /// Malice score in [0, 1]; label is kMalicious iff score >= threshold.
+  double score = 0;
+};
+
+struct ClassifierParams {
+  double threshold = 0.5;
+  /// Delay knee: echoes slower than this look like watch-and-replay.
+  double slow_delay_seconds = 600;
+  /// Value knee: transfers above this attract attackers.
+  double high_value_ether = 50;
+};
+
+/// Score one echo.
+EchoVerdict classify_echo(const EchoFeatures& features,
+                          const ClassifierParams& params = {});
+
+struct ConfusionMatrix {
+  std::size_t true_malicious = 0;   // predicted malicious, was malicious
+  std::size_t false_malicious = 0;  // predicted malicious, was benign
+  std::size_t true_benign = 0;
+  std::size_t false_benign = 0;
+
+  std::size_t total() const noexcept {
+    return true_malicious + false_malicious + true_benign + false_benign;
+  }
+  double precision() const noexcept;
+  double recall() const noexcept;
+  double accuracy() const noexcept;
+  std::string to_string() const;
+};
+
+/// Evaluate the classifier against labeled echoes.
+ConfusionMatrix evaluate(
+    const std::vector<std::pair<EchoFeatures, EchoLabel>>& labeled,
+    const ClassifierParams& params = {});
+
+}  // namespace forksim::analysis

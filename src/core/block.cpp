@@ -1,0 +1,153 @@
+#include "core/block.hpp"
+
+#include "crypto/keccak.hpp"
+#include "trie/trie.hpp"
+
+namespace forksim::core {
+
+rlp::Item BlockHeader::to_rlp() const {
+  return rlp::Item::list({
+      rlp::Item::str(parent_hash.view()),
+      rlp::Item::str(ommers_hash.view()),
+      rlp::Item::str(coinbase.view()),
+      rlp::Item::str(state_root.view()),
+      rlp::Item::str(transactions_root.view()),
+      rlp::Item::str(receipts_root.view()),
+      rlp::Item::u256(difficulty),
+      rlp::Item::u64(number),
+      rlp::Item::u64(gas_limit),
+      rlp::Item::u64(gas_used),
+      rlp::Item::u64(timestamp),
+      rlp::Item(extra_data),
+      rlp::Item::u64(nonce),
+  });
+}
+
+std::optional<BlockHeader> BlockHeader::from_rlp(const rlp::Item& item) {
+  if (!item.is_list() || item.items().size() != 13) return std::nullopt;
+  const auto& f = item.items();
+  for (int i : {0, 1, 2, 3, 4, 5, 11})
+    if (!f[static_cast<std::size_t>(i)].is_bytes()) return std::nullopt;
+
+  BlockHeader h;
+  auto parent = Hash256::from_bytes(f[0].bytes());
+  auto ommers = Hash256::from_bytes(f[1].bytes());
+  auto miner = Address::from_bytes(f[2].bytes());
+  auto state = Hash256::from_bytes(f[3].bytes());
+  auto txroot = Hash256::from_bytes(f[4].bytes());
+  auto rcroot = Hash256::from_bytes(f[5].bytes());
+  auto diff = f[6].as_u256();
+  auto number = f[7].as_u64();
+  auto gas_limit = f[8].as_u64();
+  auto gas_used = f[9].as_u64();
+  auto timestamp = f[10].as_u64();
+  auto nonce = f[12].as_u64();
+  if (!parent || !ommers || !miner || !state || !txroot || !rcroot || !diff ||
+      !number || !gas_limit || !gas_used || !timestamp || !nonce)
+    return std::nullopt;
+
+  h.parent_hash = *parent;
+  h.ommers_hash = *ommers;
+  h.coinbase = *miner;
+  h.state_root = *state;
+  h.transactions_root = *txroot;
+  h.receipts_root = *rcroot;
+  h.difficulty = *diff;
+  h.number = *number;
+  h.gas_limit = *gas_limit;
+  h.gas_used = *gas_used;
+  h.timestamp = *timestamp;
+  h.extra_data = f[11].bytes();
+  h.nonce = *nonce;
+  return h;
+}
+
+Bytes BlockHeader::encode() const { return rlp::encode(to_rlp()); }
+
+std::optional<BlockHeader> BlockHeader::decode(BytesView wire) {
+  auto decoded = rlp::decode(wire);
+  if (!decoded.ok()) return std::nullopt;
+  return from_rlp(*decoded.item);
+}
+
+Hash256 BlockHeader::hash() const { return keccak256(encode()); }
+
+Hash256 Block::compute_transactions_root() const {
+  std::vector<Bytes> encoded;
+  encoded.reserve(transactions.size());
+  for (const auto& tx : transactions) encoded.push_back(tx.encode());
+  return trie::ordered_trie_root(encoded);
+}
+
+rlp::Item Block::to_rlp() const {
+  std::vector<rlp::Item> txs;
+  txs.reserve(transactions.size());
+  for (const auto& tx : transactions) txs.push_back(tx.to_rlp());
+  std::vector<rlp::Item> ommer_items;
+  ommer_items.reserve(ommers.size());
+  for (const auto& o : ommers) ommer_items.push_back(o.to_rlp());
+  return rlp::Item::list({header.to_rlp(), rlp::Item::list(std::move(txs)),
+                          rlp::Item::list(std::move(ommer_items))});
+}
+
+std::optional<Block> Block::from_rlp(const rlp::Item& item) {
+  if (!item.is_list() || item.items().size() != 3) return std::nullopt;
+  auto header = BlockHeader::from_rlp(item.items()[0]);
+  if (!header) return std::nullopt;
+  if (!item.items()[1].is_list() || !item.items()[2].is_list())
+    return std::nullopt;
+
+  Block b;
+  b.header = *header;
+  for (const auto& tx_item : item.items()[1].items()) {
+    auto tx = Transaction::from_rlp(tx_item);
+    if (!tx) return std::nullopt;
+    b.transactions.push_back(std::move(*tx));
+  }
+  for (const auto& ommer_item : item.items()[2].items()) {
+    auto ommer = BlockHeader::from_rlp(ommer_item);
+    if (!ommer) return std::nullopt;
+    b.ommers.push_back(std::move(*ommer));
+  }
+  return b;
+}
+
+Bytes Block::encode() const { return rlp::encode(to_rlp()); }
+
+std::optional<Block> Block::decode(BytesView wire) {
+  auto decoded = rlp::decode(wire);
+  if (!decoded.ok()) return std::nullopt;
+  return from_rlp(*decoded.item);
+}
+
+Hash256 Block::compute_ommers_hash() const {
+  std::vector<rlp::Item> items;
+  items.reserve(ommers.size());
+  for (const auto& o : ommers) items.push_back(o.to_rlp());
+  return keccak256(rlp::encode(rlp::Item::list(std::move(items))));
+}
+
+Hash256 empty_ommers_hash() {
+  static const Hash256 kHash = keccak256(rlp::encode(rlp::Item::list({})));
+  return kHash;
+}
+
+Bytes dao_fork_extra_data() {
+  const std::string_view marker = "dao-hard-fork";
+  return Bytes(marker.begin(), marker.end());
+}
+
+Block make_genesis(Gas gas_limit, U256 difficulty, Timestamp timestamp) {
+  Block genesis;
+  genesis.header.number = 0;
+  genesis.header.gas_limit = gas_limit;
+  genesis.header.difficulty = difficulty;
+  genesis.header.timestamp = timestamp;
+  genesis.header.ommers_hash = empty_ommers_hash();
+  genesis.header.transactions_root = trie::empty_trie_root();
+  genesis.header.receipts_root = trie::empty_trie_root();
+  genesis.header.state_root = trie::empty_trie_root();
+  return genesis;
+}
+
+}  // namespace forksim::core

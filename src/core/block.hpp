@@ -1,0 +1,94 @@
+// Block headers and bodies.
+//
+// Headers carry everything the fork-choice and difficulty machinery needs:
+// parent link, height, timestamp, difficulty, the three state commitments
+// (state / transactions / receipts), the winning miner (coinbase — the field
+// the paper's Figure 5 pool analysis reads), and gas accounting.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/transaction.hpp"
+#include "core/types.hpp"
+#include "rlp/rlp.hpp"
+
+namespace forksim::core {
+
+struct BlockHeader {
+  Hash256 parent_hash;
+  /// Commitment to the block's ommer ("uncle") headers — stale competitors
+  /// from transient forks (paper §2.1) that get partial rewards.
+  Hash256 ommers_hash;
+  /// Reward recipient — a mining pool's address for pool-mined blocks.
+  Address coinbase;
+  Hash256 state_root;
+  Hash256 transactions_root;
+  Hash256 receipts_root;
+  U256 difficulty;
+  BlockNumber number = 0;
+  Gas gas_limit = 0;
+  Gas gas_used = 0;
+  Timestamp timestamp = 0;
+  /// Free-form miner field; the DAO fork's activation block famously carried
+  /// "dao-hard-fork" here so clients could cheaply detect which side a peer
+  /// is on. Our p2p handshake uses it the same way.
+  Bytes extra_data;
+  /// PoW seal stand-in (we model mining as a Poisson process; the nonce
+  /// just keeps distinct blocks distinct).
+  std::uint64_t nonce = 0;
+
+  Hash256 hash() const;
+
+  rlp::Item to_rlp() const;
+  static std::optional<BlockHeader> from_rlp(const rlp::Item& item);
+  Bytes encode() const;
+  static std::optional<BlockHeader> decode(BytesView wire);
+
+  friend bool operator==(const BlockHeader& a, const BlockHeader& b) {
+    return a.encode() == b.encode();
+  }
+};
+
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> transactions;
+  /// Included ommer headers (at most 2; see Blockchain::validate rules).
+  std::vector<BlockHeader> ommers;
+
+  Hash256 hash() const { return header.hash(); }
+
+  /// Recompute the transactions trie root from the body.
+  Hash256 compute_transactions_root() const;
+  /// keccak(rlp(ommer headers)).
+  Hash256 compute_ommers_hash() const;
+
+  /// Body matches the header's commitments?
+  bool transactions_root_matches() const {
+    return compute_transactions_root() == header.transactions_root;
+  }
+  bool ommers_hash_matches() const {
+    return compute_ommers_hash() == header.ommers_hash;
+  }
+
+  rlp::Item to_rlp() const;
+  static std::optional<Block> from_rlp(const rlp::Item& item);
+  Bytes encode() const;
+  static std::optional<Block> decode(BytesView wire);
+
+  friend bool operator==(const Block& a, const Block& b) {
+    return a.encode() == b.encode();
+  }
+};
+
+/// The marker ETH's fork-support clients placed in the DAO activation
+/// block's extra_data.
+Bytes dao_fork_extra_data();
+
+/// keccak(rlp([])) — the ommers hash of a block with no ommers.
+Hash256 empty_ommers_hash();
+
+/// Construct the common genesis block both networks share.
+Block make_genesis(Gas gas_limit, U256 difficulty, Timestamp timestamp = 0);
+
+}  // namespace forksim::core

@@ -1,0 +1,42 @@
+#include "core/config.hpp"
+
+namespace forksim::core {
+
+ChainConfig ChainConfig::mainnet_pre_fork() {
+  ChainConfig c;
+  c.name = "pre-fork";
+  c.chain_id = 1;
+  c.homestead_block = 0;
+  return c;
+}
+
+ChainConfig ChainConfig::eth(BlockNumber fork_block) {
+  ChainConfig c = mainnet_pre_fork();
+  c.name = "ETH";
+  c.chain_id = to_u64(ChainId::kEth);
+  c.dao_fork_block = fork_block;
+  c.dao_fork_support = true;
+  return c;
+}
+
+ChainConfig ChainConfig::etc(BlockNumber fork_block,
+                             std::optional<BlockNumber> eip155_block) {
+  ChainConfig c = mainnet_pre_fork();
+  c.name = "ETC";
+  c.chain_id = to_u64(ChainId::kEtc);
+  c.dao_fork_block = fork_block;
+  c.dao_fork_support = false;
+  c.eip155_block = eip155_block;
+  return c;
+}
+
+bool ChainConfig::compatible_at(const ChainConfig& a, const ChainConfig& b,
+                                BlockNumber height) noexcept {
+  const bool a_forked = a.is_dao_fork(height);
+  const bool b_forked = b.is_dao_fork(height);
+  if (!a_forked && !b_forked) return true;  // fork not reached yet
+  if (a_forked != b_forked) return true;    // one side lags; still syncs
+  return a.dao_fork_support == b.dao_fork_support;
+}
+
+}  // namespace forksim::core

@@ -1,0 +1,98 @@
+// Chain configuration: protocol constants and the hard-fork activation
+// schedule. A hard fork in Ethereum is exactly a change of ChainConfig at a
+// block height — the DAO fork (block 1,920,000, July 20 2016) is modelled as
+// two configs that agree up to the fork block and then diverge on
+// `dao_fork_support`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace forksim::core {
+
+struct ChainConfig {
+  std::string name = "forksim";
+
+  /// EIP-155 transaction chain id (used once eip155_block activates).
+  std::uint64_t chain_id = 1;
+
+  // ---- difficulty / block timing --------------------------------------
+  /// Target inter-block time in seconds. Ethereum aims at ~14 s.
+  Timestamp target_block_time = 14;
+  /// Yellow Paper difficulty bound divisor (2048): each block may move
+  /// difficulty by at most parent_difficulty / 2048 per retarget step unit.
+  std::uint64_t difficulty_bound_divisor = 2048;
+  /// Minimum difficulty floor (131072).
+  std::uint64_t minimum_difficulty = 131072;
+  /// Homestead retarget denominator: adjustment step is
+  /// max(1 - (delta / 10), -99), i.e. one "notch" per 10 s of lateness.
+  Timestamp homestead_duration_divisor = 10;
+  /// Frontier rule threshold: faster than 13 s -> difficulty up, else down.
+  Timestamp frontier_duration_limit = 13;
+  /// Cap (in bound-divisor notches) on how far a single block may drop
+  /// difficulty under Homestead rules (-99 in the Yellow Paper). This bound
+  /// is what made ETC's post-fork difficulty adjustment take ~2 days
+  /// (paper §3.2).
+  std::int64_t max_adjustment_down = 99;
+  /// Enable the "difficulty bomb" exponential term (disabled by default in
+  /// simulations; it is irrelevant to the fork window studied).
+  bool difficulty_bomb = false;
+
+  // ---- rewards / gas ---------------------------------------------------
+  /// Static block reward: 5 ether during the study period.
+  std::uint64_t block_reward_ether = 5;
+  Gas min_gas_limit = 5000;
+  /// Gas limit may move by parent/1024 per block (EIP-not-needed here but
+  /// kept for header validation realism).
+  std::uint64_t gas_limit_bound_divisor = 1024;
+  Gas genesis_gas_limit = 4'712'388;  // ~4.7M, mainnet at the fork
+
+  // ---- fork schedule ---------------------------------------------------
+  /// Homestead difficulty rules from this height (0 = from genesis).
+  BlockNumber homestead_block = 0;
+  /// DAO hard fork height; nullopt = chain never schedules the DAO fork.
+  std::optional<BlockNumber> dao_fork_block;
+  /// True for the chain that adopts the DAO state edit (ETH); false for the
+  /// chain that rejects it (ETC).
+  bool dao_fork_support = false;
+  /// EIP-150 gas repricing height (the Nov 22 2016 ETH fork; the paper's
+  /// "other Ethereum forks" section).
+  std::optional<BlockNumber> eip150_block;
+  /// EIP-155 replay protection height (ETC adopted it Jan 13 2017).
+  std::optional<BlockNumber> eip155_block;
+
+  bool is_homestead(BlockNumber n) const noexcept {
+    return n >= homestead_block;
+  }
+  bool is_dao_fork(BlockNumber n) const noexcept {
+    return dao_fork_block && n >= *dao_fork_block;
+  }
+  bool is_eip150(BlockNumber n) const noexcept {
+    return eip150_block && n >= *eip150_block;
+  }
+  bool is_eip155(BlockNumber n) const noexcept {
+    return eip155_block && n >= *eip155_block;
+  }
+
+  Wei block_reward() const { return ether(block_reward_ether); }
+
+  /// Configuration of the pre-fork network (both sides agree).
+  static ChainConfig mainnet_pre_fork();
+  /// The ETH side: schedules and supports the DAO fork at `fork_block`.
+  static ChainConfig eth(BlockNumber fork_block);
+  /// The ETC side: same fork block scheduled but not supported, EIP-155
+  /// replay protection activating later at `eip155_block` (if any).
+  static ChainConfig etc(BlockNumber fork_block,
+                         std::optional<BlockNumber> eip155_block);
+
+  /// Two configs are "wire compatible" (nodes will peer and exchange blocks)
+  /// iff they agree on DAO fork support or neither has reached the fork yet.
+  /// This is the partition predicate of the paper's §1 footnote 1.
+  static bool compatible_at(const ChainConfig& a, const ChainConfig& b,
+                            BlockNumber height) noexcept;
+};
+
+}  // namespace forksim::core

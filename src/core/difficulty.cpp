@@ -1,0 +1,108 @@
+#include "core/difficulty.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace forksim::core {
+
+namespace {
+
+U256 apply_notches(const ChainConfig& config, const U256& parent_difficulty,
+                   std::int64_t notches) {
+  const U256 step = parent_difficulty / U256(config.difficulty_bound_divisor);
+  U256 diff = parent_difficulty;
+  if (notches >= 0) {
+    diff = diff + step * U256(static_cast<std::uint64_t>(notches));
+  } else {
+    const U256 decrease = step * U256(static_cast<std::uint64_t>(-notches));
+    diff = decrease >= diff ? U256(config.minimum_difficulty)
+                            : diff - decrease;
+  }
+  return std::max(diff, U256(config.minimum_difficulty));
+}
+
+U256 bomb_term(const ChainConfig& config, BlockNumber number) {
+  if (!config.difficulty_bomb) return U256(0);
+  const std::uint64_t period = number / 100000;
+  if (period < 2) return U256(0);
+  return U256(1) << static_cast<unsigned>(std::min<std::uint64_t>(period - 2, 255));
+}
+
+}  // namespace
+
+std::int64_t homestead_adjustment(const ChainConfig& config,
+                                  Timestamp timestamp,
+                                  Timestamp parent_timestamp) noexcept {
+  const auto delta = static_cast<std::int64_t>(timestamp - parent_timestamp);
+  const auto divisor =
+      static_cast<std::int64_t>(config.homestead_duration_divisor);
+  return std::max<std::int64_t>(1 - delta / divisor,
+                                -config.max_adjustment_down);
+}
+
+U256 next_difficulty(const ChainConfig& config, BlockNumber number,
+                     Timestamp timestamp, const U256& parent_difficulty,
+                     Timestamp parent_timestamp) {
+  std::int64_t notches;
+  if (config.is_homestead(number)) {
+    notches = homestead_adjustment(config, timestamp, parent_timestamp);
+  } else {
+    notches =
+        (timestamp - parent_timestamp) < config.frontier_duration_limit ? 1
+                                                                        : -1;
+  }
+  U256 diff = apply_notches(config, parent_difficulty, notches);
+  return diff + bomb_term(config, number);
+}
+
+U256 retarget(RetargetRule rule, const ChainConfig& config, BlockNumber number,
+              Timestamp timestamp, const U256& parent_difficulty,
+              Timestamp parent_timestamp, double window_actual_seconds,
+              std::uint64_t window_blocks) {
+  switch (rule) {
+    case RetargetRule::kHomestead:
+      return next_difficulty(config, number, timestamp, parent_difficulty,
+                             parent_timestamp);
+
+    case RetargetRule::kUncapped: {
+      // uncapped exponential controller: respond to the *relative* error of
+      // each observed interval with gain k, no floor on the downward step.
+      // Unbiased at equilibrium (E[1 - delta/target] = 0 when E[delta] hits
+      // the target) and recovers from a 10x hashpower loss within a handful
+      // of blocks — the comparator for ablation A1.
+      const double delta =
+          std::max<double>(1.0, static_cast<double>(timestamp - parent_timestamp));
+      const double target = static_cast<double>(config.target_block_time);
+      constexpr double kGain = 0.1;
+      double factor = std::exp(kGain * (1.0 - delta / target));
+      factor = std::clamp(factor, 1.0 / 8.0, 8.0);
+      const double scaled = parent_difficulty.to_double() * factor;
+      U256 diff = scaled <= 1.0 ? U256(1)
+                                : U256(static_cast<std::uint64_t>(
+                                      std::min(scaled, 1.8e19)));
+      // preserve magnitudes beyond u64 by falling back to notch math
+      if (parent_difficulty > U256(~0ull))
+        diff = next_difficulty(config, number, timestamp, parent_difficulty,
+                               parent_timestamp);
+      return std::max(diff, U256(config.minimum_difficulty));
+    }
+
+    case RetargetRule::kEpochAverage: {
+      if (window_blocks == 0 || window_actual_seconds <= 0.0)
+        return parent_difficulty;
+      const double target_seconds =
+          static_cast<double>(config.target_block_time) *
+          static_cast<double>(window_blocks);
+      double factor = target_seconds / window_actual_seconds;
+      factor = std::clamp(factor, 0.25, 4.0);  // Bitcoin's clamp
+      const double scaled = parent_difficulty.to_double() * factor;
+      U256 diff = scaled <= 1.0 ? U256(1)
+                                : U256(static_cast<std::uint64_t>(
+                                      std::min(scaled, 1.8e19)));
+      return std::max(diff, U256(config.minimum_difficulty));
+    }
+  }
+  return parent_difficulty;
+}
+
+}  // namespace forksim::core

@@ -1,0 +1,50 @@
+// Difficulty adjustment — the feedback controller at the heart of the
+// paper's Figure 1.
+//
+// Homestead rule (Yellow Paper eq. 41-46, bomb omitted by default):
+//   adj    = max(1 - (timestamp - parent_timestamp) / 10, -99)
+//   diff   = parent_diff + (parent_diff / 2048) * adj
+//   diff   = max(diff, 131072)
+// The -99 floor caps how fast difficulty can fall per block. When 90 % of
+// ETC's hashpower vanished at the fork, blocks arrived ~10x slower but each
+// block could only shed ~4.8 % of difficulty — hence the ~2-day recovery and
+// the >1200 s inter-block deltas the paper measures.
+//
+// Frontier rule (pre-Homestead):
+//   diff = parent_diff ± parent_diff / 2048   (+ if delta < 13 s, − otherwise)
+#pragma once
+
+#include "core/config.hpp"
+#include "core/types.hpp"
+
+namespace forksim::core {
+
+/// Difficulty for a child of (parent_difficulty, parent_timestamp) at height
+/// `number` with the given timestamp, under `config`'s rules.
+U256 next_difficulty(const ChainConfig& config, BlockNumber number,
+                     Timestamp timestamp, const U256& parent_difficulty,
+                     Timestamp parent_timestamp);
+
+/// The Homestead adjustment factor in bound-divisor notches
+/// (max(1 - delta/10, -99)); exposed for tests and the ablation bench.
+std::int64_t homestead_adjustment(const ChainConfig& config,
+                                  Timestamp timestamp,
+                                  Timestamp parent_timestamp) noexcept;
+
+/// Alternative retargeting rules for bench/ablate_difficulty: what if the
+/// protocol had no per-block cap, or retargeted like Bitcoin (epoch
+/// average)?
+enum class RetargetRule {
+  kHomestead,     // the real rule (capped proportional controller)
+  kUncapped,      // proportional to observed delta, no -99 floor
+  kEpochAverage,  // Bitcoin-style: rescale by target/actual over a window
+};
+
+/// One retarget step under the selected rule; `window_actual_seconds` and
+/// `window_blocks` are only read by kEpochAverage.
+U256 retarget(RetargetRule rule, const ChainConfig& config, BlockNumber number,
+              Timestamp timestamp, const U256& parent_difficulty,
+              Timestamp parent_timestamp, double window_actual_seconds = 0,
+              std::uint64_t window_blocks = 0);
+
+}  // namespace forksim::core

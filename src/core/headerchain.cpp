@@ -1,0 +1,117 @@
+#include "core/headerchain.hpp"
+
+#include <algorithm>
+
+#include "core/difficulty.hpp"
+
+namespace forksim::core {
+
+std::string to_string(HeaderImportResult r) {
+  switch (r) {
+    case HeaderImportResult::kImported: return "imported";
+    case HeaderImportResult::kAlreadyKnown: return "already known";
+    case HeaderImportResult::kUnknownParent: return "unknown parent";
+    case HeaderImportResult::kInvalid: return "invalid header";
+    case HeaderImportResult::kWrongFork: return "wrong fork";
+  }
+  return "unknown";
+}
+
+HeaderImportResult validate_child_header(const ChainConfig& config,
+                                         const BlockHeader& parent,
+                                         const BlockHeader& header) {
+  if (header.number != parent.number + 1) return HeaderImportResult::kInvalid;
+  if (header.timestamp <= parent.timestamp)
+    return HeaderImportResult::kInvalid;
+
+  const U256 expected =
+      next_difficulty(config, header.number, header.timestamp,
+                      parent.difficulty, parent.timestamp);
+  if (header.difficulty != expected) return HeaderImportResult::kInvalid;
+
+  const Gas bound = parent.gas_limit / config.gas_limit_bound_divisor;
+  const Gas lo = parent.gas_limit > bound ? parent.gas_limit - bound : 0;
+  const Gas hi = parent.gas_limit + bound;
+  if (header.gas_limit < std::max(lo, config.min_gas_limit) ||
+      header.gas_limit > hi)
+    return HeaderImportResult::kInvalid;
+  if (header.gas_used > header.gas_limit) return HeaderImportResult::kInvalid;
+
+  if (config.dao_fork_block && header.number == *config.dao_fork_block) {
+    const bool has_marker = header.extra_data == dao_fork_extra_data();
+    if (config.dao_fork_support != has_marker)
+      return HeaderImportResult::kWrongFork;
+  }
+  return HeaderImportResult::kImported;
+}
+
+HeaderChain::HeaderChain(ChainConfig config, const BlockHeader& genesis)
+    : config_(std::move(config)) {
+  const Hash256 h = genesis.hash();
+  records_.emplace(h, Record{genesis, genesis.difficulty});
+  canonical_[genesis.number] = h;
+  head_hash_ = h;
+}
+
+const BlockHeader& HeaderChain::head() const {
+  return records_.at(head_hash_).header;
+}
+
+BlockNumber HeaderChain::height() const { return head().number; }
+
+U256 HeaderChain::head_total_difficulty() const {
+  return records_.at(head_hash_).total_difficulty;
+}
+
+const BlockHeader* HeaderChain::by_hash(const Hash256& hash) const {
+  auto it = records_.find(hash);
+  return it == records_.end() ? nullptr : &it->second.header;
+}
+
+const BlockHeader* HeaderChain::by_number(BlockNumber n) const {
+  auto it = canonical_.find(n);
+  return it == canonical_.end() ? nullptr : by_hash(it->second);
+}
+
+HeaderImportResult HeaderChain::import(const BlockHeader& header) {
+  const Hash256 hash = header.hash();
+  if (records_.contains(hash)) return HeaderImportResult::kAlreadyKnown;
+
+  auto parent_it = records_.find(header.parent_hash);
+  if (parent_it == records_.end())
+    return HeaderImportResult::kUnknownParent;
+
+  const HeaderImportResult check =
+      validate_child_header(config_, parent_it->second.header, header);
+  if (check != HeaderImportResult::kImported) return check;
+
+  const U256 td = parent_it->second.total_difficulty + header.difficulty;
+  records_.emplace(hash, Record{header, td});
+  if (td > head_total_difficulty()) update_canonical(hash);
+  return HeaderImportResult::kImported;
+}
+
+void HeaderChain::update_canonical(const Hash256& new_head) {
+  // rebuild the canonical mapping by walking parents until we rejoin it
+  Hash256 cursor = new_head;
+  std::vector<Hash256> branch;
+  while (true) {
+    const Record& rec = records_.at(cursor);
+    auto it = canonical_.find(rec.header.number);
+    if (it != canonical_.end() && it->second == cursor) break;
+    branch.push_back(cursor);
+    if (rec.header.parent_hash.is_zero() ||
+        !records_.contains(rec.header.parent_hash))
+      break;
+    cursor = rec.header.parent_hash;
+  }
+  const BlockNumber fork_point =
+      branch.empty() ? records_.at(new_head).header.number
+                     : records_.at(branch.back()).header.number - 1;
+  canonical_.erase(canonical_.upper_bound(fork_point), canonical_.end());
+  for (auto it = branch.rbegin(); it != branch.rend(); ++it)
+    canonical_[records_.at(*it).header.number] = *it;
+  head_hash_ = new_head;
+}
+
+}  // namespace forksim::core

@@ -1,0 +1,66 @@
+// Light-client header chain: consensus-validates headers only (difficulty
+// rule, timestamps, gas-limit bounds, the DAO fork marker) and follows the
+// heaviest chain — no bodies, no state execution. This is what a block
+// explorer or monitoring node needs to track both sides of a fork cheaply,
+// and it shares the exact validation rules with the full Blockchain via
+// validate_child_header().
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "core/block.hpp"
+#include "core/config.hpp"
+
+namespace forksim::core {
+
+enum class HeaderImportResult {
+  kImported,
+  kAlreadyKnown,
+  kUnknownParent,
+  kInvalid,    // consensus rule violated
+  kWrongFork,  // DAO fork-block marker rule violated
+};
+
+std::string to_string(HeaderImportResult r);
+
+/// Shared consensus validation of `header` as a child of `parent` under
+/// `config` (difficulty, monotonic timestamp, gas-limit bounds, DAO rule).
+HeaderImportResult validate_child_header(const ChainConfig& config,
+                                         const BlockHeader& parent,
+                                         const BlockHeader& header);
+
+class HeaderChain {
+ public:
+  HeaderChain(ChainConfig config, const BlockHeader& genesis);
+
+  const ChainConfig& config() const noexcept { return config_; }
+
+  HeaderImportResult import(const BlockHeader& header);
+
+  const BlockHeader& head() const;
+  BlockNumber height() const;
+  U256 head_total_difficulty() const;
+
+  bool contains(const Hash256& hash) const { return records_.contains(hash); }
+  const BlockHeader* by_hash(const Hash256& hash) const;
+  /// Canonical header at height n (nullptr above head).
+  const BlockHeader* by_number(BlockNumber n) const;
+
+  std::size_t header_count() const noexcept { return records_.size(); }
+
+ private:
+  struct Record {
+    BlockHeader header;
+    U256 total_difficulty;
+  };
+
+  void update_canonical(const Hash256& new_head);
+
+  ChainConfig config_;
+  std::unordered_map<Hash256, Record, Hash256Hasher> records_;
+  std::map<BlockNumber, Hash256> canonical_;
+  Hash256 head_hash_;
+};
+
+}  // namespace forksim::core

@@ -1,0 +1,123 @@
+#include "core/receipt.hpp"
+
+#include "trie/trie.hpp"
+
+namespace forksim::core {
+
+rlp::Item Log::to_rlp() const {
+  std::vector<rlp::Item> topic_items;
+  topic_items.reserve(topics.size());
+  for (const auto& t : topics) topic_items.push_back(rlp::Item::u256(t));
+  return rlp::Item::list({rlp::Item::str(address.view()),
+                          rlp::Item::list(std::move(topic_items)),
+                          rlp::Item(data)});
+}
+
+rlp::Item Receipt::to_rlp() const {
+  std::vector<rlp::Item> log_items;
+  log_items.reserve(logs.size());
+  for (const auto& l : logs) log_items.push_back(l.to_rlp());
+  return rlp::Item::list({rlp::Item::u64(success ? 1 : 0),
+                          rlp::Item::u64(cumulative_gas_used),
+                          rlp::Item::list(std::move(log_items))});
+}
+
+Hash256 receipts_root(const std::vector<Receipt>& receipts) {
+  std::vector<Bytes> encoded;
+  encoded.reserve(receipts.size());
+  for (const auto& r : receipts) encoded.push_back(r.encode());
+  return trie::ordered_trie_root(encoded);
+}
+
+std::string to_string(TxError e) {
+  switch (e) {
+    case TxError::kInvalidSignature: return "invalid signature";
+    case TxError::kWrongChainId: return "wrong chain id";
+    case TxError::kNonceTooLow: return "nonce too low";
+    case TxError::kNonceTooHigh: return "nonce too high";
+    case TxError::kInsufficientFunds: return "insufficient funds";
+    case TxError::kIntrinsicGasTooLow: return "intrinsic gas too low";
+    case TxError::kGasLimitExceeded: return "block gas limit exceeded";
+  }
+  return "unknown";
+}
+
+std::optional<Address> validate_transaction(const State& state,
+                                            const Transaction& tx,
+                                            const ChainConfig& config,
+                                            BlockNumber block_number,
+                                            Gas block_gas_remaining,
+                                            TxError& error_out) {
+  const auto sender = tx.sender();
+  if (!sender) {
+    error_out = TxError::kInvalidSignature;
+    return std::nullopt;
+  }
+  if (!replay_valid_on(tx, config.chain_id,
+                       config.is_eip155(block_number))) {
+    error_out = TxError::kWrongChainId;
+    return std::nullopt;
+  }
+  const std::uint64_t expected_nonce = state.nonce(*sender);
+  if (tx.nonce < expected_nonce) {
+    error_out = TxError::kNonceTooLow;
+    return std::nullopt;
+  }
+  if (tx.nonce > expected_nonce) {
+    error_out = TxError::kNonceTooHigh;
+    return std::nullopt;
+  }
+  if (tx.gas_limit > block_gas_remaining) {
+    error_out = TxError::kGasLimitExceeded;
+    return std::nullopt;
+  }
+  if (tx.intrinsic_gas(config.is_homestead(block_number)) > tx.gas_limit) {
+    error_out = TxError::kIntrinsicGasTooLow;
+    return std::nullopt;
+  }
+  const Wei max_cost = tx.value + tx.gas_price * U256(tx.gas_limit);
+  if (state.balance(*sender) < max_cost) {
+    error_out = TxError::kInsufficientFunds;
+    return std::nullopt;
+  }
+  return sender;
+}
+
+ExecutionResult TransferExecutor::execute(State& state, const Transaction& tx,
+                                          const BlockContext& ctx,
+                                          const ChainConfig& config,
+                                          Gas block_gas_remaining) {
+  TxError error{};
+  const auto sender =
+      validate_transaction(state, tx, config, ctx.number, block_gas_remaining,
+                           error);
+  if (!sender) return {std::nullopt, error};
+
+  const Gas gas_used = tx.intrinsic_gas(config.is_homestead(ctx.number));
+  const Wei fee = tx.gas_price * U256(gas_used);
+
+  const bool paid = state.sub_balance(*sender, tx.value + fee);
+  (void)paid;  // guaranteed by validate_transaction
+  state.increment_nonce(*sender);
+
+  Receipt receipt;
+  receipt.success = true;
+  receipt.gas_used = gas_used;
+  if (tx.to) {
+    state.add_balance(*tx.to, tx.value);
+  } else {
+    // contract creation without code execution: the value sits in the
+    // deterministic creation address
+    Keccak256 h;
+    h.update(sender->view());
+    h.update(be_fixed64(tx.nonce));
+    const Address created =
+        Address::left_padded(BytesView(h.digest().data() + 12, 20));
+    state.add_balance(created, tx.value);
+    receipt.created_contract = created;
+  }
+  state.add_balance(ctx.coinbase, fee);
+  return {receipt, std::nullopt};
+}
+
+}  // namespace forksim::core

@@ -1,0 +1,104 @@
+// Transaction receipts and the executor interface that separates the chain
+// layer from the EVM: core::Blockchain drives any Executor; evm::EvmExecutor
+// provides the full virtual machine, and TransferExecutor provides a
+// lightweight value-transfer-only semantics for protocol-level tests.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/transaction.hpp"
+#include "core/state.hpp"
+#include "rlp/rlp.hpp"
+
+namespace forksim::core {
+
+struct Log {
+  Address address;
+  std::vector<U256> topics;
+  Bytes data;
+
+  rlp::Item to_rlp() const;
+};
+
+struct Receipt {
+  bool success = false;
+  /// Cumulative gas used in the block up to and including this tx.
+  Gas cumulative_gas_used = 0;
+  /// Gas used by this transaction alone.
+  Gas gas_used = 0;
+  std::vector<Log> logs;
+  /// Address of the created contract, if any.
+  std::optional<Address> created_contract;
+
+  rlp::Item to_rlp() const;
+  Bytes encode() const { return rlp::encode(to_rlp()); }
+};
+
+/// Receipts trie root for a block body.
+Hash256 receipts_root(const std::vector<Receipt>& receipts);
+
+/// Context a transaction executes in.
+struct BlockContext {
+  Address coinbase;
+  BlockNumber number = 0;
+  Timestamp timestamp = 0;
+  Gas gas_limit = 0;
+  U256 difficulty;
+};
+
+/// Why a transaction was rejected before execution.
+enum class TxError {
+  kInvalidSignature,
+  kWrongChainId,    // EIP-155 mismatch — a blocked replay
+  kNonceTooLow,
+  kNonceTooHigh,    // strict block execution requires exact nonce
+  kInsufficientFunds,
+  kIntrinsicGasTooLow,
+  kGasLimitExceeded,  // over remaining block gas
+};
+
+std::string to_string(TxError e);
+
+struct ExecutionResult {
+  std::optional<Receipt> receipt;   // set on acceptance (even if reverted)
+  std::optional<TxError> error;     // set on up-front rejection
+
+  bool accepted() const noexcept { return receipt.has_value(); }
+};
+
+/// Strategy interface: executes one transaction against `state`.
+/// Implementations must leave `state` unchanged when rejecting.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  virtual ExecutionResult execute(State& state, const Transaction& tx,
+                                  const BlockContext& ctx,
+                                  const ChainConfig& config,
+                                  Gas block_gas_remaining) = 0;
+};
+
+/// Validations shared by every executor: signature, chain id, nonce,
+/// intrinsic gas, up-front balance, block gas. Returns the sender on
+/// success.
+std::optional<Address> validate_transaction(const State& state,
+                                            const Transaction& tx,
+                                            const ChainConfig& config,
+                                            BlockNumber block_number,
+                                            Gas block_gas_remaining,
+                                            TxError& error_out);
+
+/// Value-transfer-only executor: charges intrinsic gas, moves value, bumps
+/// the nonce, pays the fee to the coinbase. Calls to contracts transfer
+/// value but run no code. Used by protocol tests and the fast simulator.
+class TransferExecutor final : public Executor {
+ public:
+  ExecutionResult execute(State& state, const Transaction& tx,
+                          const BlockContext& ctx, const ChainConfig& config,
+                          Gas block_gas_remaining) override;
+};
+
+}  // namespace forksim::core

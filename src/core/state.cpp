@@ -1,0 +1,115 @@
+#include "core/state.hpp"
+
+#include "rlp/rlp.hpp"
+#include "trie/trie.hpp"
+
+namespace forksim::core {
+
+Hash256 empty_code_hash() {
+  static const Hash256 kHash = keccak256(BytesView{});
+  return kHash;
+}
+
+const Account* State::account(const Address& addr) const {
+  auto it = accounts_.find(addr);
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+Wei State::balance(const Address& addr) const {
+  const Account* a = account(addr);
+  return a ? a->balance : Wei(0);
+}
+
+void State::add_balance(const Address& addr, const Wei& amount) {
+  touch(addr).balance += amount;
+}
+
+bool State::sub_balance(const Address& addr, const Wei& amount) {
+  Account* a = accounts_.contains(addr) ? &accounts_[addr] : nullptr;
+  if (a == nullptr || a->balance < amount) return false;
+  a->balance -= amount;
+  return true;
+}
+
+std::uint64_t State::nonce(const Address& addr) const {
+  const Account* a = account(addr);
+  return a ? a->nonce : 0;
+}
+
+void State::set_nonce(const Address& addr, std::uint64_t nonce) {
+  touch(addr).nonce = nonce;
+}
+
+void State::increment_nonce(const Address& addr) { ++touch(addr).nonce; }
+
+const Bytes& State::code(const Address& addr) const {
+  static const Bytes kEmpty;
+  const Account* a = account(addr);
+  return a ? a->code : kEmpty;
+}
+
+void State::set_code(const Address& addr, Bytes code) {
+  touch(addr).code = std::move(code);
+}
+
+U256 State::storage_at(const Address& addr, const U256& key) const {
+  const Account* a = account(addr);
+  if (a == nullptr) return U256(0);
+  auto it = a->storage.find(key);
+  return it == a->storage.end() ? U256(0) : it->second;
+}
+
+void State::set_storage(const Address& addr, const U256& key,
+                        const U256& value) {
+  Account& a = touch(addr);
+  if (value.is_zero())
+    a.storage.erase(key);
+  else
+    a.storage[key] = value;
+}
+
+std::vector<Address> State::addresses() const {
+  std::vector<Address> out;
+  out.reserve(accounts_.size());
+  for (const auto& [addr, _] : accounts_) out.push_back(addr);
+  return out;
+}
+
+Hash256 State::storage_root(const Account& account) {
+  if (account.storage.empty()) return trie::empty_trie_root();
+  trie::Trie t;
+  for (const auto& [key, value] : account.storage) {
+    const auto key_bytes = key.to_be();
+    const Hash256 hashed = keccak256(BytesView(key_bytes.data(), 32));
+    t.put(hashed.view(), rlp::encode(rlp::Item::u256(value)));
+  }
+  return t.root_hash();
+}
+
+Hash256 State::root() const {
+  trie::Trie t;
+  for (const auto& [addr, account] : accounts_) {
+    if (account.is_empty()) continue;  // empty accounts are not committed
+    const rlp::Item body = rlp::Item::list({
+        rlp::Item::u64(account.nonce),
+        rlp::Item::u256(account.balance),
+        rlp::Item::str(storage_root(account).view()),
+        rlp::Item::str(account.code_hash().view()),
+    });
+    t.put(keccak256(addr.view()).view(), rlp::encode(body));
+  }
+  return t.root_hash();
+}
+
+void apply_dao_refund(State& state, const std::vector<Address>& dao_accounts,
+                      const Address& refund) {
+  for (const Address& addr : dao_accounts) {
+    const Wei amount = state.balance(addr);
+    if (amount.is_zero()) continue;
+    const bool ok = state.sub_balance(addr, amount);
+    (void)ok;  // amount just read from the same account; cannot fail
+    state.add_balance(refund, amount);
+  }
+}
+
+}  // namespace forksim::core

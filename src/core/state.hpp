@@ -1,0 +1,94 @@
+// World state: accounts, balances, nonces, contract code and storage, with
+// snapshot/revert (for EVM call frames and failed transactions) and the
+// Merkle-Patricia state root committed to in block headers.
+//
+// Snapshots are whole-map copies. Simulated states hold at most a few
+// thousand small accounts, so copying is cheap and keeps revert semantics
+// trivially correct; a journal would only pay off at mainnet scale.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+#include "crypto/keccak.hpp"
+
+namespace forksim::core {
+
+/// keccak256 of empty code — the code_hash of plain accounts.
+Hash256 empty_code_hash();
+
+struct Account {
+  std::uint64_t nonce = 0;
+  Wei balance;
+  Bytes code;
+  std::unordered_map<U256, U256, U256Hasher> storage;
+
+  bool is_contract() const noexcept { return !code.empty(); }
+  Hash256 code_hash() const {
+    return code.empty() ? empty_code_hash() : keccak256(code);
+  }
+  bool is_empty() const noexcept {
+    return nonce == 0 && balance.is_zero() && code.empty() && storage.empty();
+  }
+};
+
+class State {
+ public:
+  bool exists(const Address& addr) const {
+    return accounts_.contains(addr);
+  }
+
+  /// Read-only view; nullptr if absent.
+  const Account* account(const Address& addr) const;
+
+  /// Mutable accessor, creating the account if needed.
+  Account& touch(const Address& addr) { return accounts_[addr]; }
+
+  Wei balance(const Address& addr) const;
+  void add_balance(const Address& addr, const Wei& amount);
+  /// Returns false (and leaves state unchanged) on insufficient funds.
+  [[nodiscard]] bool sub_balance(const Address& addr, const Wei& amount);
+
+  std::uint64_t nonce(const Address& addr) const;
+  void set_nonce(const Address& addr, std::uint64_t nonce);
+  void increment_nonce(const Address& addr);
+
+  const Bytes& code(const Address& addr) const;
+  void set_code(const Address& addr, Bytes code);
+
+  U256 storage_at(const Address& addr, const U256& key) const;
+  void set_storage(const Address& addr, const U256& key, const U256& value);
+
+  /// Remove an account entirely (SELFDESTRUCT).
+  void destroy(const Address& addr) { accounts_.erase(addr); }
+
+  std::size_t account_count() const noexcept { return accounts_.size(); }
+
+  /// All addresses (analysis/debug; unordered).
+  std::vector<Address> addresses() const;
+
+  // ---- snapshot / revert ------------------------------------------------
+  using Snapshot = std::unordered_map<Address, Account, AddressHasher>;
+  Snapshot snapshot() const { return accounts_; }
+  void revert(Snapshot snap) { accounts_ = std::move(snap); }
+
+  // ---- commitments --------------------------------------------------------
+  /// Merkle-Patricia state root: trie of keccak(address) ->
+  /// rlp([nonce, balance, storage_root, code_hash]).
+  Hash256 root() const;
+
+  /// Storage root of one account (empty-trie root when no storage).
+  static Hash256 storage_root(const Account& account);
+
+ private:
+  std::unordered_map<Address, Account, AddressHasher> accounts_;
+};
+
+/// The DAO irregular state change: move the full balance of every account in
+/// `dao_accounts` to `refund`. ETH applied exactly this edit at block
+/// 1,920,000; ETC refused it — the paper's partition.
+void apply_dao_refund(State& state, const std::vector<Address>& dao_accounts,
+                      const Address& refund);
+
+}  // namespace forksim::core

@@ -1,0 +1,129 @@
+#include "core/transaction.hpp"
+
+#include "crypto/keccak.hpp"
+
+namespace forksim::core {
+
+namespace {
+
+rlp::Item to_field(const std::optional<Address>& to) {
+  if (!to) return rlp::Item::str(BytesView{});
+  return rlp::Item::str(to->view());
+}
+
+std::vector<rlp::Item> payload_fields(const Transaction& tx) {
+  return {
+      rlp::Item::u64(tx.nonce),        rlp::Item::u256(tx.gas_price),
+      rlp::Item::u64(tx.gas_limit),    to_field(tx.to),
+      rlp::Item::u256(tx.value),       rlp::Item(tx.data),
+  };
+}
+
+}  // namespace
+
+Hash256 Transaction::signing_hash() const {
+  std::vector<rlp::Item> fields = payload_fields(*this);
+  if (chain_id) {
+    // EIP-155 trailer: (chain_id, 0, 0)
+    fields.push_back(rlp::Item::u64(*chain_id));
+    fields.push_back(rlp::Item::u64(0));
+    fields.push_back(rlp::Item::u64(0));
+  }
+  return keccak256(rlp::encode(rlp::Item::list(std::move(fields))));
+}
+
+rlp::Item Transaction::to_rlp() const {
+  std::vector<rlp::Item> fields = payload_fields(*this);
+  fields.push_back(rlp::Item::u64(chain_id.value_or(0)));
+  fields.push_back(rlp::Item::str(signature.pubkey.view()));
+  fields.push_back(rlp::Item::str(signature.tag.view()));
+  return rlp::Item::list(std::move(fields));
+}
+
+Bytes Transaction::encode() const { return rlp::encode(to_rlp()); }
+
+Hash256 Transaction::hash() const { return keccak256(encode()); }
+
+std::optional<Transaction> Transaction::from_rlp(const rlp::Item& item) {
+  if (!item.is_list() || item.items().size() != 9) return std::nullopt;
+  const auto& f = item.items();
+
+  Transaction tx;
+  auto nonce = f[0].as_u64();
+  auto gas_price = f[1].as_u256();
+  auto gas_limit = f[2].as_u64();
+  auto value = f[4].as_u256();
+  auto chain = f[6].as_u64();
+  if (!nonce || !gas_price || !gas_limit || !value || !chain)
+    return std::nullopt;
+  tx.nonce = *nonce;
+  tx.gas_price = *gas_price;
+  tx.gas_limit = *gas_limit;
+  tx.value = *value;
+
+  if (!f[3].is_bytes() || !f[5].is_bytes() || !f[7].is_bytes() ||
+      !f[8].is_bytes())
+    return std::nullopt;
+  const Bytes& to_bytes = f[3].bytes();
+  if (to_bytes.empty()) {
+    tx.to = std::nullopt;
+  } else {
+    auto addr = Address::from_bytes(to_bytes);
+    if (!addr) return std::nullopt;
+    tx.to = *addr;
+  }
+  tx.data = f[5].bytes();
+  tx.chain_id = *chain == 0 ? std::nullopt : std::make_optional(*chain);
+
+  auto pubkey = Hash256::from_bytes(f[7].bytes());
+  auto tag = Hash256::from_bytes(f[8].bytes());
+  if (!pubkey || !tag) return std::nullopt;
+  tx.signature = Signature{*pubkey, *tag};
+  return tx;
+}
+
+std::optional<Transaction> Transaction::decode(BytesView wire) {
+  auto decoded = rlp::decode(wire);
+  if (!decoded.ok()) return std::nullopt;
+  return from_rlp(*decoded.item);
+}
+
+std::optional<Address> Transaction::sender() const {
+  return recover(signing_hash(), signature);
+}
+
+Gas Transaction::intrinsic_gas(bool homestead) const noexcept {
+  Gas gas = 21000;
+  for (std::uint8_t b : data) gas += (b == 0) ? 4 : 68;
+  if (is_contract_creation() && homestead) gas += 32000;
+  return gas;
+}
+
+Transaction make_transaction(const PrivateKey& sender_key, std::uint64_t nonce,
+                             std::optional<Address> to, Wei value,
+                             std::optional<std::uint64_t> chain_id,
+                             Wei gas_price, Gas gas_limit, Bytes data) {
+  Transaction tx;
+  tx.nonce = nonce;
+  tx.gas_price = gas_price;
+  tx.gas_limit = gas_limit;
+  tx.to = to;
+  tx.value = value;
+  tx.data = std::move(data);
+  tx.chain_id = chain_id;
+  sign_transaction(tx, sender_key);
+  return tx;
+}
+
+void sign_transaction(Transaction& tx, const PrivateKey& sender_key) {
+  tx.signature = sign(sender_key, tx.signing_hash());
+}
+
+bool replay_valid_on(const Transaction& tx, std::uint64_t chain_id,
+                     bool eip155_active) noexcept {
+  if (!tx.is_replay_protected()) return true;  // legacy txs always accepted
+  if (!eip155_active) return false;  // protected txs need the fork active
+  return *tx.chain_id == chain_id;
+}
+
+}  // namespace forksim::core

@@ -1,0 +1,90 @@
+// Transactions, including EIP-155 replay protection.
+//
+// Pre-EIP-155, the signing hash covers only the transaction payload, so a
+// transaction broadcast on ETH is bit-identical — and valid — on ETC (and
+// vice versa). That is the paper's §3.3 "rebroadcast / echo" vulnerability.
+// EIP-155 mixes the chain id into the signing hash, making signatures
+// chain-specific. Both modes are implemented here.
+//
+// Wire note: real Ethereum carries (v, r, s); our simulation signature is
+// (pubkey, tag) — see crypto/ecdsa.hpp — so the wire format is
+//   rlp([nonce, gas_price, gas_limit, to, value, data, chain_id, pubkey, tag])
+// with chain_id = 0 denoting a pre-EIP-155 (replayable) signature, mirroring
+// how v encodes the chain id after EIP-155.
+#pragma once
+
+#include <optional>
+
+#include "core/types.hpp"
+#include "crypto/ecdsa.hpp"
+#include "rlp/rlp.hpp"
+
+namespace forksim::core {
+
+class Transaction {
+ public:
+  std::uint64_t nonce = 0;
+  Wei gas_price;
+  Gas gas_limit = 21000;
+  /// Destination; nullopt = contract creation.
+  std::optional<Address> to;
+  Wei value;
+  Bytes data;
+
+  /// EIP-155 chain id the signature commits to; nullopt = legacy
+  /// (replayable) signature.
+  std::optional<std::uint64_t> chain_id;
+  Signature signature;
+
+  bool is_contract_creation() const noexcept { return !to.has_value(); }
+  bool is_replay_protected() const noexcept { return chain_id.has_value(); }
+
+  /// Hash the signature commits to (payload only for legacy; payload +
+  /// chain id for EIP-155 — the "(chain_id, 0, 0)" trailer of the EIP).
+  Hash256 signing_hash() const;
+
+  /// Transaction id: keccak of the full wire encoding. Two broadcasts of the
+  /// same legacy transaction on different chains share this id, which is how
+  /// the analysis pipeline detects echoes.
+  Hash256 hash() const;
+
+  /// Recover the sender; nullopt if the signature is invalid.
+  std::optional<Address> sender() const;
+
+  /// Signature valid for this payload (and chain id, if protected)?
+  bool has_valid_signature() const { return sender().has_value(); }
+
+  /// Intrinsic gas: 21000 + 68 per non-zero data byte + 4 per zero byte
+  /// (+32000 for contract creation under Homestead).
+  Gas intrinsic_gas(bool homestead) const noexcept;
+
+  Bytes encode() const;
+  static std::optional<Transaction> decode(BytesView wire);
+
+  rlp::Item to_rlp() const;
+  static std::optional<Transaction> from_rlp(const rlp::Item& item);
+
+  friend bool operator==(const Transaction& a, const Transaction& b) {
+    return a.encode() == b.encode();
+  }
+};
+
+/// Build and sign a transaction in one step. Pass chain_id to produce an
+/// EIP-155 (replay-protected) signature, nullopt for a legacy one.
+Transaction make_transaction(const PrivateKey& sender_key, std::uint64_t nonce,
+                             std::optional<Address> to, Wei value,
+                             std::optional<std::uint64_t> chain_id,
+                             Wei gas_price = gwei(20), Gas gas_limit = 90000,
+                             Bytes data = {});
+
+/// Sign (or re-sign) an already-populated transaction in place.
+void sign_transaction(Transaction& tx, const PrivateKey& sender_key);
+
+/// Can `tx` be included on a chain with EIP-155 active-ness as given?
+/// Legacy transactions remain valid after EIP-155 (it was opt-in,
+/// backwards-compatible — paper §3.3); protected transactions require the
+/// chain id to match.
+bool replay_valid_on(const Transaction& tx, std::uint64_t chain_id,
+                     bool eip155_active) noexcept;
+
+}  // namespace forksim::core

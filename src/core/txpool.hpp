@@ -1,0 +1,85 @@
+// Transaction pool: pending transactions a node has heard via gossip,
+// validated against the current head state, ordered by gas price for block
+// assembly. This is also where replay ("echo") transactions enter a chain:
+// a legacy transaction rebroadcast from the other network passes every check
+// here as long as the sender's pre-fork account still has the funds.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/state.hpp"
+#include "core/transaction.hpp"
+
+namespace forksim::core {
+
+enum class PoolAddResult {
+  kAdded,
+  kAlreadyKnown,
+  kInvalidSignature,
+  kWrongChainId,   // EIP-155 rejected a cross-chain replay at the pool edge
+  kNonceTooLow,
+  kUnderpriced,    // below the pool's min gas price
+  kPoolFull,
+  kReplacedExisting,  // same sender+nonce with a better price
+};
+
+std::string to_string(PoolAddResult r);
+
+class TxPool {
+ public:
+  struct Options {
+    std::size_t capacity = 16384;
+    Wei min_gas_price = Wei(1);
+    /// Allow at most this many queued nonces ahead of the account nonce.
+    std::uint64_t max_nonce_gap = 64;
+  };
+
+  TxPool(const ChainConfig& config, Options options)
+      : config_(config), options_(options) {}
+  explicit TxPool(const ChainConfig& config) : TxPool(config, Options()) {}
+
+  /// Validate against `state` at height `head_number` and admit.
+  PoolAddResult add(const Transaction& tx, const State& state,
+                    BlockNumber head_number);
+
+  bool contains(const Hash256& tx_hash) const {
+    return by_hash_.contains(tx_hash);
+  }
+
+  std::size_t size() const noexcept { return by_hash_.size(); }
+
+  /// Best candidates for a new block: price-ordered, nonce-contiguous per
+  /// sender, up to `max_count`.
+  std::vector<Transaction> collect(std::size_t max_count,
+                                   const State& state) const;
+
+  /// Drop everything included in a new block (and anything whose nonce the
+  /// block made stale).
+  void remove_included(const std::vector<Transaction>& included,
+                       const State& new_state);
+
+  /// All pending hashes (for gossip inventory).
+  std::vector<Hash256> hashes() const;
+
+  const Transaction* by_hash(const Hash256& h) const;
+
+ private:
+  struct Entry {
+    Transaction tx;
+    Address sender;
+  };
+
+  const ChainConfig& config_;
+  Options options_;
+  std::unordered_map<Hash256, Entry, Hash256Hasher> by_hash_;
+  /// sender -> nonce -> tx hash (for replacement and contiguity checks)
+  std::unordered_map<Address, std::map<std::uint64_t, Hash256>, AddressHasher>
+      by_sender_;
+};
+
+}  // namespace forksim::core

@@ -1,0 +1,37 @@
+// Core chain value types shared across the node: money, block numbers,
+// gas, and chain identifiers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "support/bytes.hpp"
+#include "support/u256.hpp"
+
+namespace forksim::core {
+
+using Wei = U256;
+using BlockNumber = std::uint64_t;
+using Gas = std::uint64_t;
+using Timestamp = std::uint64_t;  // seconds
+
+/// EIP-155 chain identifiers for the two post-fork networks. ETH kept
+/// chain id 1; ETC adopted 61 when it added replay protection in Jan 2017.
+enum class ChainId : std::uint64_t {
+  kEth = 1,
+  kEtc = 61,
+};
+
+constexpr std::uint64_t to_u64(ChainId id) noexcept {
+  return static_cast<std::uint64_t>(id);
+}
+
+/// 1 ether in wei (10^18).
+inline Wei ether(std::uint64_t n) {
+  return U256(n) * U256(1'000'000'000'000'000'000ull);
+}
+
+/// 1 gwei in wei (10^9).
+inline Wei gwei(std::uint64_t n) { return U256(n) * U256(1'000'000'000ull); }
+
+}  // namespace forksim::core

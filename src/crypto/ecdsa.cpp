@@ -1,0 +1,70 @@
+#include "crypto/ecdsa.hpp"
+
+#include "crypto/keccak.hpp"
+
+namespace forksim {
+
+namespace {
+constexpr std::string_view kPubkeyDomain = "forksim/pubkey";
+
+Hash256 make_tag(const Hash256& pubkey, const Hash256& digest) {
+  Keccak256 h;
+  h.update(pubkey.view());
+  h.update(digest.view());
+  return h.digest();
+}
+}  // namespace
+
+PrivateKey PrivateKey::from_seed(std::uint64_t seed) {
+  Keccak256 h;
+  h.update(std::string_view("forksim/privkey"));
+  auto be = be_fixed64(seed);
+  h.update(BytesView(be.data(), be.size()));
+  return PrivateKey{h.digest()};
+}
+
+PublicKey derive_public(const PrivateKey& priv) {
+  Keccak256 h;
+  h.update(priv.secret.view());
+  h.update(kPubkeyDomain);
+  return PublicKey{h.digest()};
+}
+
+Address PublicKey::address() const {
+  const Hash256 digest = keccak256(value.view());
+  return Address::left_padded(BytesView(digest.data() + 12, 20));
+}
+
+Address derive_address(const PrivateKey& priv) {
+  return derive_public(priv).address();
+}
+
+Bytes Signature::encode() const {
+  return concat({pubkey.view(), tag.view()});
+}
+
+std::optional<Signature> Signature::decode(BytesView b) {
+  if (b.size() != 64) return std::nullopt;
+  Signature sig;
+  sig.pubkey = Hash256::left_padded(b.subspan(0, 32));
+  sig.tag = Hash256::left_padded(b.subspan(32, 32));
+  return sig;
+}
+
+Signature sign(const PrivateKey& priv, const Hash256& digest) {
+  const PublicKey pub = derive_public(priv);
+  return Signature{pub.value, make_tag(pub.value, digest)};
+}
+
+std::optional<Address> recover(const Hash256& digest, const Signature& sig) {
+  if (make_tag(sig.pubkey, digest) != sig.tag) return std::nullopt;
+  return PublicKey{sig.pubkey}.address();
+}
+
+bool verify(const Hash256& digest, const Signature& sig,
+            const Address& signer) {
+  const auto recovered = recover(digest, sig);
+  return recovered.has_value() && *recovered == signer;
+}
+
+}  // namespace forksim

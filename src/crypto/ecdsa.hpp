@@ -1,0 +1,66 @@
+// Simulation signature scheme (SUBSTITUTION — see DESIGN.md §1).
+//
+// The paper's replay ("echo") analysis needs exactly two properties of
+// Ethereum's secp256k1 signatures:
+//   1. the sender address is recoverable from (signing-hash, signature), and
+//   2. a signature is only valid for the exact signing-hash it was produced
+//      for — so EIP-155's chain-id-in-the-signing-hash provides domain
+//      separation between chains.
+// We preserve both with a Keccak-based construction:
+//   pubkey  = keccak256(priv || "forksim/pubkey")
+//   address = last 20 bytes of keccak256(pubkey)
+//   sig     = { pubkey, tag = keccak256(pubkey || digest) }
+// recover() re-derives tag from the embedded pubkey and the digest; any
+// mutation of the digest (e.g. a different chain id) invalidates the tag.
+//
+// This is NOT cryptographically unforgeable (pubkey is public), which is
+// irrelevant here: no simulated agent attempts signature forgery, and the
+// measured phenomena (cross-chain replay validity pre-EIP-155, its
+// elimination post-EIP-155) depend only on properties 1 and 2, which hold
+// exactly.
+#pragma once
+
+#include <optional>
+
+#include "support/bytes.hpp"
+
+namespace forksim {
+
+struct PrivateKey {
+  Hash256 secret;
+
+  /// Deterministic key derivation from a seed (test/simulation helper).
+  static PrivateKey from_seed(std::uint64_t seed);
+};
+
+struct PublicKey {
+  Hash256 value;
+
+  Address address() const;
+};
+
+PublicKey derive_public(const PrivateKey& priv);
+Address derive_address(const PrivateKey& priv);
+
+struct Signature {
+  Hash256 pubkey;
+  Hash256 tag;
+
+  friend bool operator==(const Signature&, const Signature&) = default;
+
+  /// 64-byte wire encoding (pubkey || tag).
+  Bytes encode() const;
+  static std::optional<Signature> decode(BytesView b);
+};
+
+/// Sign a 32-byte digest.
+Signature sign(const PrivateKey& priv, const Hash256& digest);
+
+/// Recover the signer's address; nullopt if the signature does not match the
+/// digest.
+std::optional<Address> recover(const Hash256& digest, const Signature& sig);
+
+/// Convenience validity check.
+bool verify(const Hash256& digest, const Signature& sig, const Address& signer);
+
+}  // namespace forksim

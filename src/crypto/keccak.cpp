@@ -1,0 +1,127 @@
+#include "crypto/keccak.hpp"
+
+#include <cstring>
+
+namespace forksim {
+
+namespace {
+
+constexpr std::size_t kRate = 136;  // 1088-bit rate for Keccak-256
+
+constexpr std::uint64_t kRoundConstants[24] = {
+    0x0000000000000001ull, 0x0000000000008082ull, 0x800000000000808aull,
+    0x8000000080008000ull, 0x000000000000808bull, 0x0000000080000001ull,
+    0x8000000080008081ull, 0x8000000000008009ull, 0x000000000000008aull,
+    0x0000000000000088ull, 0x0000000080008009ull, 0x000000008000000aull,
+    0x000000008000808bull, 0x800000000000008bull, 0x8000000000008089ull,
+    0x8000000000008003ull, 0x8000000000008002ull, 0x8000000000000080ull,
+    0x000000000000800aull, 0x800000008000000aull, 0x8000000080008081ull,
+    0x8000000000008080ull, 0x0000000080000001ull, 0x8000000080008008ull};
+
+constexpr int kRotations[25] = {0,  1,  62, 28, 27, 36, 44, 6,  55, 20, 3,  10, 43,
+                                25, 39, 41, 45, 15, 21, 8,  18, 2,  61, 56, 14};
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int s) noexcept {
+  return s == 0 ? x : (x << s) | (x >> (64 - s));
+}
+
+void keccak_f1600(std::uint64_t state[25]) noexcept {
+  for (int round = 0; round < 24; ++round) {
+    // theta
+    std::uint64_t c[5];
+    for (int x = 0; x < 5; ++x)
+      c[x] = state[x] ^ state[x + 5] ^ state[x + 10] ^ state[x + 15] ^
+             state[x + 20];
+    std::uint64_t d[5];
+    for (int x = 0; x < 5; ++x)
+      d[x] = c[(x + 4) % 5] ^ rotl64(c[(x + 1) % 5], 1);
+    for (int x = 0; x < 5; ++x)
+      for (int y = 0; y < 5; ++y) state[x + 5 * y] ^= d[x];
+
+    // rho + pi
+    std::uint64_t b[25];
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        const int from = x + 5 * y;
+        const int to = y + 5 * ((2 * x + 3 * y) % 5);
+        b[to] = rotl64(state[from], kRotations[from]);
+      }
+    }
+
+    // chi
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) {
+        state[x + 5 * y] =
+            b[x + 5 * y] ^ ((~b[(x + 1) % 5 + 5 * y]) & b[(x + 2) % 5 + 5 * y]);
+      }
+    }
+
+    // iota
+    state[0] ^= kRoundConstants[round];
+  }
+}
+
+}  // namespace
+
+Keccak256::Keccak256() noexcept { reset(); }
+
+void Keccak256::reset() noexcept {
+  std::memset(state_, 0, sizeof(state_));
+  std::memset(buffer_, 0, sizeof(buffer_));
+  buffered_ = 0;
+  finalized_ = false;
+}
+
+void Keccak256::absorb_block() noexcept {
+  for (std::size_t i = 0; i < kRate / 8; ++i) {
+    std::uint64_t lane = 0;
+    // little-endian lane loading
+    for (std::size_t j = 0; j < 8; ++j)
+      lane |= static_cast<std::uint64_t>(buffer_[i * 8 + j]) << (8 * j);
+    state_[i] ^= lane;
+  }
+  keccak_f1600(state_);
+  buffered_ = 0;
+}
+
+void Keccak256::update(BytesView data) noexcept {
+  for (std::uint8_t byte : data) {
+    buffer_[buffered_++] = byte;
+    if (buffered_ == kRate) absorb_block();
+  }
+}
+
+void Keccak256::update(std::string_view data) noexcept {
+  update(BytesView(reinterpret_cast<const std::uint8_t*>(data.data()),
+                   data.size()));
+}
+
+Hash256 Keccak256::digest() noexcept {
+  if (!finalized_) {
+    // original Keccak pad10*1 with domain byte 0x01
+    std::memset(buffer_ + buffered_, 0, kRate - buffered_);
+    buffer_[buffered_] = 0x01;
+    buffer_[kRate - 1] |= 0x80;
+    buffered_ = kRate;
+    absorb_block();
+    finalized_ = true;
+  }
+  Hash256 out;
+  for (std::size_t i = 0; i < 32; ++i)
+    out[i] = static_cast<std::uint8_t>((state_[i / 8] >> (8 * (i % 8))) & 0xff);
+  return out;
+}
+
+Hash256 keccak256(BytesView data) {
+  Keccak256 h;
+  h.update(data);
+  return h.digest();
+}
+
+Hash256 keccak256(std::string_view data) {
+  Keccak256 h;
+  h.update(data);
+  return h.digest();
+}
+
+}  // namespace forksim

@@ -1,0 +1,90 @@
+#include "evm/assembler.hpp"
+
+#include <stdexcept>
+
+namespace forksim::evm {
+
+Asm& Asm::push(const U256& value) {
+  Bytes be = value.to_be_trimmed();
+  if (be.empty()) be.push_back(0);  // PUSH1 0x00
+  if (be.size() > 32) throw std::logic_error("push value too wide");
+  code_.push_back(static_cast<std::uint8_t>(0x5f + be.size()));
+  append(code_, be);
+  return *this;
+}
+
+void Asm::push_label_ref(Label label) {
+  code_.push_back(0x61);  // PUSH2
+  fixups_.emplace_back(code_.size(), label);
+  code_.push_back(0);
+  code_.push_back(0);
+}
+
+Asm& Asm::bind(Label label) {
+  if (label >= label_offsets_.size())
+    throw std::logic_error("unknown label");
+  label_offsets_[label] = code_.size();
+  return op(Op::kJumpdest);
+}
+
+Asm& Asm::jump(Label label) {
+  push_label_ref(label);
+  return op(Op::kJump);
+}
+
+Asm& Asm::jumpi(Label label) {
+  push_label_ref(label);
+  return op(Op::kJumpi);
+}
+
+Bytes Asm::build() const {
+  Bytes out = code_;
+  for (const auto& [offset, label] : fixups_) {
+    const std::size_t target = label_offsets_.at(label);
+    if (target == kUnbound) throw std::logic_error("unbound label");
+    if (target > 0xffff) throw std::logic_error("label out of PUSH2 range");
+    out[offset] = static_cast<std::uint8_t>(target >> 8);
+    out[offset + 1] = static_cast<std::uint8_t>(target & 0xff);
+  }
+  return out;
+}
+
+Bytes wrap_as_init_code(const Bytes& runtime_code) {
+  // PUSH2 <len> DUP1 PUSH2 <offset> PUSH1 0 CODECOPY PUSH1 0 RETURN <runtime>
+  Asm init;
+  init.push(runtime_code.size());
+  init.op(Op::kDup1);
+  // offset of the runtime blob within the init code; the header below is
+  // fixed-size, so compute it from a dry run
+  // header: PUSHn(len) DUP1 PUSHn(off) PUSH1 0 CODECOPY PUSH1 0 RETURN
+  // use PUSH2 widths for determinism
+  Asm header;
+  header.push(U256(0xffff));  // placeholder, PUSH2 width
+  header.op(Op::kDup1);
+  header.push(U256(0xffff));  // placeholder, PUSH2 width
+  header.push(std::uint64_t{0});
+  header.op(Op::kCodecopy);
+  header.push(std::uint64_t{0});
+  header.op(Op::kReturn);
+  const std::size_t header_size = header.size();
+
+  Asm real;
+  // force PUSH2 widths by padding values into the 2-byte range when small
+  auto push2 = [&real](std::size_t v) {
+    real.op(static_cast<Op>(0x61));  // PUSH2
+    Bytes be = {static_cast<std::uint8_t>(v >> 8),
+                static_cast<std::uint8_t>(v & 0xff)};
+    real.raw(be);
+  };
+  push2(runtime_code.size());
+  real.op(Op::kDup1);
+  push2(header_size);
+  real.push(std::uint64_t{0});
+  real.op(Op::kCodecopy);
+  real.push(std::uint64_t{0});
+  real.op(Op::kReturn);
+  real.raw(runtime_code);
+  return real.build();
+}
+
+}  // namespace forksim::evm

@@ -1,0 +1,73 @@
+// Minimal EVM assembler: fluent opcode emission with labels and forward
+// jump references (resolved as fixed-width PUSH2). Used to author the test
+// and scenario contracts in readable form.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "evm/opcodes.hpp"
+#include "support/bytes.hpp"
+#include "support/u256.hpp"
+
+namespace forksim::evm {
+
+class Asm {
+ public:
+  using Label = std::size_t;
+
+  Asm& op(Op opcode) {
+    code_.push_back(static_cast<std::uint8_t>(opcode));
+    return *this;
+  }
+
+  /// PUSH with the smallest width that fits the value.
+  Asm& push(const U256& value);
+  Asm& push(std::uint64_t value) { return push(U256(value)); }
+  Asm& push(const Address& addr) {
+    return push(U256::from_be(addr.view()));
+  }
+
+  /// Raw bytes (e.g. embedded data).
+  Asm& raw(BytesView bytes) {
+    append(code_, bytes);
+    return *this;
+  }
+
+  // ---- labels ------------------------------------------------------------
+  Label make_label() {
+    label_offsets_.push_back(kUnbound);
+    return label_offsets_.size() - 1;
+  }
+
+  /// Emit JUMPDEST here and bind the label to this offset.
+  Asm& bind(Label label);
+
+  /// PUSH2 <label> JUMP
+  Asm& jump(Label label);
+  /// PUSH2 <label> JUMPI (condition must already be below the pushed dest).
+  Asm& jumpi(Label label);
+
+  /// Resolve fixups and return the bytecode. All labels must be bound.
+  Bytes build() const;
+
+  std::size_t size() const noexcept { return code_.size(); }
+
+ private:
+  static constexpr std::size_t kUnbound = ~std::size_t{0};
+
+  void push_label_ref(Label label);
+
+  Bytes code_;
+  std::vector<std::size_t> label_offsets_;
+  std::vector<std::pair<std::size_t, Label>> fixups_;  // code offset -> label
+};
+
+/// Wrap runtime bytecode in init code that returns it (the standard
+/// "constructor" pattern): CODECOPY the tail of the init code into memory
+/// and RETURN it.
+Bytes wrap_as_init_code(const Bytes& runtime_code);
+
+}  // namespace forksim::evm

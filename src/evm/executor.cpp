@@ -1,0 +1,78 @@
+#include "evm/executor.hpp"
+
+#include <algorithm>
+
+namespace forksim::evm {
+
+core::ExecutionResult EvmExecutor::execute(core::State& state,
+                                           const core::Transaction& tx,
+                                           const core::BlockContext& ctx,
+                                           const core::ChainConfig& config,
+                                           core::Gas block_gas_remaining) {
+  using core::Gas;
+
+  core::TxError error{};
+  const auto sender = core::validate_transaction(
+      state, tx, config, ctx.number, block_gas_remaining, error);
+  if (!sender) return {std::nullopt, error};
+
+  const bool homestead = config.is_homestead(ctx.number);
+  const GasSchedule schedule = config.is_eip150(ctx.number)
+                                   ? GasSchedule::eip150()
+                                   : GasSchedule::homestead();
+
+  // buy gas up front
+  const Wei gas_cost = tx.gas_price * U256(tx.gas_limit);
+  const bool bought = state.sub_balance(*sender, gas_cost);
+  (void)bought;  // guaranteed by validate_transaction
+
+  const Gas intrinsic = tx.intrinsic_gas(homestead);
+  Gas gas = tx.gas_limit - intrinsic;
+
+  Vm vm(state, ctx, schedule, *sender, tx.gas_price);
+  CallResult result;
+  std::optional<Address> created;
+
+  if (tx.is_contract_creation()) {
+    Address addr;
+    result = vm.create(*sender, tx.value, tx.data, gas, /*depth=*/0, addr);
+    if (result.success) created = addr;
+  } else {
+    state.increment_nonce(*sender);
+    CallParams params;
+    params.caller = *sender;
+    params.address = *tx.to;
+    params.code_address = *tx.to;
+    params.value = tx.value;
+    params.input = tx.data;
+    params.gas = gas;
+    params.depth = 0;
+    result = vm.call(params);
+  }
+
+  // gas accounting: REVERT keeps its remaining gas; other failures burn all
+  Gas gas_left = result.gas_left;
+  Gas gas_used = tx.gas_limit - gas_left;
+
+  // refunds (storage clears, selfdestructs) are capped at half of gas used
+  const Gas refund = std::min<Gas>(vm.refund(), gas_used / 2);
+  gas_left += refund;
+  gas_used -= refund;
+
+  // settle: return unused gas, pay the miner
+  state.add_balance(*sender, tx.gas_price * U256(gas_left));
+  state.add_balance(ctx.coinbase, tx.gas_price * U256(gas_used));
+
+  // self-destructed accounts disappear at transaction end
+  if (result.success)
+    for (const Address& dead : vm.destroyed()) state.destroy(dead);
+
+  core::Receipt receipt;
+  receipt.success = result.success;
+  receipt.gas_used = gas_used;
+  receipt.created_contract = created;
+  if (result.success) receipt.logs = vm.logs();
+  return {receipt, std::nullopt};
+}
+
+}  // namespace forksim::evm

@@ -1,0 +1,20 @@
+// Full-EVM transaction executor: gas purchase, intrinsic gas, top-level
+// message call or contract creation, refund accounting, fee payment.
+// Plugs into core::Blockchain through the core::Executor interface.
+#pragma once
+
+#include "core/receipt.hpp"
+#include "evm/vm.hpp"
+
+namespace forksim::evm {
+
+class EvmExecutor final : public core::Executor {
+ public:
+  core::ExecutionResult execute(core::State& state,
+                                const core::Transaction& tx,
+                                const core::BlockContext& ctx,
+                                const core::ChainConfig& config,
+                                core::Gas block_gas_remaining) override;
+};
+
+}  // namespace forksim::evm

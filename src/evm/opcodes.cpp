@@ -1,0 +1,96 @@
+#include "evm/opcodes.hpp"
+
+namespace forksim::evm {
+
+std::string_view op_name(std::uint8_t op) noexcept {
+  switch (static_cast<Op>(op)) {
+    case Op::kStop: return "STOP";
+    case Op::kAdd: return "ADD";
+    case Op::kMul: return "MUL";
+    case Op::kSub: return "SUB";
+    case Op::kDiv: return "DIV";
+    case Op::kSdiv: return "SDIV";
+    case Op::kMod: return "MOD";
+    case Op::kSmod: return "SMOD";
+    case Op::kAddmod: return "ADDMOD";
+    case Op::kMulmod: return "MULMOD";
+    case Op::kExp: return "EXP";
+    case Op::kSignextend: return "SIGNEXTEND";
+    case Op::kLt: return "LT";
+    case Op::kGt: return "GT";
+    case Op::kSlt: return "SLT";
+    case Op::kSgt: return "SGT";
+    case Op::kEq: return "EQ";
+    case Op::kIszero: return "ISZERO";
+    case Op::kAnd: return "AND";
+    case Op::kOr: return "OR";
+    case Op::kXor: return "XOR";
+    case Op::kNot: return "NOT";
+    case Op::kByte: return "BYTE";
+    case Op::kShl: return "SHL";
+    case Op::kShr: return "SHR";
+    case Op::kSar: return "SAR";
+    case Op::kKeccak256: return "KECCAK256";
+    case Op::kAddress: return "ADDRESS";
+    case Op::kBalance: return "BALANCE";
+    case Op::kOrigin: return "ORIGIN";
+    case Op::kCaller: return "CALLER";
+    case Op::kCallvalue: return "CALLVALUE";
+    case Op::kCalldataload: return "CALLDATALOAD";
+    case Op::kCalldatasize: return "CALLDATASIZE";
+    case Op::kCalldatacopy: return "CALLDATACOPY";
+    case Op::kCodesize: return "CODESIZE";
+    case Op::kCodecopy: return "CODECOPY";
+    case Op::kGasprice: return "GASPRICE";
+    case Op::kExtcodesize: return "EXTCODESIZE";
+    case Op::kExtcodecopy: return "EXTCODECOPY";
+    case Op::kBlockhash: return "BLOCKHASH";
+    case Op::kCoinbase: return "COINBASE";
+    case Op::kTimestamp: return "TIMESTAMP";
+    case Op::kNumber: return "NUMBER";
+    case Op::kDifficulty: return "DIFFICULTY";
+    case Op::kGaslimit: return "GASLIMIT";
+    case Op::kPop: return "POP";
+    case Op::kMload: return "MLOAD";
+    case Op::kMstore: return "MSTORE";
+    case Op::kMstore8: return "MSTORE8";
+    case Op::kSload: return "SLOAD";
+    case Op::kSstore: return "SSTORE";
+    case Op::kJump: return "JUMP";
+    case Op::kJumpi: return "JUMPI";
+    case Op::kPc: return "PC";
+    case Op::kMsize: return "MSIZE";
+    case Op::kGas: return "GAS";
+    case Op::kJumpdest: return "JUMPDEST";
+    case Op::kCreate: return "CREATE";
+    case Op::kCall: return "CALL";
+    case Op::kCallcode: return "CALLCODE";
+    case Op::kReturn: return "RETURN";
+    case Op::kDelegatecall: return "DELEGATECALL";
+    case Op::kRevert: return "REVERT";
+    case Op::kInvalid: return "INVALID";
+    case Op::kSelfdestruct: return "SELFDESTRUCT";
+    default: break;
+  }
+  if (is_push(op)) return "PUSH";
+  if (is_dup(op)) return "DUP";
+  if (is_swap(op)) return "SWAP";
+  if (is_log(op)) return "LOG";
+  return "UNKNOWN";
+}
+
+GasSchedule GasSchedule::homestead() { return GasSchedule{}; }
+
+GasSchedule GasSchedule::eip150() {
+  GasSchedule g;
+  g.sload = 200;
+  g.balance = 400;
+  g.extcode = 700;
+  g.call = 700;
+  g.selfdestruct = 5000;
+  g.exp_byte = 50;  // EIP-160, shipped alongside in the repricing forks
+  g.all_but_one_64th = true;
+  return g;
+}
+
+}  // namespace forksim::evm

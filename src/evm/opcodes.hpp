@@ -1,0 +1,151 @@
+// EVM opcode numbering, names, and base gas costs.
+//
+// The gas schedule follows the Frontier/Homestead table, with the EIP-150
+// repricings ("IO-heavy opcodes cost more") switchable per execution — that
+// repricing is the protocol change behind ETH's November 22 2016 hard fork
+// and ETC's January 13 2017 fork, both discussed in the paper's §2.1.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace forksim::evm {
+
+enum class Op : std::uint8_t {
+  kStop = 0x00,
+  kAdd = 0x01,
+  kMul = 0x02,
+  kSub = 0x03,
+  kDiv = 0x04,
+  kSdiv = 0x05,
+  kMod = 0x06,
+  kSmod = 0x07,
+  kAddmod = 0x08,
+  kMulmod = 0x09,
+  kExp = 0x0a,
+  kSignextend = 0x0b,
+
+  kLt = 0x10,
+  kGt = 0x11,
+  kSlt = 0x12,
+  kSgt = 0x13,
+  kEq = 0x14,
+  kIszero = 0x15,
+  kAnd = 0x16,
+  kOr = 0x17,
+  kXor = 0x18,
+  kNot = 0x19,
+  kByte = 0x1a,
+  kShl = 0x1b,
+  kShr = 0x1c,
+  kSar = 0x1d,
+
+  kKeccak256 = 0x20,
+
+  kAddress = 0x30,
+  kBalance = 0x31,
+  kOrigin = 0x32,
+  kCaller = 0x33,
+  kCallvalue = 0x34,
+  kCalldataload = 0x35,
+  kCalldatasize = 0x36,
+  kCalldatacopy = 0x37,
+  kCodesize = 0x38,
+  kCodecopy = 0x39,
+  kGasprice = 0x3a,
+  kExtcodesize = 0x3b,
+  kExtcodecopy = 0x3c,
+
+  kBlockhash = 0x40,
+  kCoinbase = 0x41,
+  kTimestamp = 0x42,
+  kNumber = 0x43,
+  kDifficulty = 0x44,
+  kGaslimit = 0x45,
+
+  kPop = 0x50,
+  kMload = 0x51,
+  kMstore = 0x52,
+  kMstore8 = 0x53,
+  kSload = 0x54,
+  kSstore = 0x55,
+  kJump = 0x56,
+  kJumpi = 0x57,
+  kPc = 0x58,
+  kMsize = 0x59,
+  kGas = 0x5a,
+  kJumpdest = 0x5b,
+
+  kPush1 = 0x60,   // .. kPush32 = 0x7f
+  kDup1 = 0x80,    // .. kDup16  = 0x8f
+  kSwap1 = 0x90,   // .. kSwap16 = 0x9f
+  kLog0 = 0xa0,    // .. kLog4   = 0xa4
+
+  kCreate = 0xf0,
+  kCall = 0xf1,
+  kCallcode = 0xf2,
+  kReturn = 0xf3,
+  kDelegatecall = 0xf4,
+  kRevert = 0xfd,
+  kInvalid = 0xfe,
+  kSelfdestruct = 0xff,
+};
+
+constexpr bool is_push(std::uint8_t op) noexcept {
+  return op >= 0x60 && op <= 0x7f;
+}
+constexpr int push_size(std::uint8_t op) noexcept { return op - 0x5f; }
+constexpr bool is_dup(std::uint8_t op) noexcept {
+  return op >= 0x80 && op <= 0x8f;
+}
+constexpr bool is_swap(std::uint8_t op) noexcept {
+  return op >= 0x90 && op <= 0x9f;
+}
+constexpr bool is_log(std::uint8_t op) noexcept {
+  return op >= 0xa0 && op <= 0xa4;
+}
+
+std::string_view op_name(std::uint8_t op) noexcept;
+
+/// Gas constants (Yellow Paper appendix G + EIP-150 deltas).
+struct GasSchedule {
+  std::uint64_t zero = 0;        // STOP, RETURN
+  std::uint64_t base = 2;        // ADDRESS, PC, ...
+  std::uint64_t verylow = 3;     // ADD, PUSH, DUP, SWAP, MLOAD...
+  std::uint64_t low = 5;         // MUL, DIV, ...
+  std::uint64_t mid = 8;         // ADDMOD, JUMP
+  std::uint64_t high = 10;       // JUMPI
+  std::uint64_t jumpdest = 1;
+  std::uint64_t exp = 10;
+  std::uint64_t exp_byte = 10;       // 50 after EIP-160
+  std::uint64_t sload = 50;          // 200 after EIP-150
+  std::uint64_t balance = 20;        // 400 after EIP-150
+  std::uint64_t extcode = 20;        // 700 after EIP-150
+  std::uint64_t call = 40;           // 700 after EIP-150
+  std::uint64_t call_value = 9000;
+  std::uint64_t call_stipend = 2300;
+  std::uint64_t call_new_account = 25000;
+  std::uint64_t sstore_set = 20000;
+  std::uint64_t sstore_reset = 5000;
+  std::uint64_t sstore_refund = 15000;
+  std::uint64_t selfdestruct = 0;        // 5000 after EIP-150
+  std::uint64_t selfdestruct_refund = 24000;
+  std::uint64_t create = 32000;
+  std::uint64_t create_data_per_byte = 200;
+  std::uint64_t keccak = 30;
+  std::uint64_t keccak_word = 6;
+  std::uint64_t copy_word = 3;
+  std::uint64_t log = 375;
+  std::uint64_t log_topic = 375;
+  std::uint64_t log_data_byte = 8;
+  std::uint64_t memory_word = 3;
+  std::uint64_t quad_divisor = 512;
+  std::uint64_t blockhash = 20;
+  /// EIP-150 also introduced the 63/64 rule for gas forwarded to calls.
+  bool all_but_one_64th = false;
+
+  static GasSchedule homestead();
+  static GasSchedule eip150();
+};
+
+}  // namespace forksim::evm

@@ -1,0 +1,794 @@
+#include "evm/vm.hpp"
+
+#include <algorithm>
+
+#include "crypto/keccak.hpp"
+#include "rlp/rlp.hpp"
+
+namespace forksim::evm {
+
+namespace {
+
+using core::Gas;
+
+std::uint64_t words(std::uint64_t bytes) { return (bytes + 31) / 32; }
+
+/// Frame-local machine state.
+struct Frame {
+  std::vector<U256> stack;
+  Bytes memory;
+  std::size_t pc = 0;
+  Gas gas = 0;
+  std::uint64_t mem_words = 0;  // highest charged memory size, in words
+};
+
+U256 address_to_word(const Address& a) { return U256::from_be(a.view()); }
+
+Address word_to_address(const U256& w) {
+  const auto be = w.to_be();
+  return Address::left_padded(BytesView(be.data() + 12, 20));
+}
+
+}  // namespace
+
+std::string_view to_string(VmError e) {
+  switch (e) {
+    case VmError::kNone: return "ok";
+    case VmError::kOutOfGas: return "out of gas";
+    case VmError::kStackUnderflow: return "stack underflow";
+    case VmError::kStackOverflow: return "stack overflow";
+    case VmError::kInvalidJump: return "invalid jump destination";
+    case VmError::kInvalidOpcode: return "invalid opcode";
+    case VmError::kCallDepthExceeded: return "call depth exceeded";
+    case VmError::kInsufficientBalance: return "insufficient balance";
+    case VmError::kReverted: return "reverted";
+  }
+  return "unknown";
+}
+
+Vm::Vm(core::State& state, const core::BlockContext& block,
+       const GasSchedule& schedule, Address origin, Wei gas_price)
+    : state_(state),
+      block_(block),
+      gas_(schedule),
+      origin_(origin),
+      gas_price_(gas_price) {}
+
+Address Vm::create_address(const Address& sender, std::uint64_t nonce) {
+  const Bytes encoded = rlp::encode(rlp::Item::list(
+      {rlp::Item::str(sender.view()), rlp::Item::u64(nonce)}));
+  const Hash256 h = keccak256(encoded);
+  return Address::left_padded(BytesView(h.data() + 12, 20));
+}
+
+CallResult Vm::call(const CallParams& params) {
+  if (params.depth > kMaxCallDepth)
+    return {false, VmError::kCallDepthExceeded, 0, {}};
+
+  auto snapshot = state_.snapshot();
+  const auto logs_mark = logs_.size();
+  const auto refund_mark = refund_;
+
+  if (params.transfers_value && !params.value.is_zero()) {
+    if (!state_.sub_balance(params.caller, params.value))
+      return {false, VmError::kInsufficientBalance, params.gas, {}};
+    state_.add_balance(params.address, params.value);
+  }
+
+  const Bytes code = state_.code(params.code_address);
+  CallResult result =
+      code.empty() ? CallResult{true, VmError::kNone, params.gas, {}}
+                   : execute(params, code);
+
+  if (!result.success) {
+    state_.revert(std::move(snapshot));
+    logs_.resize(logs_mark);
+    refund_ = refund_mark;
+  }
+  return result;
+}
+
+CallResult Vm::create(const Address& caller, const Wei& value,
+                      const Bytes& init_code, Gas gas, int depth,
+                      Address& created) {
+  if (depth > kMaxCallDepth)
+    return {false, VmError::kCallDepthExceeded, 0, {}};
+
+  const std::uint64_t nonce = state_.nonce(caller);
+  created = create_address(caller, nonce);
+  // the creator's nonce bump survives a failed creation (mainnet rule), so
+  // it happens before the snapshot
+  state_.increment_nonce(caller);
+
+  auto snapshot = state_.snapshot();
+  const auto logs_mark = logs_.size();
+  const auto refund_mark = refund_;
+
+  if (!value.is_zero()) {
+    if (!state_.sub_balance(caller, value)) {
+      state_.revert(std::move(snapshot));
+      return {false, VmError::kInsufficientBalance, gas, {}};
+    }
+    state_.add_balance(created, value);
+  }
+  state_.increment_nonce(created);  // EIP-161 semantics kept simple
+
+  CallParams params;
+  params.caller = caller;
+  params.address = created;
+  params.code_address = created;  // init code runs "as" the new account
+  params.value = value;
+  params.transfers_value = false;  // already moved above
+  params.gas = gas;
+  params.depth = depth;
+
+  CallResult result = init_code.empty()
+                          ? CallResult{true, VmError::kNone, gas, {}}
+                          : [&] {
+                              // init code executes from the byte string, not
+                              // from the (empty) account code
+                              CallResult r = execute(params, init_code);
+                              return r;
+                            }();
+
+  if (result.success) {
+    // charge the code deposit
+    const Gas deposit =
+        gas_.create_data_per_byte * static_cast<Gas>(result.output.size());
+    if (result.output.size() > kMaxCodeSize ||
+        result.gas_left < deposit) {
+      result = {false, VmError::kOutOfGas, 0, {}};
+    } else {
+      result.gas_left -= deposit;
+      state_.set_code(created, result.output);
+      result.output.clear();
+    }
+  }
+
+  if (!result.success) {
+    state_.revert(std::move(snapshot));
+    logs_.resize(logs_mark);
+    refund_ = refund_mark;
+  }
+  return result;
+}
+
+CallResult Vm::execute(const CallParams& params, BytesView code) {
+  Frame f;
+  f.gas = params.gas;
+
+  // valid JUMPDEST map (push-data bytes are not destinations)
+  std::vector<bool> jumpdest(code.size(), false);
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::uint8_t op = code[i];
+    if (op == static_cast<std::uint8_t>(Op::kJumpdest)) jumpdest[i] = true;
+    if (is_push(op)) i += static_cast<std::size_t>(push_size(op));
+  }
+
+  auto fail = [&](VmError e) { return CallResult{false, e, 0, {}}; };
+
+  auto use_gas = [&](Gas amount) {
+    if (f.gas < amount) return false;
+    f.gas -= amount;
+    return true;
+  };
+
+  // charge memory expansion up to `offset + len`; false = out of gas
+  auto touch_memory = [&](const U256& offset, const U256& len) {
+    if (len.is_zero()) return true;
+    if (!offset.fits_u64() || !len.fits_u64()) return false;
+    const std::uint64_t end = offset.as_u64() + len.as_u64();
+    if (end < offset.as_u64()) return false;  // overflow
+    const std::uint64_t new_words = words(end);
+    if (new_words > f.mem_words) {
+      auto cost = [&](std::uint64_t w) {
+        return gas_.memory_word * w + (w * w) / gas_.quad_divisor;
+      };
+      if (new_words > (1ull << 22)) return false;  // 128 MiB hard cap
+      const Gas delta = cost(new_words) - cost(f.mem_words);
+      if (!use_gas(delta)) return false;
+      f.mem_words = new_words;
+      f.memory.resize(new_words * 32, 0);
+    }
+    return true;
+  };
+
+  auto pop = [&]() -> U256 {
+    U256 v = f.stack.back();
+    f.stack.pop_back();
+    return v;
+  };
+  auto push = [&](const U256& v) { f.stack.push_back(v); };
+  auto need = [&](std::size_t n) { return f.stack.size() >= n; };
+
+  auto read_memory = [&](std::uint64_t offset, std::uint64_t len) {
+    Bytes out(len, 0);
+    for (std::uint64_t i = 0; i < len; ++i)
+      if (offset + i < f.memory.size()) out[i] = f.memory[offset + i];
+    return out;
+  };
+
+  // copy external bytes into memory with zero-fill (CALLDATACOPY et al.)
+  auto copy_in = [&](std::uint64_t mem_off, BytesView src,
+                     std::uint64_t src_off, std::uint64_t len) {
+    for (std::uint64_t i = 0; i < len; ++i) {
+      const std::uint8_t b =
+          src_off + i < src.size() ? src[src_off + i] : 0;
+      f.memory[mem_off + i] = b;
+    }
+  };
+
+  while (f.pc < code.size()) {
+    const std::uint8_t opcode = code[f.pc];
+    const Op op = static_cast<Op>(opcode);
+
+    // ---- PUSH/DUP/SWAP/LOG families -------------------------------------
+    if (is_push(opcode)) {
+      if (!use_gas(gas_.verylow)) return fail(VmError::kOutOfGas);
+      if (f.stack.size() >= kMaxStack) return fail(VmError::kStackOverflow);
+      const int n = push_size(opcode);
+      Bytes imm;
+      for (int i = 1; i <= n; ++i) {
+        const std::size_t idx = f.pc + static_cast<std::size_t>(i);
+        imm.push_back(idx < code.size() ? code[idx] : 0);
+      }
+      push(U256::from_be(imm));
+      f.pc += 1 + static_cast<std::size_t>(n);
+      continue;
+    }
+    if (is_dup(opcode)) {
+      const std::size_t n = static_cast<std::size_t>(opcode - 0x7f);
+      if (!need(n)) return fail(VmError::kStackUnderflow);
+      if (!use_gas(gas_.verylow)) return fail(VmError::kOutOfGas);
+      if (f.stack.size() >= kMaxStack) return fail(VmError::kStackOverflow);
+      push(f.stack[f.stack.size() - n]);
+      ++f.pc;
+      continue;
+    }
+    if (is_swap(opcode)) {
+      const std::size_t n = static_cast<std::size_t>(opcode - 0x8f);
+      if (!need(n + 1)) return fail(VmError::kStackUnderflow);
+      if (!use_gas(gas_.verylow)) return fail(VmError::kOutOfGas);
+      std::swap(f.stack.back(), f.stack[f.stack.size() - 1 - n]);
+      ++f.pc;
+      continue;
+    }
+    if (is_log(opcode)) {
+      const std::size_t topics = static_cast<std::size_t>(opcode - 0xa0);
+      if (!need(2 + topics)) return fail(VmError::kStackUnderflow);
+      const U256 offset = pop();
+      const U256 len = pop();
+      if (!len.fits_u64()) return fail(VmError::kOutOfGas);
+      const Gas cost = gas_.log + gas_.log_topic * topics +
+                       gas_.log_data_byte * len.as_u64();
+      if (!use_gas(cost)) return fail(VmError::kOutOfGas);
+      if (!touch_memory(offset, len)) return fail(VmError::kOutOfGas);
+      core::Log log;
+      log.address = params.address;
+      for (std::size_t i = 0; i < topics; ++i) log.topics.push_back(pop());
+      log.data = read_memory(offset.as_u64(), len.as_u64());
+      logs_.push_back(std::move(log));
+      ++f.pc;
+      continue;
+    }
+
+    switch (op) {
+      case Op::kStop:
+        return {true, VmError::kNone, f.gas, {}};
+
+      // ---- arithmetic ----------------------------------------------------
+      case Op::kAdd: case Op::kSub: {
+        if (!need(2)) return fail(VmError::kStackUnderflow);
+        if (!use_gas(gas_.verylow)) return fail(VmError::kOutOfGas);
+        const U256 a = pop();
+        const U256 b = pop();
+        push(op == Op::kAdd ? a + b : a - b);
+        break;
+      }
+      case Op::kMul: case Op::kDiv: case Op::kSdiv: case Op::kMod:
+      case Op::kSmod: {
+        if (!need(2)) return fail(VmError::kStackUnderflow);
+        if (!use_gas(gas_.low)) return fail(VmError::kOutOfGas);
+        const U256 a = pop();
+        const U256 b = pop();
+        switch (op) {
+          case Op::kMul: push(a * b); break;
+          case Op::kDiv: push(a / b); break;
+          case Op::kSdiv: push(U256::sdiv(a, b)); break;
+          case Op::kMod: push(a % b); break;
+          default: push(U256::smod(a, b)); break;
+        }
+        break;
+      }
+      case Op::kAddmod: case Op::kMulmod: {
+        if (!need(3)) return fail(VmError::kStackUnderflow);
+        if (!use_gas(gas_.mid)) return fail(VmError::kOutOfGas);
+        const U256 a = pop();
+        const U256 b = pop();
+        const U256 n = pop();
+        if (n.is_zero()) {
+          push(U256(0));
+        } else if (op == Op::kAddmod) {
+          // (a + b) may wrap; compute via subtraction trick
+          const U256 am = a % n;
+          const U256 bm = b % n;
+          U256 sum = am + bm;
+          if (sum < am || sum >= n) sum = sum - n;  // handle wrap / excess
+          push(sum % n);
+        } else {
+          // mulmod via 128-bit-safe repeated halving (schoolbook)
+          U256 result(0);
+          U256 x = a % n;
+          U256 y = b;
+          while (!y.is_zero()) {
+            if (y.bit(0)) {
+              U256 next = result + x;
+              if (next < result || next >= n) next = next - n;
+              result = next % n;
+            }
+            U256 dx = x + x;
+            if (dx < x || dx >= n) dx = dx - n;
+            x = dx % n;
+            y = y >> 1;
+          }
+          push(result);
+        }
+        break;
+      }
+      case Op::kExp: {
+        if (!need(2)) return fail(VmError::kStackUnderflow);
+        const U256 base = pop();
+        const U256 exponent = pop();
+        const Gas byte_count =
+            static_cast<Gas>((exponent.bit_length() + 7) / 8);
+        if (!use_gas(gas_.exp + gas_.exp_byte * byte_count))
+          return fail(VmError::kOutOfGas);
+        push(U256::exp(base, exponent));
+        break;
+      }
+      case Op::kSignextend: {
+        if (!need(2)) return fail(VmError::kStackUnderflow);
+        if (!use_gas(gas_.low)) return fail(VmError::kOutOfGas);
+        const U256 k = pop();
+        const U256 x = pop();
+        push(U256::signextend(k, x));
+        break;
+      }
+
+      // ---- comparison / bitwise -------------------------------------------
+      case Op::kLt: case Op::kGt: case Op::kSlt: case Op::kSgt:
+      case Op::kEq: {
+        if (!need(2)) return fail(VmError::kStackUnderflow);
+        if (!use_gas(gas_.verylow)) return fail(VmError::kOutOfGas);
+        const U256 a = pop();
+        const U256 b = pop();
+        bool r = false;
+        switch (op) {
+          case Op::kLt: r = a < b; break;
+          case Op::kGt: r = a > b; break;
+          case Op::kSlt: r = U256::slt(a, b); break;
+          case Op::kSgt: r = U256::slt(b, a); break;
+          default: r = a == b; break;
+        }
+        push(U256(r ? 1 : 0));
+        break;
+      }
+      case Op::kIszero: {
+        if (!need(1)) return fail(VmError::kStackUnderflow);
+        if (!use_gas(gas_.verylow)) return fail(VmError::kOutOfGas);
+        push(U256(pop().is_zero() ? 1 : 0));
+        break;
+      }
+      case Op::kAnd: case Op::kOr: case Op::kXor: {
+        if (!need(2)) return fail(VmError::kStackUnderflow);
+        if (!use_gas(gas_.verylow)) return fail(VmError::kOutOfGas);
+        const U256 a = pop();
+        const U256 b = pop();
+        push(op == Op::kAnd ? (a & b) : op == Op::kOr ? (a | b) : (a ^ b));
+        break;
+      }
+      case Op::kNot: {
+        if (!need(1)) return fail(VmError::kStackUnderflow);
+        if (!use_gas(gas_.verylow)) return fail(VmError::kOutOfGas);
+        push(~pop());
+        break;
+      }
+      case Op::kByte: {
+        if (!need(2)) return fail(VmError::kStackUnderflow);
+        if (!use_gas(gas_.verylow)) return fail(VmError::kOutOfGas);
+        const U256 i = pop();
+        const U256 x = pop();
+        push(i.fits_u64() && i.as_u64() < 32
+                 ? U256(x.byte_be(static_cast<std::size_t>(i.as_u64())))
+                 : U256(0));
+        break;
+      }
+      case Op::kShl: case Op::kShr: case Op::kSar: {
+        if (!need(2)) return fail(VmError::kStackUnderflow);
+        if (!use_gas(gas_.verylow)) return fail(VmError::kOutOfGas);
+        const U256 shift = pop();
+        const U256 value = pop();
+        const unsigned s =
+            shift.fits_u64() && shift.as_u64() < 256
+                ? static_cast<unsigned>(shift.as_u64())
+                : 256;
+        if (op == Op::kShl) push(value << s);
+        else if (op == Op::kShr) push(value >> s);
+        else push(U256::sar(value, s));
+        break;
+      }
+
+      // ---- keccak ----------------------------------------------------------
+      case Op::kKeccak256: {
+        if (!need(2)) return fail(VmError::kStackUnderflow);
+        const U256 offset = pop();
+        const U256 len = pop();
+        if (!len.fits_u64()) return fail(VmError::kOutOfGas);
+        const Gas cost = gas_.keccak + gas_.keccak_word * words(len.as_u64());
+        if (!use_gas(cost)) return fail(VmError::kOutOfGas);
+        if (!touch_memory(offset, len)) return fail(VmError::kOutOfGas);
+        const Bytes data = read_memory(offset.as_u64(), len.as_u64());
+        push(U256::from_be(keccak256(data).view()));
+        break;
+      }
+
+      // ---- environment ------------------------------------------------------
+      case Op::kAddress: {
+        if (!use_gas(gas_.base)) return fail(VmError::kOutOfGas);
+        push(address_to_word(params.address));
+        break;
+      }
+      case Op::kBalance: {
+        if (!need(1)) return fail(VmError::kStackUnderflow);
+        if (!use_gas(gas_.balance)) return fail(VmError::kOutOfGas);
+        push(state_.balance(word_to_address(pop())));
+        break;
+      }
+      case Op::kOrigin: {
+        if (!use_gas(gas_.base)) return fail(VmError::kOutOfGas);
+        push(address_to_word(origin_));
+        break;
+      }
+      case Op::kCaller: {
+        if (!use_gas(gas_.base)) return fail(VmError::kOutOfGas);
+        push(address_to_word(params.caller));
+        break;
+      }
+      case Op::kCallvalue: {
+        if (!use_gas(gas_.base)) return fail(VmError::kOutOfGas);
+        push(params.value);
+        break;
+      }
+      case Op::kCalldataload: {
+        if (!need(1)) return fail(VmError::kStackUnderflow);
+        if (!use_gas(gas_.verylow)) return fail(VmError::kOutOfGas);
+        const U256 offset = pop();
+        Bytes word(32, 0);
+        if (offset.fits_u64()) {
+          const std::uint64_t off = offset.as_u64();
+          for (std::uint64_t i = 0; i < 32; ++i)
+            if (off + i < params.input.size()) word[i] = params.input[off + i];
+        }
+        push(U256::from_be(word));
+        break;
+      }
+      case Op::kCalldatasize: {
+        if (!use_gas(gas_.base)) return fail(VmError::kOutOfGas);
+        push(U256(params.input.size()));
+        break;
+      }
+      case Op::kCalldatacopy: case Op::kCodecopy: {
+        if (!need(3)) return fail(VmError::kStackUnderflow);
+        const U256 mem_off = pop();
+        const U256 src_off = pop();
+        const U256 len = pop();
+        if (!len.fits_u64()) return fail(VmError::kOutOfGas);
+        const Gas cost =
+            gas_.verylow + gas_.copy_word * words(len.as_u64());
+        if (!use_gas(cost)) return fail(VmError::kOutOfGas);
+        if (!touch_memory(mem_off, len)) return fail(VmError::kOutOfGas);
+        if (!len.is_zero()) {
+          const BytesView src = op == Op::kCalldatacopy
+                                    ? BytesView(params.input)
+                                    : code;
+          copy_in(mem_off.as_u64(), src,
+                  src_off.fits_u64() ? src_off.as_u64() : ~0ull,
+                  len.as_u64());
+        }
+        break;
+      }
+      case Op::kCodesize: {
+        if (!use_gas(gas_.base)) return fail(VmError::kOutOfGas);
+        push(U256(code.size()));
+        break;
+      }
+      case Op::kGasprice: {
+        if (!use_gas(gas_.base)) return fail(VmError::kOutOfGas);
+        push(gas_price_);
+        break;
+      }
+      case Op::kExtcodesize: {
+        if (!need(1)) return fail(VmError::kStackUnderflow);
+        if (!use_gas(gas_.extcode)) return fail(VmError::kOutOfGas);
+        push(U256(state_.code(word_to_address(pop())).size()));
+        break;
+      }
+      case Op::kExtcodecopy: {
+        if (!need(4)) return fail(VmError::kStackUnderflow);
+        const Address target = word_to_address(pop());
+        const U256 mem_off = pop();
+        const U256 src_off = pop();
+        const U256 len = pop();
+        if (!len.fits_u64()) return fail(VmError::kOutOfGas);
+        const Gas cost = gas_.extcode + gas_.copy_word * words(len.as_u64());
+        if (!use_gas(cost)) return fail(VmError::kOutOfGas);
+        if (!touch_memory(mem_off, len)) return fail(VmError::kOutOfGas);
+        if (!len.is_zero())
+          copy_in(mem_off.as_u64(), state_.code(target),
+                  src_off.fits_u64() ? src_off.as_u64() : ~0ull, len.as_u64());
+        break;
+      }
+
+      // ---- block context -----------------------------------------------------
+      case Op::kBlockhash: {
+        if (!need(1)) return fail(VmError::kStackUnderflow);
+        if (!use_gas(gas_.blockhash)) return fail(VmError::kOutOfGas);
+        const U256 n = pop();
+        const auto be = n.to_be();
+        push(U256::from_be(keccak256(BytesView(be.data(), 32)).view()));
+        break;
+      }
+      case Op::kCoinbase: {
+        if (!use_gas(gas_.base)) return fail(VmError::kOutOfGas);
+        push(address_to_word(block_.coinbase));
+        break;
+      }
+      case Op::kTimestamp: {
+        if (!use_gas(gas_.base)) return fail(VmError::kOutOfGas);
+        push(U256(block_.timestamp));
+        break;
+      }
+      case Op::kNumber: {
+        if (!use_gas(gas_.base)) return fail(VmError::kOutOfGas);
+        push(U256(block_.number));
+        break;
+      }
+      case Op::kDifficulty: {
+        if (!use_gas(gas_.base)) return fail(VmError::kOutOfGas);
+        push(block_.difficulty);
+        break;
+      }
+      case Op::kGaslimit: {
+        if (!use_gas(gas_.base)) return fail(VmError::kOutOfGas);
+        push(U256(block_.gas_limit));
+        break;
+      }
+
+      // ---- stack / memory / storage --------------------------------------------
+      case Op::kPop: {
+        if (!need(1)) return fail(VmError::kStackUnderflow);
+        if (!use_gas(gas_.base)) return fail(VmError::kOutOfGas);
+        pop();
+        break;
+      }
+      case Op::kMload: {
+        if (!need(1)) return fail(VmError::kStackUnderflow);
+        if (!use_gas(gas_.verylow)) return fail(VmError::kOutOfGas);
+        const U256 offset = pop();
+        if (!touch_memory(offset, U256(32))) return fail(VmError::kOutOfGas);
+        push(U256::from_be(read_memory(offset.as_u64(), 32)));
+        break;
+      }
+      case Op::kMstore: {
+        if (!need(2)) return fail(VmError::kStackUnderflow);
+        if (!use_gas(gas_.verylow)) return fail(VmError::kOutOfGas);
+        const U256 offset = pop();
+        const U256 value = pop();
+        if (!touch_memory(offset, U256(32))) return fail(VmError::kOutOfGas);
+        const auto be = value.to_be();
+        for (std::size_t i = 0; i < 32; ++i)
+          f.memory[offset.as_u64() + i] = be[i];
+        break;
+      }
+      case Op::kMstore8: {
+        if (!need(2)) return fail(VmError::kStackUnderflow);
+        if (!use_gas(gas_.verylow)) return fail(VmError::kOutOfGas);
+        const U256 offset = pop();
+        const U256 value = pop();
+        if (!touch_memory(offset, U256(1))) return fail(VmError::kOutOfGas);
+        f.memory[offset.as_u64()] =
+            static_cast<std::uint8_t>(value.limb(0) & 0xff);
+        break;
+      }
+      case Op::kSload: {
+        if (!need(1)) return fail(VmError::kStackUnderflow);
+        if (!use_gas(gas_.sload)) return fail(VmError::kOutOfGas);
+        push(state_.storage_at(params.address, pop()));
+        break;
+      }
+      case Op::kSstore: {
+        if (!need(2)) return fail(VmError::kStackUnderflow);
+        const U256 key = pop();
+        const U256 value = pop();
+        const U256 current = state_.storage_at(params.address, key);
+        Gas cost;
+        if (current.is_zero() && !value.is_zero()) cost = gas_.sstore_set;
+        else cost = gas_.sstore_reset;
+        if (!current.is_zero() && value.is_zero())
+          refund_ += gas_.sstore_refund;
+        if (!use_gas(cost)) return fail(VmError::kOutOfGas);
+        state_.set_storage(params.address, key, value);
+        break;
+      }
+      case Op::kJump: {
+        if (!need(1)) return fail(VmError::kStackUnderflow);
+        if (!use_gas(gas_.mid)) return fail(VmError::kOutOfGas);
+        const U256 dest = pop();
+        if (!dest.fits_u64() || dest.as_u64() >= code.size() ||
+            !jumpdest[static_cast<std::size_t>(dest.as_u64())])
+          return fail(VmError::kInvalidJump);
+        f.pc = static_cast<std::size_t>(dest.as_u64());
+        continue;
+      }
+      case Op::kJumpi: {
+        if (!need(2)) return fail(VmError::kStackUnderflow);
+        if (!use_gas(gas_.high)) return fail(VmError::kOutOfGas);
+        const U256 dest = pop();
+        const U256 cond = pop();
+        if (!cond.is_zero()) {
+          if (!dest.fits_u64() || dest.as_u64() >= code.size() ||
+              !jumpdest[static_cast<std::size_t>(dest.as_u64())])
+            return fail(VmError::kInvalidJump);
+          f.pc = static_cast<std::size_t>(dest.as_u64());
+          continue;
+        }
+        break;
+      }
+      case Op::kPc: {
+        if (!use_gas(gas_.base)) return fail(VmError::kOutOfGas);
+        push(U256(f.pc));
+        break;
+      }
+      case Op::kMsize: {
+        if (!use_gas(gas_.base)) return fail(VmError::kOutOfGas);
+        push(U256(f.mem_words * 32));
+        break;
+      }
+      case Op::kGas: {
+        if (!use_gas(gas_.base)) return fail(VmError::kOutOfGas);
+        push(U256(f.gas));
+        break;
+      }
+      case Op::kJumpdest: {
+        if (!use_gas(gas_.jumpdest)) return fail(VmError::kOutOfGas);
+        break;
+      }
+
+      // ---- calls / creation -------------------------------------------------
+      case Op::kCreate: {
+        if (!need(3)) return fail(VmError::kStackUnderflow);
+        const U256 value = pop();
+        const U256 offset = pop();
+        const U256 len = pop();
+        if (!use_gas(gas_.create)) return fail(VmError::kOutOfGas);
+        if (!touch_memory(offset, len)) return fail(VmError::kOutOfGas);
+        if (!len.fits_u64()) return fail(VmError::kOutOfGas);
+        const Bytes init = read_memory(offset.as_u64(), len.as_u64());
+
+        Gas child_gas = f.gas;
+        if (gas_.all_but_one_64th) child_gas -= child_gas / 64;
+        if (state_.balance(params.address) < value) {
+          push(U256(0));
+          break;
+        }
+        Address created;
+        CallResult r = create(params.address, value, init, child_gas,
+                              params.depth + 1, created);
+        f.gas -= child_gas - r.gas_left;
+        push(r.success ? address_to_word(created) : U256(0));
+        break;
+      }
+      case Op::kCall: case Op::kCallcode: case Op::kDelegatecall: {
+        const bool has_value = op != Op::kDelegatecall;
+        const std::size_t arity = has_value ? 7u : 6u;
+        if (!need(arity)) return fail(VmError::kStackUnderflow);
+        const U256 gas_req = pop();
+        const Address target = word_to_address(pop());
+        const U256 value = has_value ? pop() : U256(0);
+        const U256 in_off = pop();
+        const U256 in_len = pop();
+        const U256 out_off = pop();
+        const U256 out_len = pop();
+
+        Gas cost = gas_.call;
+        const bool transfers = op == Op::kCall && !value.is_zero();
+        if (!value.is_zero() && has_value) cost += gas_.call_value;
+        if (op == Op::kCall && transfers && !state_.exists(target))
+          cost += gas_.call_new_account;
+        if (!use_gas(cost)) return fail(VmError::kOutOfGas);
+        if (!touch_memory(in_off, in_len)) return fail(VmError::kOutOfGas);
+        if (!touch_memory(out_off, out_len)) return fail(VmError::kOutOfGas);
+        if (!in_len.fits_u64() || !out_len.fits_u64())
+          return fail(VmError::kOutOfGas);
+
+        Gas child_gas;
+        if (gas_.all_but_one_64th) {
+          const Gas cap = f.gas - f.gas / 64;
+          child_gas = gas_req.fits_u64()
+                          ? std::min<Gas>(gas_req.as_u64(), cap)
+                          : cap;
+        } else {
+          // pre-EIP-150: the caller asks for an amount; more than available
+          // is out-of-gas
+          if (!gas_req.fits_u64() || gas_req.as_u64() > f.gas)
+            return fail(VmError::kOutOfGas);
+          child_gas = gas_req.as_u64();
+        }
+        const Gas paid = child_gas;  // the caller funds this much...
+        if (!value.is_zero() && has_value)
+          child_gas += gas_.call_stipend;  // ...the stipend rides for free
+
+        CallParams child;
+        child.caller = op == Op::kDelegatecall ? params.caller
+                                               : params.address;
+        child.address = op == Op::kCall ? target : params.address;
+        child.code_address = target;
+        child.value = op == Op::kDelegatecall ? params.value : value;
+        child.transfers_value = transfers;
+        child.input = read_memory(in_off.as_u64(), in_len.as_u64());
+        child.gas = child_gas;
+        child.depth = params.depth + 1;
+
+        f.gas -= paid;  // bounded by the checks above
+        CallResult r = call(child);
+        f.gas += r.gas_left;  // geth semantics: unused stipend returns too
+
+        if (!out_len.is_zero()) {
+          const std::uint64_t n =
+              std::min<std::uint64_t>(out_len.as_u64(), r.output.size());
+          for (std::uint64_t i = 0; i < n; ++i)
+            f.memory[out_off.as_u64() + i] = r.output[i];
+        }
+        push(U256(r.success ? 1 : 0));
+        break;
+      }
+      case Op::kReturn: case Op::kRevert: {
+        if (!need(2)) return fail(VmError::kStackUnderflow);
+        const U256 offset = pop();
+        const U256 len = pop();
+        if (!touch_memory(offset, len)) return fail(VmError::kOutOfGas);
+        if (!len.fits_u64()) return fail(VmError::kOutOfGas);
+        Bytes output =
+            len.is_zero() ? Bytes{} : read_memory(offset.as_u64(),
+                                                  len.as_u64());
+        if (op == Op::kReturn)
+          return {true, VmError::kNone, f.gas, std::move(output)};
+        return {false, VmError::kReverted, f.gas, std::move(output)};
+      }
+      case Op::kSelfdestruct: {
+        if (!need(1)) return fail(VmError::kStackUnderflow);
+        if (!use_gas(gas_.selfdestruct)) return fail(VmError::kOutOfGas);
+        const Address beneficiary = word_to_address(pop());
+        const Wei balance = state_.balance(params.address);
+        if (!balance.is_zero()) {
+          const bool moved = state_.sub_balance(params.address, balance);
+          (void)moved;
+          state_.add_balance(beneficiary, balance);
+        }
+        if (!destroyed_.contains(params.address)) {
+          destroyed_.insert(params.address);
+          refund_ += gas_.selfdestruct_refund;
+        }
+        return {true, VmError::kNone, f.gas, {}};
+      }
+      case Op::kInvalid:
+      default:
+        return fail(VmError::kInvalidOpcode);
+    }
+    ++f.pc;
+  }
+  // running off the end of code == STOP
+  return {true, VmError::kNone, f.gas, {}};
+}
+
+}  // namespace forksim::evm

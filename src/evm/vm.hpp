@@ -1,0 +1,111 @@
+// EVM-lite interpreter: a 256-bit stack machine with gas accounting,
+// memory expansion, storage, logs, nested calls (CALL / CALLCODE /
+// DELEGATECALL), contract creation, REVERT and SELFDESTRUCT.
+//
+// Fidelity notes (vs. the 2016 mainnet EVM):
+//  * the full Frontier/Homestead gas schedule with the EIP-150 repricing
+//    behind a flag (see opcodes.hpp);
+//  * no precompiled contracts (no real ECDSA in the simulation — see
+//    crypto/ecdsa.hpp);
+//  * BLOCKHASH returns keccak(number) — the simulator does not thread a
+//    256-block hash window through the VM, and nothing in the reproduced
+//    experiments reads it.
+// Everything the paper's workloads exercise — value flows, storage, the
+// DAO-style reentrancy drain, gas exhaustion, the EIP-150 repricing — runs
+// on the real rules.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/receipt.hpp"
+#include "core/state.hpp"
+#include "evm/opcodes.hpp"
+
+namespace forksim::evm {
+
+using core::Gas;
+using core::Wei;
+
+enum class VmError {
+  kNone,
+  kOutOfGas,
+  kStackUnderflow,
+  kStackOverflow,
+  kInvalidJump,
+  kInvalidOpcode,
+  kCallDepthExceeded,
+  kInsufficientBalance,
+  kReverted,
+};
+
+std::string_view to_string(VmError e);
+
+struct CallResult {
+  bool success = false;
+  VmError error = VmError::kNone;
+  core::Gas gas_left = 0;
+  Bytes output;
+};
+
+struct CallParams {
+  Address caller;
+  /// Account whose storage/balance the frame operates on.
+  Address address;
+  /// Account whose code runs (differs from `address` for CALLCODE /
+  /// DELEGATECALL).
+  Address code_address;
+  Wei value;
+  /// False for DELEGATECALL (value is inherited, not transferred).
+  bool transfers_value = true;
+  Bytes input;
+  core::Gas gas = 0;
+  int depth = 0;
+};
+
+/// One transaction's worth of EVM execution context. Accumulates logs and
+/// refunds across nested frames; the executor reads them after the top call.
+class Vm {
+ public:
+  static constexpr int kMaxCallDepth = 1024;
+  static constexpr std::size_t kMaxStack = 1024;
+  /// EIP-170 contract size cap (the "other fork" of Nov 2016 included it).
+  static constexpr std::size_t kMaxCodeSize = 24576;
+
+  Vm(core::State& state, const core::BlockContext& block,
+     const GasSchedule& schedule, Address origin, Wei gas_price);
+
+  /// Run a message call (top-level or nested). Takes/reverts a state
+  /// snapshot around the frame.
+  CallResult call(const CallParams& params);
+
+  /// Contract creation; on success `created` holds the new address and the
+  /// deposited code is in state.
+  CallResult create(const Address& caller, const Wei& value,
+                    const Bytes& init_code, core::Gas gas, int depth,
+                    Address& created);
+
+  const std::vector<core::Log>& logs() const noexcept { return logs_; }
+  std::uint64_t refund() const noexcept { return refund_; }
+  const std::unordered_set<Address, AddressHasher>& destroyed() const {
+    return destroyed_;
+  }
+
+  /// Deterministic creation address: last 20 bytes of
+  /// keccak(rlp([sender, nonce])).
+  static Address create_address(const Address& sender, std::uint64_t nonce);
+
+ private:
+  CallResult execute(const CallParams& params, BytesView code);
+
+  core::State& state_;
+  const core::BlockContext& block_;
+  GasSchedule gas_;
+  Address origin_;
+  Wei gas_price_;
+  std::vector<core::Log> logs_;
+  std::uint64_t refund_ = 0;
+  std::unordered_set<Address, AddressHasher> destroyed_;
+};
+
+}  // namespace forksim::evm

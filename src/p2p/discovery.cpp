@@ -1,0 +1,69 @@
+#include "p2p/discovery.hpp"
+
+namespace forksim::p2p {
+
+void DiscoveryService::observe(const NodeId& id) {
+  if (id == table_.self()) return;
+  const bool fresh = !table_.contains(id);
+  if (table_.observe(id) && fresh && on_discovered_) on_discovered_(id);
+}
+
+void DiscoveryService::bootstrap(const std::vector<NodeId>& seeds) {
+  for (const NodeId& id : seeds) observe(id);
+  start_lookup(table_.self());  // classic Kademlia join: look yourself up
+}
+
+void DiscoveryService::refresh() {
+  NodeId target;
+  for (std::size_t i = 0; i < 32; ++i)
+    target[i] = static_cast<std::uint8_t>(rng_.uniform(256));
+  start_lookup(target);
+}
+
+void DiscoveryService::start_lookup(const NodeId& target) {
+  if (lookup_ && !lookup_->done()) return;  // one lookup at a time
+  lookup_.emplace(target, table_.closest(target, RoutingTable::kBucketSize));
+  drive_lookup();
+}
+
+void DiscoveryService::drive_lookup() {
+  if (!lookup_) return;
+  for (const NodeId& id : lookup_->next_queries())
+    send_(id, Message{FindNode{lookup_->target()}});
+}
+
+bool DiscoveryService::handle(const NodeId& from, const Message& msg) {
+  return std::visit(
+      [&](const auto& m) -> bool {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Ping>) {
+          observe(from);
+          send_(from, Message{Pong{}});
+          return true;
+        } else if constexpr (std::is_same_v<T, Pong>) {
+          observe(from);
+          return true;
+        } else if constexpr (std::is_same_v<T, FindNode>) {
+          observe(from);
+          Neighbors reply;
+          reply.nodes = table_.closest(m.target, RoutingTable::kBucketSize);
+          // never hand a node its own id back
+          std::erase(reply.nodes, from);
+          send_(from, Message{std::move(reply)});
+          return true;
+        } else if constexpr (std::is_same_v<T, Neighbors>) {
+          observe(from);
+          for (const NodeId& id : m.nodes) observe(id);
+          if (lookup_) {
+            lookup_->on_response(from, m.nodes);
+            drive_lookup();
+          }
+          return true;
+        } else {
+          return false;  // not a discovery message
+        }
+      },
+      msg);
+}
+
+}  // namespace forksim::p2p

@@ -1,0 +1,53 @@
+// Discovery service: Kademlia RPCs over the simulated network. Each node
+// runs one of these; it maintains the routing table, answers PING and
+// FIND_NODE, runs iterative lookups to populate its buckets, and surfaces
+// discovered nodes to the peer layer as connection candidates.
+#pragma once
+
+#include <functional>
+
+#include "p2p/kademlia.hpp"
+#include "p2p/messages.hpp"
+
+namespace forksim::p2p {
+
+class DiscoveryService {
+ public:
+  using SendFn = std::function<void(const NodeId& to, const Message&)>;
+  /// Fired whenever a fresh node id lands in the routing table.
+  using DiscoveredFn = std::function<void(const NodeId&)>;
+
+  DiscoveryService(NodeId self, Rng rng, SendFn send)
+      : table_(self), rng_(rng), send_(std::move(send)) {}
+
+  const RoutingTable& table() const noexcept { return table_; }
+
+  void set_on_discovered(DiscoveredFn fn) { on_discovered_ = std::move(fn); }
+
+  /// Seed the table (bootstrap nodes) and start a self-lookup.
+  void bootstrap(const std::vector<NodeId>& seeds);
+
+  /// Kick off an iterative lookup toward a random target (bucket refresh).
+  void refresh();
+
+  /// Handle one discovery message; returns true if it consumed the message.
+  bool handle(const NodeId& from, const Message& msg);
+
+  /// Peer failed to respond / disconnected: drop it from the table.
+  void on_peer_dead(const NodeId& id) { table_.remove(id); }
+
+  std::size_t known_nodes() const noexcept { return table_.size(); }
+
+ private:
+  void observe(const NodeId& id);
+  void start_lookup(const NodeId& target);
+  void drive_lookup();
+
+  RoutingTable table_;
+  Rng rng_;
+  SendFn send_;
+  DiscoveredFn on_discovered_;
+  std::optional<Lookup> lookup_;
+};
+
+}  // namespace forksim::p2p

@@ -1,0 +1,164 @@
+#include "p2p/kademlia.hpp"
+
+#include <algorithm>
+
+namespace forksim::p2p {
+
+Hash256 xor_distance(const NodeId& a, const NodeId& b) {
+  Hash256 out;
+  for (std::size_t i = 0; i < 32; ++i)
+    out[i] = static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return out;
+}
+
+int distance_bucket(const NodeId& a, const NodeId& b) {
+  const Hash256 d = xor_distance(a, b);
+  for (std::size_t i = 0; i < 32; ++i) {
+    if (d[i] == 0) continue;
+    // highest set bit within this byte
+    for (int bit = 7; bit >= 0; --bit)
+      if (d[i] & (1u << bit))
+        return static_cast<int>((31 - i) * 8) + bit;
+  }
+  return -1;
+}
+
+bool closer_to(const NodeId& target, const NodeId& a, const NodeId& b) {
+  return xor_distance(target, a) < xor_distance(target, b);
+}
+
+bool RoutingTable::observe(const NodeId& id) {
+  const int bucket_index = distance_bucket(self_, id);
+  if (bucket_index < 0) return false;  // never insert self
+  auto& bucket = buckets_[static_cast<std::size_t>(bucket_index)];
+
+  auto it = std::find(bucket.begin(), bucket.end(), id);
+  if (it != bucket.end()) {
+    bucket.splice(bucket.end(), bucket, it);  // refresh to MRS position
+    return true;
+  }
+  if (bucket.size() >= kBucketSize) return false;
+  bucket.push_back(id);
+  ++size_;
+  return true;
+}
+
+void RoutingTable::remove(const NodeId& id) {
+  const int bucket_index = distance_bucket(self_, id);
+  if (bucket_index < 0) return;
+  auto& bucket = buckets_[static_cast<std::size_t>(bucket_index)];
+  auto it = std::find(bucket.begin(), bucket.end(), id);
+  if (it != bucket.end()) {
+    bucket.erase(it);
+    --size_;
+  }
+}
+
+bool RoutingTable::contains(const NodeId& id) const {
+  const int bucket_index = distance_bucket(self_, id);
+  if (bucket_index < 0) return false;
+  const auto& bucket = buckets_[static_cast<std::size_t>(bucket_index)];
+  return std::find(bucket.begin(), bucket.end(), id) != bucket.end();
+}
+
+std::vector<NodeId> RoutingTable::closest(const NodeId& target,
+                                          std::size_t count) const {
+  std::vector<NodeId> ids = all();
+  std::sort(ids.begin(), ids.end(), [&](const NodeId& a, const NodeId& b) {
+    return closer_to(target, a, b);
+  });
+  if (ids.size() > count) ids.resize(count);
+  return ids;
+}
+
+std::optional<NodeId> RoutingTable::eviction_candidate(const NodeId& id) const {
+  const int bucket_index = distance_bucket(self_, id);
+  if (bucket_index < 0) return std::nullopt;
+  const auto& bucket = buckets_[static_cast<std::size_t>(bucket_index)];
+  if (bucket.size() < kBucketSize) return std::nullopt;
+  return bucket.front();  // least-recently-seen
+}
+
+std::vector<NodeId> RoutingTable::all() const {
+  std::vector<NodeId> out;
+  out.reserve(size_);
+  for (const auto& bucket : buckets_)
+    for (const NodeId& id : bucket) out.push_back(id);
+  return out;
+}
+
+// ---------------------------------------------------------------- Lookup
+
+Lookup::Lookup(NodeId target, std::vector<NodeId> seeds, std::size_t want)
+    : target_(target), want_(want) {
+  for (const NodeId& id : seeds) add_candidate(id);
+  sort_candidates();
+}
+
+void Lookup::add_candidate(const NodeId& id) {
+  if (id == target_ && id.is_zero()) return;
+  for (const auto& c : candidates_)
+    if (c.id == id) return;
+  candidates_.push_back(Candidate{id});
+}
+
+void Lookup::sort_candidates() {
+  std::stable_sort(candidates_.begin(), candidates_.end(),
+                   [&](const Candidate& a, const Candidate& b) {
+                     return closer_to(target_, a.id, b.id);
+                   });
+}
+
+std::vector<NodeId> Lookup::next_queries() {
+  std::vector<NodeId> out;
+  // query the closest unqueried candidates, alpha at a time
+  for (auto& c : candidates_) {
+    if (out.size() + in_flight_ >= kAlpha) break;
+    if (c.queried) continue;
+    c.queried = true;
+    out.push_back(c.id);
+  }
+  in_flight_ += out.size();
+  return out;
+}
+
+void Lookup::on_response(const NodeId& from,
+                         const std::vector<NodeId>& neighbors) {
+  if (in_flight_ > 0) --in_flight_;
+  for (auto& c : candidates_) {
+    if (c.id == from) {
+      c.responded = true;
+      break;
+    }
+  }
+  for (const NodeId& id : neighbors) add_candidate(id);
+  sort_candidates();
+}
+
+void Lookup::on_timeout(const NodeId& from) {
+  if (in_flight_ > 0) --in_flight_;
+  (void)from;
+}
+
+bool Lookup::done() const {
+  if (in_flight_ > 0) return false;
+  // done when the `want_` closest candidates have all been queried
+  std::size_t seen = 0;
+  for (const auto& c : candidates_) {
+    if (!c.queried) return false;
+    if (++seen >= want_) break;
+  }
+  return true;
+}
+
+std::vector<NodeId> Lookup::result() const {
+  std::vector<NodeId> out;
+  for (const auto& c : candidates_) {
+    if (!c.responded) continue;
+    out.push_back(c.id);
+    if (out.size() >= want_) break;
+  }
+  return out;
+}
+
+}  // namespace forksim::p2p

@@ -1,0 +1,107 @@
+// Kademlia routing (Maymounkov & Mazières 2002) as used by Ethereum's
+// discovery protocol: 256-bit node ids, XOR distance, k-buckets with
+// least-recently-seen eviction, and closest-node queries. The paper notes
+// (§2.2) that Ethereum uses Kademlia for peer discovery while consensus is
+// independent of it; we reproduce that layering — discovery finds peers,
+// the eth wire protocol (peer.hpp) decides whether to keep them.
+#pragma once
+
+#include <list>
+#include <optional>
+#include <vector>
+
+#include "p2p/simnet.hpp"
+
+namespace forksim::p2p {
+
+/// XOR distance metric.
+Hash256 xor_distance(const NodeId& a, const NodeId& b);
+
+/// Index of the highest set bit of the distance (0..255), i.e. the bucket
+/// index; -1 when a == b.
+int distance_bucket(const NodeId& a, const NodeId& b);
+
+/// Comparator: is `a` closer to `target` than `b`?
+bool closer_to(const NodeId& target, const NodeId& a, const NodeId& b);
+
+class RoutingTable {
+ public:
+  static constexpr std::size_t kBucketSize = 16;  // Ethereum's k
+  static constexpr std::size_t kBuckets = 256;
+
+  explicit RoutingTable(NodeId self) : self_(self), buckets_(kBuckets) {}
+
+  const NodeId& self() const noexcept { return self_; }
+
+  /// Insert or refresh (moves to most-recently-seen). Returns false if the
+  /// bucket was full and the id was not inserted (Kademlia keeps the old,
+  /// long-lived entry; the caller may ping-and-evict separately).
+  bool observe(const NodeId& id);
+
+  void remove(const NodeId& id);
+  bool contains(const NodeId& id) const;
+
+  /// Up to `count` known ids closest to `target` by XOR distance.
+  std::vector<NodeId> closest(const NodeId& target, std::size_t count) const;
+
+  /// Least-recently-seen entry of the bucket `id` falls in (eviction
+  /// candidate), if that bucket is full.
+  std::optional<NodeId> eviction_candidate(const NodeId& id) const;
+
+  std::size_t size() const noexcept { return size_; }
+
+  /// All known ids (unordered).
+  std::vector<NodeId> all() const;
+
+ private:
+  NodeId self_;
+  /// Each bucket: least-recently-seen at front.
+  std::vector<std::list<NodeId>> buckets_;
+  std::size_t size_ = 0;
+};
+
+/// Iterative FIND_NODE lookup driver, decoupled from the transport: the
+/// caller feeds in NEIGHBORS responses, the driver says whom to query next
+/// (alpha-way parallelism). Used by the discovery protocol in discovery.hpp
+/// and directly testable without a network.
+class Lookup {
+ public:
+  static constexpr std::size_t kAlpha = 3;
+
+  Lookup(NodeId target, std::vector<NodeId> seeds, std::size_t want = 16);
+
+  const NodeId& target() const noexcept { return target_; }
+
+  /// Next batch of ids to query (up to alpha minus in-flight); empty when
+  /// converged or everything queried.
+  std::vector<NodeId> next_queries();
+
+  /// Feed a response from `from` (empty `neighbors` is still a response).
+  void on_response(const NodeId& from, const std::vector<NodeId>& neighbors);
+
+  /// The query to `from` timed out: frees the slot without marking the node
+  /// as responsive.
+  void on_timeout(const NodeId& from);
+
+  bool done() const;
+
+  /// Best `want` ids found so far, closest first.
+  std::vector<NodeId> result() const;
+
+ private:
+  struct Candidate {
+    NodeId id;
+    bool queried = false;
+    bool responded = false;
+  };
+
+  void add_candidate(const NodeId& id);
+  void sort_candidates();
+
+  NodeId target_;
+  std::size_t want_;
+  std::size_t in_flight_ = 0;
+  std::vector<Candidate> candidates_;  // kept sorted by distance to target
+};
+
+}  // namespace forksim::p2p

@@ -1,0 +1,154 @@
+#include "p2p/peers.hpp"
+
+namespace forksim::p2p {
+
+void PeerSession::mark_known(const Hash256& h, std::size_t cap) {
+  if (known.contains(h)) return;
+  known.insert(h);
+  known_order.push_back(h);
+  while (known_order.size() > cap) {
+    known.erase(known_order.front());
+    known_order.pop_front();
+  }
+}
+
+std::size_t PeerSet::active_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, s] : sessions_)
+    if (s.state == PeerState::kActive) ++n;
+  return n;
+}
+
+PeerSession* PeerSet::session(const NodeId& id) {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+const PeerSession* PeerSet::session(const NodeId& id) const {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+std::vector<NodeId> PeerSet::active_peers() const {
+  std::vector<NodeId> out;
+  for (const auto& [id, s] : sessions_)
+    if (s.state == PeerState::kActive) out.push_back(id);
+  return out;
+}
+
+void PeerSet::connect(const NodeId& id) {
+  if (sessions_.contains(id) || !has_capacity()) return;
+  PeerSession s;
+  s.inbound = false;
+  sessions_.emplace(id, std::move(s));
+  cb_.send(id, Message{cb_.make_status()});
+}
+
+void PeerSet::disconnect(const NodeId& id, DisconnectReason reason) {
+  drop(id, reason, /*notify_remote=*/true);
+}
+
+void PeerSet::drop(const NodeId& id, DisconnectReason reason,
+                   bool notify_remote) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  if (notify_remote) cb_.send(id, Message{Disconnect{reason}});
+  sessions_.erase(it);
+  if (reason == DisconnectReason::kWrongFork) ++wrong_fork_drops_;
+  if (cb_.on_drop) cb_.on_drop(id, reason);
+}
+
+void PeerSet::on_status(const NodeId& from, const Status& status) {
+  auto it = sessions_.find(from);
+  const bool inbound = it == sessions_.end();
+  if (inbound) {
+    if (!has_capacity()) {
+      cb_.send(from, Message{Disconnect{DisconnectReason::kTooManyPeers}});
+      return;
+    }
+    PeerSession s;
+    s.inbound = true;
+    it = sessions_.emplace(from, std::move(s)).first;
+    // reciprocate the handshake
+    cb_.send(from, Message{cb_.make_status()});
+  }
+  PeerSession& session = it->second;
+  if (session.state != PeerState::kHandshaking) return;  // duplicate Status
+
+  if (status.network_id != network_id_ ||
+      status.genesis_hash != genesis_hash_) {
+    drop(from, DisconnectReason::kIncompatibleNetwork, true);
+    return;
+  }
+  session.remote = status;
+
+  // The DAO challenge: if we have a fork-height header, demand the peer's.
+  if (cb_.dao_header && cb_.dao_header().has_value()) {
+    session.state = PeerState::kAwaitingDaoHeader;
+    cb_.send(from, Message{GetDaoHeader{}});
+    return;
+  }
+  activate(from);
+}
+
+std::size_t PeerSet::reap_stalled(std::uint32_t max_ticks) {
+  std::vector<NodeId> dead;
+  for (auto& [id, session] : sessions_) {
+    if (session.state == PeerState::kActive) {
+      session.stalled_ticks = 0;
+      continue;
+    }
+    if (++session.stalled_ticks > max_ticks) dead.push_back(id);
+  }
+  for (const NodeId& id : dead)
+    drop(id, DisconnectReason::kUselessPeer, /*notify_remote=*/true);
+  return dead.size();
+}
+
+void PeerSet::rechallenge(const NodeId& id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end() || it->second.state != PeerState::kActive) return;
+  it->second.state = PeerState::kAwaitingDaoHeader;
+  cb_.send(id, Message{GetDaoHeader{}});
+}
+
+void PeerSet::activate(const NodeId& id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  it->second.state = PeerState::kActive;
+  if (cb_.on_active) cb_.on_active(id, it->second.remote);
+}
+
+bool PeerSet::handle(const NodeId& from, const Message& msg) {
+  return std::visit(
+      [&](const auto& m) -> bool {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Status>) {
+          on_status(from, m);
+          return true;
+        } else if constexpr (std::is_same_v<T, GetDaoHeader>) {
+          DaoHeader reply;
+          if (cb_.dao_header) reply.header = cb_.dao_header();
+          cb_.send(from, Message{std::move(reply)});
+          return true;
+        } else if constexpr (std::is_same_v<T, DaoHeader>) {
+          auto it = sessions_.find(from);
+          if (it == sessions_.end()) return true;
+          if (it->second.state != PeerState::kAwaitingDaoHeader) return true;
+          if (cb_.check_dao_header && !cb_.check_dao_header(m.header)) {
+            drop(from, DisconnectReason::kWrongFork, true);
+            return true;
+          }
+          activate(from);
+          return true;
+        } else if constexpr (std::is_same_v<T, Disconnect>) {
+          drop(from, m.reason, /*notify_remote=*/false);
+          return true;
+        } else {
+          return false;  // eth payload messages are the node's business
+        }
+      },
+      msg);
+}
+
+}  // namespace forksim::p2p

@@ -1,0 +1,118 @@
+// Peer session management for the eth sub-protocol.
+//
+// Lifecycle: candidate -> handshaking (Status sent) -> (optional DAO
+// challenge) -> active -> disconnected. Sessions die on genesis/network-id
+// mismatch or a failed DAO challenge — the second mechanism is how the
+// partition physically manifests at the networking layer: after block
+// 1,920,000, ETH nodes request the fork-height header from every new peer
+// and drop those whose header lacks the fork marker (and vice versa), so
+// the two populations stop exchanging blocks entirely.
+//
+// Each session tracks a bounded "known inventory" of block and transaction
+// hashes so gossip never echoes an announcement back to its source.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "p2p/messages.hpp"
+
+namespace forksim::p2p {
+
+enum class PeerState {
+  kHandshaking,
+  kAwaitingDaoHeader,
+  kActive,
+};
+
+struct PeerSession {
+  PeerState state = PeerState::kHandshaking;
+  Status remote;  // valid once past handshaking
+  bool inbound = false;
+  /// Maintenance ticks spent in a non-active state (handshake may be lost
+  /// on the wire; stalled sessions are reaped so the dialer can retry).
+  std::uint32_t stalled_ticks = 0;
+
+  /// Bounded LRU-ish inventory of hashes this peer is known to have.
+  std::unordered_set<Hash256, Hash256Hasher> known;
+  std::deque<Hash256> known_order;
+
+  void mark_known(const Hash256& h, std::size_t cap = 4096);
+  bool knows(const Hash256& h) const { return known.contains(h); }
+};
+
+class PeerSet {
+ public:
+  struct Callbacks {
+    std::function<void(const NodeId& to, const Message&)> send;
+    std::function<Status()> make_status;
+    /// Header at the DAO fork height on our canonical chain (nullopt if not
+    /// reached / no fork scheduled).
+    std::function<std::optional<core::BlockHeader>()> dao_header;
+    /// Validate a peer's DAO-challenge response; true = keep the peer.
+    std::function<bool(const std::optional<core::BlockHeader>&)>
+        check_dao_header;
+    /// A peer became active (sync can start).
+    std::function<void(const NodeId&, const Status&)> on_active;
+    /// A peer went away (any reason).
+    std::function<void(const NodeId&, DisconnectReason)> on_drop;
+  };
+
+  PeerSet(std::uint64_t network_id, Hash256 genesis_hash,
+          std::size_t max_peers, Callbacks callbacks)
+      : network_id_(network_id),
+        genesis_hash_(genesis_hash),
+        max_peers_(max_peers),
+        cb_(std::move(callbacks)) {}
+
+  std::size_t active_count() const;
+  std::size_t session_count() const noexcept { return sessions_.size(); }
+  bool connected_to(const NodeId& id) const { return sessions_.contains(id); }
+  bool has_capacity() const { return sessions_.size() < max_peers_; }
+
+  PeerSession* session(const NodeId& id);
+  const PeerSession* session(const NodeId& id) const;
+
+  /// Active peer ids.
+  std::vector<NodeId> active_peers() const;
+
+  /// Initiate an outbound session (sends Status). No-op if already known or
+  /// at capacity.
+  void connect(const NodeId& id);
+
+  /// Drop a session and notify the remote.
+  void disconnect(const NodeId& id, DisconnectReason reason);
+
+  /// Handle a session-layer message; returns true if consumed.
+  bool handle(const NodeId& from, const Message& msg);
+
+  /// Re-run the DAO challenge against an already-active peer (used when our
+  /// own chain reaches the fork height after the session was established —
+  /// geth re-examined existing peers the same way).
+  void rechallenge(const NodeId& id);
+
+  /// Age non-active sessions by one maintenance tick and drop any that have
+  /// been stuck for more than `max_ticks` (lost handshakes on a lossy
+  /// network). Returns the number of sessions reaped.
+  std::size_t reap_stalled(std::uint32_t max_ticks);
+
+  /// Telemetry: how many peers were dropped for being on the wrong fork.
+  std::uint64_t wrong_fork_drops() const noexcept { return wrong_fork_drops_; }
+
+ private:
+  void on_status(const NodeId& from, const Status& status);
+  void activate(const NodeId& id);
+  void drop(const NodeId& id, DisconnectReason reason, bool notify_remote);
+
+  std::uint64_t network_id_;
+  Hash256 genesis_hash_;
+  std::size_t max_peers_;
+  Callbacks cb_;
+  std::unordered_map<NodeId, PeerSession, NodeIdHasher> sessions_;
+  std::uint64_t wrong_fork_drops_ = 0;
+};
+
+}  // namespace forksim::p2p

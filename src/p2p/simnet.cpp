@@ -1,0 +1,64 @@
+#include "p2p/simnet.hpp"
+
+#include <cmath>
+
+namespace forksim::p2p {
+
+void EventLoop::schedule(SimTime delay, Callback fn) {
+  if (delay < 0) delay = 0;
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+std::size_t EventLoop::run_until(SimTime deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    // priority_queue::top() is const; move out via const_cast-free copy of
+    // the callback by re-popping
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+std::size_t EventLoop::run() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+double LatencyModel::sample(Rng& rng) const {
+  const double jitter =
+      jitter_scale > 0 ? rng.lognormal(0.0, jitter_sigma) * jitter_scale : 0.0;
+  return base + jitter;
+}
+
+void Network::attach(const NodeId& id, Handler handler) {
+  handlers_[id] = std::move(handler);
+}
+
+void Network::detach(const NodeId& id) { handlers_.erase(id); }
+
+void Network::send(const NodeId& from, const NodeId& to, Bytes data) {
+  ++messages_sent_;
+  bytes_sent_ += data.size();
+  if (latency_.loss > 0.0 && rng_.chance(latency_.loss)) return;
+  const double delay = latency_.sample(rng_);
+  loop_.schedule(delay, [this, from, to, data = std::move(data)]() {
+    auto it = handlers_.find(to);
+    if (it == handlers_.end()) return;  // peer gone
+    ++messages_delivered_;
+    it->second(from, data);
+  });
+}
+
+}  // namespace forksim::p2p

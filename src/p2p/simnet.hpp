@@ -1,0 +1,117 @@
+// Discrete-event network substrate: a deterministic event loop plus a
+// message-passing network with configurable latency and loss. All of the
+// p2p and agent code runs on top of this — no real sockets, no wall-clock
+// time, fully reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+#include "support/timeseries.hpp"  // SimTime
+
+namespace forksim::p2p {
+
+/// Deterministic priority-queue event loop. Ties broken by insertion order.
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run `delay` seconds from now (>= 0).
+  void schedule(SimTime delay, Callback fn);
+
+  /// Run events until the queue empties or `deadline` passes. Returns the
+  /// number of events executed.
+  std::size_t run_until(SimTime deadline);
+
+  /// Run everything (no deadline).
+  std::size_t run();
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// Endpoint identifier on the simulated network (a devp2p node id).
+using NodeId = Hash256;
+using NodeIdHasher = Hash256Hasher;
+
+/// Latency model for a message between two endpoints.
+struct LatencyModel {
+  /// Fixed propagation floor in seconds.
+  double base = 0.05;
+  /// Additional lognormal jitter: exp(N(mu, sigma)) * scale seconds.
+  double jitter_scale = 0.05;
+  double jitter_sigma = 0.6;
+  /// Probability a message is silently dropped.
+  double loss = 0.0;
+
+  double sample(Rng& rng) const;
+
+  static LatencyModel lan() { return {0.005, 0.005, 0.3, 0.0}; }
+  static LatencyModel wan() { return {0.05, 0.05, 0.6, 0.0}; }
+  static LatencyModel lossy_wan(double loss_rate) {
+    LatencyModel m = wan();
+    m.loss = loss_rate;
+    return m;
+  }
+};
+
+/// Message-passing network: endpoints register a receive handler; send()
+/// schedules delivery through the event loop with sampled latency.
+class Network {
+ public:
+  using Handler = std::function<void(const NodeId& from, const Bytes& data)>;
+
+  Network(EventLoop& loop, Rng rng, LatencyModel latency = LatencyModel::wan())
+      : loop_(loop), rng_(rng), latency_(latency) {}
+
+  EventLoop& loop() noexcept { return loop_; }
+
+  void attach(const NodeId& id, Handler handler);
+  void detach(const NodeId& id);
+  bool is_attached(const NodeId& id) const { return handlers_.contains(id); }
+
+  /// Send `data` from `from` to `to`. Silently dropped if `to` is detached
+  /// (models a crashed peer) or the loss coin comes up.
+  void send(const NodeId& from, const NodeId& to, Bytes data);
+
+  std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  std::uint64_t messages_delivered() const noexcept {
+    return messages_delivered_;
+  }
+  std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+
+ private:
+  EventLoop& loop_;
+  Rng rng_;
+  LatencyModel latency_;
+  std::unordered_map<NodeId, Handler, NodeIdHasher> handlers_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace forksim::p2p

@@ -1,0 +1,132 @@
+#include "sim/fastsim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace forksim::sim {
+
+ChainProcess::ChainProcess(core::ChainConfig config, U256 initial_difficulty,
+                           double initial_hashrate)
+    : config_(std::move(config)),
+      difficulty_(initial_difficulty),
+      hashrate_(initial_hashrate) {}
+
+BlockEvent ChainProcess::mine_next(Rng& rng) {
+  // The race is run against (approximately) the parent difficulty: the
+  // block's final difficulty moves by at most a few notches while miners
+  // search, so sampling at the parent value is accurate to ~1/2048-per-notch.
+  const double mean_interval = difficulty_.to_double() / hashrate_;
+  const double interval = std::max(1.0, rng.exponential(mean_interval));
+  time_ += interval;
+  const auto timestamp = static_cast<core::Timestamp>(time_);
+  const core::Timestamp sealed_at =
+      std::max<core::Timestamp>(timestamp, parent_timestamp_ + 1);
+
+  // finalize difficulty at the real timestamp (the miner re-targets as the
+  // clock advances); for the epoch rule, retarget only at epoch boundaries
+  U256 final_difficulty;
+  if (rule_ == core::RetargetRule::kEpochAverage) {
+    if (number_ + 1 - window_start_number_ >= kEpochLength) {
+      final_difficulty = core::retarget(
+          rule_, config_, number_ + 1, sealed_at, difficulty_,
+          parent_timestamp_, time_ - window_start_time_,
+          number_ + 1 - window_start_number_);
+      window_start_time_ = time_;
+      window_start_number_ = number_ + 1;
+    } else {
+      final_difficulty = difficulty_;
+    }
+  } else {
+    final_difficulty = core::retarget(rule_, config_, number_ + 1, sealed_at,
+                                      difficulty_, parent_timestamp_);
+  }
+
+  BlockEvent ev;
+  ev.time = time_;
+  ev.number = ++number_;
+  ev.difficulty = final_difficulty.to_double();
+  ev.interval = interval;
+  ev.pool = pool_weights_.empty() ? 0 : rng.weighted_index(pool_weights_);
+
+  difficulty_ = final_difficulty;
+  parent_timestamp_ = sealed_at;
+  return ev;
+}
+
+void MarketModel::step(double day, Rng& rng) {
+  const double z = rng.normal(0.0, 1.0);
+  price_ *= std::exp(drift_ - 0.5 * vol_ * vol_ + vol_ * z);
+  for (const Shock& s : shocks_) {
+    if (day - 1.0 < s.day && s.day <= day) price_ *= s.factor;
+  }
+  price_ = std::max(price_, 0.01);
+}
+
+void MigrationModel::step(double day, double profit_a, double profit_b,
+                          Rng& rng) {
+  // mobile portions
+  const double mobile_a = std::max(0.0, a_ - params_.loyal_a);
+  const double mobile_b = std::max(0.0, b_ - params_.loyal_b);
+
+  // flow toward the more profitable chain, proportional to the relative
+  // profitability gap, damped by mobility (inertia)
+  const double total_profit = profit_a + profit_b;
+  if (total_profit > 0) {
+    const double gap = (profit_a - profit_b) / total_profit;  // [-1, 1]
+    // noise models imperfect information
+    const double noisy_gap = gap + rng.normal(0.0, 0.02);
+    if (noisy_gap > 0) {
+      const double moved = std::min(mobile_b, mobile_b * params_.mobility *
+                                                  noisy_gap);
+      b_ -= moved;
+      a_ += moved;
+    } else {
+      const double moved = std::min(mobile_a, mobile_a * params_.mobility *
+                                                  (-noisy_gap));
+      a_ -= moved;
+      b_ += moved;
+    }
+  }
+
+  // external sink (Zcash launch): drains mobile hashpower in its window,
+  // returns it afterwards
+  const bool in_window =
+      params_.sink_start_day >= 0 && day >= params_.sink_start_day &&
+      day < params_.sink_end_day;
+  if (in_window) {
+    const double want_a = std::max(0.0, a_ - params_.loyal_a) *
+                          params_.sink_fraction;
+    const double want_b = std::max(0.0, b_ - params_.loyal_b) *
+                          params_.sink_fraction;
+    // drain gradually (a quarter of the target per day)
+    const double take_a = std::min(want_a, (want_a - sink_from_a_) * 0.25 +
+                                               0.0);
+    const double take_b = std::min(want_b, (want_b - sink_from_b_) * 0.25);
+    if (take_a > 0) {
+      a_ -= take_a;
+      sink_from_a_ += take_a;
+    }
+    if (take_b > 0) {
+      b_ -= take_b;
+      sink_from_b_ += take_b;
+    }
+  } else if (sink_from_a_ > 0 || sink_from_b_ > 0) {
+    // miners trickle back over ~5 days
+    const double back_a = sink_from_a_ * 0.2;
+    const double back_b = sink_from_b_ * 0.2;
+    a_ += back_a;
+    sink_from_a_ -= back_a;
+    b_ += back_b;
+    sink_from_b_ -= back_b;
+  }
+}
+
+double hashes_per_usd(double difficulty, double block_reward_ether,
+                      double price_usd) {
+  if (block_reward_ether <= 0 || price_usd <= 0) return 0;
+  // hashes per block ~= difficulty; ether per block = reward;
+  // hashes per ether = difficulty / reward; per USD: divide by price
+  return difficulty / block_reward_ether / price_usd;
+}
+
+}  // namespace forksim::sim

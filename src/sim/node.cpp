@@ -1,0 +1,343 @@
+#include "sim/node.hpp"
+
+namespace forksim::sim {
+
+using namespace p2p;
+
+FullNode::FullNode(Network& network, NodeId id, core::ChainConfig config,
+                   core::Executor& executor, const core::GenesisAlloc& alloc,
+                   Rng rng, NodeOptions options)
+    : network_(network),
+      id_(id),
+      chain_(std::move(config), executor, alloc, options.genesis_gas_limit,
+             options.genesis_difficulty),
+      pool_(chain_.config()),
+      rng_(rng),
+      options_(options),
+      discovery_(id, rng_.fork(),
+                 [this](const NodeId& to, const Message& m) { send(to, m); }),
+      peers_(chain_.config().chain_id, chain_.genesis().hash(),
+             options.max_peers,
+             PeerSet::Callbacks{
+                 [this](const NodeId& to, const Message& m) { send(to, m); },
+                 [this] { return make_status(); },
+                 [this] { return dao_header(); },
+                 [this](const std::optional<core::BlockHeader>& h) {
+                   return check_dao_header(h);
+                 },
+                 [this](const NodeId& peer, const Status& status) {
+                   on_peer_active(peer, status);
+                 },
+                 [this](const NodeId& peer, DisconnectReason reason) {
+                   // discovery is fork-agnostic (paper §2.2: Kademlia is
+                   // not part of consensus) — only evict peers on a truly
+                   // different network; wrong-fork and stalled peers stay
+                   // in the table, exactly as on mainnet
+                   if (reason == DisconnectReason::kIncompatibleNetwork)
+                     discovery_.on_peer_dead(peer);
+                 },
+             }) {
+  discovery_.set_on_discovered([this](const NodeId& candidate) {
+    if (running_ && peers_.active_count() < options_.target_peers)
+      peers_.connect(candidate);
+  });
+}
+
+FullNode::~FullNode() { shutdown(); }
+
+void FullNode::start(const std::vector<NodeId>& bootstrap) {
+  running_ = true;
+  bootstrap_ = bootstrap;
+  network_.attach(id_, [this](const NodeId& from, const Bytes& wire) {
+    on_message(from, wire);
+  });
+  discovery_.bootstrap(bootstrap);
+  const std::uint64_t gen = generation_;
+  network_.loop().schedule(options_.tick_interval, [this, gen] {
+    if (gen == generation_) tick();
+  });
+}
+
+void FullNode::shutdown() {
+  if (!running_) return;
+  running_ = false;
+  ++generation_;
+  network_.detach(id_);
+}
+
+void FullNode::tick() {
+  if (!running_) return;
+  // reap sessions whose handshake got lost on the wire (allow ~3 ticks)
+  peers_.reap_stalled(3);
+  // a node that lost everyone re-seeds from its bootstrap list
+  if (discovery_.known_nodes() == 0 && !bootstrap_.empty())
+    discovery_.bootstrap(bootstrap_);
+  // top up peer sessions from the routing table
+  if (peers_.active_count() < options_.target_peers) {
+    for (const NodeId& candidate :
+         discovery_.table().closest(id_, options_.target_peers * 2)) {
+      if (peers_.connected_to(candidate)) continue;
+      peers_.connect(candidate);
+      if (peers_.session_count() >= options_.max_peers) break;
+    }
+    if (rng_.chance(0.5)) discovery_.refresh();
+  }
+  const std::uint64_t gen = generation_;
+  network_.loop().schedule(options_.tick_interval, [this, gen] {
+    if (gen == generation_) tick();
+  });
+}
+
+void FullNode::send(const NodeId& to, const Message& msg) {
+  network_.send(id_, to, encode_message(msg));
+}
+
+void FullNode::on_message(const NodeId& from, const Bytes& wire) {
+  if (!running_) return;
+  auto msg = decode_message(wire);
+  if (!msg) return;  // malformed: ignore (a real node would disconnect)
+  if (discovery_.handle(from, *msg)) return;
+  if (peers_.handle(from, *msg)) return;
+  // eth payloads require an active session
+  const PeerSession* session = peers_.session(from);
+  if (session == nullptr || session->state != PeerState::kActive) return;
+  handle_eth(from, *msg);
+}
+
+Status FullNode::make_status() const {
+  Status s;
+  s.network_id = chain_.config().chain_id;
+  s.total_difficulty = chain_.head_total_difficulty();
+  s.head_hash = chain_.head().hash();
+  s.genesis_hash = chain_.genesis().hash();
+  s.head_number = chain_.height();
+  return s;
+}
+
+std::optional<core::BlockHeader> FullNode::dao_header() const {
+  const auto& config = chain_.config();
+  if (!options_.enable_dao_challenge) return std::nullopt;
+  if (!config.dao_fork_block) return std::nullopt;
+  const core::Block* b = chain_.block_by_number(*config.dao_fork_block);
+  if (b == nullptr) return std::nullopt;
+  return b->header;
+}
+
+bool FullNode::check_dao_header(
+    const std::optional<core::BlockHeader>& header) const {
+  const auto& config = chain_.config();
+  if (!config.dao_fork_block) return true;
+  if (!header) return true;  // peer hasn't reached the fork yet
+  if (header->number != *config.dao_fork_block) return false;
+  const bool has_marker = header->extra_data == core::dao_fork_extra_data();
+  return has_marker == config.dao_fork_support;
+}
+
+void FullNode::on_peer_active(const NodeId& peer, const Status& status) {
+  // start syncing if the peer's chain is heavier
+  if (status.total_difficulty > chain_.head_total_difficulty())
+    send(peer, Message{GetBlocks{
+                   status.head_hash,
+                   static_cast<std::uint32_t>(options_.sync_batch)}});
+}
+
+void FullNode::handle_eth(const NodeId& from, const Message& msg) {
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        PeerSession* session = peers_.session(from);
+
+        if constexpr (std::is_same_v<T, NewBlock>) {
+          if (session) session->mark_known(m.block.hash());
+          if (chain_.contains(m.block.hash())) ++duplicate_block_pushes_;
+          import_and_relay(from, m.block);
+        } else if constexpr (std::is_same_v<T, NewBlockHashes>) {
+          for (const Hash256& h : m.hashes) {
+            if (session) session->mark_known(h);
+            if (!chain_.contains(h))
+              send(from, Message{GetBlocks{h, 1}});
+          }
+        } else if constexpr (std::is_same_v<T, GetBlocks>) {
+          Blocks reply;
+          Hash256 cursor = m.head;
+          while (reply.blocks.size() < m.max_blocks) {
+            const core::Block* b = chain_.block_by_hash(cursor);
+            if (b == nullptr) break;
+            reply.blocks.push_back(*b);
+            if (b->header.number == 0) break;
+            cursor = b->header.parent_hash;
+          }
+          // oldest first so the receiver can import in order
+          std::reverse(reply.blocks.begin(), reply.blocks.end());
+          if (!reply.blocks.empty()) send(from, Message{std::move(reply)});
+        } else if constexpr (std::is_same_v<T, Blocks>) {
+          bool still_orphaned = false;
+          bool wrong_fork = false;
+          Hash256 deepest_missing;
+          for (const core::Block& b : m.blocks) {
+            if (session) session->mark_known(b.hash());
+            const auto outcome = chain_.import(b);
+            if (outcome.result == core::ImportResult::kImported) {
+              ++blocks_imported_;
+              if (outcome.became_head) after_head_change();
+            } else if (outcome.result == core::ImportResult::kUnknownParent) {
+              orphans_.emplace(b.header.parent_hash, b);
+              if (!still_orphaned) {
+                still_orphaned = true;
+                deepest_missing = b.header.parent_hash;
+              }
+            } else if (outcome.result == core::ImportResult::kWrongFork) {
+              wrong_fork = true;
+            }
+          }
+          try_orphans();
+          if (wrong_fork && options_.drop_wrong_fork_peers) {
+            // the peer served the other side's fork block: sever the link
+            peers_.disconnect(from, DisconnectReason::kWrongFork);
+            return;
+          }
+          if (still_orphaned && !chain_.contains(deepest_missing)) {
+            // deepen the sync window
+            send(from, Message{GetBlocks{
+                           deepest_missing,
+                           static_cast<std::uint32_t>(options_.sync_batch)}});
+          }
+        } else if constexpr (std::is_same_v<T, Transactions>) {
+          std::vector<core::Transaction> fresh;
+          for (const core::Transaction& tx : m.transactions) {
+            if (session) session->mark_known(tx.hash());
+            const auto result =
+                pool_.add(tx, chain_.head_state(), chain_.height());
+            ++txs_received_;
+            if (result == core::PoolAddResult::kAdded ||
+                result == core::PoolAddResult::kReplacedExisting)
+              fresh.push_back(tx);
+          }
+          if (!fresh.empty()) relay_transactions(fresh, from);
+        } else {
+          // discovery / session messages never reach here
+        }
+      },
+      msg);
+}
+
+void FullNode::import_and_relay(const NodeId& from, const core::Block& block) {
+  const auto outcome = chain_.import(block);
+  switch (outcome.result) {
+    case core::ImportResult::kImported: {
+      ++blocks_imported_;
+      pool_.remove_included(block.transactions, chain_.head_state());
+      relay_block(block);
+      try_orphans();
+      if (outcome.became_head) after_head_change();
+      break;
+    }
+    case core::ImportResult::kUnknownParent: {
+      orphans_.emplace(block.header.parent_hash, block);
+      send(from, Message{GetBlocks{
+                     block.header.parent_hash,
+                     static_cast<std::uint32_t>(options_.sync_batch)}});
+      break;
+    }
+    case core::ImportResult::kWrongFork:
+      // a peer pushing the other side's fork block is on the other network
+      if (options_.drop_wrong_fork_peers)
+        peers_.disconnect(from, DisconnectReason::kWrongFork);
+      break;
+    default:
+      break;  // invalid or duplicate: drop silently
+  }
+}
+
+void FullNode::after_head_change() {
+  // crossing the fork height: cross-examine every existing peer once, the
+  // way geth re-checked established sessions when the DAO fork activated
+  const auto& config = chain_.config();
+  if (options_.enable_dao_challenge && !rechallenged_at_fork_ &&
+      config.dao_fork_block && chain_.height() >= *config.dao_fork_block) {
+    rechallenged_at_fork_ = true;
+    for (const NodeId& peer : peers_.active_peers())
+      peers_.rechallenge(peer);
+  }
+  if (on_head_changed) on_head_changed();
+}
+
+void FullNode::try_orphans() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = orphans_.begin(); it != orphans_.end();) {
+      if (!chain_.contains(it->first)) {
+        ++it;
+        continue;
+      }
+      const core::Block block = it->second;
+      it = orphans_.erase(it);
+      const auto outcome = chain_.import(block);
+      if (outcome.result == core::ImportResult::kImported) {
+        ++blocks_imported_;
+        relay_block(block);
+        if (outcome.became_head) after_head_change();
+        progress = true;
+      }
+    }
+  }
+}
+
+void FullNode::relay_block(const core::Block& block) {
+  const Hash256 hash = block.hash();
+  std::vector<NodeId> targets;
+  for (const NodeId& peer : peers_.active_peers()) {
+    PeerSession* session = peers_.session(peer);
+    if (session && !session->knows(hash)) targets.push_back(peer);
+  }
+  auto [push, announce] =
+      split_for_gossip(std::move(targets), options_.gossip, rng_);
+  const U256 td = chain_.total_difficulty_of(hash);
+  for (const NodeId& peer : push) {
+    peers_.session(peer)->mark_known(hash);
+    send(peer, Message{NewBlock{block, td}});
+  }
+  for (const NodeId& peer : announce) {
+    peers_.session(peer)->mark_known(hash);
+    send(peer, Message{NewBlockHashes{{hash}}});
+  }
+}
+
+void FullNode::relay_transactions(const std::vector<core::Transaction>& txs,
+                                  const std::optional<NodeId>& skip) {
+  for (const NodeId& peer : peers_.active_peers()) {
+    if (skip && peer == *skip) continue;
+    PeerSession* session = peers_.session(peer);
+    if (session == nullptr) continue;
+    Transactions batch;
+    for (const core::Transaction& tx : txs) {
+      const Hash256 h = tx.hash();
+      if (session->knows(h)) continue;
+      session->mark_known(h);
+      batch.transactions.push_back(tx);
+    }
+    if (!batch.transactions.empty()) send(peer, Message{std::move(batch)});
+  }
+}
+
+core::PoolAddResult FullNode::submit_transaction(const core::Transaction& tx) {
+  const auto result = pool_.add(tx, chain_.head_state(), chain_.height());
+  if (result == core::PoolAddResult::kAdded ||
+      result == core::PoolAddResult::kReplacedExisting)
+    relay_transactions({tx}, std::nullopt);
+  return result;
+}
+
+core::ImportOutcome FullNode::submit_block(const core::Block& block) {
+  const auto outcome = chain_.import(block);
+  if (outcome.result == core::ImportResult::kImported) {
+    ++blocks_imported_;
+    pool_.remove_included(block.transactions, chain_.head_state());
+    relay_block(block);
+    if (outcome.became_head) after_head_change();
+  }
+  return outcome;
+}
+
+}  // namespace forksim::sim

@@ -1,0 +1,128 @@
+// A full node: blockchain + transaction pool + discovery + peer sessions +
+// gossip, driven entirely by the discrete-event network. This is the
+// protocol-faithful agent used in partition experiments: nodes discover
+// each other via Kademlia, handshake with Status, cross-examine DAO fork
+// headers, sync via GetBlocks, and gossip blocks and transactions.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/chain.hpp"
+#include "core/txpool.hpp"
+#include "p2p/discovery.hpp"
+#include "p2p/gossip.hpp"
+#include "p2p/peers.hpp"
+
+namespace forksim::sim {
+
+struct NodeOptions {
+  std::size_t max_peers = 25;
+  /// Keep dialing until this many active sessions.
+  std::size_t target_peers = 8;
+  p2p::GossipPolicy gossip;
+  /// Seconds between maintenance ticks (dial candidates, refresh buckets).
+  double tick_interval = 5.0;
+  std::size_t sync_batch = 32;
+  /// Genesis parameters (must match across nodes meant to share a network).
+  U256 genesis_difficulty = U256(131072);
+  core::Gas genesis_gas_limit = 0;  // 0 = chain config default
+  /// Run geth's DAO fork-header challenge against peers (ablation A5 turns
+  /// this off to show what the network looks like without it).
+  bool enable_dao_challenge = true;
+  /// Disconnect peers that push blocks our chain rejects as wrong-fork
+  /// (the organic severing mechanism; A5 disables it together with the
+  /// challenge to show the un-partitioned failure mode: sessions persist
+  /// and both sides gossip at each other forever).
+  bool drop_wrong_fork_peers = true;
+};
+
+class FullNode {
+ public:
+  FullNode(p2p::Network& network, p2p::NodeId id, core::ChainConfig config,
+           core::Executor& executor, const core::GenesisAlloc& alloc,
+           Rng rng, NodeOptions options = NodeOptions());
+  ~FullNode();
+
+  FullNode(const FullNode&) = delete;
+  FullNode& operator=(const FullNode&) = delete;
+
+  const p2p::NodeId& id() const noexcept { return id_; }
+  p2p::Network& network() noexcept { return network_; }
+  core::Blockchain& chain() noexcept { return chain_; }
+  const core::Blockchain& chain() const noexcept { return chain_; }
+  core::TxPool& txpool() noexcept { return pool_; }
+  const p2p::PeerSet& peers() const noexcept { return peers_; }
+  const p2p::DiscoveryService& discovery() const noexcept {
+    return discovery_;
+  }
+
+  /// Join the network: seed the routing table and start ticking.
+  void start(const std::vector<p2p::NodeId>& bootstrap);
+
+  /// Leave the network (handler detached; peers will drop us). Models the
+  /// mass node exodus at the fork.
+  void shutdown();
+  bool running() const noexcept { return running_; }
+
+  /// Inject a locally-created transaction (adds to the pool and gossips).
+  core::PoolAddResult submit_transaction(const core::Transaction& tx);
+
+  /// A locally-mined block: import and gossip. Returns the import outcome.
+  core::ImportOutcome submit_block(const core::Block& block);
+
+  /// Fired after every canonical-head change (miners re-target on this).
+  std::function<void()> on_head_changed;
+
+  // telemetry
+  std::uint64_t blocks_imported() const noexcept { return blocks_imported_; }
+  std::uint64_t txs_received() const noexcept { return txs_received_; }
+  /// Full NewBlock pushes received for blocks we already had — the
+  /// redundancy cost of aggressive push gossip.
+  std::uint64_t duplicate_block_pushes() const noexcept {
+    return duplicate_block_pushes_;
+  }
+  std::uint64_t wrong_fork_drops() const noexcept {
+    return peers_.wrong_fork_drops();
+  }
+
+ private:
+  void on_message(const p2p::NodeId& from, const Bytes& wire);
+  void handle_eth(const p2p::NodeId& from, const p2p::Message& msg);
+  void on_peer_active(const p2p::NodeId& peer, const p2p::Status& status);
+  void tick();
+
+  p2p::Status make_status() const;
+  std::optional<core::BlockHeader> dao_header() const;
+  bool check_dao_header(const std::optional<core::BlockHeader>& header) const;
+
+  void import_and_relay(const p2p::NodeId& from, const core::Block& block);
+  void after_head_change();
+  void try_orphans();
+  void relay_block(const core::Block& block);
+  void relay_transactions(const std::vector<core::Transaction>& txs,
+                          const std::optional<p2p::NodeId>& skip);
+  void send(const p2p::NodeId& to, const p2p::Message& msg);
+
+  p2p::Network& network_;
+  p2p::NodeId id_;
+  core::Blockchain chain_;
+  core::TxPool pool_;
+  Rng rng_;
+  NodeOptions options_;
+  p2p::DiscoveryService discovery_;
+  p2p::PeerSet peers_;
+  bool running_ = false;
+  std::uint64_t generation_ = 0;  // invalidates pending ticks on shutdown
+  std::vector<p2p::NodeId> bootstrap_;
+
+  /// Orphans waiting for ancestors, keyed by parent hash.
+  std::unordered_map<Hash256, core::Block, Hash256Hasher> orphans_;
+
+  std::uint64_t blocks_imported_ = 0;
+  std::uint64_t txs_received_ = 0;
+  std::uint64_t duplicate_block_pushes_ = 0;
+  bool rechallenged_at_fork_ = false;
+};
+
+}  // namespace forksim::sim

@@ -1,0 +1,97 @@
+#include "sim/poolmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/stats.hpp"
+
+namespace forksim::sim {
+
+PoolPopulation PoolPopulation::eth_like(PoolDynamicsParams params) {
+  // Shaped after the mid-2016 Ethereum pool landscape: one dominant pool
+  // (~1/4 of the network), a strong second, a long tail.
+  return PoolPopulation({0.26, 0.17, 0.12, 0.08, 0.06, 0.05, 0.04, 0.04,
+                         0.03, 0.03, 0.02, 0.02, 0.02, 0.02, 0.02, 0.02},
+                        params);
+}
+
+PoolPopulation PoolPopulation::fragmented(std::size_t pools,
+                                          PoolDynamicsParams params,
+                                          Rng& rng) {
+  std::vector<double> weights(pools);
+  for (auto& w : weights) w = 1.0 + rng.uniform01();  // near-uniform
+  return PoolPopulation(std::move(weights), params);
+}
+
+void PoolPopulation::normalize() {
+  const double total = std::accumulate(weights_.begin(), weights_.end(), 0.0);
+  if (total <= 0) return;
+  for (auto& w : weights_) w /= total;
+}
+
+void PoolPopulation::step_day(Rng& rng) {
+  // detach `churn` of every pool's hashpower into a free pool of miners
+  double free_power = 0;
+  for (auto& w : weights_) {
+    const double detached = w * params_.churn;
+    w -= detached;
+    free_power += detached;
+  }
+
+  // preferential re-attachment: weight ∝ size^alpha, damped toward zero as
+  // a pool approaches the concentration cap (miners avoid near-majority
+  // pools), with a small uniform floor so empty pools aren't absorbing
+  auto attachment = [&](double w) {
+    // full attachment below ~80 % of the cap, fading to a floor at the cap:
+    // the aversion only bites for pools visibly approaching the ceiling
+    const double cap = params_.concentration_cap;
+    const double fade_start = 0.8 * cap;
+    double repulsion = 1.0;
+    if (w > fade_start)
+      repulsion = std::max(0.02, (cap - w) / (cap - fade_start));
+    return std::pow(w + 1e-6, params_.alpha) * repulsion;
+  };
+  std::vector<double> attach(weights_.size());
+  for (std::size_t i = 0; i < weights_.size(); ++i)
+    attach[i] = attachment(weights_[i]);
+  const double attach_total =
+      std::accumulate(attach.begin(), attach.end(), 0.0);
+  for (std::size_t i = 0; i < weights_.size(); ++i)
+    weights_[i] += free_power * attach[i] / attach_total;
+
+  // entry: a new small pool siphons a sliver from everyone
+  if (rng.chance(params_.entry_prob)) {
+    const double size = params_.entry_size;
+    for (auto& w : weights_) w *= (1.0 - size);
+    weights_.push_back(size);
+  }
+
+  // exit: wind down dust pools
+  double released = 0;
+  for (auto it = weights_.begin(); it != weights_.end();) {
+    if (*it < params_.exit_threshold && weights_.size() > 3) {
+      released += *it;
+      it = weights_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (released > 0 && !weights_.empty()) {
+    // released miners re-attach preferentially too
+    std::vector<double> attach2(weights_.size());
+    for (std::size_t i = 0; i < weights_.size(); ++i)
+      attach2[i] = attachment(weights_[i]);
+    const double total2 =
+        std::accumulate(attach2.begin(), attach2.end(), 0.0);
+    for (std::size_t i = 0; i < weights_.size(); ++i)
+      weights_[i] += released * attach2[i] / total2;
+  }
+  normalize();
+}
+
+double PoolPopulation::top_share(std::size_t n) const {
+  return top_n_share(weights_, n);
+}
+
+}  // namespace forksim::sim

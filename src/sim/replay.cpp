@@ -1,0 +1,134 @@
+#include "sim/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace forksim::sim {
+
+ReplaySim::ReplaySim(ReplayParams params, Rng rng)
+    : params_(params), rng_(rng), accounts_(params.shared_accounts) {
+  for (std::size_t i = 0; i < accounts_.size(); ++i) {
+    const double u = rng_.uniform01();
+    if (u < params_.home_eth) accounts_[i].home = Home::kEth;
+    else if (u < params_.home_eth + params_.home_etc)
+      accounts_[i].home = Home::kEtc;
+    else accounts_[i].home = Home::kBoth;
+    if (accounts_[i].home != Home::kEtc) eth_active_.push_back(i);
+    if (accounts_[i].home != Home::kEth) etc_active_.push_back(i);
+  }
+}
+
+double ReplaySim::shared_fraction(double day) const {
+  const double decay =
+      std::exp2(-day / params_.shared_fraction_half_life_days);
+  return params_.shared_fraction_floor +
+         (params_.shared_fraction_start - params_.shared_fraction_floor) *
+             decay;
+}
+
+double ReplaySim::attack_prob(double day) const {
+  const double decay = std::exp2(-day / params_.attack_echo_half_life_days);
+  return params_.attack_echo_floor +
+         (params_.attack_echo_start - params_.attack_echo_floor) * decay;
+}
+
+double ReplaySim::protected_fraction(double day, bool on_eth) const {
+  const double activation =
+      on_eth ? params_.eth_eip155_day : params_.etc_eip155_day;
+  if (activation < 0 || day < activation) return 0.0;
+  return std::min(params_.eip155_adoption_cap,
+                  (day - activation) * params_.eip155_adoption_per_day);
+}
+
+std::size_t ReplaySim::replayable_accounts() const {
+  std::size_t n = 0;
+  for (const auto& a : accounts_)
+    if (!a.split && a.nonce_eth == a.nonce_etc) ++n;
+  return n;
+}
+
+ReplaySim::DayStats ReplaySim::step(double day, std::uint64_t eth_txs,
+                                    std::uint64_t etc_txs) {
+  DayStats stats;
+  stats.eth_txs = eth_txs;
+  stats.etc_txs = etc_txs;
+
+  // some owners split their addresses today
+  for (auto& a : accounts_)
+    if (!a.split && rng_.chance(params_.split_per_day)) a.split = true;
+
+  const double shared = shared_fraction(day);
+  const double attack = attack_prob(day);
+
+  auto run_side = [&](std::uint64_t txs, bool on_eth) {
+    const double prot = protected_fraction(day, on_eth);
+    // expected number of shared-account txs today on this side
+    const auto shared_txs = static_cast<std::uint64_t>(
+        static_cast<double>(txs) * shared + 0.5);
+    const auto& active = on_eth ? eth_active_ : etc_active_;
+    if (active.empty()) return;
+    for (std::uint64_t i = 0; i < shared_txs; ++i) {
+      AccountState& acct = accounts_[active[rng_.uniform(active.size())]];
+      if (acct.split) continue;  // split owners sign from fresh addresses
+
+      // the tx executes on the origin chain regardless
+      std::uint32_t& origin_nonce = on_eth ? acct.nonce_eth : acct.nonce_etc;
+      const std::uint32_t used_nonce = origin_nonce++;
+
+      if (rng_.chance(prot)) {
+        ++stats.protected_txs;  // EIP-155: cannot echo
+        continue;
+      }
+      // echo attempt: benign dual-intent broadcast by the sender, or an
+      // attacker replaying someone else's confirmed transaction
+      bool benign = false;
+      if (rng_.chance(params_.benign_echo)) benign = true;
+      else if (!rng_.chance(attack)) continue;
+
+      std::uint32_t& dest_nonce = on_eth ? acct.nonce_etc : acct.nonce_eth;
+      if (dest_nonce > used_nonce) {
+        // the destination account moved past this nonce on its own (the
+        // owner is active on both chains): the replay is permanently invalid
+        ++stats.stale_nonce;
+        continue;
+      }
+      // every transaction is public, so a rebroadcaster replays the whole
+      // backlog [dest_nonce .. used_nonce] in order — all valid in sequence
+      const std::uint32_t replayed = used_nonce + 1 - dest_nonce;
+      dest_nonce = used_nonce + 1;
+      if (on_eth)
+        stats.echoes_into_etc += replayed;
+      else
+        stats.echoes_into_eth += replayed;
+
+      if (sample_sink_ != nullptr && sample_sink_->size() < sample_cap_) {
+        // observable features, conditioned on the echo's true nature:
+        // dual-intent senders rebroadcast within seconds, often to
+        // themselves, and have genuine two-chain activity; attackers watch
+        // confirmed blocks and replay later, preferring large transfers
+        EchoSample sample;
+        sample.is_attack = !benign;
+        if (benign) {
+          sample.delay_seconds = rng_.lognormal(std::log(20.0), 0.8);
+          sample.sender_active_on_dest =
+              acct.home == Home::kBoth || rng_.chance(0.5);
+          sample.self_transfer = rng_.chance(0.4);
+          sample.value_ether = rng_.lognormal(std::log(2.0), 1.0);
+        } else {
+          sample.delay_seconds = rng_.lognormal(std::log(1800.0), 1.0);
+          sample.sender_active_on_dest =
+              acct.home == Home::kBoth && rng_.chance(0.3);
+          sample.self_transfer = rng_.chance(0.03);
+          sample.value_ether = rng_.lognormal(std::log(20.0), 1.2);
+        }
+        sample_sink_->push_back(sample);
+      }
+    }
+  };
+
+  run_side(eth_txs, /*on_eth=*/true);
+  run_side(etc_txs, /*on_eth=*/false);
+  return stats;
+}
+
+}  // namespace forksim::sim

@@ -1,0 +1,132 @@
+// Cross-chain replay ("echo") simulation — the mechanism behind the
+// paper's Figure 4 and §3.3.
+//
+// Ground truth mechanics, reproduced exactly:
+//  * the two chains share every pre-fork account (same keys, same balances
+//    at the fork block);
+//  * a pre-EIP-155 transaction carries no chain id, so its signature is
+//    valid on both chains;
+//  * an echoed transaction executes on the other chain iff the sender's
+//    nonce there matches — which it does as long as the account's histories
+//    haven't diverged, and each successful echo *keeps* them in sync;
+//  * EIP-155 transactions are bound to one chain and can never echo;
+//  * accounts used independently on both chains (split addresses, the
+//    recommended defense) diverge and stop being echoable.
+//
+// The simulation tracks per-account nonces on both chains and pushes every
+// transaction through those rules; echo counts per day fall out rather than
+// being assumed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace forksim::sim {
+
+struct ReplayParams {
+  /// Pre-fork accounts active on at least one chain after the fork.
+  std::size_t shared_accounts = 4000;
+  /// Fraction of a chain's transactions sent from shared (pre-fork)
+  /// accounts, decaying as users move to fresh addresses.
+  double shared_fraction_start = 0.7;
+  double shared_fraction_floor = 0.04;
+  double shared_fraction_half_life_days = 45;
+  /// Probability an attacker rebroadcasts an eligible tx into the other
+  /// chain, decaying from the post-fork frenzy to a persistent tail.
+  double attack_echo_start = 0.8;
+  double attack_echo_floor = 0.05;
+  double attack_echo_half_life_days = 30;
+  /// Probability the *sender* intends the tx on both chains (benign echo).
+  double benign_echo = 0.02;
+  /// Day EIP-155 becomes available on each chain (<0 = never). ETH shipped
+  /// it Nov 2016 (~day 120 after the fork); ETC Jan 2017 (~day 180).
+  double eth_eip155_day = 120;
+  double etc_eip155_day = 177;
+  /// Adoption ramp: fraction of txs that are replay-protected grows by this
+  /// much per day after activation, up to the cap. EIP-155 was opt-in, so
+  /// the cap stays below 1 (the paper still sees echoes "even today").
+  double eip155_adoption_per_day = 0.01;
+  double eip155_adoption_cap = 0.85;
+  /// Fraction of shared accounts whose owners split their addresses per
+  /// day (the manual defense the Ethereum blog recommended).
+  double split_per_day = 0.002;
+  /// Where shared-account owners are active. The paper observes that "many
+  /// users simply picked one of the two networks to participate in and
+  /// ignored the other" — those accounts never diverge and stay echo-able
+  /// indefinitely; only owners active on *both* chains diverge.
+  double home_eth = 0.70;
+  double home_etc = 0.22;  // remainder: active on both chains
+};
+
+class ReplaySim {
+ public:
+  /// One successful echo with ground-truth label and the observable
+  /// features analysis::forensics classifies on (the paper's future-work
+  /// "malicious versus benign rebroadcasts" question).
+  struct EchoSample {
+    bool is_attack = false;  // ground truth
+    double delay_seconds = 0;
+    bool sender_active_on_dest = false;
+    bool self_transfer = false;
+    double value_ether = 0;
+  };
+
+  struct DayStats {
+    std::uint64_t eth_txs = 0;
+    std::uint64_t etc_txs = 0;
+    /// Successful echoes, by destination chain.
+    std::uint64_t echoes_into_etc = 0;
+    std::uint64_t echoes_into_eth = 0;
+    /// Attempts that failed because the destination nonce had diverged.
+    std::uint64_t stale_nonce = 0;
+    /// Transactions that could not echo because they carried a chain id.
+    std::uint64_t protected_txs = 0;
+
+    std::uint64_t total_echoes() const noexcept {
+      return echoes_into_etc + echoes_into_eth;
+    }
+  };
+
+  ReplaySim(ReplayParams params, Rng rng);
+
+  /// Simulate one day given that chain A (ETH) carried `eth_txs` and chain
+  /// B (ETC) `etc_txs` transactions.
+  DayStats step(double day, std::uint64_t eth_txs, std::uint64_t etc_txs);
+
+  /// Accounts still in sync (echo-capable).
+  std::size_t replayable_accounts() const;
+
+  /// Collect labeled samples for every successful echo into `sink`
+  /// (nullptr disables; at most `cap` samples are kept).
+  void set_sample_sink(std::vector<EchoSample>* sink,
+                       std::size_t cap = 200'000) {
+    sample_sink_ = sink;
+    sample_cap_ = cap;
+  }
+
+ private:
+  enum class Home : std::uint8_t { kEth, kEtc, kBoth };
+
+  struct AccountState {
+    std::uint32_t nonce_eth = 0;
+    std::uint32_t nonce_etc = 0;
+    bool split = false;  // owner moved to chain-specific addresses
+    Home home = Home::kEth;
+  };
+
+  double shared_fraction(double day) const;
+  double attack_prob(double day) const;
+  double protected_fraction(double day, bool on_eth) const;
+
+  ReplayParams params_;
+  Rng rng_;
+  std::vector<AccountState> accounts_;
+  std::vector<EchoSample>* sample_sink_ = nullptr;
+  std::size_t sample_cap_ = 0;
+  std::vector<std::size_t> eth_active_;  // indices active on ETH
+  std::vector<std::size_t> etc_active_;  // indices active on ETC
+};
+
+}  // namespace forksim::sim

@@ -1,0 +1,135 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace forksim::sim {
+
+namespace {
+
+p2p::NodeId node_id_for(std::uint64_t index) {
+  Keccak256 h;
+  h.update(std::string_view("forksim/node"));
+  const auto be = be_fixed64(index);
+  h.update(BytesView(be.data(), be.size()));
+  return h.digest();
+}
+
+}  // namespace
+
+ForkScenario::ForkScenario(ScenarioParams params)
+    : params_(params),
+      rng_(params.seed),
+      network_(loop_, Rng(params.seed ^ 0x9e3779b97f4a7c15ull),
+               params.latency) {
+  // pre-fork accounts, funded in genesis on every node
+  core::GenesisAlloc alloc;
+  for (std::size_t i = 0; i < params_.funded_accounts; ++i) {
+    accounts_.push_back(PrivateKey::from_seed(1000 + i));
+    alloc.emplace_back(derive_address(accounts_.back()), core::ether(10000));
+  }
+
+  const std::size_t total_nodes = params_.nodes_eth + params_.nodes_etc;
+  const core::ChainConfig eth_config = core::ChainConfig::eth(
+      params_.fork_block);
+  const core::ChainConfig etc_config =
+      core::ChainConfig::etc(params_.fork_block, std::nullopt);
+
+  for (std::size_t i = 0; i < total_nodes; ++i) {
+    // Both sides share network id 1 pre-fork (they are the same network —
+    // only the fork rule separates them), so use the pre-fork id for the
+    // handshake and let the DAO challenge do the separating, as on mainnet.
+    core::ChainConfig config = is_eth_node(i) ? eth_config : etc_config;
+    config.chain_id = 1;  // devp2p network id stayed 1 for both ETH and ETC
+    NodeOptions options = params_.node_options;
+    options.genesis_difficulty = params_.genesis_difficulty;
+    auto node = std::make_unique<FullNode>(
+        network_, node_id_for(i), std::move(config), executor_, alloc,
+        rng_.fork(), options);
+    nodes_.push_back(std::move(node));
+  }
+
+  // bootstrap: everyone knows the first node (plus one random other)
+  std::vector<p2p::NodeId> seeds = {nodes_[0]->id()};
+  for (std::size_t i = 0; i < total_nodes; ++i) {
+    std::vector<p2p::NodeId> boot = seeds;
+    if (i != 0)
+      boot.push_back(nodes_[rng_.uniform(i)]->id());  // someone earlier
+    nodes_[i]->start(boot);
+  }
+
+  // miners: hashrate split per side; ETH-side miners sit on ETH nodes etc.
+  const double etc_power =
+      params_.total_hashrate * params_.etc_hashpower_fraction;
+  const double eth_power = params_.total_hashrate - etc_power;
+  std::size_t miner_index = 0;
+  for (std::size_t m = 0; m < params_.miners_per_side_eth; ++m) {
+    FullNode& host = *nodes_[m % params_.nodes_eth];
+    const Address coinbase =
+        derive_address(PrivateKey::from_seed(5000 + miner_index++));
+    miners_.push_back(std::make_unique<Miner>(
+        host, coinbase,
+        eth_power / static_cast<double>(params_.miners_per_side_eth),
+        rng_.fork()));
+  }
+  for (std::size_t m = 0; m < params_.miners_per_side_etc; ++m) {
+    FullNode& host = *nodes_[params_.nodes_eth + (m % params_.nodes_etc)];
+    const Address coinbase =
+        derive_address(PrivateKey::from_seed(5000 + miner_index++));
+    miners_.push_back(std::make_unique<Miner>(
+        host, coinbase,
+        etc_power / static_cast<double>(params_.miners_per_side_etc),
+        rng_.fork()));
+  }
+  for (auto& miner : miners_) miner->start();
+}
+
+ForkScenario::~ForkScenario() {
+  for (auto& miner : miners_) miner->stop();
+  for (auto& node : nodes_) node->shutdown();
+}
+
+std::size_t ForkScenario::distinct_heads() const {
+  std::unordered_set<Hash256, Hash256Hasher> heads;
+  for (const auto& node : nodes_)
+    if (node->running()) heads.insert(node->chain().head().hash());
+  return heads.size();
+}
+
+core::BlockNumber ForkScenario::best_height_eth() const {
+  core::BlockNumber best = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (is_eth_node(i) && nodes_[i]->running())
+      best = std::max(best, nodes_[i]->chain().height());
+  return best;
+}
+
+core::BlockNumber ForkScenario::best_height_etc() const {
+  core::BlockNumber best = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (!is_eth_node(i) && nodes_[i]->running())
+      best = std::max(best, nodes_[i]->chain().height());
+  return best;
+}
+
+std::size_t ForkScenario::cross_side_links() const {
+  std::size_t links = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i]->running()) continue;
+    for (std::size_t j = 0; j < nodes_.size(); ++j) {
+      if (is_eth_node(i) == is_eth_node(j)) continue;
+      const auto* session = nodes_[i]->peers().session(nodes_[j]->id());
+      if (session != nullptr && session->state == p2p::PeerState::kActive)
+        ++links;
+    }
+  }
+  return links;
+}
+
+std::uint64_t ForkScenario::total_wrong_fork_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->wrong_fork_drops();
+  return total;
+}
+
+}  // namespace forksim::sim

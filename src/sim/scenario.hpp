@@ -1,0 +1,86 @@
+// Full-node fork scenario: a complete simulated network of protocol-
+// faithful nodes living through the DAO hard fork. Used by the partition
+// examples, the gossip ablation, and the integration tests — everywhere the
+// paper's phenomena should *emerge* from the protocol rather than be
+// parameterized.
+//
+// Timeline: all nodes share genesis and history. `fork_block` is scheduled
+// in both configs; `dao_support` decides each node's side. When the chain
+// reaches the fork height the populations diverge: fork blocks are mutually
+// rejected (core::Blockchain), DAO challenges sever peer sessions
+// (p2p::PeerSet), and two disjoint gossip components form — the partition.
+#pragma once
+
+#include <memory>
+
+#include "core/receipt.hpp"
+#include "evm/executor.hpp"
+#include "sim/miner.hpp"
+#include "sim/node.hpp"
+
+namespace forksim::sim {
+
+struct ScenarioParams {
+  std::size_t nodes_eth = 18;       // nodes that adopt the fork
+  std::size_t nodes_etc = 2;        // nodes that reject it (~10 %, paper §1)
+  std::size_t miners_per_side_eth = 6;
+  std::size_t miners_per_side_etc = 1;
+  double total_hashrate = 50e3;     // hashes/second across all miners
+  /// Fraction of hashpower staying on ETC after the fork (paper: ~10 %).
+  double etc_hashpower_fraction = 0.10;
+  core::BlockNumber fork_block = 30;
+  U256 genesis_difficulty = U256(500'000);
+  std::size_t funded_accounts = 32;
+  p2p::LatencyModel latency = p2p::LatencyModel::wan();
+  NodeOptions node_options;
+  std::uint64_t seed = 1;
+};
+
+class ForkScenario {
+ public:
+  explicit ForkScenario(ScenarioParams params);
+  ~ForkScenario();
+
+  p2p::EventLoop& loop() noexcept { return loop_; }
+  p2p::Network& network() noexcept { return network_; }
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  FullNode& node(std::size_t i) { return *nodes_[i]; }
+  Miner& miner(std::size_t i) { return *miners_[i]; }
+  std::size_t miner_count() const noexcept { return miners_.size(); }
+
+  /// Is node i on the fork-supporting (ETH) side?
+  bool is_eth_node(std::size_t i) const { return i < params_.nodes_eth; }
+
+  /// Funded account keys (same on every node — pre-fork state).
+  const std::vector<PrivateKey>& accounts() const noexcept {
+    return accounts_;
+  }
+
+  /// Advance the simulation.
+  void run_for(double seconds) { loop_.run_until(loop_.now() + seconds); }
+
+  // ---- measurements ------------------------------------------------------
+  /// Number of distinct canonical head hashes across running nodes; 1 =
+  /// consensus, 2 = the partition (plus transient forks).
+  std::size_t distinct_heads() const;
+  /// Height of each side's best chain.
+  core::BlockNumber best_height_eth() const;
+  core::BlockNumber best_height_etc() const;
+  /// Active peer links crossing the ETH/ETC divide.
+  std::size_t cross_side_links() const;
+  /// Total wrong-fork disconnects observed (the DAO challenge firing).
+  std::uint64_t total_wrong_fork_drops() const;
+
+ private:
+  ScenarioParams params_;
+  Rng rng_;
+  p2p::EventLoop loop_;
+  p2p::Network network_;
+  evm::EvmExecutor executor_;
+  std::vector<PrivateKey> accounts_;
+  std::vector<std::unique_ptr<FullNode>> nodes_;
+  std::vector<std::unique_ptr<Miner>> miners_;
+};
+
+}  // namespace forksim::sim

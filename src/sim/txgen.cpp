@@ -1,0 +1,72 @@
+#include "sim/txgen.hpp"
+
+namespace forksim::sim {
+
+TxGenerator::TxGenerator(std::vector<FullNode*> nodes,
+                         std::vector<PrivateKey> accounts, Rng rng,
+                         Options options)
+    : nodes_(std::move(nodes)),
+      accounts_(std::move(accounts)),
+      nonces_(accounts_.size(), 0),
+      rng_(rng),
+      options_(options) {}
+
+TxGenerator::TxGenerator(std::vector<FullNode*> nodes,
+                         std::vector<PrivateKey> accounts, Rng rng)
+    : TxGenerator(std::move(nodes), std::move(accounts), rng, Options()) {}
+
+void TxGenerator::start() {
+  if (running_ || nodes_.empty() || accounts_.empty()) return;
+  running_ = true;
+  schedule_next();
+}
+
+void TxGenerator::stop() {
+  running_ = false;
+  ++generation_;
+}
+
+void TxGenerator::schedule_next() {
+  const std::uint64_t gen = generation_;
+  nodes_.front()->network().loop().schedule(
+      rng_.exponential(options_.mean_interval), [this, gen] {
+        if (gen != generation_ || !running_) return;
+        submit_one();
+        schedule_next();
+      });
+}
+
+void TxGenerator::submit_one() {
+  const std::size_t who = rng_.uniform(accounts_.size());
+  FullNode& entry = *nodes_[rng_.uniform(nodes_.size())];
+
+  std::optional<Address> to;
+  Bytes data;
+  if (options_.contract_target && rng_.chance(options_.contract_fraction)) {
+    to = *options_.contract_target;
+  } else {
+    to = derive_address(accounts_[(who + 1) % accounts_.size()]);
+  }
+
+  const core::Transaction tx = core::make_transaction(
+      accounts_[who], nonces_[who], to, options_.transfer_value,
+      options_.chain_id, core::gwei(20 + rng_.uniform(10)),
+      options_.gas_limit, std::move(data));
+
+  recent_.push_back(tx);  // every *generated* tx, accepted or not
+  if (recent_.size() > kRecentCap)
+    recent_.erase(recent_.begin(),
+                  recent_.begin() + static_cast<std::ptrdiff_t>(
+                                        recent_.size() - kRecentCap));
+
+  const auto result = entry.submit_transaction(tx);
+  if (result == core::PoolAddResult::kAdded ||
+      result == core::PoolAddResult::kReplacedExisting) {
+    ++nonces_[who];
+    ++submitted_;
+  } else {
+    ++rejected_;
+  }
+}
+
+}  // namespace forksim::sim

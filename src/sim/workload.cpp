@@ -1,0 +1,46 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace forksim::sim {
+
+double WorkloadModel::ratio_at(double day) const {
+  if (day <= params_.influx_start_day) return params_.ratio_early;
+  if (day >= params_.influx_end_day) return params_.ratio_late;
+  const double t = (day - params_.influx_start_day) /
+                   (params_.influx_end_day - params_.influx_start_day);
+  return params_.ratio_early + t * (params_.ratio_late - params_.ratio_early);
+}
+
+WorkloadModel::Day WorkloadModel::step(double day) {
+  Day out;
+  const double growth = std::exp(params_.growth_per_day * day);
+  const double noise_etc = rng_.lognormal(0.0, params_.noise_sigma);
+  const double noise_eth = rng_.lognormal(0.0, params_.noise_sigma);
+
+  const double etc = params_.etc_base_txs * growth * noise_etc;
+  const double eth = etc / noise_etc * ratio_at(day) * noise_eth;
+  out.etc_txs = static_cast<std::uint64_t>(std::max(0.0, etc));
+  out.eth_txs = static_cast<std::uint64_t>(std::max(0.0, eth));
+
+  const double progress = std::clamp(day / params_.horizon_days, 0.0, 1.0);
+  const double base_fraction =
+      params_.contract_start +
+      progress * (params_.contract_end - params_.contract_start);
+  // both chains track the same secular trend with independent jitter; late
+  // in the window ETH's contract share pulls slightly ahead (paper: the
+  // fractions were "similar... until very recently")
+  const double late_split =
+      day > params_.influx_start_day
+          ? 0.06 * (day - params_.influx_start_day) /
+                (params_.horizon_days - params_.influx_start_day)
+          : 0.0;
+  out.eth_contract_fraction = std::clamp(
+      base_fraction + late_split + rng_.normal(0.0, 0.015), 0.0, 0.95);
+  out.etc_contract_fraction = std::clamp(
+      base_fraction - late_split + rng_.normal(0.0, 0.015), 0.0, 0.95);
+  return out;
+}
+
+}  // namespace forksim::sim

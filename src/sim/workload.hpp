@@ -1,0 +1,58 @@
+// Transaction-volume and contract-mix workload model for the long-horizon
+// figures (Fig 2 and the tx streams feeding Fig 4).
+//
+// Shape calibrated to the paper's measurements: ETH carried roughly 2.5x
+// ETC's daily transactions for most of the study window, rising to ~5x in
+// March 2017 (the press-coverage influx, ~day 240 after the fork); the
+// fraction of transactions that are contract calls was similar on both
+// chains until late in the window.
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace forksim::sim {
+
+struct WorkloadParams {
+  /// ETC's baseline transactions/day shortly after the fork.
+  double etc_base_txs = 12000;
+  /// Slow organic growth (fraction per day).
+  double growth_per_day = 0.002;
+  /// ETH:ETC volume ratio before and after the speculation influx.
+  double ratio_early = 2.5;
+  double ratio_late = 5.0;
+  /// Day the influx ramp starts/ends (March 2017 in paper time).
+  double influx_start_day = 225;
+  double influx_end_day = 250;
+  /// Day-to-day lognormal noise sigma.
+  double noise_sigma = 0.12;
+  /// Contract-call fraction: both chains drift from `contract_start` toward
+  /// `contract_end` over the window.
+  double contract_start = 0.10;
+  double contract_end = 0.38;
+  double horizon_days = 270;
+};
+
+class WorkloadModel {
+ public:
+  struct Day {
+    std::uint64_t eth_txs = 0;
+    std::uint64_t etc_txs = 0;
+    double eth_contract_fraction = 0;
+    double etc_contract_fraction = 0;
+  };
+
+  WorkloadModel(WorkloadParams params, Rng rng)
+      : params_(params), rng_(rng) {}
+
+  Day step(double day);
+
+ private:
+  double ratio_at(double day) const;
+
+  WorkloadParams params_;
+  Rng rng_;
+};
+
+}  // namespace forksim::sim

@@ -1,0 +1,80 @@
+#include "support/bytes.hpp"
+
+namespace forksim {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+std::string to_hex_prefixed(BytesView data) { return "0x" + to_hex(data); }
+
+std::optional<Bytes> from_hex(std::string_view hex) {
+  if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X'))
+    hex.remove_prefix(2);
+  if (hex.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = hex_value(hex[i]);
+    int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+Bytes concat(std::initializer_list<BytesView> parts) {
+  std::size_t total = 0;
+  for (auto p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (auto p : parts) append(out, p);
+  return out;
+}
+
+Bytes be_trimmed(std::uint64_t v) {
+  Bytes out;
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    auto byte = static_cast<std::uint8_t>((v >> shift) & 0xff);
+    if (out.empty() && byte == 0) continue;
+    out.push_back(byte);
+  }
+  return out;
+}
+
+std::array<std::uint8_t, 8> be_fixed64(std::uint64_t v) {
+  std::array<std::uint8_t, 8> out{};
+  for (int i = 0; i < 8; ++i)
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((v >> (56 - 8 * i)) & 0xff);
+  return out;
+}
+
+std::uint64_t be_to_u64(BytesView b) {
+  std::uint64_t v = 0;
+  for (std::uint8_t byte : b) v = (v << 8) | byte;
+  return v;
+}
+
+}  // namespace forksim

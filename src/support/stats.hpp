@@ -1,0 +1,54 @@
+// Small statistics toolkit used by the analysis pipeline: summary moments,
+// percentiles, correlation, and concentration measures.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace forksim {
+
+/// Arithmetic mean; 0 for empty input.
+double mean(const std::vector<double>& xs);
+
+/// Sample variance (n-1 denominator); 0 for fewer than two samples.
+double variance(const std::vector<double>& xs);
+
+/// Sample standard deviation.
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, p in [0,100]; 0 for empty input.
+double percentile(std::vector<double> xs, double p);
+
+double median(std::vector<double> xs);
+
+/// Pearson correlation coefficient of two equal-length series; 0 when either
+/// series is constant or the lengths differ/are < 2.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Gini coefficient of a non-negative distribution; 0 for uniform or empty.
+double gini(std::vector<double> xs);
+
+/// Sum of the largest `n` values divided by the total (top-N concentration,
+/// the measure behind the paper's Figure 5). Returns 0 for empty input.
+double top_n_share(std::vector<double> xs, std::size_t n);
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace forksim

@@ -1,0 +1,43 @@
+// Plain-text aligned tables and CSV emission — the output side of the bench
+// harness ("print the same rows/series the paper reports").
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace forksim {
+
+/// Column-aligned plain-text table builder.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows; values are formatted with `precision`
+  /// decimal places.
+  void add_row(const std::vector<double>& cells, int precision = 2);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with space padding and a header separator line.
+  std::string to_string() const;
+
+  /// RFC-4180-ish CSV (quotes fields containing commas/quotes/newlines).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper shared by bench output).
+std::string fmt(double v, int precision = 2);
+
+/// Format like "1.23e+14" — used for difficulty-scale values.
+std::string fmt_sci(double v, int precision = 2);
+
+}  // namespace forksim

@@ -1,0 +1,90 @@
+#include "support/timeseries.hpp"
+
+#include <cmath>
+
+namespace forksim {
+
+void TimeSeries::record(SimTime t, double value) {
+  const auto index = static_cast<std::int64_t>(std::floor(t / width_));
+  auto& cell = cells_[index];
+  ++cell.count;
+  cell.sum += value;
+  ++total_count_;
+  total_sum_ += value;
+}
+
+std::int64_t TimeSeries::first_index() const {
+  return cells_.empty() ? 0 : cells_.begin()->first;
+}
+
+std::int64_t TimeSeries::last_index() const {
+  return cells_.empty() ? -1 : cells_.rbegin()->first;
+}
+
+std::vector<Bucket> TimeSeries::buckets() const {
+  std::vector<Bucket> out;
+  if (cells_.empty()) return out;
+  const std::int64_t lo = first_index();
+  const std::int64_t hi = last_index();
+  out.reserve(static_cast<std::size_t>(hi - lo + 1));
+  auto it = cells_.begin();
+  for (std::int64_t i = lo; i <= hi; ++i) {
+    Bucket b;
+    b.index = i;
+    if (it != cells_.end() && it->first == i) {
+      b.count = it->second.count;
+      b.sum = it->second.sum;
+      ++it;
+    }
+    out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<double> TimeSeries::counts() const {
+  std::vector<double> out;
+  for (const auto& b : buckets()) out.push_back(static_cast<double>(b.count));
+  return out;
+}
+
+std::vector<double> TimeSeries::averages() const {
+  std::vector<double> out;
+  for (const auto& b : buckets()) out.push_back(b.avg());
+  return out;
+}
+
+std::vector<double> TimeSeries::sums() const {
+  std::vector<double> out;
+  for (const auto& b : buckets()) out.push_back(b.sum);
+  return out;
+}
+
+std::vector<double> ratio_by_bucket(const TimeSeries& numerator,
+                                    const TimeSeries& denominator) {
+  std::vector<double> out;
+  if (numerator.empty() && denominator.empty()) return out;
+
+  std::int64_t lo = numerator.empty() ? denominator.first_index()
+                                      : numerator.first_index();
+  std::int64_t hi = numerator.empty() ? denominator.last_index()
+                                      : numerator.last_index();
+  if (!denominator.empty()) {
+    lo = std::min(lo, denominator.first_index());
+    hi = std::max(hi, denominator.last_index());
+  }
+
+  auto dense = [&](const TimeSeries& s) {
+    std::vector<double> v(static_cast<std::size_t>(hi - lo + 1), 0.0);
+    for (const auto& b : s.buckets())
+      v[static_cast<std::size_t>(b.index - lo)] = static_cast<double>(b.count);
+    return v;
+  };
+  const auto num = dense(numerator);
+  const auto den = dense(denominator);
+  out.resize(num.size());
+  for (std::size_t i = 0; i < num.size(); ++i)
+    out[i] = den[i] == 0.0 ? 0.0 : num[i] / den[i];
+  return out;
+}
+
+}  // namespace forksim

@@ -1,0 +1,290 @@
+#include "support/u256.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace forksim {
+
+namespace {
+using u128 = unsigned __int128;
+}
+
+std::optional<U256> U256::from_dec(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  U256 acc;
+  const U256 ten(10);
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    U256 scaled = acc * ten;
+    // detect overflow of *10 by dividing back
+    if (!acc.is_zero() && (scaled / ten) != acc) return std::nullopt;
+    auto [next, overflow] =
+        add_overflow(scaled, U256(static_cast<std::uint64_t>(c - '0')));
+    if (overflow) return std::nullopt;
+    acc = next;
+  }
+  return acc;
+}
+
+std::optional<U256> U256::from_hex(std::string_view s) {
+  if (s.size() >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X'))
+    s.remove_prefix(2);
+  if (s.empty() || s.size() > 64) return std::nullopt;
+  U256 acc;
+  for (char c : s) {
+    int v;
+    if (c >= '0' && c <= '9') v = c - '0';
+    else if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') v = c - 'A' + 10;
+    else return std::nullopt;
+    acc = (acc << 4) | U256(static_cast<std::uint64_t>(v));
+  }
+  return acc;
+}
+
+U256 U256::from_be(BytesView b) noexcept {
+  U256 out;
+  const std::size_t n = std::min<std::size_t>(b.size(), 32);
+  // consume the last n bytes (big-endian, least significant last)
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint8_t byte = b[b.size() - 1 - i];
+    out.limbs_[i / 8] |= static_cast<std::uint64_t>(byte) << (8 * (i % 8));
+  }
+  return out;
+}
+
+std::array<std::uint8_t, 32> U256::to_be() const noexcept {
+  std::array<std::uint8_t, 32> out{};
+  for (std::size_t i = 0; i < 32; ++i) {
+    out[31 - i] =
+        static_cast<std::uint8_t>((limbs_[i / 8] >> (8 * (i % 8))) & 0xff);
+  }
+  return out;
+}
+
+Bytes U256::to_be_trimmed() const {
+  auto full = to_be();
+  std::size_t first = 0;
+  while (first < 32 && full[first] == 0) ++first;
+  return Bytes(full.begin() + static_cast<std::ptrdiff_t>(first), full.end());
+}
+
+double U256::to_double() const noexcept {
+  double acc = 0.0;
+  for (int i = 3; i >= 0; --i)
+    acc = acc * 18446744073709551616.0 +
+          static_cast<double>(limbs_[static_cast<std::size_t>(i)]);
+  return acc;
+}
+
+int U256::bit_length() const noexcept {
+  for (int i = 3; i >= 0; --i) {
+    auto limb = limbs_[static_cast<std::size_t>(i)];
+    if (limb != 0) return 64 * i + (64 - std::countl_zero(limb));
+  }
+  return 0;
+}
+
+std::uint8_t U256::byte_be(std::size_t i) const noexcept {
+  if (i >= 32) return 0;
+  return to_be()[i];
+}
+
+std::pair<U256, bool> U256::add_overflow(const U256& a,
+                                         const U256& b) noexcept {
+  U256 out;
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    u128 sum = static_cast<u128>(a.limbs_[i]) + b.limbs_[i] + carry;
+    out.limbs_[i] = static_cast<std::uint64_t>(sum);
+    carry = static_cast<std::uint64_t>(sum >> 64);
+  }
+  return {out, carry != 0};
+}
+
+U256 operator+(const U256& a, const U256& b) noexcept {
+  return U256::add_overflow(a, b).first;
+}
+
+U256 operator-(const U256& a, const U256& b) noexcept {
+  U256 out;
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    u128 lhs = static_cast<u128>(a.limbs_[i]);
+    u128 rhs = static_cast<u128>(b.limbs_[i]) + borrow;
+    out.limbs_[i] = static_cast<std::uint64_t>(lhs - rhs);
+    borrow = lhs < rhs ? 1 : 0;
+  }
+  return out;
+}
+
+U256 operator*(const U256& a, const U256& b) noexcept {
+  std::array<std::uint64_t, 4> r{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; i + j < 4; ++j) {
+      u128 cur = static_cast<u128>(a.limbs_[i]) * b.limbs_[j] + r[i + j] + carry;
+      r[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+  }
+  return U256(r[0], r[1], r[2], r[3]);
+}
+
+std::pair<U256, U256> U256::divmod(const U256& a, const U256& b) noexcept {
+  if (b.is_zero()) return {U256(), U256()};
+  if (a < b) return {U256(), a};
+  if (b.fits_u64() && a.fits_u64())
+    return {U256(a.limbs_[0] / b.limbs_[0]), U256(a.limbs_[0] % b.limbs_[0])};
+
+  // Schoolbook binary long division; fine for simulation workloads.
+  U256 quotient;
+  U256 remainder;
+  for (int i = a.bit_length() - 1; i >= 0; --i) {
+    remainder = remainder << 1;
+    if (a.bit(static_cast<std::size_t>(i)))
+      remainder.limbs_[0] |= 1;
+    if (remainder >= b) {
+      remainder = remainder - b;
+      quotient.limbs_[static_cast<std::size_t>(i) / 64] |=
+          (1ull << (static_cast<std::size_t>(i) % 64));
+    }
+  }
+  return {quotient, remainder};
+}
+
+U256 operator/(const U256& a, const U256& b) noexcept {
+  return U256::divmod(a, b).first;
+}
+
+U256 operator%(const U256& a, const U256& b) noexcept {
+  return U256::divmod(a, b).second;
+}
+
+U256 U256::exp(U256 base, U256 exponent) noexcept {
+  U256 result(1);
+  while (!exponent.is_zero()) {
+    if (exponent.limbs_[0] & 1) result = result * base;
+    base = base * base;
+    exponent = exponent >> 1;
+  }
+  return result;
+}
+
+U256 operator&(const U256& a, const U256& b) noexcept {
+  return U256(a.limbs_[0] & b.limbs_[0], a.limbs_[1] & b.limbs_[1],
+              a.limbs_[2] & b.limbs_[2], a.limbs_[3] & b.limbs_[3]);
+}
+U256 operator|(const U256& a, const U256& b) noexcept {
+  return U256(a.limbs_[0] | b.limbs_[0], a.limbs_[1] | b.limbs_[1],
+              a.limbs_[2] | b.limbs_[2], a.limbs_[3] | b.limbs_[3]);
+}
+U256 operator^(const U256& a, const U256& b) noexcept {
+  return U256(a.limbs_[0] ^ b.limbs_[0], a.limbs_[1] ^ b.limbs_[1],
+              a.limbs_[2] ^ b.limbs_[2], a.limbs_[3] ^ b.limbs_[3]);
+}
+U256 U256::operator~() const noexcept {
+  return U256(~limbs_[0], ~limbs_[1], ~limbs_[2], ~limbs_[3]);
+}
+
+U256 operator<<(const U256& a, unsigned shift) noexcept {
+  if (shift >= 256) return U256();
+  U256 out;
+  const unsigned limb_shift = shift / 64;
+  const unsigned bit_shift = shift % 64;
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t v = 0;
+    if (i >= limb_shift) {
+      v = a.limbs_[i - limb_shift] << bit_shift;
+      if (bit_shift != 0 && i > limb_shift)
+        v |= a.limbs_[i - limb_shift - 1] >> (64 - bit_shift);
+    }
+    out.limbs_[i] = v;
+  }
+  return out;
+}
+
+U256 operator>>(const U256& a, unsigned shift) noexcept {
+  if (shift >= 256) return U256();
+  U256 out;
+  const unsigned limb_shift = shift / 64;
+  const unsigned bit_shift = shift % 64;
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t v = 0;
+    if (i + limb_shift < 4) {
+      v = a.limbs_[i + limb_shift] >> bit_shift;
+      if (bit_shift != 0 && i + limb_shift + 1 < 4)
+        v |= a.limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+    out.limbs_[i] = v;
+  }
+  return out;
+}
+
+std::string U256::to_dec() const {
+  if (is_zero()) return "0";
+  std::string out;
+  U256 v = *this;
+  const U256 ten(10);
+  while (!v.is_zero()) {
+    auto [q, r] = divmod(v, ten);
+    out.push_back(static_cast<char>('0' + r.limbs_[0]));
+    v = q;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string U256::to_hex() const {
+  if (is_zero()) return "0";
+  auto bytes = to_be_trimmed();
+  std::string full = forksim::to_hex(bytes);
+  if (!full.empty() && full[0] == '0') full.erase(full.begin());
+  return full;
+}
+
+U256 U256::sdiv(const U256& a, const U256& b) noexcept {
+  if (b.is_zero()) return U256();
+  const bool neg_a = a.sign_bit();
+  const bool neg_b = b.sign_bit();
+  U256 ua = neg_a ? a.negate() : a;
+  U256 ub = neg_b ? b.negate() : b;
+  U256 q = ua / ub;
+  return (neg_a != neg_b) ? q.negate() : q;
+}
+
+U256 U256::smod(const U256& a, const U256& b) noexcept {
+  if (b.is_zero()) return U256();
+  const bool neg_a = a.sign_bit();
+  U256 ua = neg_a ? a.negate() : a;
+  U256 ub = b.sign_bit() ? b.negate() : b;
+  U256 r = ua % ub;
+  return neg_a ? r.negate() : r;
+}
+
+bool U256::slt(const U256& a, const U256& b) noexcept {
+  const bool sa = a.sign_bit();
+  const bool sb = b.sign_bit();
+  if (sa != sb) return sa;
+  return a < b;
+}
+
+U256 U256::sar(const U256& a, unsigned shift) noexcept {
+  if (!a.sign_bit()) return a >> shift;
+  if (shift >= 256) return U256::max();
+  // arithmetic shift: logical shift then fill vacated high bits with 1s
+  U256 shifted = a >> shift;
+  U256 mask = shift == 0 ? U256() : (U256::max() << (256 - shift));
+  return shifted | mask;
+}
+
+U256 U256::signextend(const U256& k, const U256& x) noexcept {
+  if (!k.fits_u64() || k.as_u64() >= 31) return x;
+  const unsigned bit_index = static_cast<unsigned>(k.as_u64()) * 8 + 7;
+  const bool sign = x.bit(bit_index);
+  U256 mask = (U256(1) << (bit_index + 1)) - U256(1);
+  return sign ? (x | ~mask) : (x & mask);
+}
+
+}  // namespace forksim

@@ -1,0 +1,82 @@
+// Merkle Patricia Trie — Ethereum's authenticated key/value structure, used
+// for the state root, transaction root, and receipt root in block headers.
+//
+// Implements the full node model (leaf / extension / branch), hex-prefix
+// path encoding, spec-compliant structural hashing (nodes whose RLP encoding
+// is shorter than 32 bytes are embedded in their parent rather than hashed),
+// insertion, lookup, deletion with path collapsing, and Merkle proofs.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "support/bytes.hpp"
+
+namespace forksim::trie {
+
+/// Nibble (4-bit) expansion of a key, most-significant nibble first.
+std::vector<std::uint8_t> to_nibbles(BytesView key);
+
+/// Hex-prefix encoding of a nibble path (Yellow Paper appendix C).
+Bytes hex_prefix(const std::vector<std::uint8_t>& nibbles, bool is_leaf);
+
+/// Inverse of hex_prefix; returns nibbles and leaf flag.
+std::optional<std::pair<std::vector<std::uint8_t>, bool>> decode_hex_prefix(
+    BytesView encoded);
+
+class Trie {
+ public:
+  Trie();
+  ~Trie();
+  Trie(Trie&&) noexcept;
+  Trie& operator=(Trie&&) noexcept;
+  Trie(const Trie&) = delete;
+  Trie& operator=(const Trie&) = delete;
+
+  /// Insert or overwrite. Empty values are treated as deletion (Ethereum
+  /// convention: a zero-length value cannot be stored).
+  void put(BytesView key, BytesView value);
+
+  std::optional<Bytes> get(BytesView key) const;
+
+  /// Remove a key; returns true if it was present.
+  bool erase(BytesView key);
+
+  bool contains(BytesView key) const { return get(key).has_value(); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Keccak-256 commitment to the whole trie. The empty trie hashes to
+  /// keccak256(rlp("")) = 0x56e8...421 (the well-known empty root).
+  Hash256 root_hash() const;
+
+  /// Merkle proof: the RLP encodings of every node on the path from the root
+  /// to `key` (inclusive). Empty when the trie is empty.
+  std::vector<Bytes> prove(BytesView key) const;
+
+  /// Verify a proof produced by prove() against a root hash. Returns the
+  /// value if the proof shows `key` present; nullopt if the proof is invalid
+  /// or shows absence.
+  static std::optional<Bytes> verify_proof(const Hash256& root, BytesView key,
+                                           const std::vector<Bytes>& proof);
+
+  /// All key/value pairs in lexicographic key order (test/debug helper).
+  std::vector<std::pair<Bytes, Bytes>> entries() const;
+
+  struct Node;  // exposed for the implementation's free helpers only
+
+ private:
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+/// Root hash of a list trie: keys are RLP(index), values as given — the
+/// construction of Ethereum's transactionsRoot.
+Hash256 ordered_trie_root(const std::vector<Bytes>& values);
+
+/// The canonical empty-trie root constant.
+Hash256 empty_trie_root();
+
+}  // namespace forksim::trie

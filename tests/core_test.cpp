@@ -1,0 +1,520 @@
+// Core chain tests: config/fork schedule, transactions & EIP-155 replay
+// semantics, blocks, state, receipts, the transfer executor, and the
+// difficulty algorithms (validated against the Yellow Paper rules).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/block.hpp"
+#include "core/config.hpp"
+#include "core/difficulty.hpp"
+#include "core/receipt.hpp"
+#include "core/state.hpp"
+#include "core/transaction.hpp"
+#include "trie/trie.hpp"
+
+namespace forksim::core {
+namespace {
+
+const PrivateKey kAlice = PrivateKey::from_seed(1);
+const PrivateKey kBob = PrivateKey::from_seed(2);
+
+// ------------------------------------------------------------------- config
+
+TEST(ConfigTest, ForkScheduleAccessors) {
+  ChainConfig eth = ChainConfig::eth(1'920'000);
+  EXPECT_TRUE(eth.dao_fork_support);
+  EXPECT_FALSE(eth.is_dao_fork(1'919'999));
+  EXPECT_TRUE(eth.is_dao_fork(1'920'000));
+  EXPECT_EQ(eth.chain_id, 1u);
+
+  ChainConfig etc = ChainConfig::etc(1'920'000, 3'000'000);
+  EXPECT_FALSE(etc.dao_fork_support);
+  EXPECT_EQ(etc.chain_id, 61u);
+  EXPECT_FALSE(etc.is_eip155(2'999'999));
+  EXPECT_TRUE(etc.is_eip155(3'000'000));
+}
+
+TEST(ConfigTest, CompatibilityPredicate) {
+  const BlockNumber fork = 100;
+  ChainConfig eth = ChainConfig::eth(fork);
+  ChainConfig etc = ChainConfig::etc(fork, std::nullopt);
+  // before the fork: compatible
+  EXPECT_TRUE(ChainConfig::compatible_at(eth, etc, 99));
+  // after the fork: the partition
+  EXPECT_FALSE(ChainConfig::compatible_at(eth, etc, fork));
+  EXPECT_FALSE(ChainConfig::compatible_at(eth, etc, fork + 1000));
+  // same side stays compatible
+  EXPECT_TRUE(ChainConfig::compatible_at(eth, eth, fork + 1000));
+  EXPECT_TRUE(ChainConfig::compatible_at(etc, etc, fork + 1000));
+}
+
+TEST(ConfigTest, BlockRewardIsFiveEther) {
+  ChainConfig c = ChainConfig::mainnet_pre_fork();
+  EXPECT_EQ(c.block_reward(), ether(5));
+}
+
+TEST(ConfigTest, EtherHelpers) {
+  EXPECT_EQ(ether(1).to_dec(), "1000000000000000000");
+  EXPECT_EQ(gwei(1).to_dec(), "1000000000");
+}
+
+// -------------------------------------------------------------- transaction
+
+TEST(TransactionTest, SignAndRecoverSender) {
+  Transaction tx = make_transaction(kAlice, 0, derive_address(kBob), ether(1),
+                                    std::nullopt);
+  auto sender = tx.sender();
+  ASSERT_TRUE(sender.has_value());
+  EXPECT_EQ(*sender, derive_address(kAlice));
+  EXPECT_TRUE(tx.has_valid_signature());
+}
+
+TEST(TransactionTest, EncodeDecodeRoundTrip) {
+  Transaction tx = make_transaction(kAlice, 7, derive_address(kBob), ether(2),
+                                    61, gwei(30), 50000, Bytes{1, 2, 3});
+  auto decoded = Transaction::decode(tx.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, tx);
+  EXPECT_EQ(decoded->hash(), tx.hash());
+  EXPECT_EQ(decoded->chain_id, std::make_optional<std::uint64_t>(61));
+}
+
+TEST(TransactionTest, ContractCreationRoundTrip) {
+  Transaction tx = make_transaction(kAlice, 0, std::nullopt, Wei(0),
+                                    std::nullopt, gwei(20), 100000,
+                                    Bytes{0x60, 0x00});
+  EXPECT_TRUE(tx.is_contract_creation());
+  auto decoded = Transaction::decode(tx.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->is_contract_creation());
+}
+
+TEST(TransactionTest, TamperingInvalidatesSignature) {
+  Transaction tx = make_transaction(kAlice, 0, derive_address(kBob), ether(1),
+                                    std::nullopt);
+  tx.value = ether(100);  // tamper after signing
+  EXPECT_FALSE(tx.sender().has_value());
+}
+
+TEST(TransactionTest, Eip155ChangesSigningHash) {
+  Transaction legacy = make_transaction(kAlice, 0, derive_address(kBob),
+                                        ether(1), std::nullopt);
+  Transaction protected_tx = legacy;
+  protected_tx.chain_id = 1;
+  sign_transaction(protected_tx, kAlice);
+  EXPECT_NE(legacy.signing_hash(), protected_tx.signing_hash());
+  EXPECT_NE(legacy.hash(), protected_tx.hash());
+}
+
+TEST(TransactionTest, LegacyTxIsIdenticalAcrossChains) {
+  // the echo precondition: one signed legacy tx, one byte representation,
+  // valid anywhere
+  Transaction tx = make_transaction(kAlice, 0, derive_address(kBob), ether(1),
+                                    std::nullopt);
+  EXPECT_TRUE(replay_valid_on(tx, 1, false));
+  EXPECT_TRUE(replay_valid_on(tx, 61, false));
+  EXPECT_TRUE(replay_valid_on(tx, 1, true));   // legacy stays valid (opt-in)
+  EXPECT_TRUE(replay_valid_on(tx, 61, true));
+}
+
+TEST(TransactionTest, ProtectedTxBindsToChain) {
+  Transaction tx = make_transaction(kAlice, 0, derive_address(kBob), ether(1),
+                                    61);
+  EXPECT_TRUE(replay_valid_on(tx, 61, true));
+  EXPECT_FALSE(replay_valid_on(tx, 1, true));    // blocked replay
+  EXPECT_FALSE(replay_valid_on(tx, 61, false));  // fork not active yet
+}
+
+TEST(TransactionTest, IntrinsicGas) {
+  Transaction tx;
+  tx.data = Bytes{0, 0, 1, 2};  // 2 zero bytes (4 gas), 2 non-zero (68 gas)
+  tx.to = derive_address(kBob);
+  EXPECT_EQ(tx.intrinsic_gas(/*homestead=*/true), 21000u + 2 * 4 + 2 * 68);
+
+  Transaction create;
+  create.to = std::nullopt;
+  EXPECT_EQ(create.intrinsic_gas(true), 21000u + 32000u);
+  EXPECT_EQ(create.intrinsic_gas(false), 21000u);
+}
+
+TEST(TransactionTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Transaction::decode(Bytes{0x01, 0x02}).has_value());
+  EXPECT_FALSE(Transaction::decode(rlp::encode(rlp::Item::list({})))
+                   .has_value());
+}
+
+// -------------------------------------------------------------------- block
+
+TEST(BlockTest, HeaderHashChangesWithContent) {
+  BlockHeader a;
+  BlockHeader b = a;
+  b.number = 1;
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(BlockTest, HeaderRoundTrip) {
+  BlockHeader h;
+  h.number = 42;
+  h.difficulty = U256::from_dec("62413376722602").value_or(U256(1));
+  h.timestamp = 1469020840;
+  h.coinbase = derive_address(kAlice);
+  h.extra_data = dao_fork_extra_data();
+  h.gas_limit = 4'712'388;
+  h.gas_used = 21000;
+  h.nonce = 99;
+  auto decoded = BlockHeader::decode(h.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, h);
+  EXPECT_EQ(decoded->hash(), h.hash());
+}
+
+TEST(BlockTest, BlockRoundTripWithTransactions) {
+  Block b;
+  b.header.number = 5;
+  b.transactions.push_back(make_transaction(kAlice, 0, derive_address(kBob),
+                                            ether(1), std::nullopt));
+  b.transactions.push_back(
+      make_transaction(kBob, 0, derive_address(kAlice), ether(2), 61));
+  b.header.transactions_root = b.compute_transactions_root();
+
+  auto decoded = Block::decode(b.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, b);
+  EXPECT_TRUE(decoded->transactions_root_matches());
+}
+
+TEST(BlockTest, TransactionsRootDetectsTampering) {
+  Block b;
+  b.transactions.push_back(make_transaction(kAlice, 0, derive_address(kBob),
+                                            ether(1), std::nullopt));
+  b.header.transactions_root = b.compute_transactions_root();
+  b.transactions[0] = make_transaction(kAlice, 0, derive_address(kBob),
+                                       ether(99), std::nullopt);
+  EXPECT_FALSE(b.transactions_root_matches());
+}
+
+TEST(BlockTest, EmptyBlockTxRootIsEmptyTrieRoot) {
+  Block b;
+  EXPECT_EQ(b.compute_transactions_root(), trie::empty_trie_root());
+}
+
+TEST(BlockTest, GenesisConstruction) {
+  Block g = make_genesis(4'712'388, U256(131072));
+  EXPECT_EQ(g.header.number, 0u);
+  EXPECT_TRUE(g.header.parent_hash.is_zero());
+  EXPECT_EQ(g.header.difficulty, U256(131072));
+}
+
+// --------------------------------------------------------------- difficulty
+
+TEST(DifficultyTest, HomesteadFastBlockRaises) {
+  ChainConfig c = ChainConfig::mainnet_pre_fork();
+  const U256 parent(1'000'000'000);
+  // delta 5 s < 10 s -> +1 notch
+  const U256 next = next_difficulty(c, 10, 1005, parent, 1000);
+  EXPECT_EQ(next, parent + parent / U256(2048));
+}
+
+TEST(DifficultyTest, HomesteadOnTargetIsNeutralNotch) {
+  ChainConfig c = ChainConfig::mainnet_pre_fork();
+  // delta in [10, 19] -> adjustment 0
+  EXPECT_EQ(homestead_adjustment(c, 1014, 1000), 0);
+  EXPECT_EQ(homestead_adjustment(c, 1010, 1000), 0);
+  EXPECT_EQ(homestead_adjustment(c, 1019, 1000), 0);
+  EXPECT_EQ(homestead_adjustment(c, 1009, 1000), 1);
+  EXPECT_EQ(homestead_adjustment(c, 1020, 1000), -1);
+}
+
+TEST(DifficultyTest, HomesteadSlowBlockCappedAtMinus99) {
+  ChainConfig c = ChainConfig::mainnet_pre_fork();
+  // a 10,000-second delta would be -999 notches uncapped; the floor is -99
+  EXPECT_EQ(homestead_adjustment(c, 11000, 1000), -99);
+  const U256 parent(1'000'000'000);
+  const U256 next = next_difficulty(c, 10, 11000, parent, 1000);
+  EXPECT_EQ(next, parent - parent / U256(2048) * U256(99));
+}
+
+TEST(DifficultyTest, MinimumDifficultyFloor) {
+  ChainConfig c = ChainConfig::mainnet_pre_fork();
+  const U256 next = next_difficulty(c, 10, 100000, U256(131072), 1000);
+  EXPECT_EQ(next, U256(c.minimum_difficulty));
+}
+
+TEST(DifficultyTest, FrontierRule) {
+  ChainConfig c = ChainConfig::mainnet_pre_fork();
+  c.homestead_block = 1'000'000;  // block 10 is pre-Homestead
+  const U256 parent(1'000'000'000);
+  EXPECT_EQ(next_difficulty(c, 10, 1012, parent, 1000),
+            parent + parent / U256(2048));
+  EXPECT_EQ(next_difficulty(c, 10, 1013, parent, 1000),
+            parent - parent / U256(2048));
+}
+
+TEST(DifficultyTest, CapMakesRecoverySlow) {
+  // The paper's Fig-1 mechanism in miniature: after hashpower collapses,
+  // count how many (slow) blocks difficulty needs to fall 10x under the
+  // capped rule. Max drop/block is 99/2048 ≈ 4.83%, so 10x takes ≥ 47
+  // blocks no matter how slow blocks arrive.
+  ChainConfig c = ChainConfig::mainnet_pre_fork();
+  U256 diff = U256(10'000'000'000ull);
+  const U256 target = U256(1'000'000'000ull);
+  Timestamp t = 0;
+  int blocks = 0;
+  while (diff > target && blocks < 1000) {
+    t += 100000;  // extremely slow blocks: always the -99 cap
+    diff = next_difficulty(c, 100 + static_cast<BlockNumber>(blocks), t, diff,
+                           t - 100000);
+    ++blocks;
+  }
+  EXPECT_GE(blocks, 47);
+  EXPECT_LE(blocks, 50);
+}
+
+TEST(DifficultyTest, UncappedRetargetRespondsExponentially) {
+  ChainConfig c = ChainConfig::mainnet_pre_fork();
+  const U256 parent(10'000'000'000ull);
+  // 140-second block under a 14-second target: factor = exp(0.1*(1-10))
+  const U256 slow = retarget(RetargetRule::kUncapped, c, 10, 1140, parent,
+                             1000);
+  const double expected = 10e9 * std::exp(-0.9);
+  EXPECT_NEAR(slow.to_double(), expected, expected * 0.01);
+
+  // an on-target block leaves difficulty ~unchanged (within the 1s floor)
+  const U256 on_target = retarget(RetargetRule::kUncapped, c, 10, 1014,
+                                  parent, 1000);
+  EXPECT_NEAR(on_target.to_double(), 10e9, 10e9 * 0.01);
+
+  // a 1-second block raises difficulty by < exp(0.1)
+  const U256 fast = retarget(RetargetRule::kUncapped, c, 10, 1001, parent,
+                             1000);
+  EXPECT_GT(fast, parent);
+  EXPECT_LT(fast.to_double(), 10e9 * 1.1);
+}
+
+TEST(DifficultyTest, EpochAverageClampsLikeBitcoin) {
+  ChainConfig c = ChainConfig::mainnet_pre_fork();
+  const U256 parent(1'000'000'000ull);
+  // window 100 blocks took 10x too long: factor clamped to 0.25
+  const U256 next = retarget(RetargetRule::kEpochAverage, c, 10, 0, parent, 0,
+                             100 * 140.0, 100);
+  EXPECT_EQ(next, U256(250'000'000ull));
+}
+
+TEST(DifficultyTest, BombTermActivates) {
+  ChainConfig c = ChainConfig::mainnet_pre_fork();
+  c.difficulty_bomb = true;
+  const U256 parent(1'000'000'000ull);
+  const U256 without = next_difficulty(c, 150'000, 1014, parent, 1000);
+  c.difficulty_bomb = false;
+  const U256 base = next_difficulty(c, 150'000, 1014, parent, 1000);
+  // period 1 -> no bomb yet
+  EXPECT_EQ(without, base);
+  c.difficulty_bomb = true;
+  const U256 with_bomb = next_difficulty(c, 400'000, 1014, parent, 1000);
+  EXPECT_EQ(with_bomb, base + (U256(1) << 2));
+}
+
+// -------------------------------------------------------------------- state
+
+TEST(StateTest, BalancesAndNonces) {
+  State s;
+  const Address a = derive_address(kAlice);
+  EXPECT_EQ(s.balance(a), Wei(0));
+  s.add_balance(a, ether(10));
+  EXPECT_EQ(s.balance(a), ether(10));
+  EXPECT_TRUE(s.sub_balance(a, ether(4)));
+  EXPECT_EQ(s.balance(a), ether(6));
+  EXPECT_FALSE(s.sub_balance(a, ether(100)));
+  EXPECT_EQ(s.balance(a), ether(6));
+
+  EXPECT_EQ(s.nonce(a), 0u);
+  s.increment_nonce(a);
+  EXPECT_EQ(s.nonce(a), 1u);
+  s.set_nonce(a, 10);
+  EXPECT_EQ(s.nonce(a), 10u);
+}
+
+TEST(StateTest, SubBalanceFromMissingAccountFails) {
+  State s;
+  EXPECT_FALSE(s.sub_balance(derive_address(kAlice), Wei(1)));
+}
+
+TEST(StateTest, StorageRoundTripAndZeroDeletes) {
+  State s;
+  const Address a = derive_address(kAlice);
+  s.set_storage(a, U256(1), U256(42));
+  EXPECT_EQ(s.storage_at(a, U256(1)), U256(42));
+  EXPECT_EQ(s.storage_at(a, U256(2)), U256(0));
+  s.set_storage(a, U256(1), U256(0));
+  EXPECT_EQ(s.storage_at(a, U256(1)), U256(0));
+  EXPECT_TRUE(s.account(a)->storage.empty());
+}
+
+TEST(StateTest, CodeStorage) {
+  State s;
+  const Address a = derive_address(kAlice);
+  EXPECT_TRUE(s.code(a).empty());
+  s.set_code(a, Bytes{0x60, 0x01});
+  EXPECT_EQ(s.code(a), (Bytes{0x60, 0x01}));
+  EXPECT_TRUE(s.account(a)->is_contract());
+  EXPECT_NE(s.account(a)->code_hash(), empty_code_hash());
+}
+
+TEST(StateTest, SnapshotRevert) {
+  State s;
+  const Address a = derive_address(kAlice);
+  s.add_balance(a, ether(5));
+  auto snap = s.snapshot();
+  s.add_balance(a, ether(5));
+  s.set_storage(a, U256(1), U256(9));
+  s.revert(std::move(snap));
+  EXPECT_EQ(s.balance(a), ether(5));
+  EXPECT_EQ(s.storage_at(a, U256(1)), U256(0));
+}
+
+TEST(StateTest, RootChangesWithStateAndIsOrderIndependent) {
+  State s1;
+  s1.add_balance(derive_address(kAlice), ether(1));
+  s1.add_balance(derive_address(kBob), ether(2));
+
+  State s2;
+  s2.add_balance(derive_address(kBob), ether(2));
+  s2.add_balance(derive_address(kAlice), ether(1));
+
+  EXPECT_EQ(s1.root(), s2.root());
+  s1.add_balance(derive_address(kAlice), Wei(1));
+  EXPECT_NE(s1.root(), s2.root());
+}
+
+TEST(StateTest, EmptyStateRootIsEmptyTrieRoot) {
+  State s;
+  EXPECT_EQ(s.root(), trie::empty_trie_root());
+  // empty accounts are not committed
+  s.touch(derive_address(kAlice));
+  EXPECT_EQ(s.root(), trie::empty_trie_root());
+}
+
+TEST(StateTest, DaoRefundMovesAllBalances) {
+  State s;
+  const Address dao1 = derive_address(PrivateKey::from_seed(100));
+  const Address dao2 = derive_address(PrivateKey::from_seed(101));
+  const Address refund = derive_address(PrivateKey::from_seed(102));
+  s.add_balance(dao1, ether(3'600'000));
+  s.add_balance(dao2, ether(400'000));
+  apply_dao_refund(s, {dao1, dao2}, refund);
+  EXPECT_EQ(s.balance(dao1), Wei(0));
+  EXPECT_EQ(s.balance(dao2), Wei(0));
+  EXPECT_EQ(s.balance(refund), ether(4'000'000));
+}
+
+// ----------------------------------------------------------------- receipts
+
+TEST(ReceiptTest, RootIsOrderSensitive) {
+  Receipt r1;
+  r1.success = true;
+  r1.cumulative_gas_used = 21000;
+  Receipt r2;
+  r2.success = false;
+  r2.cumulative_gas_used = 42000;
+  EXPECT_NE(receipts_root({r1, r2}), receipts_root({r2, r1}));
+  EXPECT_EQ(receipts_root({}), trie::empty_trie_root());
+}
+
+// -------------------------------------------------------- transfer executor
+
+class TransferExecutorTest : public ::testing::Test {
+ protected:
+  TransferExecutorTest() {
+    state_.add_balance(derive_address(kAlice), ether(10));
+    ctx_.coinbase = derive_address(PrivateKey::from_seed(999));
+    ctx_.number = 1;
+    ctx_.gas_limit = 4'712'388;
+  }
+
+  ChainConfig config_ = ChainConfig::mainnet_pre_fork();
+  State state_;
+  BlockContext ctx_;
+  TransferExecutor executor_;
+};
+
+TEST_F(TransferExecutorTest, SimpleTransfer) {
+  Transaction tx = make_transaction(kAlice, 0, derive_address(kBob), ether(1),
+                                    std::nullopt, gwei(20), 21000);
+  auto result = executor_.execute(state_, tx, ctx_, config_, ctx_.gas_limit);
+  ASSERT_TRUE(result.accepted());
+  EXPECT_TRUE(result.receipt->success);
+  EXPECT_EQ(result.receipt->gas_used, 21000u);
+  EXPECT_EQ(state_.balance(derive_address(kBob)), ether(1));
+  EXPECT_EQ(state_.nonce(derive_address(kAlice)), 1u);
+  // fee went to the coinbase
+  EXPECT_EQ(state_.balance(ctx_.coinbase), gwei(20) * U256(21000));
+}
+
+TEST_F(TransferExecutorTest, RejectsWrongNonce) {
+  Transaction tx = make_transaction(kAlice, 5, derive_address(kBob), ether(1),
+                                    std::nullopt);
+  auto result = executor_.execute(state_, tx, ctx_, config_, ctx_.gas_limit);
+  ASSERT_FALSE(result.accepted());
+  EXPECT_EQ(*result.error, TxError::kNonceTooHigh);
+
+  state_.set_nonce(derive_address(kAlice), 9);
+  auto low = executor_.execute(state_, tx, ctx_, config_, ctx_.gas_limit);
+  EXPECT_EQ(*low.error, TxError::kNonceTooLow);
+}
+
+TEST_F(TransferExecutorTest, RejectsInsufficientFunds) {
+  Transaction tx = make_transaction(kAlice, 0, derive_address(kBob),
+                                    ether(100), std::nullopt);
+  auto result = executor_.execute(state_, tx, ctx_, config_, ctx_.gas_limit);
+  ASSERT_FALSE(result.accepted());
+  EXPECT_EQ(*result.error, TxError::kInsufficientFunds);
+  EXPECT_EQ(state_.balance(derive_address(kAlice)), ether(10));  // untouched
+}
+
+TEST_F(TransferExecutorTest, RejectsCrossChainReplayWhenEip155Active) {
+  config_.eip155_block = 0;
+  config_.chain_id = 61;
+  Transaction tx = make_transaction(kAlice, 0, derive_address(kBob), ether(1),
+                                    /*chain_id=*/1);  // protected for ETH
+  auto result = executor_.execute(state_, tx, ctx_, config_, ctx_.gas_limit);
+  ASSERT_FALSE(result.accepted());
+  EXPECT_EQ(*result.error, TxError::kWrongChainId);
+}
+
+TEST_F(TransferExecutorTest, AcceptsLegacyReplayEvenWithEip155) {
+  config_.eip155_block = 0;
+  config_.chain_id = 61;
+  Transaction tx = make_transaction(kAlice, 0, derive_address(kBob), ether(1),
+                                    std::nullopt);  // legacy: replayable
+  auto result = executor_.execute(state_, tx, ctx_, config_, ctx_.gas_limit);
+  EXPECT_TRUE(result.accepted());
+}
+
+TEST_F(TransferExecutorTest, RejectsOverBlockGas) {
+  Transaction tx = make_transaction(kAlice, 0, derive_address(kBob), ether(1),
+                                    std::nullopt, gwei(20), 50000);
+  auto result = executor_.execute(state_, tx, ctx_, config_, 30000);
+  ASSERT_FALSE(result.accepted());
+  EXPECT_EQ(*result.error, TxError::kGasLimitExceeded);
+}
+
+TEST_F(TransferExecutorTest, RejectsIntrinsicGasTooLow) {
+  Transaction tx = make_transaction(kAlice, 0, derive_address(kBob), ether(1),
+                                    std::nullopt, gwei(20), 20000);
+  auto result = executor_.execute(state_, tx, ctx_, config_, ctx_.gas_limit);
+  ASSERT_FALSE(result.accepted());
+  EXPECT_EQ(*result.error, TxError::kIntrinsicGasTooLow);
+}
+
+TEST_F(TransferExecutorTest, CreationCreditsDeterministicAddress) {
+  Transaction tx = make_transaction(kAlice, 0, std::nullopt, ether(1),
+                                    std::nullopt, gwei(20), 90000);
+  auto result = executor_.execute(state_, tx, ctx_, config_, ctx_.gas_limit);
+  ASSERT_TRUE(result.accepted());
+  ASSERT_TRUE(result.receipt->created_contract.has_value());
+  EXPECT_EQ(state_.balance(*result.receipt->created_contract), ether(1));
+}
+
+}  // namespace
+}  // namespace forksim::core

@@ -1,0 +1,137 @@
+// Keccak-256 against published test vectors, plus the simulation signature
+// scheme's recovery and domain-separation properties.
+#include <gtest/gtest.h>
+
+#include "crypto/ecdsa.hpp"
+#include "crypto/keccak.hpp"
+
+namespace forksim {
+namespace {
+
+// ------------------------------------------------------------------- keccak
+
+TEST(KeccakTest, EmptyInputVector) {
+  // The canonical Ethereum Keccak-256 of the empty string.
+  EXPECT_EQ(keccak256(BytesView{}).hex(),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470");
+}
+
+TEST(KeccakTest, AbcVector) {
+  EXPECT_EQ(keccak256(std::string_view("abc")).hex(),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45");
+}
+
+TEST(KeccakTest, HelloVector) {
+  // keccak256("hello") — widely used Solidity example value.
+  EXPECT_EQ(keccak256(std::string_view("hello")).hex(),
+            "1c8aff950685c2ed4bc3174f3472287b56d9517b9c948127319a09a7a36deac8");
+}
+
+TEST(KeccakTest, LongInputCrossesRateBoundary) {
+  // 200 bytes of 0x61 ('a') spans more than one 136-byte block.
+  Bytes input(200, 0x61);
+  const Hash256 one_shot = keccak256(input);
+
+  Keccak256 h;
+  h.update(BytesView(input.data(), 100));
+  h.update(BytesView(input.data() + 100, 100));
+  EXPECT_EQ(h.digest(), one_shot);
+}
+
+TEST(KeccakTest, ExactRateBlock) {
+  Bytes input(136, 0x00);
+  // must not crash / must differ from empty hash
+  EXPECT_NE(keccak256(input), keccak256(BytesView{}));
+}
+
+TEST(KeccakTest, IncrementalByteAtATimeMatches) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  Keccak256 h;
+  for (char c : msg)
+    h.update(BytesView(reinterpret_cast<const std::uint8_t*>(&c), 1));
+  EXPECT_EQ(h.digest().hex(),
+            "4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15");
+}
+
+TEST(KeccakTest, ResetAllowsReuse) {
+  Keccak256 h;
+  h.update(std::string_view("abc"));
+  const Hash256 first = h.digest();
+  h.reset();
+  h.update(std::string_view("abc"));
+  EXPECT_EQ(h.digest(), first);
+}
+
+TEST(KeccakTest, DistinctInputsDistinctDigests) {
+  EXPECT_NE(keccak256(std::string_view("a")), keccak256(std::string_view("b")));
+}
+
+// -------------------------------------------------------------------- ecdsa
+
+TEST(EcdsaTest, AddressDerivationIsDeterministic) {
+  const PrivateKey k = PrivateKey::from_seed(1);
+  EXPECT_EQ(derive_address(k), derive_address(k));
+  EXPECT_NE(derive_address(k), derive_address(PrivateKey::from_seed(2)));
+}
+
+TEST(EcdsaTest, SignRecoverRoundTrip) {
+  const PrivateKey k = PrivateKey::from_seed(7);
+  const Hash256 digest = keccak256(std::string_view("payload"));
+  const Signature sig = sign(k, digest);
+  const auto recovered = recover(digest, sig);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, derive_address(k));
+  EXPECT_TRUE(verify(digest, sig, derive_address(k)));
+}
+
+TEST(EcdsaTest, RecoveryFailsForWrongDigest) {
+  const PrivateKey k = PrivateKey::from_seed(7);
+  const Hash256 digest = keccak256(std::string_view("payload"));
+  const Hash256 other = keccak256(std::string_view("other payload"));
+  const Signature sig = sign(k, digest);
+  EXPECT_FALSE(recover(other, sig).has_value());
+}
+
+TEST(EcdsaTest, DomainSeparation) {
+  // The property EIP-155 relies on: signatures over different signing
+  // hashes (e.g. different chain ids) are not interchangeable.
+  const PrivateKey k = PrivateKey::from_seed(9);
+  const Hash256 chain1 = keccak256(std::string_view("tx||chainid=1"));
+  const Hash256 chain61 = keccak256(std::string_view("tx||chainid=61"));
+  const Signature sig1 = sign(k, chain1);
+  EXPECT_TRUE(recover(chain1, sig1).has_value());
+  EXPECT_FALSE(recover(chain61, sig1).has_value());
+}
+
+TEST(EcdsaTest, VerifyRejectsWrongSigner) {
+  const PrivateKey k1 = PrivateKey::from_seed(1);
+  const PrivateKey k2 = PrivateKey::from_seed(2);
+  const Hash256 digest = keccak256(std::string_view("m"));
+  EXPECT_FALSE(verify(digest, sign(k1, digest), derive_address(k2)));
+}
+
+TEST(EcdsaTest, SignatureEncodingRoundTrip) {
+  const PrivateKey k = PrivateKey::from_seed(3);
+  const Signature sig = sign(k, keccak256(std::string_view("x")));
+  const Bytes wire = sig.encode();
+  EXPECT_EQ(wire.size(), 64u);
+  const auto decoded = Signature::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, sig);
+}
+
+TEST(EcdsaTest, SignatureDecodeRejectsBadLength) {
+  EXPECT_FALSE(Signature::decode(Bytes(63, 0)).has_value());
+  EXPECT_FALSE(Signature::decode(Bytes(65, 0)).has_value());
+}
+
+TEST(EcdsaTest, TamperedSignatureFailsRecovery) {
+  const PrivateKey k = PrivateKey::from_seed(4);
+  const Hash256 digest = keccak256(std::string_view("m"));
+  Signature sig = sign(k, digest);
+  sig.tag[0] ^= 0x01;
+  EXPECT_FALSE(recover(digest, sig).has_value());
+}
+
+}  // namespace
+}  // namespace forksim

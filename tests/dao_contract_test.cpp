@@ -1,0 +1,227 @@
+// Mini-DAO governance contract tests: deposit-for-voting-power, proposals,
+// weighted voting with double-vote protection, majority execution, and the
+// reentrancy hole in withdraw() — the full §2.1 DAO story at the EVM level.
+#include <gtest/gtest.h>
+
+#include "core/receipt.hpp"
+#include "evm/contracts.hpp"
+#include "evm/executor.hpp"
+
+namespace forksim::evm {
+namespace {
+
+using namespace contracts;
+using core::BlockContext;
+using core::ChainConfig;
+using core::ether;
+using core::gwei;
+using core::State;
+using core::Wei;
+using core::make_transaction;
+
+class MiniDaoTest : public ::testing::Test {
+ protected:
+  MiniDaoTest() {
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      investors_.push_back(PrivateKey::from_seed(10 + i));
+      state_.add_balance(derive_address(investors_.back()), ether(1000));
+    }
+    ctx_.coinbase = Address::left_padded(Bytes{0xcb});
+    ctx_.number = 10;
+    ctx_.gas_limit = 8'000'000;
+
+    // deploy the DAO
+    const auto deploy = make_transaction(
+        investors_[0], 0, std::nullopt, Wei(0), std::nullopt, gwei(20),
+        3'000'000, wrap_as_init_code(mini_dao_runtime()));
+    auto r = executor_.execute(state_, deploy, ctx_, config_, ctx_.gas_limit);
+    EXPECT_TRUE(r.accepted() && r.receipt->success);
+    dao_ = *r.receipt->created_contract;
+    nonces_[derive_address(investors_[0])] = 1;
+  }
+
+  /// Send a call to the DAO from investor i.
+  bool call(std::size_t i, const Bytes& calldata, Wei value = Wei(0)) {
+    const Address sender = derive_address(investors_[i]);
+    const auto tx = make_transaction(investors_[i], nonces_[sender]++, dao_,
+                                     value, std::nullopt, gwei(20), 2'000'000,
+                                     calldata);
+    auto r = executor_.execute(state_, tx, ctx_, config_, ctx_.gas_limit);
+    return r.accepted() && r.receipt->success;
+  }
+
+  U256 slot(std::uint64_t n) { return state_.storage_at(dao_, U256(n)); }
+  U256 balance_of(std::size_t i) {
+    return state_.storage_at(dao_,
+                             U256::from_be(derive_address(investors_[i]).view()));
+  }
+
+  ChainConfig config_ = ChainConfig::mainnet_pre_fork();
+  State state_;
+  BlockContext ctx_;
+  EvmExecutor executor_;
+  std::vector<PrivateKey> investors_;
+  std::unordered_map<Address, std::uint64_t, AddressHasher> nonces_;
+  Address dao_;
+};
+
+TEST_F(MiniDaoTest, DepositGrantsVotingPower) {
+  ASSERT_TRUE(call(0, dao_deposit_calldata(), ether(100)));
+  ASSERT_TRUE(call(1, dao_deposit_calldata(), ether(50)));
+  EXPECT_EQ(balance_of(0), ether(100));
+  EXPECT_EQ(balance_of(1), ether(50));
+  EXPECT_EQ(slot(0), ether(150));  // total deposits
+  EXPECT_EQ(state_.balance(dao_), ether(150));
+}
+
+TEST_F(MiniDaoTest, MajorityProposalExecutes) {
+  const Address project = derive_address(PrivateKey::from_seed(500));
+  ASSERT_TRUE(call(0, dao_deposit_calldata(), ether(300)));
+  ASSERT_TRUE(call(1, dao_deposit_calldata(), ether(100)));
+
+  ASSERT_TRUE(call(2, dao_propose_calldata(project, ether(120))));
+  EXPECT_EQ(slot(2), ether(120));  // proposal amount on file
+
+  // investor 0 alone holds 75% of the voting power
+  ASSERT_TRUE(call(0, dao_vote_calldata()));
+  EXPECT_EQ(slot(3), ether(300));  // yes votes
+
+  ASSERT_TRUE(call(3, dao_execute_calldata()));
+  EXPECT_EQ(state_.balance(project), ether(120));
+  EXPECT_EQ(slot(2), U256(0));  // marked paid
+}
+
+TEST_F(MiniDaoTest, MinorityProposalDoesNotExecute) {
+  const Address project = derive_address(PrivateKey::from_seed(501));
+  ASSERT_TRUE(call(0, dao_deposit_calldata(), ether(100)));
+  ASSERT_TRUE(call(1, dao_deposit_calldata(), ether(300)));
+
+  ASSERT_TRUE(call(2, dao_propose_calldata(project, ether(50))));
+  ASSERT_TRUE(call(0, dao_vote_calldata()));  // only 25 %
+
+  ASSERT_TRUE(call(3, dao_execute_calldata()));  // runs, pays nothing
+  EXPECT_EQ(state_.balance(project), Wei(0));
+  EXPECT_EQ(slot(2), ether(50));  // proposal still open
+}
+
+TEST_F(MiniDaoTest, ExactlyHalfIsNotAMajority) {
+  const Address project = derive_address(PrivateKey::from_seed(502));
+  ASSERT_TRUE(call(0, dao_deposit_calldata(), ether(100)));
+  ASSERT_TRUE(call(1, dao_deposit_calldata(), ether(100)));
+  ASSERT_TRUE(call(2, dao_propose_calldata(project, ether(10))));
+  ASSERT_TRUE(call(0, dao_vote_calldata()));  // exactly 50 %
+  ASSERT_TRUE(call(3, dao_execute_calldata()));
+  EXPECT_EQ(state_.balance(project), Wei(0));
+}
+
+TEST_F(MiniDaoTest, DoubleVoteRejected) {
+  const Address project = derive_address(PrivateKey::from_seed(503));
+  ASSERT_TRUE(call(0, dao_deposit_calldata(), ether(100)));
+  ASSERT_TRUE(call(1, dao_deposit_calldata(), ether(150)));
+  ASSERT_TRUE(call(2, dao_propose_calldata(project, ether(10))));
+
+  ASSERT_TRUE(call(0, dao_vote_calldata()));
+  ASSERT_TRUE(call(0, dao_vote_calldata()));  // second vote: no effect
+  EXPECT_EQ(slot(3), ether(100));             // counted once
+}
+
+TEST_F(MiniDaoTest, NewProposalResetsVotesAndAllowsRevote) {
+  const Address project = derive_address(PrivateKey::from_seed(504));
+  ASSERT_TRUE(call(0, dao_deposit_calldata(), ether(100)));
+  ASSERT_TRUE(call(1, dao_propose_calldata(project, ether(10))));
+  ASSERT_TRUE(call(0, dao_vote_calldata()));
+  EXPECT_EQ(slot(3), ether(100));
+
+  // a fresh proposal bumps the sequence: votes reset, voters may vote again
+  ASSERT_TRUE(call(1, dao_propose_calldata(project, ether(20))));
+  EXPECT_EQ(slot(3), U256(0));
+  ASSERT_TRUE(call(0, dao_vote_calldata()));
+  EXPECT_EQ(slot(3), ether(100));
+}
+
+TEST_F(MiniDaoTest, HonestWithdrawReturnsDeposit) {
+  ASSERT_TRUE(call(0, dao_deposit_calldata(), ether(100)));
+  const Wei before = state_.balance(derive_address(investors_[0]));
+  ASSERT_TRUE(call(0, dao_withdraw_calldata()));
+  EXPECT_EQ(balance_of(0), U256(0));
+  EXPECT_EQ(slot(0), U256(0));  // total decremented
+  // got the 100 ether back (minus gas)
+  EXPECT_GT(state_.balance(derive_address(investors_[0])),
+            before + ether(99));
+}
+
+TEST_F(MiniDaoTest, ReentrancyDrainsTheMiniDao) {
+  // two investors fund the DAO
+  ASSERT_TRUE(call(0, dao_deposit_calldata(), ether(200)));
+  ASSERT_TRUE(call(1, dao_deposit_calldata(), ether(100)));
+  ASSERT_EQ(state_.balance(dao_), ether(300));
+
+  // the attacker deploys the reentrancy contract aimed at DAO withdraw();
+  // the attacker's fallback calls selector 2... the bank attacker calls
+  // kBankWithdraw == kDaoPropose? No: bank withdraw selector (2) collides
+  // with DAO propose — use a dedicated attacker below that calls 5.
+  const PrivateKey attacker = PrivateKey::from_seed(666);
+  state_.add_balance(derive_address(attacker), ether(20));
+
+  // dedicated drain contract: start(target) deposits then withdraws; the
+  // fallback re-enters withdraw (selector 5) up to 12 times
+  Asm a;
+  const auto attack = a.make_label();
+  const auto stop = a.make_label();
+  a.push(std::uint64_t{0}).op(Op::kCalldataload);
+  a.op(Op::kDup1).push(std::uint64_t{1}).op(Op::kEq).jumpi(attack);
+  a.op(Op::kPop);
+  // fallback: counter in slot 0, target in slot 1
+  a.push(std::uint64_t{0}).op(Op::kSload);
+  a.push(std::uint64_t{12}).op(static_cast<Op>(0x81)).op(Op::kLt);
+  a.op(Op::kIszero).jumpi(stop);
+  a.push(std::uint64_t{1}).op(Op::kAdd).push(std::uint64_t{0}).op(Op::kSstore);
+  a.push(kDaoWithdraw).push(std::uint64_t{0}).op(Op::kMstore);
+  a.push(std::uint64_t{0}).push(std::uint64_t{0});
+  a.push(std::uint64_t{32}).push(std::uint64_t{0});
+  a.push(std::uint64_t{0});
+  a.push(std::uint64_t{1}).op(Op::kSload);
+  a.push(std::uint64_t{50000}).op(Op::kGas).op(Op::kSub);
+  a.op(Op::kCall).op(Op::kPop);
+  a.bind(stop).op(Op::kStop);
+  a.bind(attack).op(Op::kPop);
+  a.push(std::uint64_t{32}).op(Op::kCalldataload);
+  a.push(std::uint64_t{1}).op(Op::kSstore);  // target
+  a.push(kDaoDeposit).push(std::uint64_t{0}).op(Op::kMstore);
+  a.push(std::uint64_t{0}).push(std::uint64_t{0});
+  a.push(std::uint64_t{32}).push(std::uint64_t{0});
+  a.op(Op::kCallvalue);
+  a.push(std::uint64_t{1}).op(Op::kSload);
+  a.push(std::uint64_t{50000}).op(Op::kGas).op(Op::kSub);
+  a.op(Op::kCall).op(Op::kPop);
+  a.push(kDaoWithdraw).push(std::uint64_t{0}).op(Op::kMstore);
+  a.push(std::uint64_t{0}).push(std::uint64_t{0});
+  a.push(std::uint64_t{32}).push(std::uint64_t{0});
+  a.push(std::uint64_t{0});
+  a.push(std::uint64_t{1}).op(Op::kSload);
+  a.push(std::uint64_t{50000}).op(Op::kGas).op(Op::kSub);
+  a.op(Op::kCall).op(Op::kPop);
+  a.op(Op::kStop);
+
+  const auto deploy = make_transaction(
+      attacker, 0, std::nullopt, Wei(0), std::nullopt, gwei(20), 3'000'000,
+      wrap_as_init_code(a.build()));
+  auto rd = executor_.execute(state_, deploy, ctx_, config_, ctx_.gas_limit);
+  ASSERT_TRUE(rd.accepted() && rd.receipt->success);
+  const Address drainer = *rd.receipt->created_contract;
+
+  Bytes start = attacker_start_calldata(dao_);  // selector 1 + target word
+  const auto start_tx = make_transaction(attacker, 1, drainer, ether(5),
+                                         std::nullopt, gwei(20), 6'000'000,
+                                         start);
+  auto rs = executor_.execute(state_, start_tx, ctx_, config_,
+                              ctx_.gas_limit);
+  ASSERT_TRUE(rs.accepted() && rs.receipt->success);
+
+  // the drainer took far more than its 5-ether deposit
+  EXPECT_GE(state_.balance(drainer), ether(40));
+  EXPECT_LT(state_.balance(dao_), ether(300));
+}
+
+}  // namespace
+}  // namespace forksim::evm

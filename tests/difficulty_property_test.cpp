@@ -1,0 +1,151 @@
+// Difficulty-algorithm property sweeps: the retarget rules checked across
+// wide ranges of timestamps, parent difficulties, and fork configurations.
+// These pin down exactly the mechanics behind the paper's Figure 1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/difficulty.hpp"
+#include "support/rng.hpp"
+
+namespace forksim::core {
+namespace {
+
+ChainConfig config() { return ChainConfig::mainnet_pre_fork(); }
+
+// ---------------------------------------------------- homestead adjustment
+
+class HomesteadDeltaSweep : public ::testing::TestWithParam<Timestamp> {};
+
+TEST_P(HomesteadDeltaSweep, NotchFormula) {
+  const Timestamp delta = GetParam();
+  const auto adj = homestead_adjustment(config(), 1000 + delta, 1000);
+  const auto expected = std::max<std::int64_t>(
+      1 - static_cast<std::int64_t>(delta) / 10, -99);
+  EXPECT_EQ(adj, expected) << "delta=" << delta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, HomesteadDeltaSweep,
+                         ::testing::Values(1, 5, 9, 10, 14, 19, 20, 50, 99,
+                                           100, 500, 989, 990, 991, 1000,
+                                           5000, 100000));
+
+TEST(DifficultyPropertyTest, AdjustmentIsMonotonicInDelta) {
+  // slower blocks never yield higher difficulty
+  const ChainConfig c = config();
+  const U256 parent(1'000'000'000ull);
+  U256 previous = U256::max();
+  for (Timestamp delta = 1; delta <= 2000; delta += 7) {
+    const U256 d = next_difficulty(c, 100, 1000 + delta, parent, 1000);
+    EXPECT_LE(d, previous) << "delta=" << delta;
+    previous = d;
+  }
+}
+
+TEST(DifficultyPropertyTest, SingleStepBoundedByCap) {
+  // |next - parent| <= parent/2048 * 99 + 1 always (the paper's cap)
+  Rng rng(7);
+  const ChainConfig c = config();
+  for (int trial = 0; trial < 300; ++trial) {
+    const U256 parent(1'000'000 + rng.uniform(1'000'000'000'000ull));
+    const Timestamp delta = 1 + rng.uniform(5000);
+    const U256 next = next_difficulty(c, 100, 1000 + delta, parent, 1000);
+    const U256 max_step = parent / U256(2048) * U256(99);
+    if (next > parent)
+      EXPECT_LE(next - parent, parent / U256(2048));
+    else
+      EXPECT_LE(parent - next, max_step);
+  }
+}
+
+TEST(DifficultyPropertyTest, NeverBelowMinimum) {
+  Rng rng(11);
+  const ChainConfig c = config();
+  U256 d(c.minimum_difficulty);
+  for (int i = 0; i < 500; ++i) {
+    d = next_difficulty(c, 100 + static_cast<BlockNumber>(i),
+                        1000 + 100000ull * (i + 1), d,
+                        1000 + 100000ull * i);
+    EXPECT_GE(d, U256(c.minimum_difficulty));
+  }
+  EXPECT_EQ(d, U256(c.minimum_difficulty));  // hammered down to the floor
+}
+
+TEST(DifficultyPropertyTest, FrontierVsHomesteadBoundary) {
+  ChainConfig c = config();
+  c.homestead_block = 100;
+  const U256 parent(1'000'000'000ull);
+  // pre-homestead block 99: Frontier rule (13 s threshold)
+  EXPECT_EQ(next_difficulty(c, 99, 1012, parent, 1000),
+            parent + parent / U256(2048));
+  EXPECT_EQ(next_difficulty(c, 99, 1013, parent, 1000),
+            parent - parent / U256(2048));
+  // at the boundary: Homestead (10 s notches)
+  EXPECT_EQ(next_difficulty(c, 100, 1012, parent, 1000), parent);
+}
+
+// ----------------------------------------------------- closed-form recovery
+
+TEST(DifficultyPropertyTest, CapImpliesGeometricRecoveryBound) {
+  // Under permanently slow blocks, difficulty decays by at most
+  // 99/2048 per block: after k blocks, d_k >= d_0 * (1 - 99/2048)^k.
+  const ChainConfig c = config();
+  U256 d(1'000'000'000'000ull);
+  const double d0 = d.to_double();
+  Timestamp t = 0;
+  for (int k = 1; k <= 60; ++k) {
+    t += 10000;
+    d = next_difficulty(c, 100 + static_cast<BlockNumber>(k), t, d,
+                        t - 10000);
+    const double bound = d0 * std::pow(1.0 - 99.0 / 2048.0, k);
+    EXPECT_GE(d.to_double(), bound * 0.999) << "k=" << k;
+  }
+}
+
+TEST(DifficultyPropertyTest, EquilibriumMatchesHashrateTimesTarget) {
+  // mine synthetically at fixed hashrate; equilibrium difficulty must be
+  // ~ hashrate * target_time (the control loop's fixed point)
+  const ChainConfig c = config();
+  Rng rng(13);
+  const double hashrate = 5e9;
+  U256 d(1'000'000ull);
+  Timestamp t = 0;
+  for (int i = 0; i < 60000; ++i) {
+    const double interval =
+        std::max(1.0, rng.exponential(d.to_double() / hashrate));
+    t += static_cast<Timestamp>(interval);
+    d = next_difficulty(c, 100 + static_cast<BlockNumber>(i), t, d,
+                        t - static_cast<Timestamp>(interval));
+  }
+  const double expected = hashrate * 14.0;
+  EXPECT_NEAR(d.to_double() / expected, 1.0, 0.25);
+}
+
+// -------------------------------------------------------------- retargets
+
+class RetargetRuleSweep
+    : public ::testing::TestWithParam<core::RetargetRule> {};
+
+TEST_P(RetargetRuleSweep, RespectsMinimumDifficulty) {
+  const ChainConfig c = config();
+  const U256 tiny(c.minimum_difficulty);
+  const U256 next = retarget(GetParam(), c, 100, 1000000, tiny, 1000,
+                             128 * 140.0, 128);
+  EXPECT_GE(next, U256(c.minimum_difficulty));
+}
+
+TEST_P(RetargetRuleSweep, FastBlocksNeverLowerDifficulty) {
+  const ChainConfig c = config();
+  const U256 parent(1'000'000'000ull);
+  const U256 next = retarget(GetParam(), c, 100, 1001, parent, 1000,
+                             128 * 7.0, 128);
+  EXPECT_GE(next, parent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rules, RetargetRuleSweep,
+                         ::testing::Values(RetargetRule::kHomestead,
+                                           RetargetRule::kUncapped,
+                                           RetargetRule::kEpochAverage));
+
+}  // namespace
+}  // namespace forksim::core

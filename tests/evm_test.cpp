@@ -1,0 +1,724 @@
+// EVM interpreter tests: opcode semantics, gas accounting, control flow,
+// nested calls, creation, revert/selfdestruct, the EIP-150 repricing, and
+// the end-to-end DAO-style reentrancy drain the fork scenario relies on.
+#include <gtest/gtest.h>
+
+#include "core/chain.hpp"
+#include "evm/assembler.hpp"
+#include "evm/contracts.hpp"
+#include "evm/executor.hpp"
+#include "evm/vm.hpp"
+
+namespace forksim::evm {
+namespace {
+
+using core::BlockContext;
+using core::ChainConfig;
+using core::ether;
+using core::gwei;
+using core::State;
+using core::make_transaction;
+
+const Address kContract = Address::left_padded(Bytes{0xc0});
+const Address kCaller = Address::left_padded(Bytes{0xca});
+
+class VmTest : public ::testing::Test {
+ protected:
+  VmTest() {
+    ctx_.coinbase = Address::left_padded(Bytes{0xcb});
+    ctx_.number = 100;
+    ctx_.timestamp = 1469020840;
+    ctx_.gas_limit = 4'712'388;
+    ctx_.difficulty = U256(62413376722602ull);
+    state_.add_balance(kCaller, ether(100));
+  }
+
+  /// Install `code` at kContract and call it.
+  CallResult run(const Bytes& code, Gas gas = 1'000'000, Bytes input = {},
+                 Wei value = Wei(0),
+                 GasSchedule schedule = GasSchedule::homestead()) {
+    state_.set_code(kContract, code);
+    Vm vm(state_, ctx_, schedule, kCaller, gwei(20));
+    last_vm_logs_ = {};
+    CallParams p;
+    p.caller = kCaller;
+    p.address = kContract;
+    p.code_address = kContract;
+    p.value = value;
+    p.input = std::move(input);
+    p.gas = gas;
+    CallResult r = vm.call(p);
+    last_vm_logs_ = vm.logs();
+    last_refund_ = vm.refund();
+    return r;
+  }
+
+  /// Return-one-word program: computes `body` then returns memory[0..32).
+  static Bytes returning(Asm& body) {
+    body.push(std::uint64_t{0}).op(Op::kMstore);
+    body.push(std::uint64_t{32}).push(std::uint64_t{0}).op(Op::kReturn);
+    return body.build();
+  }
+
+  static U256 word(const CallResult& r) {
+    EXPECT_EQ(r.output.size(), 32u);
+    return U256::from_be(r.output);
+  }
+
+  State state_;
+  BlockContext ctx_;
+  std::vector<core::Log> last_vm_logs_;
+  std::uint64_t last_refund_ = 0;
+};
+
+// ------------------------------------------------------------- arithmetic
+
+TEST_F(VmTest, AddSubMulDiv) {
+  Asm a;
+  a.push(std::uint64_t{7}).push(std::uint64_t{5}).op(Op::kAdd);    // 12
+  a.push(std::uint64_t{3}).op(Op::kMul);                           // 36
+  auto r = run(returning(a));
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(word(r), U256(36));
+}
+
+TEST_F(VmTest, DivisionByZeroIsZero) {
+  Asm a;
+  a.push(std::uint64_t{0}).push(std::uint64_t{5}).op(Op::kDiv);
+  auto r = run(returning(a));
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(word(r), U256(0));
+}
+
+TEST_F(VmTest, SignedOps) {
+  Asm a;
+  // SDIV(-10, 3) == -3
+  a.push(U256(10).negate()).push(std::uint64_t{3});
+  // stack [(-10), 3]; SDIV pops a=3?? — operand order: a=top
+  // we want sdiv(-10, 3): push divisor first, then dividend
+  auto r0 = run(returning(a.op(Op::kSdiv)));
+  // -10 pushed first, 3 on top -> a=3, b=-10 -> sdiv(3, -10) == 0
+  ASSERT_TRUE(r0.success);
+  EXPECT_EQ(word(r0), U256(0));
+
+  Asm b;
+  b.push(std::uint64_t{3}).push(U256(10).negate()).op(Op::kSdiv);
+  auto r1 = run(returning(b));
+  ASSERT_TRUE(r1.success);
+  EXPECT_EQ(word(r1), U256(3).negate());
+}
+
+TEST_F(VmTest, AddmodMulmod) {
+  Asm a;
+  // ADDMOD(10, 10, 8) = 4 : push n, b, a (a on top)
+  a.push(std::uint64_t{8}).push(std::uint64_t{10}).push(std::uint64_t{10});
+  a.op(Op::kAddmod);
+  auto r = run(returning(a));
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(word(r), U256(4));
+
+  Asm m;
+  // MULMOD(2^255, 2, 11): wraps without modulus; correct answer via mulmod
+  m.push(std::uint64_t{11}).push(std::uint64_t{2}).push(U256(1) << 255);
+  m.op(Op::kMulmod);
+  auto rm = run(returning(m));
+  ASSERT_TRUE(rm.success);
+  // 2^10 = 1024 ≡ 1 (mod 11), so 2^256 = (2^10)^25 * 2^6 ≡ 64 ≡ 9 (mod 11)
+  EXPECT_EQ(word(rm), U256(9));
+}
+
+TEST_F(VmTest, ExpAndGasScalesWithExponentSize) {
+  Asm a;
+  a.push(std::uint64_t{8}).push(std::uint64_t{2}).op(Op::kExp);  // 2^8
+  auto r = run(returning(a));
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(word(r), U256(256));
+
+  // gas: one-byte exponent costs exp + exp_byte under Homestead (10+10),
+  // and 10+50 after EIP-150/160
+  Asm cheap;
+  cheap.push(std::uint64_t{8}).push(std::uint64_t{2}).op(Op::kExp)
+      .op(Op::kStop);
+  const Bytes code = cheap.build();
+  auto home = run(code, 100000);
+  auto repriced = run(code, 100000, {}, Wei(0), GasSchedule::eip150());
+  ASSERT_TRUE(home.success);
+  ASSERT_TRUE(repriced.success);
+  EXPECT_EQ(home.gas_left - repriced.gas_left, 40u);
+}
+
+// ------------------------------------------------------- comparison / bits
+
+TEST_F(VmTest, Comparisons) {
+  Asm a;
+  // LT: a < b with a on top; push 10 then 3 -> a=3, b=10 -> 1
+  a.push(std::uint64_t{10}).push(std::uint64_t{3}).op(Op::kLt);
+  auto r = run(returning(a));
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(word(r), U256(1));
+}
+
+TEST_F(VmTest, BitwiseAndShifts) {
+  Asm a;
+  a.push(std::uint64_t{0xf0}).push(std::uint64_t{0x0f}).op(Op::kOr);
+  a.push(std::uint64_t{4});  // shift amount on top; SHR pops shift, value
+  auto r = run(returning(a.op(Op::kShr)));
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(word(r), U256(0x0f));
+}
+
+// ------------------------------------------------------------ control flow
+
+TEST_F(VmTest, JumpOverTrap) {
+  Asm a;
+  const auto ok = a.make_label();
+  a.jump(ok);
+  a.op(Op::kInvalid);  // must be skipped
+  a.bind(ok);
+  a.push(std::uint64_t{42});
+  auto r = run(returning(a));
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(word(r), U256(42));
+}
+
+TEST_F(VmTest, JumpiFallsThroughOnZero) {
+  Asm b;
+  const auto t2 = b.make_label();
+  b.push(std::uint64_t{0}).jumpi(t2).push(std::uint64_t{7});
+  b.push(std::uint64_t{0}).op(Op::kMstore);
+  b.push(std::uint64_t{32}).push(std::uint64_t{0}).op(Op::kReturn);
+  b.bind(t2).op(Op::kInvalid);
+  auto r = run(b.build());
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(word(r), U256(7));
+}
+
+TEST_F(VmTest, JumpIntoPushDataIsInvalid) {
+  // PUSH2 0x5b5b then JUMP to offset 1 (inside the push immediate)
+  Asm a;
+  a.push(std::uint64_t{1}).op(Op::kJump);
+  Bytes code = a.build();
+  code.push_back(0x5b);
+  auto r = run(code);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.error, VmError::kInvalidJump);
+}
+
+TEST_F(VmTest, StackUnderflowDetected) {
+  Asm a;
+  a.op(Op::kAdd);
+  auto r = run(a.build());
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.error, VmError::kStackUnderflow);
+}
+
+TEST_F(VmTest, StackOverflowDetected) {
+  // push 1 then DUP1 in a loop beyond 1024
+  Asm a;
+  const auto loop = a.make_label();
+  a.push(std::uint64_t{1});
+  a.bind(loop);
+  a.op(Op::kDup1);
+  a.jump(loop);
+  auto r = run(a.build(), 10'000'000);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.error, VmError::kStackOverflow);
+}
+
+TEST_F(VmTest, OutOfGasStopsExecution) {
+  Asm a;
+  const auto loop = a.make_label();
+  a.bind(loop);
+  a.push(std::uint64_t{1}).op(Op::kPop);
+  a.jump(loop);
+  auto r = run(a.build(), 1000);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.error, VmError::kOutOfGas);
+  EXPECT_EQ(r.gas_left, 0u);
+}
+
+// ---------------------------------------------------------- memory/storage
+
+TEST_F(VmTest, MstoreMloadRoundTrip) {
+  Asm a;
+  a.push(std::uint64_t{0xdeadbeef}).push(std::uint64_t{64}).op(Op::kMstore);
+  a.push(std::uint64_t{64}).op(Op::kMload);
+  auto r = run(returning(a));
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(word(r), U256(0xdeadbeef));
+}
+
+TEST_F(VmTest, Mstore8WritesSingleByte) {
+  Asm a;
+  a.push(std::uint64_t{0xaabb}).push(std::uint64_t{0}).op(Op::kMstore8);
+  a.push(std::uint64_t{0}).op(Op::kMload);
+  auto r = run(returning(a));
+  ASSERT_TRUE(r.success);
+  // only the low byte 0xbb lands, at the highest-order position of word 0
+  EXPECT_EQ(word(r), U256(0xbb) << 248);
+}
+
+TEST_F(VmTest, MemoryExpansionCostsQuadratic) {
+  Asm big;
+  big.push(std::uint64_t{1}).push(U256(100'000)).op(Op::kMstore)
+      .op(Op::kStop);
+  Asm small;
+  small.push(std::uint64_t{1}).push(std::uint64_t{0}).op(Op::kMstore)
+      .op(Op::kStop);
+  auto rb = run(big.build(), 1'000'000);
+  auto rs = run(small.build(), 1'000'000);
+  ASSERT_TRUE(rb.success);
+  ASSERT_TRUE(rs.success);
+  const Gas big_cost = 1'000'000 - rb.gas_left;
+  const Gas small_cost = 1'000'000 - rs.gas_left;
+  // 100k bytes ≈ 3128 words: linear term ~9.4k plus quadratic ~19k
+  EXPECT_GT(big_cost, small_cost + 9000);
+}
+
+TEST_F(VmTest, SstoreSloadAndRefund) {
+  Asm a;
+  a.push(std::uint64_t{77}).push(std::uint64_t{5}).op(Op::kSstore);
+  a.push(std::uint64_t{5}).op(Op::kSload);
+  auto r = run(returning(a));
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(word(r), U256(77));
+  EXPECT_EQ(state_.storage_at(kContract, U256(5)), U256(77));
+  EXPECT_EQ(last_refund_, 0u);
+
+  // clearing an existing slot earns the 15k refund
+  Asm clear;
+  clear.push(std::uint64_t{0}).push(std::uint64_t{5}).op(Op::kSstore)
+      .op(Op::kStop);
+  auto rc = run(clear.build());
+  ASSERT_TRUE(rc.success);
+  EXPECT_EQ(last_refund_, 15000u);
+  EXPECT_EQ(state_.storage_at(kContract, U256(5)), U256(0));
+}
+
+// -------------------------------------------------------------- environment
+
+TEST_F(VmTest, EnvironmentOpcodes) {
+  Asm a;
+  a.op(Op::kNumber);
+  auto r = run(returning(a));
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(word(r), U256(100));
+
+  Asm t;
+  t.op(Op::kTimestamp);
+  EXPECT_EQ(word(run(returning(t))), U256(1469020840));
+
+  Asm d;
+  d.op(Op::kDifficulty);
+  EXPECT_EQ(word(run(returning(d))), U256(62413376722602ull));
+
+  Asm c;
+  c.op(Op::kCaller);
+  EXPECT_EQ(word(run(returning(c))), U256::from_be(kCaller.view()));
+
+  Asm v;
+  v.op(Op::kCallvalue);
+  EXPECT_EQ(word(run(returning(v), 1'000'000, {}, Wei(123))), U256(123));
+}
+
+TEST_F(VmTest, CalldataOps) {
+  Bytes input(40, 0);
+  input[0] = 0xaa;
+  input[39] = 0xbb;
+  Asm a;
+  a.push(std::uint64_t{0}).op(Op::kCalldataload);
+  auto r = run(returning(a), 1'000'000, input);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(word(r) >> 248, U256(0xaa));
+
+  Asm size;
+  size.op(Op::kCalldatasize);
+  EXPECT_EQ(word(run(returning(size), 1'000'000, input)), U256(40));
+}
+
+TEST_F(VmTest, KeccakOpcodeMatchesLibrary) {
+  // keccak256 of 32 zero bytes
+  Asm a;
+  a.push(std::uint64_t{32}).push(std::uint64_t{0}).op(Op::kKeccak256);
+  auto r = run(returning(a));
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(word(r), U256::from_be(keccak256(Bytes(32, 0)).view()));
+}
+
+TEST_F(VmTest, BalanceOpcode) {
+  Asm a;
+  a.push(kCaller).op(Op::kBalance);
+  auto r = run(returning(a));
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(word(r), ether(100));
+}
+
+// -------------------------------------------------------------------- logs
+
+TEST_F(VmTest, LogEmission) {
+  Asm a;
+  a.push(std::uint64_t{0xfeed}).push(std::uint64_t{0}).op(Op::kMstore);
+  // LOG1: pops offset, len, topic
+  a.push(std::uint64_t{99});                     // topic (deepest after pops)
+  a.push(std::uint64_t{32}).push(std::uint64_t{0});  // len, offset (top)
+  a.op(static_cast<Op>(0xa1)).op(Op::kStop);
+  auto r = run(a.build());
+  ASSERT_TRUE(r.success);
+  ASSERT_EQ(last_vm_logs_.size(), 1u);
+  EXPECT_EQ(last_vm_logs_[0].address, kContract);
+  ASSERT_EQ(last_vm_logs_[0].topics.size(), 1u);
+  EXPECT_EQ(last_vm_logs_[0].topics[0], U256(99));
+  EXPECT_EQ(last_vm_logs_[0].data.size(), 32u);
+}
+
+// ----------------------------------------------------------- revert & halt
+
+TEST_F(VmTest, RevertRestoresStateKeepsGas) {
+  Asm a;
+  a.push(std::uint64_t{1}).push(std::uint64_t{0}).op(Op::kSstore);
+  a.push(std::uint64_t{0}).push(std::uint64_t{0}).op(Op::kRevert);
+  auto r = run(a.build(), 100000);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.error, VmError::kReverted);
+  EXPECT_GT(r.gas_left, 0u);  // REVERT refunds remaining gas
+  EXPECT_EQ(state_.storage_at(kContract, U256(0)), U256(0));  // rolled back
+}
+
+TEST_F(VmTest, InvalidOpcodeBurnsGas) {
+  Asm a;
+  a.op(Op::kInvalid);
+  auto r = run(a.build(), 100000);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.error, VmError::kInvalidOpcode);
+  EXPECT_EQ(r.gas_left, 0u);
+}
+
+TEST_F(VmTest, SelfdestructMovesBalanceAndRefunds) {
+  state_.add_balance(kContract, ether(3));
+  const Address heir = Address::left_padded(Bytes{0x99});
+  Asm a;
+  a.push(heir).op(Op::kSelfdestruct);
+  auto r = run(a.build());
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(state_.balance(heir), ether(3));
+  EXPECT_EQ(state_.balance(kContract), Wei(0));
+  EXPECT_EQ(last_refund_, 24000u);
+}
+
+// ------------------------------------------------------------------- calls
+
+TEST_F(VmTest, NestedCallTransfersValue) {
+  const Address target = Address::left_padded(Bytes{0xdd});
+  // contract sends 5 wei to target
+  Asm a;
+  a.push(std::uint64_t{0});  // out_len
+  a.push(std::uint64_t{0});  // out_off
+  a.push(std::uint64_t{0});  // in_len
+  a.push(std::uint64_t{0});  // in_off
+  a.push(std::uint64_t{5});  // value
+  a.push(target);            // to
+  a.push(std::uint64_t{50000});
+  a.op(Op::kCall);
+  state_.add_balance(kContract, Wei(10));
+  auto r = run(returning(a));
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(word(r), U256(1));  // call success flag
+  EXPECT_EQ(state_.balance(target), Wei(5));
+}
+
+TEST_F(VmTest, CallDepthLimit) {
+  // a contract that calls itself unconditionally; depth must bottom out
+  Asm a;
+  a.push(std::uint64_t{0});
+  a.push(std::uint64_t{0});
+  a.push(std::uint64_t{0});
+  a.push(std::uint64_t{0});
+  a.push(std::uint64_t{0});
+  a.push(kContract);
+  a.op(Op::kGas);
+  a.op(Op::kCall).op(Op::kStop);
+  auto r = run(a.build(), 30'000'000, {}, Wei(0), GasSchedule::eip150());
+  // with the 63/64 rule the recursion starves long before depth 1024, but
+  // either way execution must terminate successfully at the top level
+  EXPECT_TRUE(r.success);
+}
+
+TEST_F(VmTest, DelegatecallRunsInCallerContext) {
+  // library contract: SSTORE(0, 42)
+  const Address library = Address::left_padded(Bytes{0x11});
+  Asm lib;
+  lib.push(std::uint64_t{42}).push(std::uint64_t{0}).op(Op::kSstore)
+      .op(Op::kStop);
+  state_.set_code(library, lib.build());
+
+  Asm a;
+  a.push(std::uint64_t{0});  // out_len
+  a.push(std::uint64_t{0});  // out_off
+  a.push(std::uint64_t{0});  // in_len
+  a.push(std::uint64_t{0});  // in_off
+  a.push(library);           // to
+  a.push(std::uint64_t{100000});
+  a.op(Op::kDelegatecall).op(Op::kStop);
+  auto r = run(a.build());
+  ASSERT_TRUE(r.success);
+  // the write landed in the *calling* contract's storage
+  EXPECT_EQ(state_.storage_at(kContract, U256(0)), U256(42));
+  EXPECT_EQ(state_.storage_at(library, U256(0)), U256(0));
+}
+
+TEST_F(VmTest, CreateDeploysCode) {
+  // init code returning a 1-byte runtime (STOP)
+  const Bytes runtime = {0x00};
+  const Bytes init = wrap_as_init_code(runtime);
+  // write init code into memory then CREATE
+  Asm a;
+  for (std::size_t i = 0; i < init.size(); ++i) {
+    a.push(std::uint64_t{init[i]});
+    a.push(std::uint64_t{i});
+    a.op(Op::kMstore8);
+  }
+  a.push(std::uint64_t{init.size()});
+  a.push(std::uint64_t{0});
+  a.push(std::uint64_t{0});  // value
+  a.op(Op::kCreate);
+  auto r = run(returning(a), 2'000'000);
+  ASSERT_TRUE(r.success);
+  const Address created = [&] {
+    const auto be = word(r).to_be();
+    return Address::left_padded(BytesView(be.data() + 12, 20));
+  }();
+  EXPECT_FALSE(created.is_zero());
+  EXPECT_EQ(state_.code(created), runtime);
+}
+
+
+TEST_F(VmTest, CallcodeRunsForeignCodeOnOwnStorage) {
+  // library writes 7 to slot 0; CALLCODE runs it with OUR storage and OUR
+  // balance, but (unlike DELEGATECALL) with ourselves as the caller
+  const Address library = Address::left_padded(Bytes{0x12});
+  Asm lib;
+  lib.push(std::uint64_t{7}).push(std::uint64_t{0}).op(Op::kSstore)
+      .op(Op::kStop);
+  state_.set_code(library, lib.build());
+
+  Asm a;
+  a.push(std::uint64_t{0});  // out_len
+  a.push(std::uint64_t{0});  // out_off
+  a.push(std::uint64_t{0});  // in_len
+  a.push(std::uint64_t{0});  // in_off
+  a.push(std::uint64_t{0});  // value
+  a.push(library);           // code source
+  a.push(std::uint64_t{100000});
+  a.op(Op::kCallcode).op(Op::kStop);
+  auto r = run(a.build());
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(state_.storage_at(kContract, U256(0)), U256(7));
+  EXPECT_EQ(state_.storage_at(library, U256(0)), U256(0));
+}
+
+TEST_F(VmTest, CalldatacopyZeroFillsBeyondInput) {
+  Bytes input = {0x11, 0x22};
+  Asm a;
+  // copy 32 bytes from offset 0 of a 2-byte calldata into memory
+  a.push(std::uint64_t{32});  // len
+  a.push(std::uint64_t{0});   // src offset
+  a.push(std::uint64_t{0});   // mem offset
+  a.op(Op::kCalldatacopy);
+  a.push(std::uint64_t{0}).op(Op::kMload);
+  auto r = run(returning(a), 1'000'000, input);
+  ASSERT_TRUE(r.success);
+  // 0x1122 followed by 30 zero bytes, as the top bytes of the word
+  U256 expected = (U256(0x1122) << 240);
+  EXPECT_EQ(word(r), expected);
+}
+
+TEST_F(VmTest, ExtcodecopyReadsForeignCode) {
+  const Address target = Address::left_padded(Bytes{0x13});
+  state_.set_code(target, Bytes{0xde, 0xad, 0xbe, 0xef});
+  Asm a;
+  a.push(std::uint64_t{4});   // len
+  a.push(std::uint64_t{0});   // code offset
+  a.push(std::uint64_t{0});   // mem offset
+  a.push(target);
+  a.op(Op::kExtcodecopy);
+  a.push(std::uint64_t{0}).op(Op::kMload);
+  auto r = run(returning(a));
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(word(r), U256(0xdeadbeefull) << 224);
+}
+
+TEST_F(VmTest, CreateRejectsOversizedRuntime) {
+  // init code that returns kMaxCodeSize+1 bytes must fail the deposit
+  Asm init;
+  init.push(std::uint64_t{Vm::kMaxCodeSize + 1});
+  init.push(std::uint64_t{0});
+  init.op(Op::kReturn);
+  state_.add_balance(kCaller, ether(1));
+  Vm vm(state_, ctx_, GasSchedule::homestead(), kCaller, gwei(20));
+  Address created;
+  const CallResult r =
+      vm.create(kCaller, Wei(0), init.build(), 30'000'000, 0, created);
+  EXPECT_FALSE(r.success);
+}
+
+TEST_F(VmTest, SelfdestructRefundOnlyOncePerAccount) {
+  // calling the same self-destructing contract twice in one tx yields one
+  // 24k refund, not two
+  const Address heir = Address::left_padded(Bytes{0x77});
+  Asm sd;
+  sd.push(heir).op(Op::kSelfdestruct);
+  const Address bomb = Address::left_padded(Bytes{0x14});
+  state_.set_code(bomb, sd.build());
+
+  Asm a;
+  for (int i = 0; i < 2; ++i) {
+    a.push(std::uint64_t{0});
+    a.push(std::uint64_t{0});
+    a.push(std::uint64_t{0});
+    a.push(std::uint64_t{0});
+    a.push(std::uint64_t{0});
+    a.push(bomb);
+    a.push(std::uint64_t{60000});
+    a.op(Op::kCall).op(Op::kPop);
+  }
+  a.op(Op::kStop);
+  auto r = run(a.build());
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(last_refund_, 24000u);
+}
+
+// --------------------------------------------------- executor integration
+
+class EvmExecutorTest : public ::testing::Test {
+ protected:
+  EvmExecutorTest() {
+    state_.add_balance(derive_address(alice_), ether(1000));
+    ctx_.coinbase = Address::left_padded(Bytes{0xcb});
+    ctx_.number = 10;
+    ctx_.gas_limit = 4'712'388;
+  }
+
+  PrivateKey alice_ = PrivateKey::from_seed(1);
+  ChainConfig config_ = ChainConfig::mainnet_pre_fork();
+  State state_;
+  BlockContext ctx_;
+  EvmExecutor executor_;
+};
+
+TEST_F(EvmExecutorTest, DeployAndCallCounter) {
+  using namespace contracts;
+  const Bytes init = wrap_as_init_code(counter_runtime());
+  core::Transaction deploy = make_transaction(
+      alice_, 0, std::nullopt, Wei(0), std::nullopt, gwei(20), 1'000'000,
+      init);
+  auto r = executor_.execute(state_, deploy, ctx_, config_, ctx_.gas_limit);
+  ASSERT_TRUE(r.accepted());
+  ASSERT_TRUE(r.receipt->success);
+  ASSERT_TRUE(r.receipt->created_contract.has_value());
+  const Address counter = *r.receipt->created_contract;
+  EXPECT_EQ(state_.code(counter), counter_runtime());
+
+  core::Transaction poke = make_transaction(
+      alice_, 1, counter, Wei(0), std::nullopt, gwei(20), 100'000);
+  auto r2 = executor_.execute(state_, poke, ctx_, config_, ctx_.gas_limit);
+  ASSERT_TRUE(r2.accepted());
+  EXPECT_TRUE(r2.receipt->success);
+  EXPECT_EQ(state_.storage_at(counter, U256(0)), U256(1));
+}
+
+TEST_F(EvmExecutorTest, FailedExecutionStillChargesGas) {
+  // deploy a contract that always hits INVALID
+  Asm bad;
+  bad.op(Op::kInvalid);
+  const Bytes init = wrap_as_init_code(bad.build());
+  core::Transaction deploy = make_transaction(
+      alice_, 0, std::nullopt, Wei(0), std::nullopt, gwei(20), 1'000'000,
+      init);
+  executor_.execute(state_, deploy, ctx_, config_, ctx_.gas_limit);
+  const Address bad_addr = Vm::create_address(derive_address(alice_), 0);
+
+  const Wei before = state_.balance(derive_address(alice_));
+  core::Transaction call = make_transaction(
+      alice_, 1, bad_addr, Wei(0), std::nullopt, gwei(20), 100'000);
+  auto r = executor_.execute(state_, call, ctx_, config_, ctx_.gas_limit);
+  ASSERT_TRUE(r.accepted());
+  EXPECT_FALSE(r.receipt->success);
+  // the full 100k gas burned
+  EXPECT_EQ(r.receipt->gas_used, 100'000u);
+  EXPECT_EQ(before - state_.balance(derive_address(alice_)),
+            gwei(20) * U256(100'000));
+  // nonce advanced despite failure
+  EXPECT_EQ(state_.nonce(derive_address(alice_)), 2u);
+}
+
+TEST_F(EvmExecutorTest, ValueTransferToEoaStillWorks) {
+  const Address bob = derive_address(PrivateKey::from_seed(2));
+  core::Transaction tx = make_transaction(
+      alice_, 0, bob, ether(3), std::nullopt, gwei(20), 21'000);
+  auto r = executor_.execute(state_, tx, ctx_, config_, ctx_.gas_limit);
+  ASSERT_TRUE(r.accepted());
+  EXPECT_TRUE(r.receipt->success);
+  EXPECT_EQ(r.receipt->gas_used, 21'000u);
+  EXPECT_EQ(state_.balance(bob), ether(3));
+}
+
+// --------------------------------------------------------- the DAO drain
+
+TEST_F(EvmExecutorTest, DaoStyleReentrancyDrainsTheBank) {
+  using namespace contracts;
+  const PrivateKey victim = PrivateKey::from_seed(10);
+  const PrivateKey attacker = PrivateKey::from_seed(666);
+  state_.add_balance(derive_address(victim), ether(200));
+  state_.add_balance(derive_address(attacker), ether(10));
+
+  // deploy the bank
+  core::Transaction deploy_bank = make_transaction(
+      victim, 0, std::nullopt, Wei(0), std::nullopt, gwei(20), 2'000'000,
+      wrap_as_init_code(vulnerable_bank_runtime()));
+  auto rb = executor_.execute(state_, deploy_bank, ctx_, config_,
+                              ctx_.gas_limit);
+  ASSERT_TRUE(rb.accepted() && rb.receipt->success);
+  const Address bank = *rb.receipt->created_contract;
+
+  // the victim deposits 100 ether
+  core::Transaction deposit = make_transaction(
+      victim, 1, bank, ether(100), std::nullopt, gwei(20), 200'000,
+      bank_deposit_calldata());
+  auto rd = executor_.execute(state_, deposit, ctx_, config_, ctx_.gas_limit);
+  ASSERT_TRUE(rd.accepted() && rd.receipt->success);
+  EXPECT_EQ(state_.balance(bank), ether(100));
+
+  // attacker deploys the reentrancy contract (drains in 20 rounds)
+  core::Transaction deploy_attacker = make_transaction(
+      attacker, 0, std::nullopt, Wei(0), std::nullopt, gwei(20), 2'000'000,
+      wrap_as_init_code(reentrancy_attacker_runtime(20)));
+  auto ra = executor_.execute(state_, deploy_attacker, ctx_, config_,
+                              ctx_.gas_limit);
+  ASSERT_TRUE(ra.accepted() && ra.receipt->success);
+  const Address attack_contract = *ra.receipt->created_contract;
+
+  // attacker kicks it off with a 1-ether deposit
+  core::Transaction start = make_transaction(
+      attacker, 1, attack_contract, ether(1), std::nullopt, gwei(20),
+      4'000'000, attacker_start_calldata(bank));
+  auto rs = executor_.execute(state_, start, ctx_, config_, ctx_.gas_limit);
+  ASSERT_TRUE(rs.accepted());
+  ASSERT_TRUE(rs.receipt->success);
+
+  // the attacker's contract drained far more than its 1-ether deposit:
+  // 1 ether per reentrancy round
+  const Wei loot = state_.balance(attack_contract);
+  EXPECT_GE(loot, ether(15));
+  EXPECT_LT(state_.balance(bank), ether(100));
+
+  // ...and the DAO refund (the ETH fork's irregular state change) can move
+  // the loot to a refund address, which is exactly what ETH did
+  const Address refund_addr = Address::left_padded(Bytes{0xde});
+  core::State forked = state_;
+  core::apply_dao_refund(forked, {attack_contract}, refund_addr);
+  EXPECT_EQ(forked.balance(attack_contract), Wei(0));
+  EXPECT_EQ(forked.balance(refund_addr), loot);
+}
+
+}  // namespace
+}  // namespace forksim::evm

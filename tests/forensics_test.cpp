@@ -1,0 +1,141 @@
+// Echo-forensics classifier tests: scoring behaviour, threshold semantics,
+// confusion-matrix math, and end-to-end evaluation against labeled
+// simulation output.
+#include <gtest/gtest.h>
+
+#include "analysis/forensics.hpp"
+#include "sim/replay.hpp"
+
+namespace forksim::analysis {
+namespace {
+
+EchoFeatures benign_features() {
+  EchoFeatures f;
+  f.delay_seconds = 10;
+  f.sender_active_on_dest = true;
+  f.self_transfer = true;
+  f.value_ether = 1;
+  return f;
+}
+
+EchoFeatures malicious_features() {
+  EchoFeatures f;
+  f.delay_seconds = 5400;
+  f.sender_active_on_dest = false;
+  f.self_transfer = false;
+  f.value_ether = 200;
+  return f;
+}
+
+TEST(EchoClassifierTest, ClearCasesClassified) {
+  EXPECT_EQ(classify_echo(benign_features()).label, EchoLabel::kBenign);
+  EXPECT_EQ(classify_echo(malicious_features()).label,
+            EchoLabel::kMalicious);
+}
+
+TEST(EchoClassifierTest, ScoreIsBounded) {
+  EXPECT_GE(classify_echo(benign_features()).score, 0.0);
+  EXPECT_LE(classify_echo(malicious_features()).score, 1.0);
+}
+
+TEST(EchoClassifierTest, DelayIncreasesScoreMonotonically) {
+  EchoFeatures f = benign_features();
+  double previous = -1;
+  for (double delay : {1.0, 60.0, 600.0, 3600.0, 86400.0}) {
+    f.delay_seconds = delay;
+    const double score = classify_echo(f).score;
+    EXPECT_GE(score, previous) << delay;
+    previous = score;
+  }
+}
+
+TEST(EchoClassifierTest, EachBenignSignalLowersScore) {
+  EchoFeatures base = malicious_features();
+  const double base_score = classify_echo(base).score;
+
+  EchoFeatures with_activity = base;
+  with_activity.sender_active_on_dest = true;
+  EXPECT_LT(classify_echo(with_activity).score, base_score);
+
+  EchoFeatures with_self = base;
+  with_self.self_transfer = true;
+  EXPECT_LT(classify_echo(with_self).score, base_score);
+
+  EchoFeatures small_value = base;
+  small_value.value_ether = 1;
+  EXPECT_LT(classify_echo(small_value).score, base_score);
+}
+
+TEST(EchoClassifierTest, ThresholdFlipsTheLabel) {
+  const EchoFeatures f = malicious_features();
+  ClassifierParams lenient;
+  lenient.threshold = 0.99;
+  EXPECT_EQ(classify_echo(f, lenient).label, EchoLabel::kBenign);
+  ClassifierParams strict;
+  strict.threshold = 0.01;
+  EXPECT_EQ(classify_echo(f, strict).label, EchoLabel::kMalicious);
+}
+
+TEST(ConfusionMatrixTest, Metrics) {
+  ConfusionMatrix m;
+  m.true_malicious = 8;
+  m.false_malicious = 2;
+  m.false_benign = 4;
+  m.true_benign = 6;
+  EXPECT_DOUBLE_EQ(m.precision(), 0.8);
+  EXPECT_NEAR(m.recall(), 8.0 / 12.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.7);
+  EXPECT_EQ(m.total(), 20u);
+}
+
+TEST(ConfusionMatrixTest, EmptyIsZeroNotNan) {
+  ConfusionMatrix m;
+  EXPECT_EQ(m.precision(), 0.0);
+  EXPECT_EQ(m.recall(), 0.0);
+  EXPECT_EQ(m.accuracy(), 0.0);
+}
+
+TEST(EchoForensicsIntegrationTest, ClassifierBeatsBaselineOnSimData) {
+  // labeled echoes from the replay simulation; the classifier must beat the
+  // majority-class baseline
+  sim::ReplayParams params;
+  params.benign_echo = 0.06;
+  sim::ReplaySim replay(params, Rng(99));
+  std::vector<sim::ReplaySim::EchoSample> samples;
+  replay.set_sample_sink(&samples, 50'000);
+  for (double day = 0; day < 120; ++day) replay.step(day, 30000, 12000);
+  ASSERT_GT(samples.size(), 1000u);
+
+  std::vector<std::pair<EchoFeatures, EchoLabel>> labeled;
+  std::size_t malicious = 0;
+  for (const auto& s : samples) {
+    EchoFeatures f;
+    f.delay_seconds = s.delay_seconds;
+    f.sender_active_on_dest = s.sender_active_on_dest;
+    f.self_transfer = s.self_transfer;
+    f.value_ether = s.value_ether;
+    labeled.emplace_back(
+        f, s.is_attack ? EchoLabel::kMalicious : EchoLabel::kBenign);
+    if (s.is_attack) ++malicious;
+  }
+  const double majority = std::max(
+      static_cast<double>(malicious) / static_cast<double>(labeled.size()),
+      1.0 - static_cast<double>(malicious) /
+                static_cast<double>(labeled.size()));
+
+  const ConfusionMatrix m = evaluate(labeled);
+  EXPECT_GT(m.accuracy(), majority + 0.01);
+  EXPECT_GT(m.precision(), 0.9);
+  EXPECT_GT(m.recall(), 0.8);
+}
+
+TEST(EchoForensicsIntegrationTest, SampleSinkRespectsCap) {
+  sim::ReplaySim replay(sim::ReplayParams{}, Rng(7));
+  std::vector<sim::ReplaySim::EchoSample> samples;
+  replay.set_sample_sink(&samples, 100);
+  for (double day = 0; day < 10; ++day) replay.step(day, 30000, 12000);
+  EXPECT_EQ(samples.size(), 100u);
+}
+
+}  // namespace
+}  // namespace forksim::analysis

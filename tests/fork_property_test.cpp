@@ -1,0 +1,182 @@
+// Fork-choice property tests: random block trees imported in random order
+// must always converge to the max-total-difficulty head, with a consistent
+// canonical mapping and replayable state — regardless of arrival order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/chain.hpp"
+#include "support/rng.hpp"
+
+namespace forksim::core {
+namespace {
+
+const PrivateKey kAlice = PrivateKey::from_seed(1);
+
+GenesisAlloc alloc() { return {{derive_address(kAlice), ether(1000)}}; }
+
+/// Build a random block tree: a trunk plus random branches, produced by
+/// replica chains (each branch producer replays a prefix, then extends).
+struct BlockTree {
+  std::vector<Block> blocks;  // topological (parents before children)
+};
+
+BlockTree random_tree(TransferExecutor& executor, Rng& rng,
+                      std::size_t trunk_length, std::size_t branches) {
+  BlockTree tree;
+  Blockchain trunk(ChainConfig::mainnet_pre_fork(), executor, alloc());
+
+  const Address miners[] = {
+      derive_address(PrivateKey::from_seed(50)),
+      derive_address(PrivateKey::from_seed(51)),
+      derive_address(PrivateKey::from_seed(52)),
+  };
+
+  for (std::size_t i = 0; i < trunk_length; ++i) {
+    Block b = trunk.produce_block(
+        miners[rng.uniform(3)],
+        trunk.head().header.timestamp + 5 + rng.uniform(30), {});
+    EXPECT_EQ(trunk.import(b).result, ImportResult::kImported);
+    tree.blocks.push_back(b);
+  }
+
+  for (std::size_t branch = 0; branch < branches; ++branch) {
+    // replay a random prefix into a replica, then extend a few blocks
+    const std::size_t fork_at = rng.uniform(trunk_length);
+    Blockchain replica(ChainConfig::mainnet_pre_fork(), executor, alloc());
+    for (std::size_t i = 0; i < fork_at; ++i)
+      replica.import(*trunk.block_by_number(
+          static_cast<BlockNumber>(i + 1)));
+    const std::size_t extend = 1 + rng.uniform(4);
+    for (std::size_t i = 0; i < extend; ++i) {
+      Block b = replica.produce_block(
+          miners[rng.uniform(3)],
+          replica.head().header.timestamp + 5 + rng.uniform(40), {},
+          /*pow_nonce=*/rng.next());
+      EXPECT_EQ(replica.import(b).result, ImportResult::kImported);
+      tree.blocks.push_back(b);
+    }
+  }
+  return tree;
+}
+
+/// Import blocks in the given order, retrying orphans until fixpoint.
+void import_all(Blockchain& chain, std::vector<Block> blocks) {
+  std::size_t safety = blocks.size() * blocks.size() + 10;
+  while (!blocks.empty() && safety-- > 0) {
+    std::vector<Block> orphans;
+    for (const Block& b : blocks) {
+      const auto outcome = chain.import(b);
+      if (outcome.result == ImportResult::kUnknownParent)
+        orphans.push_back(b);
+      else
+        EXPECT_TRUE(outcome.result == ImportResult::kImported ||
+                    outcome.result == ImportResult::kAlreadyKnown)
+            << to_string(outcome.result);
+    }
+    if (orphans.size() == blocks.size()) break;  // no progress
+    blocks = std::move(orphans);
+  }
+  EXPECT_TRUE(blocks.empty()) << blocks.size() << " blocks never importable";
+}
+
+class ForkChoicePropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ForkChoicePropertyTest, OrderIndependentConvergence) {
+  TransferExecutor executor;
+  Rng rng(GetParam());
+  BlockTree tree = random_tree(executor, rng, 8, 4);
+
+  // reference: import in topological order
+  Blockchain reference(ChainConfig::mainnet_pre_fork(), executor, alloc());
+  import_all(reference, tree.blocks);
+
+  // shuffled import must land on the same head
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<Block> shuffled = tree.blocks;
+    for (std::size_t i = shuffled.size(); i > 1; --i)
+      std::swap(shuffled[i - 1], shuffled[rng.uniform(i)]);
+
+    Blockchain chain(ChainConfig::mainnet_pre_fork(), executor, alloc());
+    import_all(chain, shuffled);
+    // total difficulty is order-independent; the head hash is too, except
+    // on an exact TD tie, where Ethereum keeps whichever arrived first
+    EXPECT_EQ(chain.head_total_difficulty(),
+              reference.head_total_difficulty());
+    std::size_t at_max_td = 0;
+    for (const Block& b : tree.blocks) {
+      if (reference.total_difficulty_of(b.hash()) ==
+          reference.head_total_difficulty())
+        ++at_max_td;
+    }
+    if (at_max_td == 1) {
+      EXPECT_EQ(chain.head().hash(), reference.head().hash());
+    }
+  }
+}
+
+TEST_P(ForkChoicePropertyTest, HeadIsMaxTotalDifficulty) {
+  TransferExecutor executor;
+  Rng rng(GetParam() ^ 0xf00dull);
+  BlockTree tree = random_tree(executor, rng, 6, 5);
+
+  Blockchain chain(ChainConfig::mainnet_pre_fork(), executor, alloc());
+  import_all(chain, tree.blocks);
+
+  U256 best_td(0);
+  for (const Block& b : tree.blocks)
+    best_td = std::max(best_td, chain.total_difficulty_of(b.hash()));
+  EXPECT_EQ(chain.head_total_difficulty(), best_td);
+}
+
+TEST_P(ForkChoicePropertyTest, CanonicalMappingIsAParentChain) {
+  TransferExecutor executor;
+  Rng rng(GetParam() + 77);
+  BlockTree tree = random_tree(executor, rng, 7, 4);
+
+  Blockchain chain(ChainConfig::mainnet_pre_fork(), executor, alloc());
+  import_all(chain, tree.blocks);
+
+  // walking parent links from the head reproduces canonical_hash exactly
+  Hash256 cursor = chain.head().hash();
+  for (BlockNumber n = chain.height(); n > 0; --n) {
+    EXPECT_EQ(*chain.canonical_hash(n), cursor);
+    EXPECT_TRUE(chain.is_canonical(cursor));
+    cursor = chain.block_by_hash(cursor)->header.parent_hash;
+  }
+  EXPECT_EQ(*chain.canonical_hash(0), chain.genesis().hash());
+  EXPECT_FALSE(chain.canonical_hash(chain.height() + 1).has_value());
+}
+
+TEST_P(ForkChoicePropertyTest, MinerRewardsConsistentWithCanonicalChain) {
+  TransferExecutor executor;
+  Rng rng(GetParam() + 1234);
+  BlockTree tree = random_tree(executor, rng, 6, 3);
+
+  Blockchain chain(ChainConfig::mainnet_pre_fork(), executor, alloc());
+  import_all(chain, tree.blocks);
+
+  // replay the canonical chain and count rewards per coinbase (block
+  // reward + ommer accounting), then compare against head_state balances
+  std::unordered_map<Address, Wei, AddressHasher> expected;
+  for (BlockNumber n = 1; n <= chain.height(); ++n) {
+    const Block* b = chain.block_by_number(n);
+    const Wei base = chain.config().block_reward();
+    expected[b->header.coinbase] +=
+        base + base * U256(b->ommers.size()) / U256(32);
+    for (const auto& ommer : b->ommers)
+      expected[ommer.coinbase] +=
+          base * U256(ommer.number + 8 - b->header.number) / U256(8);
+  }
+  for (const auto& [addr, reward] : expected)
+    EXPECT_EQ(chain.head_state().balance(addr), reward)
+        << "coinbase 0x" << addr.hex();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForkChoicePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace forksim::core

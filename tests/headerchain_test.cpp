@@ -1,0 +1,151 @@
+// Light-client header chain: consensus validation without bodies, heaviest-
+// chain following, reorgs, and the DAO partition at the header level — a
+// header chain can cheaply monitor either side of the fork (or both, with
+// two instances), exactly like a block-explorer backend.
+#include <gtest/gtest.h>
+
+#include "core/chain.hpp"
+#include "core/headerchain.hpp"
+#include "core/receipt.hpp"
+
+namespace forksim::core {
+namespace {
+
+const Address kMinerA = derive_address(PrivateKey::from_seed(50));
+const Address kMinerB = derive_address(PrivateKey::from_seed(51));
+
+/// Headers come from a real full chain so they satisfy every rule.
+class HeaderChainTest : public ::testing::Test {
+ protected:
+  HeaderChainTest()
+      : full_(ChainConfig::mainnet_pre_fork(), executor_),
+        light_(ChainConfig::mainnet_pre_fork(), full_.genesis().header) {}
+
+  BlockHeader mine(Timestamp delay = 14) {
+    Block b = full_.produce_block(kMinerA,
+                                  full_.head().header.timestamp + delay, {});
+    EXPECT_EQ(full_.import(b).result, ImportResult::kImported);
+    return b.header;
+  }
+
+  TransferExecutor executor_;
+  Blockchain full_;
+  HeaderChain light_;
+};
+
+TEST_F(HeaderChainTest, FollowsTheFullChain) {
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(light_.import(mine()), HeaderImportResult::kImported);
+  EXPECT_EQ(light_.height(), 10u);
+  EXPECT_EQ(light_.head().hash(), full_.head().hash());
+  EXPECT_EQ(light_.head_total_difficulty(), full_.head_total_difficulty());
+  EXPECT_EQ(light_.by_number(5)->hash(), full_.block_by_number(5)->hash());
+  EXPECT_EQ(light_.by_number(11), nullptr);
+}
+
+TEST_F(HeaderChainTest, RejectsTamperedHeaders) {
+  BlockHeader h = mine();
+
+  BlockHeader bad_difficulty = h;
+  bad_difficulty.difficulty += U256(1);
+  EXPECT_EQ(light_.import(bad_difficulty), HeaderImportResult::kInvalid);
+
+  BlockHeader bad_timestamp = h;
+  bad_timestamp.timestamp = 0;
+  EXPECT_EQ(light_.import(bad_timestamp), HeaderImportResult::kInvalid);
+
+  BlockHeader bad_gas = h;
+  bad_gas.gas_used = bad_gas.gas_limit + 1;
+  EXPECT_EQ(light_.import(bad_gas), HeaderImportResult::kInvalid);
+
+  // the genuine header still lands
+  EXPECT_EQ(light_.import(h), HeaderImportResult::kImported);
+  EXPECT_EQ(light_.import(h), HeaderImportResult::kAlreadyKnown);
+}
+
+TEST_F(HeaderChainTest, OrphanHeadersRejected) {
+  mine();  // full chain advances; light chain hasn't seen block 1
+  BlockHeader h2 = mine();
+  EXPECT_EQ(light_.import(h2), HeaderImportResult::kUnknownParent);
+}
+
+TEST_F(HeaderChainTest, ReorgsToHeavierBranch) {
+  const BlockHeader h1 = mine();
+  ASSERT_EQ(light_.import(h1), HeaderImportResult::kImported);
+
+  // competing branch from genesis, heavier after two blocks
+  Blockchain fork(ChainConfig::mainnet_pre_fork(), executor_);
+  Block f1 = fork.produce_block(kMinerB,
+                                fork.head().header.timestamp + 30, {}, 777);
+  fork.import(f1);
+  Block f2 = fork.produce_block(kMinerB,
+                                fork.head().header.timestamp + 5, {}, 778);
+  fork.import(f2);
+
+  ASSERT_EQ(light_.import(f1.header), HeaderImportResult::kImported);
+  EXPECT_EQ(light_.head().hash(), h1.hash());  // lighter branch: no switch
+  ASSERT_EQ(light_.import(f2.header), HeaderImportResult::kImported);
+  EXPECT_EQ(light_.head().hash(), f2.hash());  // heavier branch wins
+  EXPECT_EQ(light_.by_number(1)->hash(), f1.hash());
+  EXPECT_EQ(light_.height(), 2u);
+}
+
+TEST_F(HeaderChainTest, HeaderCountTracksAllBranches) {
+  const BlockHeader h1 = mine();
+  light_.import(h1);
+  Blockchain fork(ChainConfig::mainnet_pre_fork(), executor_);
+  Block f1 = fork.produce_block(kMinerB,
+                                fork.head().header.timestamp + 30, {}, 999);
+  fork.import(f1);
+  light_.import(f1.header);
+  EXPECT_EQ(light_.header_count(), 3u);  // genesis + two branch tips
+}
+
+TEST(HeaderChainDaoTest, PartitionAtHeaderLevel) {
+  TransferExecutor executor;
+  constexpr BlockNumber kFork = 3;
+  Blockchain eth_full(ChainConfig::eth(kFork), executor);
+  Blockchain etc_full(ChainConfig::etc(kFork, std::nullopt), executor);
+  HeaderChain eth_light(ChainConfig::eth(kFork), eth_full.genesis().header);
+  HeaderChain etc_light(ChainConfig::etc(kFork, std::nullopt),
+                        etc_full.genesis().header);
+
+  auto mine = [](Blockchain& chain) {
+    Block b = chain.produce_block(kMinerA,
+                                  chain.head().header.timestamp + 14, {});
+    EXPECT_EQ(chain.import(b).result, ImportResult::kImported);
+    return b.header;
+  };
+
+  // shared history up to the fork
+  for (int i = 0; i < 2; ++i) {
+    const BlockHeader h = mine(eth_full);
+    const BlockHeader g = mine(etc_full);
+    EXPECT_EQ(h.hash(), g.hash());
+    EXPECT_EQ(eth_light.import(h), HeaderImportResult::kImported);
+    EXPECT_EQ(etc_light.import(g), HeaderImportResult::kImported);
+  }
+
+  // the fork block: each light client accepts only its own side
+  const BlockHeader eth_fork = mine(eth_full);
+  const BlockHeader etc_fork = mine(etc_full);
+  EXPECT_EQ(eth_light.import(eth_fork), HeaderImportResult::kImported);
+  EXPECT_EQ(eth_light.import(etc_fork), HeaderImportResult::kWrongFork);
+  EXPECT_EQ(etc_light.import(etc_fork), HeaderImportResult::kImported);
+  EXPECT_EQ(etc_light.import(eth_fork), HeaderImportResult::kWrongFork);
+}
+
+TEST(ValidateChildHeaderTest, AcceptsExactlyTheProducedHeader) {
+  TransferExecutor executor;
+  Blockchain chain(ChainConfig::mainnet_pre_fork(), executor);
+  Block b = chain.produce_block(kMinerA, 14, {});
+  EXPECT_EQ(validate_child_header(chain.config(), chain.genesis().header,
+                                  b.header),
+            HeaderImportResult::kImported);
+  // not a child of itself
+  EXPECT_EQ(validate_child_header(chain.config(), b.header, b.header),
+            HeaderImportResult::kInvalid);
+}
+
+}  // namespace
+}  // namespace forksim::core

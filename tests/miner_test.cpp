@@ -1,0 +1,123 @@
+// Miner agent statistics: block shares proportional to hashrate (the
+// assumption behind every pool and migration model in the paper), live
+// hashrate changes, and clean stop semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "evm/executor.hpp"
+#include "sim/miner.hpp"
+#include "sim/node.hpp"
+
+namespace forksim::sim {
+namespace {
+
+struct MiningNet {
+  MiningNet()
+      : network(loop, Rng(1), p2p::LatencyModel{0.01, 0.0, 0.0, 0.0}) {
+    NodeOptions options;
+    options.genesis_difficulty = U256(200'000);
+    node = std::make_unique<FullNode>(
+        network, keccak256(std::string_view("miner-test")),
+        core::ChainConfig::mainnet_pre_fork(), executor, core::GenesisAlloc{},
+        Rng(2), options);
+    node->start({});
+  }
+
+  p2p::EventLoop loop;
+  p2p::Network network;
+  evm::EvmExecutor executor;
+  std::unique_ptr<FullNode> node;
+};
+
+TEST(MinerTest, BlockShareTracksHashrate) {
+  MiningNet net;
+  const Address big = Address::left_padded(Bytes{0x01});
+  const Address small = Address::left_padded(Bytes{0x02});
+  Miner m1(*net.node, big, 3e4, Rng(10));
+  Miner m2(*net.node, small, 1e4, Rng(11));
+  m1.start();
+  m2.start();
+  net.loop.run_until(3600.0 * 4);
+  m1.stop();
+  m2.stop();
+
+  const auto& chain = net.node->chain();
+  ASSERT_GT(chain.height(), 200u);
+  std::uint64_t big_wins = 0;
+  std::uint64_t small_wins = 0;
+  for (core::BlockNumber n = 1; n <= chain.height(); ++n) {
+    const auto& coinbase = chain.block_by_number(n)->header.coinbase;
+    if (coinbase == big) ++big_wins;
+    if (coinbase == small) ++small_wins;
+  }
+  const double share =
+      static_cast<double>(big_wins) /
+      static_cast<double>(big_wins + small_wins);
+  EXPECT_NEAR(share, 0.75, 0.07);
+  // block rewards accrued accordingly (plus any ommer payouts)
+  EXPECT_GT(chain.head_state().balance(big),
+            chain.head_state().balance(small));
+}
+
+TEST(MinerTest, EquilibriumIntervalNearTarget) {
+  MiningNet net;
+  // hashrate chosen so the genesis difficulty (200k) is already the
+  // equilibrium: 200000 / 14 ≈ 14286 H/s. (Upward retargeting moves at
+  // most +1/2048 per block, so reaching equilibrium from far below takes
+  // thousands of blocks — see DifficultyPropertyTest for that dynamic.)
+  Miner miner(*net.node, Address::left_padded(Bytes{0x03}), 200'000.0 / 14.0,
+              Rng(12));
+  miner.start();
+  net.loop.run_until(3600.0 * 6);
+  miner.stop();
+
+  const auto& chain = net.node->chain();
+  // skip the warmup third, then measure the mean interval
+  const core::BlockNumber from = chain.height() / 3;
+  const core::Timestamp t0 = chain.block_by_number(from)->header.timestamp;
+  const core::Timestamp t1 = chain.head().header.timestamp;
+  const double mean_interval =
+      static_cast<double>(t1 - t0) /
+      static_cast<double>(chain.height() - from);
+  EXPECT_NEAR(mean_interval, 14.0, 3.0);
+}
+
+TEST(MinerTest, SetHashrateShiftsProduction) {
+  MiningNet net;
+  Miner miner(*net.node, Address::left_padded(Bytes{0x04}), 1e4, Rng(13));
+  miner.start();
+  net.loop.run_until(1800.0);
+  const auto height_before = net.node->chain().height();
+  miner.set_hashrate(8e4);  // 8x
+  net.loop.run_until(3600.0);
+  miner.stop();
+  const auto second_half = net.node->chain().height() - height_before;
+  // difficulty needs time to catch up, so the faster period mines far more
+  EXPECT_GT(second_half, height_before * 2);
+}
+
+TEST(MinerTest, StopHaltsProduction) {
+  MiningNet net;
+  Miner miner(*net.node, Address::left_padded(Bytes{0x05}), 5e4, Rng(14));
+  miner.start();
+  net.loop.run_until(600.0);
+  miner.stop();
+  const auto height = net.node->chain().height();
+  ASSERT_GT(height, 0u);
+  net.loop.run_until(3600.0);
+  EXPECT_EQ(net.node->chain().height(), height);
+  EXPECT_GT(miner.blocks_mined(), 0u);
+}
+
+TEST(MinerTest, ZeroHashrateMinesNothing) {
+  MiningNet net;
+  Miner miner(*net.node, Address::left_padded(Bytes{0x06}), 0.0, Rng(15));
+  miner.start();
+  net.loop.run_until(600.0);
+  EXPECT_EQ(net.node->chain().height(), 0u);
+  miner.stop();
+}
+
+}  // namespace
+}  // namespace forksim::sim

@@ -1,0 +1,172 @@
+// Cross-cutting property tests validating core data structures against
+// independent reference models: U256 vs native 128-bit arithmetic, the
+// transaction pool vs a brute-force selector, and trie deletion vs
+// rebuild-from-scratch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/txpool.hpp"
+#include "support/rng.hpp"
+#include "support/u256.hpp"
+#include "trie/trie.hpp"
+
+namespace forksim {
+namespace {
+
+using u128 = unsigned __int128;
+
+class ModelSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// ------------------------------------------------------------------- U256
+
+TEST_P(ModelSeedTest, U256MatchesNative128BitArithmetic) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a64 = rng.next();
+    const std::uint64_t b64 = rng.next();
+    const U256 a(a64);
+    const U256 b(b64);
+
+    // multiplication up to 128 bits, checked limb by limb
+    const u128 product = static_cast<u128>(a64) * b64;
+    const U256 p = a * b;
+    EXPECT_EQ(p.limb(0), static_cast<std::uint64_t>(product));
+    EXPECT_EQ(p.limb(1), static_cast<std::uint64_t>(product >> 64));
+    EXPECT_EQ(p.limb(2), 0u);
+
+    // addition with carry
+    const u128 sum = static_cast<u128>(a64) + b64;
+    const U256 s = a + b;
+    EXPECT_EQ(s.limb(0), static_cast<std::uint64_t>(sum));
+    EXPECT_EQ(s.limb(1), static_cast<std::uint64_t>(sum >> 64));
+
+    // division and modulo
+    if (b64 != 0) {
+      EXPECT_EQ((a / b).as_u64(), a64 / b64);
+      EXPECT_EQ((a % b).as_u64(), a64 % b64);
+    }
+
+    // comparison agrees
+    EXPECT_EQ(a < b, a64 < b64);
+    EXPECT_EQ(a == b, a64 == b64);
+  }
+}
+
+TEST_P(ModelSeedTest, U256DivModIdentity) {
+  // for random wide values: a == q*b + r with r < b
+  Rng rng(GetParam() ^ 0x5555ull);
+  for (int i = 0; i < 300; ++i) {
+    const U256 a(rng.next(), rng.next(), rng.next(), rng.next());
+    const U256 b(rng.next(), i % 3 == 0 ? rng.next() : 0, 0, 0);
+    if (b.is_zero()) continue;
+    const auto [q, r] = U256::divmod(a, b);
+    EXPECT_LT(r, b);
+    EXPECT_EQ(q * b + r, a);
+  }
+}
+
+TEST_P(ModelSeedTest, U256ShiftMulEquivalence) {
+  // v << k == v * 2^k (mod 2^256) for k in [0, 64)
+  Rng rng(GetParam() + 3);
+  for (int i = 0; i < 200; ++i) {
+    const U256 v(rng.next(), rng.next(), 0, 0);
+    const unsigned k = static_cast<unsigned>(rng.uniform(64));
+    EXPECT_EQ(v << k, v * U256(1ull << k)) << k;
+  }
+}
+
+// ------------------------------------------------------------------ txpool
+
+TEST_P(ModelSeedTest, TxPoolCollectIsNonceOrderedAndComplete) {
+  Rng rng(GetParam() * 7 + 1);
+  core::ChainConfig config = core::ChainConfig::mainnet_pre_fork();
+  core::TxPool pool(config);
+  core::State state;
+
+  std::vector<PrivateKey> senders;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    senders.push_back(PrivateKey::from_seed(100 + i));
+    state.add_balance(derive_address(senders.back()), core::ether(1000));
+  }
+
+  // random admission (some gaps, some replacements)
+  for (int i = 0; i < 60; ++i) {
+    const auto& key = senders[rng.uniform(senders.size())];
+    const std::uint64_t nonce = rng.uniform(8);
+    (void)pool.add(
+        core::make_transaction(key, nonce,
+                               derive_address(senders[0]), core::ether(1),
+                               std::nullopt,
+                               core::gwei(1 + rng.uniform(50))),
+        state, 1);
+  }
+
+  const auto picked = pool.collect(100, state);
+  // per-sender: nonces start at the account nonce and are contiguous
+  std::unordered_map<Address, std::uint64_t, AddressHasher> expected;
+  for (const auto& tx : picked) {
+    const Address sender = *tx.sender();
+    const std::uint64_t expect =
+        expected.contains(sender) ? expected[sender] : state.nonce(sender);
+    EXPECT_EQ(tx.nonce, expect);
+    expected[sender] = expect + 1;
+  }
+
+  // completeness: every sender's contiguous head run is fully selected
+  for (const auto& key : senders) {
+    const Address sender = derive_address(key);
+    std::uint64_t run = state.nonce(sender);
+    while (true) {
+      bool found = false;
+      for (const auto& h : pool.hashes()) {
+        const auto* tx = pool.by_hash(h);
+        if (tx != nullptr && *tx->sender() == sender && tx->nonce == run) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) break;
+      ++run;
+    }
+    const std::uint64_t selected =
+        expected.contains(sender) ? expected[sender] : state.nonce(sender);
+    EXPECT_EQ(selected, run) << "sender head-run not fully collected";
+  }
+}
+
+// -------------------------------------------------------------------- trie
+
+TEST_P(ModelSeedTest, TrieEraseEquivalentToRebuild) {
+  Rng rng(GetParam() + 99);
+  std::map<Bytes, Bytes> model;
+  trie::Trie t;
+
+  for (int i = 0; i < 120; ++i) {
+    Bytes key(1 + rng.uniform(4), 0);
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.uniform(16));
+    Bytes value = {static_cast<std::uint8_t>(1 + rng.uniform(255))};
+    t.put(key, value);
+    model[key] = value;
+  }
+  // erase a random half
+  std::vector<Bytes> keys;
+  for (const auto& [k, v] : model) keys.push_back(k);
+  for (std::size_t i = 0; i < keys.size() / 2; ++i) {
+    const Bytes& victim = keys[rng.uniform(keys.size())];
+    t.erase(victim);
+    model.erase(victim);
+  }
+
+  trie::Trie rebuilt;
+  for (const auto& [k, v] : model) rebuilt.put(k, v);
+  EXPECT_EQ(t.root_hash(), rebuilt.root_hash());
+  EXPECT_EQ(t.size(), rebuilt.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelSeedTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace forksim

@@ -1,0 +1,660 @@
+// P2P tests: event loop determinism, network delivery/loss, Kademlia
+// distance & routing & lookups, wire message round-trips, and peer session
+// lifecycle including the DAO challenge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/transaction.hpp"
+
+#include "crypto/keccak.hpp"
+#include "p2p/discovery.hpp"
+#include "p2p/gossip.hpp"
+#include "p2p/kademlia.hpp"
+#include "p2p/messages.hpp"
+#include "p2p/peers.hpp"
+#include "p2p/simnet.hpp"
+
+namespace forksim::p2p {
+namespace {
+
+NodeId nid(std::uint64_t n) {
+  Keccak256 h;
+  h.update(std::string_view("test-node"));
+  auto be = be_fixed64(n);
+  h.update(BytesView(be.data(), be.size()));
+  return h.digest();
+}
+
+// -------------------------------------------------------------- event loop
+
+TEST(EventLoopTest, OrdersByTime) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(2.0, [&] { order.push_back(2); });
+  loop.schedule(1.0, [&] { order.push_back(1); });
+  loop.schedule(3.0, [&] { order.push_back(3); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(loop.now(), 3.0);
+}
+
+TEST(EventLoopTest, TiesBreakByInsertionOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    loop.schedule(1.0, [&order, i] { order.push_back(i); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule(1.0, [&] { ++fired; });
+  loop.schedule(10.0, [&] { ++fired; });
+  EXPECT_EQ(loop.run_until(5.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(loop.now(), 5.0);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoopTest, EventsCanScheduleEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) loop.schedule(1.0, recurse);
+  };
+  loop.schedule(0.0, recurse);
+  loop.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(loop.now(), 4.0);
+}
+
+TEST(EventLoopTest, NegativeDelayClampedToNow) {
+  EventLoop loop;
+  loop.schedule(5.0, [] {});
+  loop.run();
+  bool fired = false;
+  loop.schedule(-1.0, [&] { fired = true; });
+  loop.run();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(loop.now(), 5.0);
+}
+
+// ----------------------------------------------------------------- network
+
+TEST(NetworkTest, DeliversWithLatency) {
+  EventLoop loop;
+  Network net(loop, Rng(1), LatencyModel{0.1, 0.0, 0.0, 0.0});
+  std::vector<std::pair<double, Bytes>> received;
+  net.attach(nid(2), [&](const NodeId&, const Bytes& data) {
+    received.emplace_back(loop.now(), data);
+  });
+  net.send(nid(1), nid(2), Bytes{0xaa});
+  loop.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_DOUBLE_EQ(received[0].first, 0.1);
+  EXPECT_EQ(received[0].second, Bytes{0xaa});
+}
+
+TEST(NetworkTest, DetachedPeerDropsMessages) {
+  EventLoop loop;
+  Network net(loop, Rng(1));
+  int received = 0;
+  net.attach(nid(2), [&](const NodeId&, const Bytes&) { ++received; });
+  net.send(nid(1), nid(2), Bytes{1});
+  net.detach(nid(2));
+  net.send(nid(1), nid(2), Bytes{2});
+  loop.run();
+  // the first message may or may not land depending on detach timing; the
+  // second definitely doesn't — since detach happened before run, both drop
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_EQ(net.messages_delivered(), 0u);
+}
+
+TEST(NetworkTest, LossDropsFraction) {
+  EventLoop loop;
+  Network net(loop, Rng(7), LatencyModel{0.01, 0.0, 0.0, 0.5});
+  int received = 0;
+  net.attach(nid(2), [&](const NodeId&, const Bytes&) { ++received; });
+  for (int i = 0; i < 1000; ++i) net.send(nid(1), nid(2), Bytes{1});
+  loop.run();
+  EXPECT_GT(received, 400);
+  EXPECT_LT(received, 600);
+}
+
+TEST(NetworkTest, LatencyJitterVaries) {
+  EventLoop loop;
+  Network net(loop, Rng(3), LatencyModel::wan());
+  std::vector<double> arrivals;
+  net.attach(nid(2), [&](const NodeId&, const Bytes&) {
+    arrivals.push_back(loop.now());
+  });
+  for (int i = 0; i < 50; ++i) net.send(nid(1), nid(2), Bytes{1});
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 50u);
+  // all >= base latency, not all equal
+  for (double t : arrivals) EXPECT_GE(t, 0.05);
+  EXPECT_NE(arrivals.front(), arrivals.back());
+}
+
+// ---------------------------------------------------------------- kademlia
+
+TEST(KademliaTest, XorDistanceProperties) {
+  const NodeId a = nid(1);
+  const NodeId b = nid(2);
+  EXPECT_TRUE(xor_distance(a, a).is_zero());
+  EXPECT_EQ(xor_distance(a, b), xor_distance(b, a));
+  EXPECT_EQ(distance_bucket(a, a), -1);
+  EXPECT_GE(distance_bucket(a, b), 0);
+  EXPECT_LT(distance_bucket(a, b), 256);
+}
+
+TEST(KademliaTest, DistanceBucketMatchesHighBit) {
+  NodeId base;  // all zero
+  NodeId one;
+  one[31] = 0x01;  // lowest bit
+  EXPECT_EQ(distance_bucket(base, one), 0);
+  NodeId top;
+  top[0] = 0x80;  // highest bit
+  EXPECT_EQ(distance_bucket(base, top), 255);
+}
+
+TEST(RoutingTableTest, ObserveAndLookup) {
+  RoutingTable table(nid(0));
+  for (std::uint64_t i = 1; i <= 50; ++i) EXPECT_TRUE(table.observe(nid(i)) ||
+                                                      true);
+  EXPECT_GT(table.size(), 0u);
+  EXPECT_FALSE(table.observe(nid(0)));  // never inserts self
+
+  const auto closest = table.closest(nid(7), 5);
+  ASSERT_LE(closest.size(), 5u);
+  // closest list must be sorted by distance
+  for (std::size_t i = 1; i < closest.size(); ++i)
+    EXPECT_TRUE(!closer_to(nid(7), closest[i], closest[i - 1]));
+  // nid(7) itself was observed, so it should be the closest match
+  ASSERT_FALSE(closest.empty());
+  EXPECT_EQ(closest[0], nid(7));
+}
+
+TEST(RoutingTableTest, RemoveAndContains) {
+  RoutingTable table(nid(0));
+  table.observe(nid(1));
+  EXPECT_TRUE(table.contains(nid(1)));
+  table.remove(nid(1));
+  EXPECT_FALSE(table.contains(nid(1)));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(RoutingTableTest, BucketCapacityAndEviction) {
+  // craft ids sharing the same bucket relative to self (same top bit
+  // pattern): brute force until one bucket fills
+  RoutingTable table(nid(0));
+  std::size_t inserted = 0;
+  std::optional<NodeId> rejected;
+  for (std::uint64_t i = 1; i < 4000; ++i) {
+    if (table.observe(nid(i))) ++inserted;
+    else {
+      rejected = nid(i);
+      break;
+    }
+  }
+  ASSERT_TRUE(rejected.has_value()) << "no bucket filled";
+  // the full bucket must offer an eviction candidate (its LRS entry)
+  auto candidate = table.eviction_candidate(*rejected);
+  ASSERT_TRUE(candidate.has_value());
+  EXPECT_TRUE(table.contains(*candidate));
+}
+
+TEST(RoutingTableTest, ObserveRefreshesToMostRecent) {
+  RoutingTable table(nid(0));
+  // find two ids in the same bucket
+  std::vector<NodeId> same_bucket;
+  const int want_bucket = distance_bucket(nid(0), nid(1));
+  same_bucket.push_back(nid(1));
+  for (std::uint64_t i = 2; same_bucket.size() < 2 && i < 1000; ++i)
+    if (distance_bucket(nid(0), nid(i)) == want_bucket)
+      same_bucket.push_back(nid(i));
+  ASSERT_EQ(same_bucket.size(), 2u);
+  table.observe(same_bucket[0]);
+  table.observe(same_bucket[1]);
+  // re-observing [0] moves it to most-recent; eviction candidate becomes [1]
+  table.observe(same_bucket[0]);
+  // (only verifiable when bucket is full; at least assert both present)
+  EXPECT_TRUE(table.contains(same_bucket[0]));
+  EXPECT_TRUE(table.contains(same_bucket[1]));
+}
+
+TEST(LookupTest, ConvergesToClosest) {
+  // a static universe of 200 nodes; responses come from perfect routing
+  // tables; the lookup must find the true k closest to the target
+  std::vector<NodeId> universe;
+  for (std::uint64_t i = 1; i <= 200; ++i) universe.push_back(nid(i));
+  const NodeId target = nid(9999);
+
+  auto true_closest = universe;
+  std::sort(true_closest.begin(), true_closest.end(),
+            [&](const NodeId& a, const NodeId& b) {
+              return closer_to(target, a, b);
+            });
+  true_closest.resize(8);
+
+  Lookup lookup(target, {universe[0], universe[1], universe[2]}, 8);
+  int rounds = 0;
+  while (!lookup.done() && rounds < 500) {
+    for (const NodeId& q : lookup.next_queries()) {
+      // the queried node replies with its own 16 closest (perfect info)
+      auto reply = universe;
+      std::sort(reply.begin(), reply.end(),
+                [&](const NodeId& a, const NodeId& b) {
+                  return closer_to(target, a, b);
+                });
+      reply.resize(16);
+      lookup.on_response(q, reply);
+    }
+    ++rounds;
+  }
+  EXPECT_TRUE(lookup.done());
+  const auto result = lookup.result();
+  ASSERT_GE(result.size(), 4u);
+  // the best results must be the true closest
+  EXPECT_EQ(result[0], true_closest[0]);
+  EXPECT_EQ(result[1], true_closest[1]);
+}
+
+TEST(LookupTest, HandlesUnresponsiveNodes) {
+  const NodeId target = nid(42);
+  Lookup lookup(target, {nid(1), nid(2), nid(3)}, 4);
+  while (!lookup.done()) {
+    const auto queries = lookup.next_queries();
+    if (queries.empty()) break;
+    for (const NodeId& q : queries) lookup.on_timeout(q);  // all time out
+  }
+  EXPECT_TRUE(lookup.done());
+  EXPECT_TRUE(lookup.result().empty());  // nobody responded with anything
+}
+
+// ---------------------------------------------------------------- messages
+
+TEST(MessagesTest, DiscoveryRoundTrips) {
+  for (const Message& msg :
+       {Message{Ping{}}, Message{Pong{}}, Message{FindNode{nid(5)}},
+        Message{Neighbors{{nid(1), nid(2)}}}}) {
+    auto decoded = decode_message(encode_message(msg));
+    ASSERT_TRUE(decoded.has_value()) << message_name(msg);
+    EXPECT_EQ(decoded->index(), msg.index());
+  }
+}
+
+TEST(MessagesTest, StatusRoundTrip) {
+  Status s;
+  s.network_id = 61;
+  s.total_difficulty = U256::from_dec("123456789123456789").value_or(U256(1));
+  s.head_hash = nid(1);
+  s.genesis_hash = nid(2);
+  s.head_number = 1'920'000;
+  auto decoded = decode_message(encode_message(Message{s}));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& out = std::get<Status>(*decoded);
+  EXPECT_EQ(out.network_id, 61u);
+  EXPECT_EQ(out.total_difficulty, s.total_difficulty);
+  EXPECT_EQ(out.head_hash, s.head_hash);
+  EXPECT_EQ(out.head_number, 1'920'000u);
+}
+
+TEST(MessagesTest, NewBlockRoundTrip) {
+  core::Block b;
+  b.header.number = 7;
+  b.header.difficulty = U256(1000);
+  b.transactions.push_back(core::make_transaction(
+      PrivateKey::from_seed(1), 0, derive_address(PrivateKey::from_seed(2)),
+      core::ether(1), std::nullopt));
+  auto decoded =
+      decode_message(encode_message(Message{NewBlock{b, U256(5000)}}));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& out = std::get<NewBlock>(*decoded);
+  EXPECT_EQ(out.block, b);
+  EXPECT_EQ(out.total_difficulty, U256(5000));
+}
+
+TEST(MessagesTest, TransactionsRoundTrip) {
+  Transactions txs;
+  for (int i = 0; i < 3; ++i)
+    txs.transactions.push_back(core::make_transaction(
+        PrivateKey::from_seed(1), static_cast<std::uint64_t>(i),
+        derive_address(PrivateKey::from_seed(2)), core::ether(1), 61));
+  auto decoded = decode_message(encode_message(Message{txs}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<Transactions>(*decoded).transactions.size(), 3u);
+}
+
+TEST(MessagesTest, DaoHeaderRoundTripsWithAndWithoutHeader) {
+  DaoHeader empty;
+  auto d1 = decode_message(encode_message(Message{empty}));
+  ASSERT_TRUE(d1.has_value());
+  EXPECT_FALSE(std::get<DaoHeader>(*d1).header.has_value());
+
+  DaoHeader with;
+  core::BlockHeader h;
+  h.number = 1'920'000;
+  h.extra_data = core::dao_fork_extra_data();
+  with.header = h;
+  auto d2 = decode_message(encode_message(Message{with}));
+  ASSERT_TRUE(d2.has_value());
+  ASSERT_TRUE(std::get<DaoHeader>(*d2).header.has_value());
+  EXPECT_EQ(std::get<DaoHeader>(*d2).header->extra_data,
+            core::dao_fork_extra_data());
+}
+
+TEST(MessagesTest, MalformedInputRejected) {
+  EXPECT_FALSE(decode_message(Bytes{0x01, 0x02, 0x03}).has_value());
+  EXPECT_FALSE(decode_message(Bytes{}).has_value());
+  // unknown message id
+  auto unknown = rlp::encode(rlp::Item::list({rlp::Item::u64(0xee)}));
+  EXPECT_FALSE(decode_message(unknown).has_value());
+}
+
+// ------------------------------------------------------------------ gossip
+
+TEST(GossipTest, SqrtSplit) {
+  Rng rng(5);
+  std::vector<NodeId> peers;
+  for (std::uint64_t i = 0; i < 25; ++i) peers.push_back(nid(i));
+  auto [push, announce] = split_for_gossip(peers, GossipPolicy{}, rng);
+  EXPECT_EQ(push.size(), 5u);  // ceil(sqrt(25))
+  EXPECT_EQ(push.size() + announce.size(), 25u);
+}
+
+TEST(GossipTest, FloodPolicyPushesAll) {
+  Rng rng(5);
+  std::vector<NodeId> peers;
+  for (std::uint64_t i = 0; i < 10; ++i) peers.push_back(nid(i));
+  auto [push, announce] =
+      split_for_gossip(peers, GossipPolicy{1.0, 1}, rng);
+  EXPECT_EQ(push.size(), 10u);
+  EXPECT_TRUE(announce.empty());
+}
+
+TEST(GossipTest, EmptyPeerListSafe) {
+  Rng rng(5);
+  auto [push, announce] = split_for_gossip({}, GossipPolicy{}, rng);
+  EXPECT_TRUE(push.empty());
+  EXPECT_TRUE(announce.empty());
+}
+
+// ----------------------------------------------------------- peer sessions
+
+struct PeerHarness {
+  struct Sent {
+    NodeId to;
+    Message msg;
+  };
+  std::vector<Sent> outbox;
+  std::optional<core::BlockHeader> dao;
+  bool dao_ok = true;
+  std::vector<NodeId> activated;
+  std::vector<std::pair<NodeId, DisconnectReason>> dropped;
+
+  PeerSet make(std::uint64_t network_id, Hash256 genesis,
+               std::size_t max_peers = 8) {
+    return PeerSet(
+        network_id, genesis, max_peers,
+        PeerSet::Callbacks{
+            [this](const NodeId& to, const Message& m) {
+              outbox.push_back({to, m});
+            },
+            [network_id, genesis] {
+              Status s;
+              s.network_id = network_id;
+              s.genesis_hash = genesis;
+              return s;
+            },
+            [this] { return dao; },
+            [this](const std::optional<core::BlockHeader>&) {
+              return dao_ok;
+            },
+            [this](const NodeId& id, const Status&) {
+              activated.push_back(id);
+            },
+            [this](const NodeId& id, DisconnectReason r) {
+              dropped.emplace_back(id, r);
+            },
+        });
+  }
+};
+
+TEST(PeerSetTest, HandshakeActivates) {
+  PeerHarness h;
+  const Hash256 genesis = nid(100);
+  PeerSet peers = h.make(1, genesis);
+
+  peers.connect(nid(1));
+  ASSERT_EQ(h.outbox.size(), 1u);  // our Status
+  EXPECT_EQ(message_name(h.outbox[0].msg), "STATUS");
+
+  Status remote;
+  remote.network_id = 1;
+  remote.genesis_hash = genesis;
+  EXPECT_TRUE(peers.handle(nid(1), Message{remote}));
+  EXPECT_EQ(peers.active_count(), 1u);
+  ASSERT_EQ(h.activated.size(), 1u);
+}
+
+TEST(PeerSetTest, InboundHandshakeReciprocates) {
+  PeerHarness h;
+  const Hash256 genesis = nid(100);
+  PeerSet peers = h.make(1, genesis);
+
+  Status remote;
+  remote.network_id = 1;
+  remote.genesis_hash = genesis;
+  peers.handle(nid(9), Message{remote});
+  // we replied with our own Status and activated
+  ASSERT_FALSE(h.outbox.empty());
+  EXPECT_EQ(message_name(h.outbox[0].msg), "STATUS");
+  EXPECT_EQ(peers.active_count(), 1u);
+}
+
+TEST(PeerSetTest, GenesisMismatchDisconnects) {
+  PeerHarness h;
+  PeerSet peers = h.make(1, nid(100));
+  Status remote;
+  remote.network_id = 1;
+  remote.genesis_hash = nid(999);  // different genesis
+  peers.handle(nid(1), Message{remote});
+  EXPECT_EQ(peers.active_count(), 0u);
+  ASSERT_FALSE(h.dropped.empty());
+  EXPECT_EQ(h.dropped[0].second, DisconnectReason::kIncompatibleNetwork);
+}
+
+TEST(PeerSetTest, DaoChallengeRuns) {
+  PeerHarness h;
+  core::BlockHeader fork_header;
+  fork_header.number = 30;
+  fork_header.extra_data = core::dao_fork_extra_data();
+  h.dao = fork_header;  // we have reached the fork: challenge peers
+
+  const Hash256 genesis = nid(100);
+  PeerSet peers = h.make(1, genesis);
+  Status remote;
+  remote.network_id = 1;
+  remote.genesis_hash = genesis;
+  peers.handle(nid(1), Message{remote});
+  // not active yet: awaiting the DAO header
+  EXPECT_EQ(peers.active_count(), 0u);
+  bool challenged = false;
+  for (const auto& sent : h.outbox)
+    if (message_name(sent.msg) == "GET_DAO_HEADER") challenged = true;
+  EXPECT_TRUE(challenged);
+
+  // peer answers with a matching header -> active
+  peers.handle(nid(1), Message{DaoHeader{fork_header}});
+  EXPECT_EQ(peers.active_count(), 1u);
+}
+
+TEST(PeerSetTest, DaoChallengeFailureDropsWrongFork) {
+  PeerHarness h;
+  core::BlockHeader fork_header;
+  fork_header.number = 30;
+  h.dao = fork_header;
+  h.dao_ok = false;  // verdict: wrong side
+
+  const Hash256 genesis = nid(100);
+  PeerSet peers = h.make(1, genesis);
+  Status remote;
+  remote.network_id = 1;
+  remote.genesis_hash = genesis;
+  peers.handle(nid(1), Message{remote});
+  peers.handle(nid(1), Message{DaoHeader{fork_header}});
+  EXPECT_EQ(peers.active_count(), 0u);
+  EXPECT_EQ(peers.wrong_fork_drops(), 1u);
+  ASSERT_FALSE(h.dropped.empty());
+  EXPECT_EQ(h.dropped.back().second, DisconnectReason::kWrongFork);
+}
+
+TEST(PeerSetTest, CapacityRefusesExtraInbound) {
+  PeerHarness h;
+  const Hash256 genesis = nid(100);
+  PeerSet peers = h.make(1, genesis, /*max_peers=*/2);
+  Status remote;
+  remote.network_id = 1;
+  remote.genesis_hash = genesis;
+  peers.handle(nid(1), Message{remote});
+  peers.handle(nid(2), Message{remote});
+  peers.handle(nid(3), Message{remote});
+  EXPECT_EQ(peers.active_count(), 2u);
+  // the third got a TooManyPeers disconnect
+  bool refused = false;
+  for (const auto& sent : h.outbox) {
+    if (sent.to == nid(3) && std::holds_alternative<Disconnect>(sent.msg) &&
+        std::get<Disconnect>(sent.msg).reason ==
+            DisconnectReason::kTooManyPeers)
+      refused = true;
+  }
+  EXPECT_TRUE(refused);
+}
+
+TEST(PeerSetTest, InventoryTracking) {
+  PeerSession session;
+  const Hash256 h1 = nid(1);
+  EXPECT_FALSE(session.knows(h1));
+  session.mark_known(h1);
+  EXPECT_TRUE(session.knows(h1));
+  // bounded: inserting beyond the cap evicts the oldest
+  for (std::uint64_t i = 0; i < 5000; ++i) session.mark_known(nid(100 + i));
+  EXPECT_FALSE(session.knows(h1));
+}
+
+
+TEST(PeerSetTest, ReapStalledDropsLostHandshakes) {
+  PeerHarness h;
+  const Hash256 genesis = nid(100);
+  PeerSet peers = h.make(1, genesis);
+
+  peers.connect(nid(1));  // Status sent but never answered (lost on wire)
+  EXPECT_EQ(peers.session_count(), 1u);
+  EXPECT_EQ(peers.reap_stalled(3), 0u);  // tick 1
+  EXPECT_EQ(peers.reap_stalled(3), 0u);  // tick 2
+  EXPECT_EQ(peers.reap_stalled(3), 0u);  // tick 3
+  EXPECT_EQ(peers.reap_stalled(3), 1u);  // tick 4: reaped
+  EXPECT_EQ(peers.session_count(), 0u);
+  ASSERT_FALSE(h.dropped.empty());
+  EXPECT_EQ(h.dropped.back().second, DisconnectReason::kUselessPeer);
+}
+
+TEST(PeerSetTest, ReapIgnoresActiveSessions) {
+  PeerHarness h;
+  const Hash256 genesis = nid(100);
+  PeerSet peers = h.make(1, genesis);
+  Status remote;
+  remote.network_id = 1;
+  remote.genesis_hash = genesis;
+  peers.handle(nid(1), Message{remote});  // active immediately
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(peers.reap_stalled(3), 0u);
+  EXPECT_EQ(peers.active_count(), 1u);
+}
+
+TEST(PeerSetTest, ReapCountsResetWhenHandshakeCompletes) {
+  PeerHarness h;
+  const Hash256 genesis = nid(100);
+  PeerSet peers = h.make(1, genesis);
+  peers.connect(nid(1));
+  peers.reap_stalled(3);
+  peers.reap_stalled(3);  // 2 stalled ticks accumulated
+  Status remote;
+  remote.network_id = 1;
+  remote.genesis_hash = genesis;
+  peers.handle(nid(1), Message{remote});  // handshake completes
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(peers.reap_stalled(3), 0u);
+  EXPECT_EQ(peers.active_count(), 1u);
+}
+
+// --------------------------------------------------------------- discovery
+
+TEST(DiscoveryTest, TwoNodesExchangePings) {
+  EventLoop loop;
+  Network net(loop, Rng(1), LatencyModel{0.01, 0.0, 0.0, 0.0});
+
+  std::vector<std::unique_ptr<DiscoveryService>> services;
+  std::vector<NodeId> ids = {nid(1), nid(2)};
+  for (const NodeId& id : ids) {
+    auto svc = std::make_unique<DiscoveryService>(
+        id, Rng(id[0]),
+        [&net, id](const NodeId& to, const Message& m) {
+          net.send(id, to, encode_message(m));
+        });
+    services.push_back(std::move(svc));
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    DiscoveryService* svc = services[i].get();
+    net.attach(ids[i], [svc](const NodeId& from, const Bytes& wire) {
+      auto msg = decode_message(wire);
+      if (msg) svc->handle(from, *msg);
+    });
+  }
+  services[0]->bootstrap({ids[1]});
+  loop.run_until(10.0);
+  EXPECT_TRUE(services[0]->table().contains(ids[1]));
+  EXPECT_TRUE(services[1]->table().contains(ids[0]));
+}
+
+TEST(DiscoveryTest, LookupPopulatesTablesAcrossSwarm) {
+  EventLoop loop;
+  Network net(loop, Rng(1), LatencyModel{0.01, 0.0, 0.0, 0.0});
+
+  constexpr std::size_t kNodes = 20;
+  std::vector<std::unique_ptr<DiscoveryService>> services;
+  std::vector<NodeId> ids;
+  for (std::size_t i = 0; i < kNodes; ++i) ids.push_back(nid(i));
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    const NodeId id = ids[i];
+    services.push_back(std::make_unique<DiscoveryService>(
+        id, Rng(i + 1), [&net, id](const NodeId& to, const Message& m) {
+          net.send(id, to, encode_message(m));
+        }));
+  }
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    DiscoveryService* svc = services[i].get();
+    net.attach(ids[i], [svc](const NodeId& from, const Bytes& wire) {
+      auto msg = decode_message(wire);
+      if (msg) svc->handle(from, *msg);
+    });
+  }
+  // everyone bootstraps off node 0
+  for (std::size_t i = 1; i < kNodes; ++i) services[i]->bootstrap({ids[0]});
+  loop.run_until(30.0);
+  for (std::size_t i = 1; i < kNodes; ++i) services[i]->refresh();
+  loop.run_until(60.0);
+
+  // every node should know a healthy handful of others
+  std::size_t well_connected = 0;
+  for (const auto& svc : services)
+    if (svc->known_nodes() >= 5) ++well_connected;
+  EXPECT_GE(well_connected, kNodes - 2);
+}
+
+}  // namespace
+}  // namespace forksim::p2p

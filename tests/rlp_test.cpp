@@ -1,0 +1,220 @@
+// RLP codec tests: the Ethereum wiki's canonical examples, round-trips,
+// canonical-form rejection, and a property sweep over random item trees.
+#include <gtest/gtest.h>
+
+#include "rlp/rlp.hpp"
+#include "support/rng.hpp"
+
+namespace forksim::rlp {
+namespace {
+
+Bytes hexb(std::string_view s) {
+  auto b = from_hex(s);
+  EXPECT_TRUE(b.has_value()) << s;
+  return b.value_or(Bytes{});
+}
+
+// -------------------------------------------------- canonical wiki examples
+
+TEST(RlpEncodeTest, Dog) {
+  EXPECT_EQ(to_hex(encode(Item::str("dog"))), "83646f67");
+}
+
+TEST(RlpEncodeTest, CatDogList) {
+  auto item = Item::list({Item::str("cat"), Item::str("dog")});
+  EXPECT_EQ(to_hex(encode(item)), "c88363617483646f67");
+}
+
+TEST(RlpEncodeTest, EmptyString) {
+  EXPECT_EQ(to_hex(encode(Item::str(std::string_view{}))), "80");
+}
+
+TEST(RlpEncodeTest, EmptyList) {
+  EXPECT_EQ(to_hex(encode(Item::list({}))), "c0");
+}
+
+TEST(RlpEncodeTest, IntegerZeroIsEmptyString) {
+  EXPECT_EQ(to_hex(encode(Item::u64(0))), "80");
+}
+
+TEST(RlpEncodeTest, IntegerFifteen) {
+  EXPECT_EQ(to_hex(encode(Item::u64(15))), "0f");
+}
+
+TEST(RlpEncodeTest, Integer1024) {
+  EXPECT_EQ(to_hex(encode(Item::u64(1024))), "820400");
+}
+
+TEST(RlpEncodeTest, SetTheoreticalRepresentationOfThree) {
+  // [ [], [[]], [ [], [[]] ] ]
+  auto item = Item::list({
+      Item::list({}),
+      Item::list({Item::list({})}),
+      Item::list({Item::list({}), Item::list({Item::list({})})}),
+  });
+  EXPECT_EQ(to_hex(encode(item)), "c7c0c1c0c3c0c1c0");
+}
+
+TEST(RlpEncodeTest, LoremIpsumLongString) {
+  const std::string_view lorem = "Lorem ipsum dolor sit amet, consectetur adipisicing elit";
+  const Bytes out = encode(Item::str(lorem));
+  EXPECT_EQ(out[0], 0xb8);
+  EXPECT_EQ(out[1], 0x38);
+  EXPECT_EQ(out.size(), lorem.size() + 2);
+}
+
+TEST(RlpEncodeTest, SingleByteBelow0x80IsItself) {
+  EXPECT_EQ(to_hex(encode(Item::str(BytesView(hexb("7f"))))), "7f");
+  EXPECT_EQ(to_hex(encode(Item::str(BytesView(hexb("80"))))), "8180");
+}
+
+// -------------------------------------------------------------- decode side
+
+TEST(RlpDecodeTest, DecodeDog) {
+  auto r = decode(hexb("83646f67"));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.item->is_bytes());
+  EXPECT_EQ(std::string(r.item->bytes().begin(), r.item->bytes().end()), "dog");
+}
+
+TEST(RlpDecodeTest, DecodeNestedList) {
+  auto r = decode(hexb("c7c0c1c0c3c0c1c0"));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.item->is_list());
+  EXPECT_EQ(r.item->items().size(), 3u);
+}
+
+TEST(RlpDecodeTest, RejectsTruncated) {
+  auto r = decode(hexb("83646f"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(*r.error, DecodeError::kTruncated);
+}
+
+TEST(RlpDecodeTest, RejectsTrailingBytes) {
+  auto r = decode(hexb("83646f6700"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(*r.error, DecodeError::kTrailingBytes);
+}
+
+TEST(RlpDecodeTest, RejectsNonCanonicalSingleByte) {
+  // 0x7f must be encoded as itself, not as 0x81 0x7f
+  auto r = decode(hexb("817f"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(*r.error, DecodeError::kNonCanonical);
+}
+
+TEST(RlpDecodeTest, RejectsNonMinimalLongLength) {
+  // long-string form used for a 3-byte payload (must use short form)
+  auto r = decode(hexb("b803646f67"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(*r.error, DecodeError::kNonCanonical);
+}
+
+TEST(RlpDecodeTest, RejectsLeadingZeroInLength) {
+  auto r = decode(hexb("b90000"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(*r.error, DecodeError::kNonCanonical);
+}
+
+TEST(RlpDecodeTest, EmptyInputIsTruncated) {
+  auto r = decode(BytesView{});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(*r.error, DecodeError::kTruncated);
+}
+
+TEST(RlpDecodeTest, DecodePrefixAdvances) {
+  const Bytes two = hexb("83646f6783636174");  // "dog" then "cat"
+  BytesView cursor = two;
+  auto first = decode_prefix(cursor);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(cursor.size(), 4u);
+  auto second = decode_prefix(cursor);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(cursor.empty());
+}
+
+// ------------------------------------------------------------------ scalars
+
+TEST(RlpScalarTest, U64RoundTrip) {
+  for (std::uint64_t v : {0ull, 1ull, 127ull, 128ull, 256ull, 1024ull,
+                          0xffffffffffffffffull}) {
+    auto decoded = decode(encode(Item::u64(v)));
+    ASSERT_TRUE(decoded.ok());
+    auto scalar = decoded.item->as_u64();
+    ASSERT_TRUE(scalar.has_value()) << v;
+    EXPECT_EQ(*scalar, v);
+  }
+}
+
+TEST(RlpScalarTest, U256RoundTrip) {
+  auto big = U256::from_dec("98765432109876543210987654321098765432109876543210");
+  ASSERT_TRUE(big.has_value());
+  auto decoded = decode(encode(Item::u256(*big)));
+  ASSERT_TRUE(decoded.ok());
+  auto scalar = decoded.item->as_u256();
+  ASSERT_TRUE(scalar.has_value());
+  EXPECT_EQ(*scalar, *big);
+}
+
+TEST(RlpScalarTest, LeadingZeroScalarRejected) {
+  Bytes padded = {0x00, 0x01};
+  auto item = Item(padded);
+  EXPECT_FALSE(item.as_u64().has_value());
+  EXPECT_FALSE(item.as_u256().has_value());
+}
+
+TEST(RlpScalarTest, ListIsNotScalar) {
+  EXPECT_FALSE(Item::list({}).as_u64().has_value());
+}
+
+TEST(RlpScalarTest, OversizedScalarRejected) {
+  EXPECT_FALSE(Item(Bytes(9, 0x01)).as_u64().has_value());
+  EXPECT_FALSE(Item(Bytes(33, 0x01)).as_u256().has_value());
+}
+
+// ------------------------------------------------------- property: fuzz RT
+
+Item random_item(Rng& rng, int depth) {
+  if (depth <= 0 || rng.chance(0.6)) {
+    Bytes b(rng.uniform(80), 0);
+    for (auto& byte : b) byte = static_cast<std::uint8_t>(rng.uniform(256));
+    return Item(std::move(b));
+  }
+  std::vector<Item> children;
+  const std::size_t n = rng.uniform(5);
+  children.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    children.push_back(random_item(rng, depth - 1));
+  return Item::list(std::move(children));
+}
+
+class RlpPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RlpPropertyTest, EncodeDecodeIsIdentity) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const Item original = random_item(rng, 4);
+    auto decoded = decode(encode(original));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded.item, original);
+  }
+}
+
+TEST_P(RlpPropertyTest, DecodeNeverCrashesOnRandomBytes) {
+  Rng rng(GetParam() ^ 0xdeadbeefull);
+  for (int i = 0; i < 200; ++i) {
+    Bytes junk(rng.uniform(64), 0);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform(256));
+    auto r = decode(junk);  // must return an error or a valid item, not crash
+    if (r.ok()) {
+      // whatever decodes must re-encode to the same bytes (canonical)
+      EXPECT_EQ(encode(*r.item), junk);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RlpPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace forksim::rlp

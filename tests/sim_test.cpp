@@ -1,0 +1,428 @@
+// Simulation-layer tests: mining statistics, pool payout ledgers, the fast
+// chain process (difficulty feedback shape), the market/migration models,
+// replay mechanics, pool population dynamics, and workload generation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/fastsim.hpp"
+#include "sim/miner.hpp"
+#include "sim/poolmodel.hpp"
+#include "sim/replay.hpp"
+#include "sim/workload.hpp"
+#include "support/stats.hpp"
+
+namespace forksim::sim {
+namespace {
+
+core::ChainConfig test_config() {
+  core::ChainConfig c = core::ChainConfig::mainnet_pre_fork();
+  return c;
+}
+
+// ------------------------------------------------------------ ChainProcess
+
+TEST(ChainProcessTest, ConvergesToTargetBlockTime) {
+  // with constant hashpower, difficulty must settle so that the average
+  // interval hits the 14 s target (this is the control loop of Fig 1)
+  ChainProcess chain(test_config(), U256(1'000'000), /*hashrate=*/1e6);
+  Rng rng(42);
+  std::vector<double> intervals;
+  chain.mine_until(6.0 * 86400, rng, [&](const BlockEvent& ev) {
+    if (ev.time > 2.0 * 86400) intervals.push_back(ev.interval);  // warmup
+  });
+  ASSERT_GT(intervals.size(), 1000u);
+  const double avg = mean(intervals);
+  EXPECT_NEAR(avg, 14.0, 1.5);
+}
+
+TEST(ChainProcessTest, DifficultyTracksHashrate) {
+  ChainProcess chain(test_config(), U256(10'000'000), 1e6);
+  Rng rng(7);
+  chain.mine_until(4 * 86400, rng, [](const BlockEvent&) {});
+  const double d_before = chain.difficulty().to_double();
+
+  chain.set_hashrate(4e6);  // 4x hashpower
+  chain.mine_until(chain.time() + 6 * 86400, rng, [](const BlockEvent&) {});
+  const double d_after = chain.difficulty().to_double();
+  // equilibrium difficulty scales linearly with hashrate
+  EXPECT_NEAR(d_after / d_before, 4.0, 0.8);
+}
+
+TEST(ChainProcessTest, HashpowerCollapseStallsBlocks) {
+  // the paper's fork moment: 90% of hashpower leaves instantly
+  ChainProcess chain(test_config(), U256(1'000'000), 1e6);
+  Rng rng(11);
+  chain.mine_until(3 * 86400, rng, [](const BlockEvent&) {});
+
+  chain.set_hashrate(1e5);  // -90 %
+  std::vector<double> first_day_intervals;
+  const double collapse_time = chain.time();
+  chain.mine_until(collapse_time + 86400, rng, [&](const BlockEvent& ev) {
+    first_day_intervals.push_back(ev.interval);
+  });
+  ASSERT_FALSE(first_day_intervals.empty());
+  // immediately post-collapse blocks take ~10x the target
+  const double early =
+      mean(std::vector<double>(first_day_intervals.begin(),
+                               first_day_intervals.begin() +
+                                   std::min<std::size_t>(
+                                       50, first_day_intervals.size())));
+  EXPECT_GT(early, 80.0);
+}
+
+TEST(ChainProcessTest, RecoveryTakesDaysUnderCappedRule) {
+  ChainProcess chain(test_config(), U256(1'000'000), 1e6);
+  Rng rng(13);
+  chain.mine_until(3 * 86400, rng, [](const BlockEvent&) {});
+  chain.set_hashrate(1e5);
+  const double collapse_time = chain.time();
+
+  // find when intervals re-stabilize near target
+  double recovered_at = -1;
+  std::vector<double> window;
+  chain.mine_until(collapse_time + 10 * 86400, rng, [&](const BlockEvent& ev) {
+    window.push_back(ev.interval);
+    if (window.size() > 100) window.erase(window.begin());
+    if (recovered_at < 0 && window.size() == 100 && mean(window) < 20.0)
+      recovered_at = ev.time;
+  });
+  ASSERT_GT(recovered_at, 0.0);
+  const double recovery_days = (recovered_at - collapse_time) / 86400.0;
+  // paper: ~2 days; accept 0.5..5 days — must be *days*, not minutes
+  EXPECT_GE(recovery_days, 0.5);
+  EXPECT_LE(recovery_days, 5.0);
+}
+
+TEST(ChainProcessTest, UncappedRuleRecoversFaster) {
+  auto run_recovery = [](core::RetargetRule rule) {
+    ChainProcess chain(test_config(), U256(1'000'000), 1e6);
+    chain.set_retarget_rule(rule);
+    Rng rng(17);
+    chain.mine_until(3 * 86400, rng, [](const BlockEvent&) {});
+    chain.set_hashrate(1e5);
+    const double collapse = chain.time();
+    double recovered = -1;
+    std::vector<double> window;
+    chain.mine_until(collapse + 15 * 86400, rng, [&](const BlockEvent& ev) {
+      window.push_back(ev.interval);
+      if (window.size() > 50) window.erase(window.begin());
+      if (recovered < 0 && window.size() == 50 && mean(window) < 20.0)
+        recovered = ev.time - collapse;
+    });
+    return recovered;
+  };
+  const double capped = run_recovery(core::RetargetRule::kHomestead);
+  const double uncapped = run_recovery(core::RetargetRule::kUncapped);
+  ASSERT_GT(capped, 0);
+  ASSERT_GT(uncapped, 0);
+  EXPECT_LT(uncapped, capped / 4);  // ablation A1's expected shape
+}
+
+TEST(ChainProcessTest, PoolWinnersFollowWeights) {
+  ChainProcess chain(test_config(), U256(100'000), 1e6);
+  chain.set_pool_weights({0.7, 0.2, 0.1});
+  Rng rng(19);
+  std::vector<int> wins(3, 0);
+  for (int i = 0; i < 5000; ++i) ++wins[chain.mine_next(rng).pool];
+  EXPECT_NEAR(wins[0] / 5000.0, 0.7, 0.05);
+  EXPECT_NEAR(wins[1] / 5000.0, 0.2, 0.05);
+  EXPECT_NEAR(wins[2] / 5000.0, 0.1, 0.05);
+}
+
+TEST(ChainProcessTest, ZeroHashrateStalls) {
+  ChainProcess chain(test_config(), U256(100'000), 0.0);
+  Rng rng(3);
+  std::size_t mined = chain.mine_until(1000.0, rng, [](const BlockEvent&) {});
+  EXPECT_EQ(mined, 0u);
+  EXPECT_DOUBLE_EQ(chain.time(), 1000.0);
+}
+
+// --------------------------------------------------------------- MarketModel
+
+TEST(MarketModelTest, ShockAppliesOnce) {
+  MarketModel market(10.0, 0.0, 0.0);
+  market.add_shock(5.0, 2.0);
+  for (double day = 1; day <= 10; ++day) {
+    Rng rng(static_cast<std::uint64_t>(day));
+    market.step(day, rng);
+  }
+  EXPECT_NEAR(market.price(), 20.0, 1e-9);
+}
+
+TEST(MarketModelTest, VolatilityMovesPrice) {
+  MarketModel market(10.0, 0.0, 0.05);
+  Rng rng(23);
+  std::vector<double> prices;
+  for (double day = 1; day <= 100; ++day) {
+    market.step(day, rng);
+    prices.push_back(market.price());
+  }
+  EXPECT_GT(stddev(prices), 0.01);
+  for (double p : prices) EXPECT_GT(p, 0.0);
+}
+
+// ------------------------------------------------------------ MigrationModel
+
+TEST(MigrationModelTest, FlowsTowardProfit) {
+  MigrationModel mig(100.0, 100.0, MigrationModel::Params{});
+  Rng rng(29);
+  // chain A twice as profitable: hashpower should shift toward A
+  for (int day = 0; day < 20; ++day) mig.step(day, 2.0, 1.0, rng);
+  EXPECT_GT(mig.hashrate_a(), 150.0);
+  EXPECT_LT(mig.hashrate_b(), 50.0);
+  // conservation
+  EXPECT_NEAR(mig.hashrate_a() + mig.hashrate_b() + mig.parked_in_sink(),
+              200.0, 1e-6);
+}
+
+TEST(MigrationModelTest, LoyalFloorHolds) {
+  MigrationModel::Params params;
+  params.loyal_b = 30.0;
+  MigrationModel mig(100.0, 100.0, params);
+  Rng rng(31);
+  for (int day = 0; day < 200; ++day) mig.step(day, 10.0, 1.0, rng);
+  EXPECT_GE(mig.hashrate_b(), 29.0);  // loyalists never leave
+}
+
+TEST(MigrationModelTest, SinkDrainsAndReturns) {
+  MigrationModel::Params params;
+  params.sink_start_day = 10;
+  params.sink_end_day = 20;
+  params.sink_fraction = 0.5;
+  MigrationModel mig(100.0, 100.0, params);
+  Rng rng(37);
+  for (int day = 0; day < 15; ++day) mig.step(day, 1.0, 1.0, rng);
+  EXPECT_GT(mig.parked_in_sink(), 10.0);  // Zcash is absorbing hashpower
+  for (int day = 15; day < 60; ++day) mig.step(day, 1.0, 1.0, rng);
+  EXPECT_LT(mig.parked_in_sink(), 1.0);  // and it came back
+}
+
+TEST(HashesPerUsdTest, Formula) {
+  // difficulty 1e13, 5 ETH per block, 10 USD/ETH -> 2e11 hashes per USD
+  EXPECT_NEAR(hashes_per_usd(1e13, 5.0, 10.0), 2e11, 1e3);
+  EXPECT_EQ(hashes_per_usd(1e13, 0.0, 10.0), 0.0);
+}
+
+// ----------------------------------------------------------------- ReplaySim
+
+TEST(ReplaySimTest, EchoesSpikeEarlyAndDecay) {
+  ReplaySim sim(ReplayParams{}, Rng(41));
+  std::uint64_t early = 0;
+  std::uint64_t late = 0;
+  for (double day = 0; day < 260; ++day) {
+    const auto stats = sim.step(day, 30000, 12000);
+    if (day < 15) early += stats.total_echoes();
+    if (day >= 240) late += stats.total_echoes();
+  }
+  EXPECT_GT(early / 15, late / 20 * 2);  // early rate at least ~2x late
+  EXPECT_GT(late, 0u);                   // but echoes persist (paper: "even today")
+}
+
+TEST(ReplaySimTest, MostEchoesFlowIntoEtc) {
+  // ETH carries more txs, so most rebroadcasts originate there (paper Fig 4)
+  ReplaySim sim(ReplayParams{}, Rng(43));
+  std::uint64_t into_etc = 0;
+  std::uint64_t into_eth = 0;
+  for (double day = 0; day < 120; ++day) {
+    const auto stats = sim.step(day, 30000, 12000);
+    into_etc += stats.echoes_into_etc;
+    into_eth += stats.echoes_into_eth;
+  }
+  EXPECT_GT(into_etc, into_eth);
+}
+
+TEST(ReplaySimTest, Eip155ReducesEchoes) {
+  ReplayParams with;
+  ReplayParams without;
+  without.eth_eip155_day = -1;
+  without.etc_eip155_day = -1;
+
+  auto total = [](ReplayParams params) {
+    ReplaySim sim(params, Rng(47));
+    std::uint64_t echoes = 0;
+    for (double day = 180; day < 260; ++day)
+      echoes += sim.step(day, 30000, 12000).total_echoes();
+    return echoes;
+  };
+  EXPECT_LT(total(with), total(without) / 2);
+}
+
+TEST(ReplaySimTest, DivergedAccountsStopEchoing) {
+  // with no echoes at all, accounts used on both chains diverge and the
+  // replayable population shrinks
+  ReplayParams params;
+  params.attack_echo_start = 0;
+  params.attack_echo_floor = 0;
+  params.benign_echo = 0;
+  params.split_per_day = 0;
+  params.home_eth = 0.0;
+  params.home_etc = 0.0;  // everyone active on both chains
+  ReplaySim sim(params, Rng(53));
+  const std::size_t start = sim.replayable_accounts();
+  for (double day = 0; day < 60; ++day) sim.step(day, 30000, 12000);
+  EXPECT_LT(sim.replayable_accounts(), start);
+}
+
+TEST(ReplaySimTest, StaleNonceBlocksReplay) {
+  // accounts active on BOTH chains diverge when not every tx echoes; those
+  // divergent accounts produce stale-nonce replay failures
+  ReplayParams params;
+  params.attack_echo_start = 0.5;
+  params.attack_echo_floor = 0.5;
+  params.home_eth = 0.0;
+  params.home_etc = 0.0;  // everyone active on both chains
+  ReplaySim sim(params, Rng(59));
+  std::uint64_t stale = 0;
+  for (double day = 0; day < 90; ++day)
+    stale += sim.step(day, 30000, 12000).stale_nonce;
+  // both chains originate txs on the same accounts, so divergence happens
+  // and some replays must fail
+  EXPECT_GT(stale, 0u);
+}
+
+// ------------------------------------------------------------ PoolPopulation
+
+TEST(PoolPopulationTest, WeightsStayNormalized) {
+  Rng rng(61);
+  PoolPopulation pop = PoolPopulation::fragmented(25, PoolDynamicsParams{}, rng);
+  for (int day = 0; day < 100; ++day) pop.step_day(rng);
+  double total = 0;
+  for (double w : pop.weights()) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PoolPopulationTest, FragmentedPopulationCoalesces) {
+  Rng rng(67);
+  PoolPopulation pop = PoolPopulation::fragmented(30, PoolDynamicsParams{}, rng);
+  const double top5_start = pop.top_share(5);
+  for (int day = 0; day < 200; ++day) pop.step_day(rng);
+  const double top5_end = pop.top_share(5);
+  EXPECT_GT(top5_end, top5_start + 0.15);  // concentration increased
+}
+
+TEST(PoolPopulationTest, EthLikeStaysConcentratedAndStable) {
+  Rng rng(71);
+  PoolDynamicsParams calm;
+  calm.churn = 0.02;
+  calm.alpha = 1.05;
+  PoolPopulation pop = PoolPopulation::eth_like(calm);
+  const double top3_start = pop.top_share(3);
+  for (int day = 0; day < 200; ++day) pop.step_day(rng);
+  EXPECT_NEAR(pop.top_share(3), top3_start, 0.25);
+  EXPECT_GT(pop.top_share(1), 0.15);
+}
+
+TEST(PoolPopulationTest, SampleWinnerRespectsWeights) {
+  Rng rng(73);
+  PoolPopulation pop({0.8, 0.1, 0.1}, PoolDynamicsParams{});
+  int wins0 = 0;
+  for (int i = 0; i < 2000; ++i)
+    if (pop.sample_winner(rng) == 0) ++wins0;
+  EXPECT_NEAR(wins0 / 2000.0, 0.8, 0.06);
+}
+
+// ---------------------------------------------------------------- Workload
+
+TEST(WorkloadTest, RatioRampsFrom2p5To5) {
+  WorkloadModel model(WorkloadParams{}, Rng(79));
+  double early_ratio = 0;
+  double late_ratio = 0;
+  int early_n = 0;
+  int late_n = 0;
+  for (double day = 0; day < 270; ++day) {
+    const auto d = model.step(day);
+    const double ratio =
+        static_cast<double>(d.eth_txs) / std::max<double>(1, d.etc_txs);
+    if (day < 100) {
+      early_ratio += ratio;
+      ++early_n;
+    }
+    if (day > 255) {
+      late_ratio += ratio;
+      ++late_n;
+    }
+  }
+  EXPECT_NEAR(early_ratio / early_n, 2.5, 0.5);
+  EXPECT_NEAR(late_ratio / late_n, 5.0, 1.0);
+}
+
+TEST(WorkloadTest, ContractFractionsSimilarAcrossChains) {
+  WorkloadModel model(WorkloadParams{}, Rng(83));
+  double max_gap_early = 0;
+  for (double day = 0; day < 200; ++day) {
+    const auto d = model.step(day);
+    max_gap_early = std::max(
+        max_gap_early,
+        std::abs(d.eth_contract_fraction - d.etc_contract_fraction));
+  }
+  EXPECT_LT(max_gap_early, 0.15);
+}
+
+TEST(WorkloadTest, ContractFractionGrows) {
+  WorkloadModel model(WorkloadParams{}, Rng(89));
+  const auto first = model.step(0);
+  const auto last = model.step(269);
+  EXPECT_GT(last.eth_contract_fraction, first.eth_contract_fraction + 0.1);
+}
+
+// --------------------------------------------------------------- PoolLedger
+
+TEST(PoolLedgerTest, ProportionalSplitsByShares) {
+  PoolLedger ledger(PayoutScheme::kProportional, 100.0);
+  ledger.add_member("big", 300.0);
+  ledger.add_member("small", 100.0);
+  Rng rng(97);
+  ledger.advance_round(10000.0, rng);
+  ledger.on_block_found(5.0);
+  const auto& members = ledger.members();
+  EXPECT_NEAR(ledger.total_paid(), 5.0, 1e-9);
+  // big ~3x small's payout
+  EXPECT_NEAR(members[0].paid_ether / members[1].paid_ether, 3.0, 0.5);
+}
+
+TEST(PoolLedgerTest, PplnsUsesWindow) {
+  PoolLedger ledger(PayoutScheme::kPplns, 10.0, /*window=*/100);
+  ledger.add_member("only", 50.0);
+  Rng rng(101);
+  ledger.advance_round(1000.0, rng);
+  ledger.on_block_found(5.0);
+  EXPECT_NEAR(ledger.total_paid(), 5.0, 1e-9);
+}
+
+TEST(PoolLedgerTest, PpsPaysPerShareNotPerBlock) {
+  PoolLedger ledger(PayoutScheme::kPps, 10.0);
+  ledger.add_member("steady", 10.0);
+  Rng rng(103);
+  ledger.advance_round(1000.0, rng);
+  // no block found at all — PPS still pays for submitted shares
+  ledger.settle_pps(0.001);
+  EXPECT_GT(ledger.total_paid(), 0.0);
+}
+
+TEST(PoolLedgerTest, PpsHasLowerVarianceThanProportional) {
+  // run many short epochs; a small miner's income variance under PPS must
+  // be far below proportional (the reason pools exist, paper §3)
+  auto run = [](PayoutScheme scheme) {
+    PoolLedger ledger(scheme, 1.0);  // cheap shares: fine-grained effort proof
+    const std::size_t miner = ledger.add_member("small", 10.0);
+    ledger.add_member("whale", 990.0);
+    Rng rng(107);
+    std::vector<double> epoch_income;
+    double last_paid = 0;
+    for (int epoch = 0; epoch < 300; ++epoch) {
+      ledger.advance_round(600.0, rng);
+      // pool finds a block with prob ~0.3 per epoch
+      if (rng.chance(0.3)) ledger.on_block_found(5.0);
+      if (scheme == PayoutScheme::kPps) ledger.settle_pps(5.0 * 1.0 / 1e5);
+      const double paid = ledger.members()[miner].paid_ether;
+      epoch_income.push_back(paid - last_paid);
+      last_paid = paid;
+    }
+    return stddev(epoch_income);
+  };
+  EXPECT_LT(run(PayoutScheme::kPps), run(PayoutScheme::kProportional));
+}
+
+}  // namespace
+}  // namespace forksim::sim

@@ -1,0 +1,496 @@
+// Unit tests for support: bytes/hex, U256 arithmetic, RNG distributions,
+// statistics, and time series bucketing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/timeseries.hpp"
+#include "support/u256.hpp"
+
+namespace forksim {
+namespace {
+
+// ---------------------------------------------------------------- bytes/hex
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "0001abff");
+  EXPECT_EQ(to_hex_prefixed(data), "0x0001abff");
+  auto back = from_hex("0x0001abff");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(BytesTest, FromHexAcceptsUppercaseAndNoPrefix) {
+  auto a = from_hex("ABCDEF");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(to_hex(*a), "abcdef");
+}
+
+TEST(BytesTest, FromHexRejectsOddLength) {
+  EXPECT_FALSE(from_hex("abc").has_value());
+}
+
+TEST(BytesTest, FromHexRejectsNonHex) {
+  EXPECT_FALSE(from_hex("zz").has_value());
+}
+
+TEST(BytesTest, FromHexEmptyIsEmpty) {
+  auto e = from_hex("");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(e->empty());
+}
+
+TEST(BytesTest, ConcatJoinsSpans) {
+  Bytes a = {1, 2};
+  Bytes b = {3};
+  Bytes c = concat({BytesView(a), BytesView(b)});
+  EXPECT_EQ(c, (Bytes{1, 2, 3}));
+}
+
+TEST(BytesTest, BeTrimmedStripsLeadingZeros) {
+  EXPECT_TRUE(be_trimmed(0).empty());
+  EXPECT_EQ(be_trimmed(0x01), (Bytes{0x01}));
+  EXPECT_EQ(be_trimmed(0x1234), (Bytes{0x12, 0x34}));
+  EXPECT_EQ(be_trimmed(0xffffffffffffffffull).size(), 8u);
+}
+
+TEST(BytesTest, BeToU64RoundTrip) {
+  for (std::uint64_t v : {0ull, 1ull, 255ull, 256ull, 0x123456789abcdefull,
+                          ~0ull}) {
+    EXPECT_EQ(be_to_u64(be_trimmed(v)), v);
+  }
+}
+
+TEST(FixedBytesTest, LeftPaddedPadsAndTruncates) {
+  Bytes short_input = {0xaa};
+  auto padded = FixedBytes<4>::left_padded(short_input);
+  EXPECT_EQ(padded.hex(), "000000aa");
+
+  Bytes long_input = {1, 2, 3, 4, 5, 6};
+  auto truncated = FixedBytes<4>::left_padded(long_input);
+  EXPECT_EQ(truncated.hex(), "03040506");
+}
+
+TEST(FixedBytesTest, FromBytesStrict) {
+  Bytes exact = {1, 2, 3, 4};
+  EXPECT_TRUE(FixedBytes<4>::from_bytes(exact).has_value());
+  Bytes wrong = {1, 2, 3};
+  EXPECT_FALSE(FixedBytes<4>::from_bytes(wrong).has_value());
+}
+
+TEST(FixedBytesTest, OrderingIsLexicographic) {
+  auto a = FixedBytes<2>::from_hex("0100");
+  auto b = FixedBytes<2>::from_hex("0200");
+  ASSERT_TRUE(a && b);
+  EXPECT_LT(*a, *b);
+  EXPECT_TRUE(a->is_zero() == false);
+  EXPECT_TRUE(FixedBytes<2>().is_zero());
+}
+
+// --------------------------------------------------------------------- U256
+
+TEST(U256Test, BasicArithmetic) {
+  U256 a(100);
+  U256 b(7);
+  EXPECT_EQ((a + b).as_u64(), 107u);
+  EXPECT_EQ((a - b).as_u64(), 93u);
+  EXPECT_EQ((a * b).as_u64(), 700u);
+  EXPECT_EQ((a / b).as_u64(), 14u);
+  EXPECT_EQ((a % b).as_u64(), 2u);
+}
+
+TEST(U256Test, WrapAroundAdd) {
+  U256 max = U256::max();
+  EXPECT_TRUE((max + U256(1)).is_zero());
+  auto [sum, overflow] = U256::add_overflow(max, U256(1));
+  EXPECT_TRUE(overflow);
+  EXPECT_TRUE(sum.is_zero());
+}
+
+TEST(U256Test, SubWrapsBelowZero) {
+  U256 z;
+  EXPECT_EQ(z - U256(1), U256::max());
+}
+
+TEST(U256Test, MulHighLimbs) {
+  // (2^64)^2 = 2^128 -> limb 2
+  U256 two64(0, 1, 0, 0);
+  U256 sq = two64 * two64;
+  EXPECT_EQ(sq.limb(0), 0u);
+  EXPECT_EQ(sq.limb(1), 0u);
+  EXPECT_EQ(sq.limb(2), 1u);
+}
+
+TEST(U256Test, DivModLarge) {
+  auto a = U256::from_dec("340282366920938463463374607431768211456");  // 2^128
+  ASSERT_TRUE(a.has_value());
+  auto b = U256::from_dec("18446744073709551616");  // 2^64
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ((*a / *b).to_dec(), "18446744073709551616");
+  EXPECT_TRUE((*a % *b).is_zero());
+}
+
+TEST(U256Test, DivisionByZeroYieldsZero) {
+  EXPECT_TRUE((U256(5) / U256(0)).is_zero());
+  EXPECT_TRUE((U256(5) % U256(0)).is_zero());
+}
+
+TEST(U256Test, DecimalRoundTrip) {
+  const char* cases[] = {
+      "0", "1", "10", "255", "1000000007",
+      "115792089237316195423570985008687907853269984665640564039457584007913129639935"};
+  for (const char* s : cases) {
+    auto v = U256::from_dec(s);
+    ASSERT_TRUE(v.has_value()) << s;
+    EXPECT_EQ(v->to_dec(), s);
+  }
+}
+
+TEST(U256Test, FromDecRejectsOverflowAndJunk) {
+  // 2^256 exactly
+  EXPECT_FALSE(
+      U256::from_dec(
+          "115792089237316195423570985008687907853269984665640564039457584007913129639936")
+          .has_value());
+  EXPECT_FALSE(U256::from_dec("").has_value());
+  EXPECT_FALSE(U256::from_dec("12a").has_value());
+}
+
+TEST(U256Test, HexRoundTrip) {
+  auto v = U256::from_hex("0xdeadbeef");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_u64(), 0xdeadbeefull);
+  EXPECT_EQ(v->to_hex(), "deadbeef");
+}
+
+TEST(U256Test, BigEndianRoundTrip) {
+  auto v = U256::from_dec("123456789012345678901234567890");
+  ASSERT_TRUE(v.has_value());
+  auto be = v->to_be();
+  EXPECT_EQ(U256::from_be(be), *v);
+  EXPECT_EQ(U256::from_be(v->to_be_trimmed()), *v);
+}
+
+TEST(U256Test, ShiftsMatchMultiplication) {
+  U256 one(1);
+  EXPECT_EQ(one << 64, U256(0, 1, 0, 0));
+  EXPECT_EQ(one << 255, U256(0, 0, 0, 1ull << 63));
+  EXPECT_TRUE((one << 256).is_zero());
+  EXPECT_EQ((one << 130) >> 130, one);
+}
+
+TEST(U256Test, BitLength) {
+  EXPECT_EQ(U256().bit_length(), 0);
+  EXPECT_EQ(U256(1).bit_length(), 1);
+  EXPECT_EQ(U256(255).bit_length(), 8);
+  EXPECT_EQ((U256(1) << 200).bit_length(), 201);
+}
+
+TEST(U256Test, Exp) {
+  EXPECT_EQ(U256::exp(U256(2), U256(10)).as_u64(), 1024u);
+  EXPECT_EQ(U256::exp(U256(3), U256(0)).as_u64(), 1u);
+  // 2^256 wraps to 0
+  EXPECT_TRUE(U256::exp(U256(2), U256(256)).is_zero());
+}
+
+TEST(U256Test, SignedDivision) {
+  U256 neg_ten = U256(10).negate();
+  EXPECT_EQ(U256::sdiv(neg_ten, U256(3)), U256(3).negate());
+  EXPECT_EQ(U256::smod(neg_ten, U256(3)), U256(1).negate());
+  EXPECT_TRUE(U256::slt(neg_ten, U256(1)));
+  EXPECT_FALSE(U256::slt(U256(1), neg_ten));
+}
+
+TEST(U256Test, SarFillsSignBits) {
+  U256 neg_one = U256::max();
+  EXPECT_EQ(U256::sar(neg_one, 5), neg_one);
+  EXPECT_EQ(U256::sar(U256(64), 3), U256(8));
+}
+
+TEST(U256Test, SignExtend) {
+  // byte 0 = 0xff -> -1
+  EXPECT_EQ(U256::signextend(U256(0), U256(0xff)), U256::max());
+  // byte 0 = 0x7f stays positive
+  EXPECT_EQ(U256::signextend(U256(0), U256(0x7f)), U256(0x7f));
+  // k >= 31: unchanged
+  EXPECT_EQ(U256::signextend(U256(31), U256(0xff)), U256(0xff));
+}
+
+TEST(U256Test, ByteBe) {
+  auto v = U256::from_hex("0x0102030405");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->byte_be(31), 0x05);
+  EXPECT_EQ(v->byte_be(27), 0x01);
+  EXPECT_EQ(v->byte_be(0), 0x00);
+  EXPECT_EQ(v->byte_be(32), 0x00);
+}
+
+TEST(U256Test, ToDoubleApproximates) {
+  EXPECT_DOUBLE_EQ(U256(1000).to_double(), 1000.0);
+  auto big = U256(1) << 100;
+  EXPECT_NEAR(big.to_double(), std::pow(2.0, 100), std::pow(2.0, 60));
+}
+
+// ---------------------------------------------------------------------- RNG
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform(10), 10u);
+  EXPECT_EQ(rng.uniform(0), 0u);
+  EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(14.0);
+  EXPECT_NEAR(sum / n, 14.0, 0.5);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(RngTest, PoissonLargeLambdaUsesNormalApprox) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(500.0));
+  EXPECT_NEAR(sum / n, 500.0, 5.0);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(19);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(mean(xs), 5.0, 0.1);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.1);
+}
+
+TEST(RngTest, ParetoIsBoundedBelow) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(29);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 10000; ++i)
+    ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(RngTest, ChanceEdges) {
+  Rng rng(31);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(99);
+  Rng child = a.fork();
+  EXPECT_NE(a.next(), child.next());
+}
+
+// -------------------------------------------------------------------- stats
+
+TEST(StatsTest, MeanVarStd) {
+  std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 4.571, 0.01);
+}
+
+TEST(StatsTest, EmptyInputsAreZero) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(variance({}), 0.0);
+  EXPECT_EQ(percentile({}, 50), 0.0);
+  EXPECT_EQ(pearson({}, {}), 0.0);
+  EXPECT_EQ(gini({}), 0.0);
+  EXPECT_EQ(top_n_share({}, 3), 0.0);
+}
+
+TEST(StatsTest, Percentile) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  std::vector<double> ys = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantSeriesIsZero) {
+  std::vector<double> xs = {1, 1, 1};
+  std::vector<double> ys = {2, 3, 4};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(StatsTest, GiniUniformIsZeroConcentratedIsHigh) {
+  EXPECT_NEAR(gini({5, 5, 5, 5}), 0.0, 1e-12);
+  EXPECT_GT(gini({0, 0, 0, 100}), 0.7);
+}
+
+TEST(StatsTest, TopNShare) {
+  std::vector<double> xs = {50, 30, 10, 5, 5};
+  EXPECT_DOUBLE_EQ(top_n_share(xs, 1), 0.5);
+  EXPECT_DOUBLE_EQ(top_n_share(xs, 3), 0.9);
+  EXPECT_DOUBLE_EQ(top_n_share(xs, 10), 1.0);
+}
+
+TEST(StatsTest, RunningStatsMatchesBatch) {
+  std::vector<double> xs = {3, 1, 4, 1, 5, 9, 2, 6};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+// --------------------------------------------------------------- timeseries
+
+TEST(TimeSeriesTest, BucketsByWidth) {
+  TimeSeries ts(kSecondsPerHour);
+  ts.record(10.0);            // bucket 0
+  ts.record(3599.0);          // bucket 0
+  ts.record(3600.0);          // bucket 1
+  ts.record(2 * 3600.0 + 5);  // bucket 2
+  auto counts = ts.counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2.0);
+  EXPECT_EQ(counts[1], 1.0);
+  EXPECT_EQ(counts[2], 1.0);
+}
+
+TEST(TimeSeriesTest, EmptyBucketsMaterialized) {
+  TimeSeries ts(1.0);
+  ts.record(0.5);
+  ts.record(4.5);
+  auto counts = ts.counts();
+  ASSERT_EQ(counts.size(), 5u);
+  EXPECT_EQ(counts[1], 0.0);
+  EXPECT_EQ(counts[2], 0.0);
+  EXPECT_EQ(counts[3], 0.0);
+}
+
+TEST(TimeSeriesTest, AveragesPerBucket) {
+  TimeSeries ts(10.0);
+  ts.record(1.0, 4.0);
+  ts.record(2.0, 6.0);
+  ts.record(11.0, 10.0);
+  auto avgs = ts.averages();
+  ASSERT_EQ(avgs.size(), 2u);
+  EXPECT_DOUBLE_EQ(avgs[0], 5.0);
+  EXPECT_DOUBLE_EQ(avgs[1], 10.0);
+}
+
+TEST(TimeSeriesTest, NegativeTimesAllowed) {
+  TimeSeries ts(10.0);
+  ts.record(-5.0);  // pre-fork sample
+  ts.record(5.0);
+  EXPECT_EQ(ts.first_index(), -1);
+  EXPECT_EQ(ts.last_index(), 0);
+  EXPECT_EQ(ts.counts().size(), 2u);
+}
+
+TEST(TimeSeriesTest, TotalsAccumulate) {
+  TimeSeries ts(1.0);
+  ts.record(0.0, 2.0);
+  ts.record(0.1, 3.0);
+  EXPECT_EQ(ts.total_count(), 2u);
+  EXPECT_DOUBLE_EQ(ts.total_sum(), 5.0);
+}
+
+TEST(TimeSeriesTest, RatioByBucket) {
+  TimeSeries num(1.0);
+  TimeSeries den(1.0);
+  num.record(0.5);
+  num.record(0.6);
+  den.record(0.7);
+  den.record(1.5);
+  auto r = ratio_by_bucket(num, den);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r[0], 2.0);
+  EXPECT_DOUBLE_EQ(r[1], 0.0);  // numerator empty there
+}
+
+// -------------------------------------------------------------------- table
+
+TEST(TableTest, AlignedOutputContainsHeadersAndRows) {
+  Table t({"name", "value"});
+  t.add_row(std::vector<std::string>{"difficulty", "123"});
+  t.add_row(std::vector<double>{3.14159, 2.0});  // numeric overload
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("difficulty"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, CsvQuoting) {
+  Table t({"a", "b"});
+  t.add_row(std::vector<std::string>{"x,y", "he said \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row(std::vector<std::string>{"only"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NE(t.to_string().find("only"), std::string::npos);
+}
+
+TEST(TableTest, FmtHelpers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_sci(123456.0, 2), "1.23e+05");
+}
+
+}  // namespace
+}  // namespace forksim

@@ -1,0 +1,157 @@
+// TxGenerator tests: submission rates, nonce bookkeeping, contract-call
+// mixing, EIP-155 generation, and the recent-transactions ring used by
+// replay agents.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "evm/contracts.hpp"
+#include "evm/executor.hpp"
+#include "sim/miner.hpp"
+#include "sim/txgen.hpp"
+
+namespace forksim::sim {
+namespace {
+
+struct GenNet {
+  GenNet() : network(loop, Rng(1), p2p::LatencyModel{0.01, 0.0, 0.0, 0.0}) {
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      accounts.push_back(PrivateKey::from_seed(700 + i));
+      alloc.emplace_back(derive_address(accounts.back()), core::ether(10000));
+    }
+    NodeOptions options;
+    options.genesis_difficulty = U256(150'000);
+    node = std::make_unique<FullNode>(
+        network, keccak256(std::string_view("txgen-test")),
+        core::ChainConfig::mainnet_pre_fork(), executor, alloc, Rng(2),
+        options);
+    node->start({});
+  }
+
+  p2p::EventLoop loop;
+  p2p::Network network;
+  evm::EvmExecutor executor;
+  core::GenesisAlloc alloc;
+  std::vector<PrivateKey> accounts;
+  std::unique_ptr<FullNode> node;
+};
+
+TEST(TxGeneratorTest, SubmitsAtConfiguredRate) {
+  GenNet net;
+  TxGenerator::Options options;
+  options.mean_interval = 1.0;
+  TxGenerator gen({net.node.get()}, net.accounts, Rng(3), options);
+  gen.start();
+  // stay under the pool's 64-nonce-gap cap (no miner is draining the pool)
+  net.loop.run_until(300.0);
+  gen.stop();
+  // ~300 expected; Poisson noise
+  EXPECT_GT(gen.submitted(), 220u);
+  EXPECT_LT(gen.submitted(), 380u);
+  EXPECT_EQ(gen.rejected(), 0u);  // local nonce tracking never collides
+  EXPECT_EQ(net.node->txpool().size(), gen.submitted());
+}
+
+TEST(TxGeneratorTest, GeneratedTransactionsGetMined) {
+  GenNet net;
+  TxGenerator::Options options;
+  options.mean_interval = 5.0;
+  TxGenerator gen({net.node.get()}, net.accounts, Rng(5), options);
+  gen.start();
+  Miner miner(*net.node, Address::left_padded(Bytes{0x01}),
+              150'000.0 / 14.0, Rng(7));
+  miner.start();
+  net.loop.run_until(1200.0);
+  gen.stop();
+  miner.stop();
+
+  // the chain carries the generated transfers
+  std::size_t mined_txs = 0;
+  const auto& chain = net.node->chain();
+  for (core::BlockNumber n = 1; n <= chain.height(); ++n)
+    mined_txs += chain.block_by_number(n)->transactions.size();
+  EXPECT_GT(mined_txs, gen.submitted() / 2);
+}
+
+TEST(TxGeneratorTest, ContractFractionCallsTarget) {
+  GenNet net;
+  // deploy a counter through a direct chain call
+  const auto deploy = core::make_transaction(
+      net.accounts[0], 0, std::nullopt, core::Wei(0), std::nullopt,
+      core::gwei(20), 1'000'000,
+      evm::wrap_as_init_code(evm::contracts::counter_runtime()));
+  core::Block b = net.node->chain().produce_block(
+      Address::left_padded(Bytes{0x01}), 14, {deploy});
+  ASSERT_EQ(net.node->submit_block(b).result, core::ImportResult::kImported);
+  const Address counter =
+      *(*net.node->chain().receipts_of(b.hash()))[0].created_contract;
+
+  TxGenerator::Options options;
+  options.mean_interval = 1.0;
+  options.contract_fraction = 1.0;  // every tx calls the counter
+  options.contract_target = counter;
+  options.transfer_value = core::Wei(0);
+  // account 0's nonce is already 1 on-chain: give the generator the others
+  std::vector<PrivateKey> fresh(net.accounts.begin() + 1,
+                                net.accounts.end());
+  TxGenerator gen({net.node.get()}, fresh, Rng(9), options);
+  gen.start();
+  Miner miner(*net.node, Address::left_padded(Bytes{0x02}),
+              150'000.0 / 14.0, Rng(11));
+  miner.start();
+  net.loop.run_until(900.0);
+  gen.stop();
+  miner.stop();
+
+  // the counter advanced once per mined call
+  const U256 count =
+      net.node->chain().head_state().storage_at(counter, U256(0));
+  EXPECT_GT(count, U256(10));
+}
+
+TEST(TxGeneratorTest, Eip155ModeProducesProtectedTxs) {
+  GenNet net;
+  TxGenerator::Options options;
+  options.mean_interval = 1.0;
+  options.chain_id = 61;
+  TxGenerator gen({net.node.get()}, net.accounts, Rng(13), options);
+  gen.start();
+  net.loop.run_until(30.0);
+  gen.stop();
+  ASSERT_FALSE(gen.recent().empty());
+  for (const auto& tx : gen.recent()) {
+    EXPECT_TRUE(tx.is_replay_protected());
+    EXPECT_EQ(*tx.chain_id, 61u);
+  }
+  // ...and the pool rejected them (this chain has no EIP-155)
+  EXPECT_EQ(gen.submitted(), 0u);
+  EXPECT_GT(gen.rejected(), 0u);
+}
+
+TEST(TxGeneratorTest, RecentRingIsBounded) {
+  GenNet net;
+  TxGenerator::Options options;
+  options.mean_interval = 0.1;
+  TxGenerator gen({net.node.get()}, net.accounts, Rng(15), options);
+  gen.start();
+  net.loop.run_until(60.0);
+  gen.stop();
+  EXPECT_GT(gen.submitted(), 200u);
+  EXPECT_LE(gen.recent().size(), 64u);
+  // newest entries last: nonces increase within a sender's suffix
+  ASSERT_GE(gen.recent().size(), 2u);
+}
+
+TEST(TxGeneratorTest, StopHalts) {
+  GenNet net;
+  TxGenerator gen({net.node.get()}, net.accounts, Rng(17));
+  gen.start();
+  net.loop.run_until(20.0);
+  gen.stop();
+  const auto count = gen.submitted();
+  net.loop.run_until(200.0);
+  EXPECT_EQ(gen.submitted(), count);
+}
+
+}  // namespace
+}  // namespace forksim::sim
