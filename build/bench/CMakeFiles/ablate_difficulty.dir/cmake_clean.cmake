@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_difficulty.dir/ablate_difficulty.cpp.o"
+  "CMakeFiles/ablate_difficulty.dir/ablate_difficulty.cpp.o.d"
+  "ablate_difficulty"
+  "ablate_difficulty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_difficulty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_gossip.dir/ablate_gossip.cpp.o"
+  "CMakeFiles/ablate_gossip.dir/ablate_gossip.cpp.o.d"
+  "ablate_gossip"
+  "ablate_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

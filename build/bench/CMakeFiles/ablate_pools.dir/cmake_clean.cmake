@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_pools.dir/ablate_pools.cpp.o"
+  "CMakeFiles/ablate_pools.dir/ablate_pools.cpp.o.d"
+  "ablate_pools"
+  "ablate_pools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_pools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_replay.dir/ablate_replay.cpp.o"
+  "CMakeFiles/ablate_replay.dir/ablate_replay.cpp.o.d"
+  "ablate_replay"
+  "ablate_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_short_term.dir/fig1_short_term.cpp.o"
+  "CMakeFiles/fig1_short_term.dir/fig1_short_term.cpp.o.d"
+  "fig1_short_term"
+  "fig1_short_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_short_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

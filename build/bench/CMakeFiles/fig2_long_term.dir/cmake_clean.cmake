@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_long_term.dir/fig2_long_term.cpp.o"
+  "CMakeFiles/fig2_long_term.dir/fig2_long_term.cpp.o.d"
+  "fig2_long_term"
+  "fig2_long_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_long_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

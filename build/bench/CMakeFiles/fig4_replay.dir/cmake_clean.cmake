@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_replay.dir/fig4_replay.cpp.o"
+  "CMakeFiles/fig4_replay.dir/fig4_replay.cpp.o.d"
+  "fig4_replay"
+  "fig4_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

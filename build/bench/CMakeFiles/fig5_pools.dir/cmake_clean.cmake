@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_pools.dir/fig5_pools.cpp.o"
+  "CMakeFiles/fig5_pools.dir/fig5_pools.cpp.o.d"
+  "fig5_pools"
+  "fig5_pools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dao_fork.cpp" "examples/CMakeFiles/dao_fork.dir/dao_fork.cpp.o" "gcc" "examples/CMakeFiles/dao_fork.dir/dao_fork.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/forksim_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/forksim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/evm/CMakeFiles/forksim_evm.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/forksim_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/forksim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/forksim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/forksim_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/forksim_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/rlp/CMakeFiles/forksim_rlp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

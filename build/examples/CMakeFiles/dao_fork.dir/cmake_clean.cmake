@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dao_fork.dir/dao_fork.cpp.o"
+  "CMakeFiles/dao_fork.dir/dao_fork.cpp.o.d"
+  "dao_fork"
+  "dao_fork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dao_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

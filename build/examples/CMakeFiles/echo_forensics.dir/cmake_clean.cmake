@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/echo_forensics.dir/echo_forensics.cpp.o"
+  "CMakeFiles/echo_forensics.dir/echo_forensics.cpp.o.d"
+  "echo_forensics"
+  "echo_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/echo_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

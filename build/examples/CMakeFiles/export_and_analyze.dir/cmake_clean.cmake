@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_and_analyze.dir/export_and_analyze.cpp.o"
+  "CMakeFiles/export_and_analyze.dir/export_and_analyze.cpp.o.d"
+  "export_and_analyze"
+  "export_and_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_and_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

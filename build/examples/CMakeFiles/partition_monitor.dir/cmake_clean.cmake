@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_monitor.dir/partition_monitor.cpp.o"
+  "CMakeFiles/partition_monitor.dir/partition_monitor.cpp.o.d"
+  "partition_monitor"
+  "partition_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

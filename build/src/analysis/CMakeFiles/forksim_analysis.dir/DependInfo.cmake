@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/chainindex.cpp" "src/analysis/CMakeFiles/forksim_analysis.dir/chainindex.cpp.o" "gcc" "src/analysis/CMakeFiles/forksim_analysis.dir/chainindex.cpp.o.d"
+  "/root/repo/src/analysis/echo.cpp" "src/analysis/CMakeFiles/forksim_analysis.dir/echo.cpp.o" "gcc" "src/analysis/CMakeFiles/forksim_analysis.dir/echo.cpp.o.d"
+  "/root/repo/src/analysis/figures.cpp" "src/analysis/CMakeFiles/forksim_analysis.dir/figures.cpp.o" "gcc" "src/analysis/CMakeFiles/forksim_analysis.dir/figures.cpp.o.d"
+  "/root/repo/src/analysis/forensics.cpp" "src/analysis/CMakeFiles/forksim_analysis.dir/forensics.cpp.o" "gcc" "src/analysis/CMakeFiles/forksim_analysis.dir/forensics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/forksim_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/forksim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/forksim_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/forksim_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/rlp/CMakeFiles/forksim_rlp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

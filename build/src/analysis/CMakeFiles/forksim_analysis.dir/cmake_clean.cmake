@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forksim_analysis.dir/chainindex.cpp.o"
+  "CMakeFiles/forksim_analysis.dir/chainindex.cpp.o.d"
+  "CMakeFiles/forksim_analysis.dir/echo.cpp.o"
+  "CMakeFiles/forksim_analysis.dir/echo.cpp.o.d"
+  "CMakeFiles/forksim_analysis.dir/figures.cpp.o"
+  "CMakeFiles/forksim_analysis.dir/figures.cpp.o.d"
+  "CMakeFiles/forksim_analysis.dir/forensics.cpp.o"
+  "CMakeFiles/forksim_analysis.dir/forensics.cpp.o.d"
+  "libforksim_analysis.a"
+  "libforksim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forksim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block.cpp" "src/core/CMakeFiles/forksim_core.dir/block.cpp.o" "gcc" "src/core/CMakeFiles/forksim_core.dir/block.cpp.o.d"
+  "/root/repo/src/core/chain.cpp" "src/core/CMakeFiles/forksim_core.dir/chain.cpp.o" "gcc" "src/core/CMakeFiles/forksim_core.dir/chain.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/forksim_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/forksim_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/difficulty.cpp" "src/core/CMakeFiles/forksim_core.dir/difficulty.cpp.o" "gcc" "src/core/CMakeFiles/forksim_core.dir/difficulty.cpp.o.d"
+  "/root/repo/src/core/headerchain.cpp" "src/core/CMakeFiles/forksim_core.dir/headerchain.cpp.o" "gcc" "src/core/CMakeFiles/forksim_core.dir/headerchain.cpp.o.d"
+  "/root/repo/src/core/receipt.cpp" "src/core/CMakeFiles/forksim_core.dir/receipt.cpp.o" "gcc" "src/core/CMakeFiles/forksim_core.dir/receipt.cpp.o.d"
+  "/root/repo/src/core/state.cpp" "src/core/CMakeFiles/forksim_core.dir/state.cpp.o" "gcc" "src/core/CMakeFiles/forksim_core.dir/state.cpp.o.d"
+  "/root/repo/src/core/transaction.cpp" "src/core/CMakeFiles/forksim_core.dir/transaction.cpp.o" "gcc" "src/core/CMakeFiles/forksim_core.dir/transaction.cpp.o.d"
+  "/root/repo/src/core/txpool.cpp" "src/core/CMakeFiles/forksim_core.dir/txpool.cpp.o" "gcc" "src/core/CMakeFiles/forksim_core.dir/txpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/forksim_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/forksim_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/rlp/CMakeFiles/forksim_rlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/forksim_trie.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

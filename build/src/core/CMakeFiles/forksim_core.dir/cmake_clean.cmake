@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forksim_core.dir/block.cpp.o"
+  "CMakeFiles/forksim_core.dir/block.cpp.o.d"
+  "CMakeFiles/forksim_core.dir/chain.cpp.o"
+  "CMakeFiles/forksim_core.dir/chain.cpp.o.d"
+  "CMakeFiles/forksim_core.dir/config.cpp.o"
+  "CMakeFiles/forksim_core.dir/config.cpp.o.d"
+  "CMakeFiles/forksim_core.dir/difficulty.cpp.o"
+  "CMakeFiles/forksim_core.dir/difficulty.cpp.o.d"
+  "CMakeFiles/forksim_core.dir/headerchain.cpp.o"
+  "CMakeFiles/forksim_core.dir/headerchain.cpp.o.d"
+  "CMakeFiles/forksim_core.dir/receipt.cpp.o"
+  "CMakeFiles/forksim_core.dir/receipt.cpp.o.d"
+  "CMakeFiles/forksim_core.dir/state.cpp.o"
+  "CMakeFiles/forksim_core.dir/state.cpp.o.d"
+  "CMakeFiles/forksim_core.dir/transaction.cpp.o"
+  "CMakeFiles/forksim_core.dir/transaction.cpp.o.d"
+  "CMakeFiles/forksim_core.dir/txpool.cpp.o"
+  "CMakeFiles/forksim_core.dir/txpool.cpp.o.d"
+  "libforksim_core.a"
+  "libforksim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forksim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

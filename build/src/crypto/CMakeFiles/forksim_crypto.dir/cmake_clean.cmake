@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forksim_crypto.dir/ecdsa.cpp.o"
+  "CMakeFiles/forksim_crypto.dir/ecdsa.cpp.o.d"
+  "CMakeFiles/forksim_crypto.dir/keccak.cpp.o"
+  "CMakeFiles/forksim_crypto.dir/keccak.cpp.o.d"
+  "libforksim_crypto.a"
+  "libforksim_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forksim_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

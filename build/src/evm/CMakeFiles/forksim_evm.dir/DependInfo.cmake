@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evm/assembler.cpp" "src/evm/CMakeFiles/forksim_evm.dir/assembler.cpp.o" "gcc" "src/evm/CMakeFiles/forksim_evm.dir/assembler.cpp.o.d"
+  "/root/repo/src/evm/contracts.cpp" "src/evm/CMakeFiles/forksim_evm.dir/contracts.cpp.o" "gcc" "src/evm/CMakeFiles/forksim_evm.dir/contracts.cpp.o.d"
+  "/root/repo/src/evm/executor.cpp" "src/evm/CMakeFiles/forksim_evm.dir/executor.cpp.o" "gcc" "src/evm/CMakeFiles/forksim_evm.dir/executor.cpp.o.d"
+  "/root/repo/src/evm/opcodes.cpp" "src/evm/CMakeFiles/forksim_evm.dir/opcodes.cpp.o" "gcc" "src/evm/CMakeFiles/forksim_evm.dir/opcodes.cpp.o.d"
+  "/root/repo/src/evm/vm.cpp" "src/evm/CMakeFiles/forksim_evm.dir/vm.cpp.o" "gcc" "src/evm/CMakeFiles/forksim_evm.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/forksim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/forksim_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/forksim_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/rlp/CMakeFiles/forksim_rlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/forksim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forksim_evm.dir/assembler.cpp.o"
+  "CMakeFiles/forksim_evm.dir/assembler.cpp.o.d"
+  "CMakeFiles/forksim_evm.dir/contracts.cpp.o"
+  "CMakeFiles/forksim_evm.dir/contracts.cpp.o.d"
+  "CMakeFiles/forksim_evm.dir/executor.cpp.o"
+  "CMakeFiles/forksim_evm.dir/executor.cpp.o.d"
+  "CMakeFiles/forksim_evm.dir/opcodes.cpp.o"
+  "CMakeFiles/forksim_evm.dir/opcodes.cpp.o.d"
+  "CMakeFiles/forksim_evm.dir/vm.cpp.o"
+  "CMakeFiles/forksim_evm.dir/vm.cpp.o.d"
+  "libforksim_evm.a"
+  "libforksim_evm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forksim_evm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p2p/discovery.cpp" "src/p2p/CMakeFiles/forksim_p2p.dir/discovery.cpp.o" "gcc" "src/p2p/CMakeFiles/forksim_p2p.dir/discovery.cpp.o.d"
+  "/root/repo/src/p2p/kademlia.cpp" "src/p2p/CMakeFiles/forksim_p2p.dir/kademlia.cpp.o" "gcc" "src/p2p/CMakeFiles/forksim_p2p.dir/kademlia.cpp.o.d"
+  "/root/repo/src/p2p/messages.cpp" "src/p2p/CMakeFiles/forksim_p2p.dir/messages.cpp.o" "gcc" "src/p2p/CMakeFiles/forksim_p2p.dir/messages.cpp.o.d"
+  "/root/repo/src/p2p/peers.cpp" "src/p2p/CMakeFiles/forksim_p2p.dir/peers.cpp.o" "gcc" "src/p2p/CMakeFiles/forksim_p2p.dir/peers.cpp.o.d"
+  "/root/repo/src/p2p/simnet.cpp" "src/p2p/CMakeFiles/forksim_p2p.dir/simnet.cpp.o" "gcc" "src/p2p/CMakeFiles/forksim_p2p.dir/simnet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/forksim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/forksim_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/forksim_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/rlp/CMakeFiles/forksim_rlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/forksim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

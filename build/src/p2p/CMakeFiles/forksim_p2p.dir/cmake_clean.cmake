@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forksim_p2p.dir/discovery.cpp.o"
+  "CMakeFiles/forksim_p2p.dir/discovery.cpp.o.d"
+  "CMakeFiles/forksim_p2p.dir/kademlia.cpp.o"
+  "CMakeFiles/forksim_p2p.dir/kademlia.cpp.o.d"
+  "CMakeFiles/forksim_p2p.dir/messages.cpp.o"
+  "CMakeFiles/forksim_p2p.dir/messages.cpp.o.d"
+  "CMakeFiles/forksim_p2p.dir/peers.cpp.o"
+  "CMakeFiles/forksim_p2p.dir/peers.cpp.o.d"
+  "CMakeFiles/forksim_p2p.dir/simnet.cpp.o"
+  "CMakeFiles/forksim_p2p.dir/simnet.cpp.o.d"
+  "libforksim_p2p.a"
+  "libforksim_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forksim_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forksim_rlp.dir/rlp.cpp.o"
+  "CMakeFiles/forksim_rlp.dir/rlp.cpp.o.d"
+  "libforksim_rlp.a"
+  "libforksim_rlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forksim_rlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

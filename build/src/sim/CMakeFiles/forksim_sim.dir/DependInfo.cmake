@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fastsim.cpp" "src/sim/CMakeFiles/forksim_sim.dir/fastsim.cpp.o" "gcc" "src/sim/CMakeFiles/forksim_sim.dir/fastsim.cpp.o.d"
+  "/root/repo/src/sim/miner.cpp" "src/sim/CMakeFiles/forksim_sim.dir/miner.cpp.o" "gcc" "src/sim/CMakeFiles/forksim_sim.dir/miner.cpp.o.d"
+  "/root/repo/src/sim/node.cpp" "src/sim/CMakeFiles/forksim_sim.dir/node.cpp.o" "gcc" "src/sim/CMakeFiles/forksim_sim.dir/node.cpp.o.d"
+  "/root/repo/src/sim/poolmodel.cpp" "src/sim/CMakeFiles/forksim_sim.dir/poolmodel.cpp.o" "gcc" "src/sim/CMakeFiles/forksim_sim.dir/poolmodel.cpp.o.d"
+  "/root/repo/src/sim/replay.cpp" "src/sim/CMakeFiles/forksim_sim.dir/replay.cpp.o" "gcc" "src/sim/CMakeFiles/forksim_sim.dir/replay.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/forksim_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/forksim_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/txgen.cpp" "src/sim/CMakeFiles/forksim_sim.dir/txgen.cpp.o" "gcc" "src/sim/CMakeFiles/forksim_sim.dir/txgen.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/forksim_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/forksim_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/forksim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/evm/CMakeFiles/forksim_evm.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/forksim_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/forksim_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/forksim_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/rlp/CMakeFiles/forksim_rlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/forksim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forksim_sim.dir/fastsim.cpp.o"
+  "CMakeFiles/forksim_sim.dir/fastsim.cpp.o.d"
+  "CMakeFiles/forksim_sim.dir/miner.cpp.o"
+  "CMakeFiles/forksim_sim.dir/miner.cpp.o.d"
+  "CMakeFiles/forksim_sim.dir/node.cpp.o"
+  "CMakeFiles/forksim_sim.dir/node.cpp.o.d"
+  "CMakeFiles/forksim_sim.dir/poolmodel.cpp.o"
+  "CMakeFiles/forksim_sim.dir/poolmodel.cpp.o.d"
+  "CMakeFiles/forksim_sim.dir/replay.cpp.o"
+  "CMakeFiles/forksim_sim.dir/replay.cpp.o.d"
+  "CMakeFiles/forksim_sim.dir/scenario.cpp.o"
+  "CMakeFiles/forksim_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/forksim_sim.dir/txgen.cpp.o"
+  "CMakeFiles/forksim_sim.dir/txgen.cpp.o.d"
+  "CMakeFiles/forksim_sim.dir/workload.cpp.o"
+  "CMakeFiles/forksim_sim.dir/workload.cpp.o.d"
+  "libforksim_sim.a"
+  "libforksim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forksim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

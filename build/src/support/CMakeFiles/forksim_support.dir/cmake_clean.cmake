@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forksim_support.dir/bytes.cpp.o"
+  "CMakeFiles/forksim_support.dir/bytes.cpp.o.d"
+  "CMakeFiles/forksim_support.dir/rng.cpp.o"
+  "CMakeFiles/forksim_support.dir/rng.cpp.o.d"
+  "CMakeFiles/forksim_support.dir/stats.cpp.o"
+  "CMakeFiles/forksim_support.dir/stats.cpp.o.d"
+  "CMakeFiles/forksim_support.dir/table.cpp.o"
+  "CMakeFiles/forksim_support.dir/table.cpp.o.d"
+  "CMakeFiles/forksim_support.dir/timeseries.cpp.o"
+  "CMakeFiles/forksim_support.dir/timeseries.cpp.o.d"
+  "CMakeFiles/forksim_support.dir/u256.cpp.o"
+  "CMakeFiles/forksim_support.dir/u256.cpp.o.d"
+  "libforksim_support.a"
+  "libforksim_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forksim_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forksim_trie.dir/trie.cpp.o"
+  "CMakeFiles/forksim_trie.dir/trie.cpp.o.d"
+  "libforksim_trie.a"
+  "libforksim_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forksim_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libforksim_trie.a"
+)

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/forksim_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/chain_test.cpp" "tests/CMakeFiles/forksim_tests.dir/chain_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/chain_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/forksim_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/crypto_test.cpp" "tests/CMakeFiles/forksim_tests.dir/crypto_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/crypto_test.cpp.o.d"
+  "/root/repo/tests/dao_contract_test.cpp" "tests/CMakeFiles/forksim_tests.dir/dao_contract_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/dao_contract_test.cpp.o.d"
+  "/root/repo/tests/difficulty_property_test.cpp" "tests/CMakeFiles/forksim_tests.dir/difficulty_property_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/difficulty_property_test.cpp.o.d"
+  "/root/repo/tests/evm_opcodes_test.cpp" "tests/CMakeFiles/forksim_tests.dir/evm_opcodes_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/evm_opcodes_test.cpp.o.d"
+  "/root/repo/tests/evm_test.cpp" "tests/CMakeFiles/forksim_tests.dir/evm_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/evm_test.cpp.o.d"
+  "/root/repo/tests/forensics_test.cpp" "tests/CMakeFiles/forksim_tests.dir/forensics_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/forensics_test.cpp.o.d"
+  "/root/repo/tests/fork_property_test.cpp" "tests/CMakeFiles/forksim_tests.dir/fork_property_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/fork_property_test.cpp.o.d"
+  "/root/repo/tests/fuzz_decode_test.cpp" "tests/CMakeFiles/forksim_tests.dir/fuzz_decode_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/fuzz_decode_test.cpp.o.d"
+  "/root/repo/tests/headerchain_test.cpp" "tests/CMakeFiles/forksim_tests.dir/headerchain_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/headerchain_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/forksim_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/miner_test.cpp" "tests/CMakeFiles/forksim_tests.dir/miner_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/miner_test.cpp.o.d"
+  "/root/repo/tests/model_property_test.cpp" "tests/CMakeFiles/forksim_tests.dir/model_property_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/model_property_test.cpp.o.d"
+  "/root/repo/tests/ommer_test.cpp" "tests/CMakeFiles/forksim_tests.dir/ommer_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/ommer_test.cpp.o.d"
+  "/root/repo/tests/p2p_test.cpp" "tests/CMakeFiles/forksim_tests.dir/p2p_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/p2p_test.cpp.o.d"
+  "/root/repo/tests/rlp_test.cpp" "tests/CMakeFiles/forksim_tests.dir/rlp_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/rlp_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/forksim_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/forksim_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/sync_test.cpp" "tests/CMakeFiles/forksim_tests.dir/sync_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/sync_test.cpp.o.d"
+  "/root/repo/tests/trie_test.cpp" "tests/CMakeFiles/forksim_tests.dir/trie_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/trie_test.cpp.o.d"
+  "/root/repo/tests/txgen_test.cpp" "tests/CMakeFiles/forksim_tests.dir/txgen_test.cpp.o" "gcc" "tests/CMakeFiles/forksim_tests.dir/txgen_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/forksim_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/forksim_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/rlp/CMakeFiles/forksim_rlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/forksim_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/forksim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/evm/CMakeFiles/forksim_evm.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/forksim_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/forksim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/forksim_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
