@@ -1,0 +1,93 @@
+// Chaos soak: the DAO-fork partition forming on a hostile network.
+//
+// A ChaosRunner wraps the full fork scenario in deterministic adversity —
+// 10% message loss, duplicated and reordered packets, a 60-sim-second
+// network bisection (independent of the consensus fork), and node churn
+// with some nodes never returning — then asks the paper's question: does
+// each side of the fork still converge to a single chain? The resilient
+// sync layer (request timeouts, exponential backoff, alternate-peer
+// retries, peer scoring/banning, keepalive probes) is what makes the
+// answer yes. Same seed, same run: every fault replays bit-identically.
+//
+//   ./build/examples/chaos_soak [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/chaos.hpp"
+#include "support/table.hpp"
+
+using namespace forksim;
+using namespace forksim::sim;
+
+int main(int argc, char** argv) {
+  std::cout << "== chaos soak ==\n";
+
+  ChaosParams cp;
+  cp.scenario.nodes_eth = 10;
+  cp.scenario.nodes_etc = 5;
+  cp.scenario.miners_per_side_eth = 3;
+  cp.scenario.miners_per_side_etc = 2;
+  cp.scenario.total_hashrate = 3e4;
+  cp.scenario.etc_hashpower_fraction = 0.25;
+  cp.scenario.fork_block = 10;
+  cp.scenario.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2016;
+  cp.extra_loss = 0.10;
+  cp.duplicate_prob = 0.02;
+  cp.reorder_prob = 0.05;
+  cp.cut_start = 300.0;
+  cp.cut_duration = 60.0;
+  cp.churn_fraction = 0.20;
+  cp.mining_duration = 1500.0;
+  cp.settle_deadline = 1200.0;
+
+  std::cout << cp.scenario.nodes_eth + cp.scenario.nodes_etc
+            << " nodes, fork at block " << cp.scenario.fork_block
+            << ", seed " << cp.scenario.seed << "\n"
+            << "adversity: 10% loss, 2% duplication, 5% reordering, "
+               "60 s bisection at t=300, 20% churn\n\n";
+
+  ChaosRunner runner(cp);
+  std::cout << "churn schedule: " << runner.churn().crash_count()
+            << " crashes, " << runner.churn().restart_count()
+            << " restarts planned\n";
+
+  const ChaosReport r = runner.run();
+
+  Table table({"metric", "value"});
+  table.add_row({"converged", std::string(r.converged ? "yes" : "NO")});
+  table.add_row({"settle time (s)", fmt(r.time_to_convergence, 0)});
+  table.add_row({"ETH height / survivors",
+                 std::to_string(r.height_eth) + " / " +
+                     std::to_string(r.survivors_eth)});
+  table.add_row({"ETC height / survivors",
+                 std::to_string(r.height_etc) + " / " +
+                     std::to_string(r.survivors_etc)});
+  table.add_row({"crashes / restarts", std::to_string(r.crashes) + " / " +
+                                           std::to_string(r.restarts)});
+  table.add_row({"sync timeouts / retries",
+                 std::to_string(r.sync_timeouts) + " / " +
+                     std::to_string(r.sync_retries)});
+  table.add_row({"dial attempts", std::to_string(r.dial_attempts)});
+  table.add_row({"peers banned", std::to_string(r.peers_banned)});
+  table.add_row({"messages sent", std::to_string(r.messages_sent)});
+  table.add_row({"dropped: loss / cut / filter",
+                 std::to_string(r.faults.dropped_by_loss) + " / " +
+                     std::to_string(r.faults.dropped_by_cut) + " / " +
+                     std::to_string(r.faults.dropped_by_filter)});
+  table.add_row({"duplicated / reordered",
+                 std::to_string(r.faults.duplicated) + " / " +
+                     std::to_string(r.faults.reordered)});
+  table.add_row({"fingerprint", r.fingerprint.hex().substr(0, 16)});
+  table.print(std::cout);
+
+  std::cout << "\n"
+            << (r.converged
+                    ? "both fork sides converged to a single head despite "
+                      "the chaos —\nthe partition severs cleanly even on a "
+                      "hostile network.\n"
+                    : "the network failed to converge before the deadline; "
+                      "the adversity won this round.\n")
+            << "rerun with the same seed to watch the identical chaos "
+               "replay (same fingerprint).\n";
+  return r.converged ? 0 : 1;
+}

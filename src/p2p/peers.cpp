@@ -36,12 +36,14 @@ std::vector<NodeId> PeerSet::active_peers() const {
   return out;
 }
 
-void PeerSet::connect(const NodeId& id) {
-  if (sessions_.contains(id) || !has_capacity()) return;
+bool PeerSet::connect(const NodeId& id) {
+  if (sessions_.contains(id) || !has_capacity() || is_banned(id)) return false;
   PeerSession s;
   s.inbound = false;
+  s.last_message = now();
   sessions_.emplace(id, std::move(s));
   cb_.send(id, Message{cb_.make_status()});
+  return true;
 }
 
 void PeerSet::disconnect(const NodeId& id, DisconnectReason reason) {
@@ -62,18 +64,29 @@ void PeerSet::on_status(const NodeId& from, const Status& status) {
   auto it = sessions_.find(from);
   const bool inbound = it == sessions_.end();
   if (inbound) {
-    if (!has_capacity()) {
+    if (!has_capacity() || is_banned(from)) {
       cb_.send(from, Message{Disconnect{DisconnectReason::kTooManyPeers}});
       return;
     }
     PeerSession s;
     s.inbound = true;
+    s.last_message = now();
     it = sessions_.emplace(from, std::move(s)).first;
     // reciprocate the handshake
     cb_.send(from, Message{cb_.make_status()});
   }
   PeerSession& session = it->second;
-  if (session.state != PeerState::kHandshaking) return;  // duplicate Status
+  if (session.state != PeerState::kHandshaking) {
+    if (session.state == PeerState::kAwaitingDaoHeader) return;  // duplicate
+    // A Status on an established session means the remote restarted (our
+    // transport has no connection teardown, so a crashed peer's session
+    // lingers until something breaks the silence). Re-handshake: reset the
+    // session, reciprocate, and fall through to re-validate.
+    session.state = PeerState::kHandshaking;
+    session.stalled_ticks = 0;
+    session.ping_outstanding = false;
+    cb_.send(from, Message{cb_.make_status()});
+  }
 
   if (status.network_id != network_id_ ||
       status.genesis_hash != genesis_hash_) {
@@ -92,18 +105,65 @@ void PeerSet::on_status(const NodeId& from, const Status& status) {
 }
 
 std::size_t PeerSet::reap_stalled(std::uint32_t max_ticks) {
+  const SimTime t = now();
   std::vector<NodeId> dead;
+  std::size_t liveness_dead = 0;
   for (auto& [id, session] : sessions_) {
     if (session.state == PeerState::kActive) {
       session.stalled_ticks = 0;
+      const SimTime silent = t - session.last_message;
+      if (silent > policy_.drop_after && session.ping_outstanding) {
+        dead.push_back(id);
+        ++liveness_dead;
+      } else if (silent > policy_.ping_after && !session.ping_outstanding) {
+        session.ping_outstanding = true;
+        cb_.send(id, Message{Ping{}});
+      }
       continue;
     }
     if (++session.stalled_ticks > max_ticks) dead.push_back(id);
   }
+  liveness_drops_ += liveness_dead;
   for (const NodeId& id : dead)
     drop(id, DisconnectReason::kUselessPeer, /*notify_remote=*/true);
+  // lapsed bans come off the list so the dialer can try those peers again
+  std::erase_if(banned_, [t](const auto& kv) { return kv.second <= t; });
   return dead.size();
 }
+
+void PeerSet::touch(const NodeId& id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  it->second.last_message = now();
+  it->second.ping_outstanding = false;
+}
+
+void PeerSet::note_useful(const NodeId& id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  it->second.score = std::min(it->second.score + 1, policy_.max_score);
+}
+
+void PeerSet::note_timeout(const NodeId& id) { penalize(id, 1); }
+
+void PeerSet::note_garbage(const NodeId& id) { penalize(id, 3); }
+
+void PeerSet::penalize(const NodeId& id, int amount) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  it->second.score -= amount;
+  if (it->second.score > policy_.ban_score) return;
+  banned_[id] = now() + policy_.ban_seconds;
+  ++bans_;
+  drop(id, DisconnectReason::kUselessPeer, /*notify_remote=*/true);
+}
+
+bool PeerSet::is_banned(const NodeId& id) const {
+  auto it = banned_.find(id);
+  return it != banned_.end() && it->second > now();
+}
+
+void PeerSet::reset() { sessions_.clear(); }
 
 void PeerSet::rechallenge(const NodeId& id) {
   auto it = sessions_.find(id);

@@ -35,6 +35,15 @@ struct PeerSession {
   /// Maintenance ticks spent in a non-active state (handshake may be lost
   /// on the wire; stalled sessions are reaped so the dialer can retry).
   std::uint32_t stalled_ticks = 0;
+  /// Behaviour score: useful blocks move it up, request timeouts and
+  /// garbage move it down; at PeerPolicy::ban_score the peer is dropped
+  /// and temporarily banned.
+  int score = 0;
+  /// Sim time of the last message received from this peer (liveness).
+  SimTime last_message = 0;
+  /// A keepalive ping is outstanding (sent by reap_stalled; any inbound
+  /// message clears it).
+  bool ping_outstanding = false;
 
   /// Bounded LRU-ish inventory of hashes this peer is known to have.
   std::unordered_set<Hash256, Hash256Hasher> known;
@@ -42,6 +51,22 @@ struct PeerSession {
 
   void mark_known(const Hash256& h, std::size_t cap = 4096);
   bool knows(const Hash256& h) const { return known.contains(h); }
+};
+
+/// Knobs for peer scoring, banning, and liveness probing.
+struct PeerPolicy {
+  /// Session score at (or below) which a peer is dropped and banned.
+  int ban_score = -5;
+  /// Score ceiling so long-lived good peers can't bank unlimited credit.
+  int max_score = 8;
+  /// How long a banned peer stays un-dialable (sim seconds).
+  double ban_seconds = 180.0;
+  /// Active peer silent for this long -> send a keepalive ping.
+  double ping_after = 30.0;
+  /// Still silent this long after the ping -> drop as unresponsive. This
+  /// is what unsticks sessions to crashed peers (churn): the remote never
+  /// said goodbye, so only silence gives it away.
+  double drop_after = 90.0;
 };
 
 class PeerSet {
@@ -59,14 +84,18 @@ class PeerSet {
     std::function<void(const NodeId&, const Status&)> on_active;
     /// A peer went away (any reason).
     std::function<void(const NodeId&, DisconnectReason)> on_drop;
+    /// Current sim time (ban expiry and liveness tracking).
+    std::function<SimTime()> now;
   };
 
   PeerSet(std::uint64_t network_id, Hash256 genesis_hash,
-          std::size_t max_peers, Callbacks callbacks)
+          std::size_t max_peers, Callbacks callbacks,
+          PeerPolicy policy = PeerPolicy())
       : network_id_(network_id),
         genesis_hash_(genesis_hash),
         max_peers_(max_peers),
-        cb_(std::move(callbacks)) {}
+        cb_(std::move(callbacks)),
+        policy_(policy) {}
 
   std::size_t active_count() const;
   std::size_t session_count() const noexcept { return sessions_.size(); }
@@ -79,12 +108,28 @@ class PeerSet {
   /// Active peer ids.
   std::vector<NodeId> active_peers() const;
 
-  /// Initiate an outbound session (sends Status). No-op if already known or
-  /// at capacity.
-  void connect(const NodeId& id);
+  /// Initiate an outbound session (sends Status). Returns false (no-op) if
+  /// already known, at capacity, or the peer is banned.
+  bool connect(const NodeId& id);
 
   /// Drop a session and notify the remote.
   void disconnect(const NodeId& id, DisconnectReason reason);
+
+  /// Record an inbound message from `id` (refreshes liveness).
+  void touch(const NodeId& id);
+
+  /// Scoring: a useful delivery (+1, capped), a request timeout (-1), or
+  /// garbage on the wire (-3). Hitting PeerPolicy::ban_score drops and
+  /// bans the peer.
+  void note_useful(const NodeId& id);
+  void note_timeout(const NodeId& id);
+  void note_garbage(const NodeId& id);
+
+  bool is_banned(const NodeId& id) const;
+
+  /// Forget all sessions without notifying anyone — a crashed node's
+  /// half-open sessions are meaningless after it restarts. Bans survive.
+  void reset();
 
   /// Handle a session-layer message; returns true if consumed.
   bool handle(const NodeId& from, const Message& msg);
@@ -94,25 +139,38 @@ class PeerSet {
   /// geth re-examined existing peers the same way).
   void rechallenge(const NodeId& id);
 
-  /// Age non-active sessions by one maintenance tick and drop any that have
-  /// been stuck for more than `max_ticks` (lost handshakes on a lossy
-  /// network). Returns the number of sessions reaped.
+  /// One maintenance pass: age non-active sessions by a tick and drop any
+  /// stuck for more than `max_ticks` (lost handshakes on a lossy network);
+  /// ping active sessions silent past PeerPolicy::ping_after and drop
+  /// those silent past drop_after (crashed peers that never said goodbye);
+  /// prune expired bans. Returns the number of sessions reaped.
   std::size_t reap_stalled(std::uint32_t max_ticks);
 
   /// Telemetry: how many peers were dropped for being on the wrong fork.
   std::uint64_t wrong_fork_drops() const noexcept { return wrong_fork_drops_; }
+  /// Telemetry: peers score-banned as unresponsive or garbage-sending.
+  std::uint64_t bans() const noexcept { return bans_; }
+  /// Telemetry: active sessions dropped by the liveness probe.
+  std::uint64_t liveness_drops() const noexcept { return liveness_drops_; }
 
  private:
   void on_status(const NodeId& from, const Status& status);
   void activate(const NodeId& id);
   void drop(const NodeId& id, DisconnectReason reason, bool notify_remote);
+  void penalize(const NodeId& id, int amount);
+  SimTime now() const { return cb_.now ? cb_.now() : 0; }
 
   std::uint64_t network_id_;
   Hash256 genesis_hash_;
   std::size_t max_peers_;
   Callbacks cb_;
+  PeerPolicy policy_;
   std::unordered_map<NodeId, PeerSession, NodeIdHasher> sessions_;
+  /// Banned peer -> sim time the ban lifts.
+  std::unordered_map<NodeId, SimTime, NodeIdHasher> banned_;
   std::uint64_t wrong_fork_drops_ = 0;
+  std::uint64_t bans_ = 0;
+  std::uint64_t liveness_drops_ = 0;
 };
 
 }  // namespace forksim::p2p

@@ -1,6 +1,9 @@
 #include "p2p/simnet.hpp"
 
+#include <algorithm>
 #include <cmath>
+
+#include "p2p/faults.hpp"
 
 namespace forksim::p2p {
 
@@ -39,7 +42,7 @@ std::size_t EventLoop::run() {
 double LatencyModel::sample(Rng& rng) const {
   const double jitter =
       jitter_scale > 0 ? rng.lognormal(0.0, jitter_sigma) * jitter_scale : 0.0;
-  return base + jitter;
+  return std::max(0.0, base + jitter);
 }
 
 void Network::attach(const NodeId& id, Handler handler) {
@@ -51,8 +54,16 @@ void Network::detach(const NodeId& id) { handlers_.erase(id); }
 void Network::send(const NodeId& from, const NodeId& to, Bytes data) {
   ++messages_sent_;
   bytes_sent_ += data.size();
+  if (faults_ != nullptr) {
+    faults_->on_send(*this, from, to, std::move(data));
+    return;
+  }
   if (latency_.loss > 0.0 && rng_.chance(latency_.loss)) return;
-  const double delay = latency_.sample(rng_);
+  deliver_after(latency_.sample(rng_), from, to, std::move(data));
+}
+
+void Network::deliver_after(double delay, const NodeId& from, const NodeId& to,
+                            Bytes data) {
   loop_.schedule(delay, [this, from, to, data = std::move(data)]() {
     auto it = handlers_.find(to);
     if (it == handlers_.end()) return;  // peer gone

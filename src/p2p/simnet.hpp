@@ -68,6 +68,8 @@ struct LatencyModel {
   /// Probability a message is silently dropped.
   double loss = 0.0;
 
+  /// Sampled delay, never negative (a pathological negative `base` clamps
+  /// to zero rather than scheduling into the past).
   double sample(Rng& rng) const;
 
   static LatencyModel lan() { return {0.005, 0.005, 0.3, 0.0}; }
@@ -79,8 +81,13 @@ struct LatencyModel {
   }
 };
 
+class FaultInjector;
+
 /// Message-passing network: endpoints register a receive handler; send()
-/// schedules delivery through the event loop with sampled latency.
+/// schedules delivery through the event loop with sampled latency. An
+/// optional FaultInjector (p2p/faults.hpp) can be interposed to add
+/// per-link faults; without one, send() behaves exactly as before, draw
+/// for draw, so fault-free runs are unchanged.
 class Network {
  public:
   using Handler = std::function<void(const NodeId& from, const Bytes& data)>;
@@ -89,14 +96,24 @@ class Network {
       : loop_(loop), rng_(rng), latency_(latency) {}
 
   EventLoop& loop() noexcept { return loop_; }
+  const LatencyModel& default_latency() const noexcept { return latency_; }
 
   void attach(const NodeId& id, Handler handler);
   void detach(const NodeId& id);
   bool is_attached(const NodeId& id) const { return handlers_.contains(id); }
 
   /// Send `data` from `from` to `to`. Silently dropped if `to` is detached
-  /// (models a crashed peer) or the loss coin comes up.
+  /// (models a crashed peer) or the loss coin comes up. With a fault
+  /// injector attached, the injector adjudicates delivery instead.
   void send(const NodeId& from, const NodeId& to, Bytes data);
+
+  /// Schedule delivery after `delay` seconds, bypassing latency/loss
+  /// sampling. Used by the fault injector once it has made its decision.
+  void deliver_after(double delay, const NodeId& from, const NodeId& to,
+                     Bytes data);
+
+  void set_fault_injector(FaultInjector* faults) noexcept { faults_ = faults; }
+  FaultInjector* fault_injector() const noexcept { return faults_; }
 
   std::uint64_t messages_sent() const noexcept { return messages_sent_; }
   std::uint64_t messages_delivered() const noexcept {
@@ -108,6 +125,7 @@ class Network {
   EventLoop& loop_;
   Rng rng_;
   LatencyModel latency_;
+  FaultInjector* faults_ = nullptr;
   std::unordered_map<NodeId, Handler, NodeIdHasher> handlers_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_delivered_ = 0;

@@ -1,0 +1,183 @@
+#include "sim/chaos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <unordered_set>
+
+#include "crypto/keccak.hpp"
+
+namespace forksim::sim {
+
+ChaosRunner::ChaosRunner(ChaosParams params)
+    : params_(params),
+      rng_(params.scenario.seed ^ 0xc8a05f4d2b179e63ull),
+      scenario_(std::make_unique<ForkScenario>(params.scenario)) {
+  faults_ = std::make_unique<p2p::FaultInjector>(scenario_->loop(),
+                                                 rng_.fork());
+  faults_->attach_to(scenario_->network());
+  faults_->set_extra_loss(params_.extra_loss);
+  faults_->set_duplicate_prob(params_.duplicate_prob);
+  faults_->set_reorder_prob(params_.reorder_prob);
+  faults_->set_reorder_delay(params_.reorder_delay);
+  install_cut();
+  install_churn();
+}
+
+void ChaosRunner::install_cut() {
+  if (params_.cut_start < 0) return;
+  const std::size_t n = scenario_->node_count();
+  // seeded random bisection, independent of the consensus fork sides
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const std::size_t j = i + rng_.uniform(n - i);
+    std::swap(order[i], order[j]);
+  }
+  std::unordered_set<std::size_t> half(order.begin(),
+                                       order.begin() + n / 2);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (half.contains(i) != half.contains(j))
+        faults_->schedule_link_cut(scenario_->node(i).id(),
+                                   scenario_->node(j).id(),
+                                   params_.cut_start, params_.cut_duration);
+}
+
+void ChaosRunner::install_churn() {
+  const std::size_t n = scenario_->node_count();
+  // exempt the bootstrap anchors (first node on each side) and miner hosts
+  std::unordered_set<const FullNode*> hosts;
+  for (std::size_t m = 0; m < scenario_->miner_count(); ++m)
+    hosts.insert(&scenario_->miner(m).node());
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == 0 || i == params_.scenario.nodes_eth) continue;
+    if (hosts.contains(&scenario_->node(i))) continue;
+    candidates.push_back(i);
+  }
+  const auto count = static_cast<std::size_t>(
+      std::ceil(params_.churn_fraction * static_cast<double>(n)));
+  churn_ = p2p::ChurnSchedule::sample(
+      rng_, std::move(candidates), count, params_.churn_start,
+      params_.churn_end, params_.mean_downtime, params_.restart_prob);
+
+  auto& loop = scenario_->loop();
+  const std::vector<p2p::NodeId> rejoin_bootstrap = {
+      scenario_->node(0).id(),
+      scenario_->node(params_.scenario.nodes_eth).id()};
+  for (const p2p::ChurnEvent& ev : churn_.events()) {
+    loop.schedule(ev.at, [this, ev, rejoin_bootstrap] {
+      FullNode& node = scenario_->node(ev.node_index);
+      if (ev.up) {
+        if (node.running()) return;
+        node.start(rejoin_bootstrap);
+        set_node_mining(ev.node_index, true);
+        ++restarts_;
+      } else {
+        if (!node.running()) return;
+        set_node_mining(ev.node_index, false);
+        node.shutdown();
+        ++crashes_;
+      }
+    });
+  }
+}
+
+void ChaosRunner::set_node_mining(std::size_t node_index, bool on) {
+  const FullNode* node = &scenario_->node(node_index);
+  for (std::size_t m = 0; m < scenario_->miner_count(); ++m) {
+    Miner& miner = scenario_->miner(m);
+    if (&miner.node() != node) continue;
+    if (on)
+      miner.start();
+    else
+      miner.stop();
+  }
+}
+
+bool ChaosRunner::converged() const {
+  std::optional<Hash256> eth_head;
+  std::optional<Hash256> etc_head;
+  for (std::size_t i = 0; i < scenario_->node_count(); ++i) {
+    const FullNode& node = scenario_->node(i);
+    if (!node.running()) continue;
+    const Hash256 head = node.chain().head().hash();
+    auto& side = scenario_->is_eth_node(i) ? eth_head : etc_head;
+    if (side.has_value() && *side != head) return false;
+    side = head;
+  }
+  if (!eth_head || !etc_head) return false;  // a whole side died
+  // both sides must be past the fork, otherwise "one head per side" could
+  // just mean nobody reached the divergence point yet
+  return scenario_->best_height_eth() >= params_.scenario.fork_block &&
+         scenario_->best_height_etc() >= params_.scenario.fork_block;
+}
+
+Hash256 ChaosRunner::fingerprint() const {
+  Keccak256 h;
+  h.update(std::string_view("forksim/chaos-fingerprint"));
+  auto u64 = [&](std::uint64_t v) {
+    const auto be = be_fixed64(v);
+    h.update(BytesView(be.data(), be.size()));
+  };
+  for (std::size_t i = 0; i < scenario_->node_count(); ++i) {
+    const FullNode& node = scenario_->node(i);
+    u64(i);
+    u64(node.running() ? 1 : 0);
+    h.update(node.chain().head().hash().view());
+    u64(node.chain().height());
+    u64(node.blocks_imported());
+    u64(node.sync_retries());
+    u64(node.sync_timeouts());
+    u64(node.peers_banned());
+  }
+  u64(scenario_->network().messages_sent());
+  u64(scenario_->network().messages_delivered());
+  const auto& f = faults_->counters();
+  u64(f.dropped_by_loss);
+  u64(f.dropped_by_cut);
+  u64(f.duplicated);
+  u64(f.reordered);
+  return h.digest();
+}
+
+ChaosReport ChaosRunner::run() {
+  auto& loop = scenario_->loop();
+  while (loop.now() < params_.mining_duration) scenario_->run_for(5.0);
+  for (std::size_t m = 0; m < scenario_->miner_count(); ++m)
+    scenario_->miner(m).stop();
+  const double mining_stopped = loop.now();
+
+  ChaosReport report;
+  while (loop.now() < mining_stopped + params_.settle_deadline) {
+    scenario_->run_for(5.0);
+    if (converged()) {
+      report.converged = true;
+      report.time_to_convergence = loop.now() - mining_stopped;
+      break;
+    }
+  }
+
+  report.height_eth = scenario_->best_height_eth();
+  report.height_etc = scenario_->best_height_etc();
+  for (std::size_t i = 0; i < scenario_->node_count(); ++i) {
+    const FullNode& node = scenario_->node(i);
+    if (node.running()) {
+      ++(scenario_->is_eth_node(i) ? report.survivors_eth
+                                   : report.survivors_etc);
+    }
+    report.sync_timeouts += node.sync_timeouts();
+    report.sync_retries += node.sync_retries();
+    report.dial_attempts += node.dial_attempts();
+    report.peers_banned += node.peers_banned();
+  }
+  report.crashes = crashes_;
+  report.restarts = restarts_;
+  report.messages_sent = scenario_->network().messages_sent();
+  report.faults = faults_->counters();
+  report.fingerprint = fingerprint();
+  return report;
+}
+
+}  // namespace forksim::sim

@@ -1,0 +1,107 @@
+// Chaos soak harness: the DAO-fork scenario run under injected network
+// faults and node churn, with a convergence check at the end.
+//
+// The paper's partition severed cleanly on a chaotic network — lossy
+// links, a mass node exodus, abrupt miner migration. This harness
+// reproduces that adversity deterministically: a FaultInjector adds
+// message loss / duplication / reordering and a scheduled network-layer
+// bisection cut (independent of the consensus fork), while a seeded
+// ChurnSchedule crashes and restarts nodes mid-run. The pass criterion is
+// the paper's: after the dust settles, every surviving node on each fork
+// side agrees on a single canonical head. The whole run, including every
+// fault, replays bit-identically from the scenario seed (the report
+// carries a fingerprint to prove it).
+#pragma once
+
+#include <memory>
+
+#include "p2p/faults.hpp"
+#include "sim/scenario.hpp"
+
+namespace forksim::sim {
+
+struct ChaosParams {
+  ScenarioParams scenario;
+
+  // message-level faults
+  double extra_loss = 0.10;
+  double duplicate_prob = 0.02;
+  double reorder_prob = 0.05;
+  double reorder_delay = 0.5;
+
+  /// Network-layer bisection: a seeded random half of the nodes is cut
+  /// off from the other half for [cut_start, cut_start + cut_duration).
+  /// Negative cut_start disables the cut.
+  double cut_start = -1.0;
+  double cut_duration = 60.0;
+
+  /// Fraction of ALL nodes crashed at sampled times in [churn_start,
+  /// churn_end]. Bootstrap anchors (the first node on each side) and
+  /// miner hosts are exempt — mining operations and seed nodes were the
+  /// stable core of the real network; churn hits the long tail.
+  double churn_fraction = 0.20;
+  double churn_start = 120.0;
+  double churn_end = 900.0;
+  double mean_downtime = 180.0;
+  /// Probability a crashed node ever comes back (< 1 models the exodus).
+  double restart_prob = 0.8;
+
+  /// Mining (and chaos) phase length, then a settle window in which the
+  /// network must converge.
+  double mining_duration = 2400.0;
+  double settle_deadline = 1200.0;
+};
+
+struct ChaosReport {
+  bool converged = false;
+  /// Seconds from mining stop to per-side head agreement (-1 = never).
+  double time_to_convergence = -1.0;
+  core::BlockNumber height_eth = 0;
+  core::BlockNumber height_etc = 0;
+  std::size_t survivors_eth = 0;
+  std::size_t survivors_etc = 0;
+  std::size_t crashes = 0;
+  std::size_t restarts = 0;
+  // resilience telemetry, summed over surviving nodes
+  std::uint64_t sync_timeouts = 0;
+  std::uint64_t sync_retries = 0;
+  std::uint64_t dial_attempts = 0;
+  std::uint64_t peers_banned = 0;
+  std::uint64_t messages_sent = 0;
+  p2p::FaultCounters faults;
+  /// Digest of the end state (per-node heads, heights, counters): equal
+  /// across two runs iff they were bit-identical.
+  Hash256 fingerprint;
+};
+
+class ChaosRunner {
+ public:
+  explicit ChaosRunner(ChaosParams params);
+
+  ForkScenario& scenario() noexcept { return *scenario_; }
+  p2p::FaultInjector& faults() noexcept { return *faults_; }
+  const p2p::ChurnSchedule& churn() const noexcept { return churn_; }
+
+  /// Every running node on each side shares one head and both sides have
+  /// crossed the fork block (so the heads are provably per-side).
+  bool converged() const;
+
+  /// Drive the whole timeline and report.
+  ChaosReport run();
+
+ private:
+  void install_cut();
+  void install_churn();
+  void set_node_mining(std::size_t node_index, bool on);
+  Hash256 fingerprint() const;
+
+  ChaosParams params_;
+  Rng rng_;
+  std::unique_ptr<ForkScenario> scenario_;
+  std::unique_ptr<p2p::FaultInjector> faults_;
+  p2p::ChurnSchedule churn_;
+  std::size_t crashes_ = 0;
+  std::size_t restarts_ = 0;
+};
+
+}  // namespace forksim::sim

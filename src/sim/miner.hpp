@@ -31,6 +31,9 @@ class Miner {
 
   void set_hashrate(double hashrate);
   double hashrate() const noexcept { return hashrate_; }
+  /// The node this miner submits blocks through (chaos harness pairs
+  /// miners with their hosts when crashing/restarting nodes).
+  const FullNode& node() const noexcept { return node_; }
   const Address& coinbase() const noexcept { return coinbase_; }
   std::uint64_t blocks_mined() const noexcept { return blocks_mined_; }
 

@@ -1,5 +1,8 @@
 #include "sim/node.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace forksim::sim {
 
 using namespace p2p;
@@ -36,7 +39,9 @@ FullNode::FullNode(Network& network, NodeId id, core::ChainConfig config,
                    if (reason == DisconnectReason::kIncompatibleNetwork)
                      discovery_.on_peer_dead(peer);
                  },
-             }) {
+                 [this] { return network_.loop().now(); },
+             },
+             options.peer_policy) {
   discovery_.set_on_discovered([this](const NodeId& candidate) {
     if (running_ && peers_.active_count() < options_.target_peers)
       peers_.connect(candidate);
@@ -48,6 +53,10 @@ FullNode::~FullNode() { shutdown(); }
 void FullNode::start(const std::vector<NodeId>& bootstrap) {
   running_ = true;
   bootstrap_ = bootstrap;
+  // a restart after a crash begins with a clean slate: half-open sessions
+  // and in-flight fetches from the previous life are meaningless
+  peers_.reset();
+  pending_fetch_.clear();
   network_.attach(id_, [this](const NodeId& from, const Bytes& wire) {
     on_message(from, wire);
   });
@@ -77,10 +86,22 @@ void FullNode::tick() {
     for (const NodeId& candidate :
          discovery_.table().closest(id_, options_.target_peers * 2)) {
       if (peers_.connected_to(candidate)) continue;
-      peers_.connect(candidate);
+      if (peers_.connect(candidate)) ++dial_attempts_;
       if (peers_.session_count() >= options_.max_peers) break;
     }
     if (rng_.chance(0.5)) discovery_.refresh();
+  }
+  // anti-entropy: re-advertise our head to one random active peer each
+  // tick. Push gossip is fire-and-forget, so on a lossy network a node can
+  // miss every announcement of the final block and stall forever once
+  // mining stops; this periodic re-offer gives it a pull path (the
+  // receiver ignores hashes it already has).
+  if (chain_.height() > 0) {
+    const std::vector<p2p::NodeId> active = peers_.active_peers();
+    if (!active.empty()) {
+      const p2p::NodeId& target = active[rng_.uniform(active.size())];
+      send(target, Message{NewBlockHashes{{chain_.head().hash()}}});
+    }
   }
   const std::uint64_t gen = generation_;
   network_.loop().schedule(options_.tick_interval, [this, gen] {
@@ -95,7 +116,11 @@ void FullNode::send(const NodeId& to, const Message& msg) {
 void FullNode::on_message(const NodeId& from, const Bytes& wire) {
   if (!running_) return;
   auto msg = decode_message(wire);
-  if (!msg) return;  // malformed: ignore (a real node would disconnect)
+  if (!msg) {
+    peers_.note_garbage(from);  // malformed: count against the sender
+    return;
+  }
+  peers_.touch(from);
   if (discovery_.handle(from, *msg)) return;
   if (peers_.handle(from, *msg)) return;
   // eth payloads require an active session
@@ -136,9 +161,81 @@ bool FullNode::check_dao_header(
 void FullNode::on_peer_active(const NodeId& peer, const Status& status) {
   // start syncing if the peer's chain is heavier
   if (status.total_difficulty > chain_.head_total_difficulty())
-    send(peer, Message{GetBlocks{
-                   status.head_hash,
-                   static_cast<std::uint32_t>(options_.sync_batch)}});
+    request_blocks(peer, status.head_hash,
+                   static_cast<std::uint32_t>(options_.sync_batch));
+}
+
+void FullNode::mark_rejected(const Hash256& hash) {
+  if (!rejected_.insert(hash).second) return;
+  rejected_order_.push_back(hash);
+  while (rejected_order_.size() > 4096) {
+    rejected_.erase(rejected_order_.front());
+    rejected_order_.pop_front();
+  }
+}
+
+void FullNode::request_blocks(const NodeId& peer, const Hash256& head,
+                              std::uint32_t count) {
+  if (chain_.contains(head) || rejected_.contains(head)) return;
+  auto [it, inserted] = pending_fetch_.try_emplace(head);
+  PendingFetch& req = it->second;
+  if (!inserted) {
+    // already in flight; just widen the window if this ask is bigger
+    req.max_blocks = std::max(req.max_blocks, count);
+    return;
+  }
+  req.peer = peer;
+  req.max_blocks = count;
+  req.token = ++next_fetch_token_;
+  send(peer, Message{GetBlocks{head, req.max_blocks}});
+  arm_fetch_timer(head, req.token, options_.sync_timeout);
+}
+
+void FullNode::arm_fetch_timer(const Hash256& head, std::uint64_t token,
+                               double timeout) {
+  const std::uint64_t gen = generation_;
+  network_.loop().schedule(timeout, [this, head, token, gen] {
+    if (gen == generation_) on_fetch_timeout(head, token);
+  });
+}
+
+void FullNode::on_fetch_timeout(const Hash256& head, std::uint64_t token) {
+  auto it = pending_fetch_.find(head);
+  if (it == pending_fetch_.end() || it->second.token != token) return;
+  if (chain_.contains(head)) {  // satisfied via another path (push gossip)
+    pending_fetch_.erase(it);
+    return;
+  }
+  ++sync_timeouts_;
+  PendingFetch& req = it->second;
+  peers_.note_timeout(req.peer);
+  if (req.attempt >= options_.sync_max_retries) {
+    ++sync_gave_up_;
+    pending_fetch_.erase(it);
+    return;
+  }
+  // re-request, preferring a different active peer than the one that
+  // failed us; with nobody else around, retry the same peer if its
+  // session survived, else give up until a new peer activates
+  std::vector<NodeId> candidates = peers_.active_peers();
+  std::erase(candidates, req.peer);
+  if (!candidates.empty()) {
+    req.peer = candidates[rng_.uniform(candidates.size())];
+  } else if (peers_.session(req.peer) == nullptr) {
+    pending_fetch_.erase(it);
+    return;
+  }
+  ++req.attempt;
+  ++sync_retries_;
+  req.token = ++next_fetch_token_;
+  send(req.peer, Message{GetBlocks{head, req.max_blocks}});
+  arm_fetch_timer(head, req.token,
+                  options_.sync_timeout *
+                      std::pow(options_.sync_backoff, req.attempt));
+}
+
+void FullNode::resolve_fetch(const Hash256& hash) {
+  pending_fetch_.erase(hash);
 }
 
 void FullNode::handle_eth(const NodeId& from, const Message& msg) {
@@ -148,14 +245,15 @@ void FullNode::handle_eth(const NodeId& from, const Message& msg) {
         PeerSession* session = peers_.session(from);
 
         if constexpr (std::is_same_v<T, NewBlock>) {
-          if (session) session->mark_known(m.block.hash());
-          if (chain_.contains(m.block.hash())) ++duplicate_block_pushes_;
+          const Hash256 hash = m.block.hash();
+          if (session) session->mark_known(hash);
+          if (chain_.contains(hash)) ++duplicate_block_pushes_;
+          resolve_fetch(hash);
           import_and_relay(from, m.block);
         } else if constexpr (std::is_same_v<T, NewBlockHashes>) {
           for (const Hash256& h : m.hashes) {
             if (session) session->mark_known(h);
-            if (!chain_.contains(h))
-              send(from, Message{GetBlocks{h, 1}});
+            if (!chain_.contains(h)) request_blocks(from, h, 1);
           }
         } else if constexpr (std::is_same_v<T, GetBlocks>) {
           Blocks reply;
@@ -173,21 +271,38 @@ void FullNode::handle_eth(const NodeId& from, const Message& msg) {
         } else if constexpr (std::is_same_v<T, Blocks>) {
           bool still_orphaned = false;
           bool wrong_fork = false;
+          bool useful = false;
+          bool garbage = false;
           Hash256 deepest_missing;
+          // a reply that matches one of our in-flight fetches is solicited:
+          // its orphans are sync state, not flood fodder
+          bool solicited = false;
+          for (const core::Block& b : m.blocks)
+            if (pending_fetch_.contains(b.hash())) {
+              solicited = true;
+              break;
+            }
           for (const core::Block& b : m.blocks) {
-            if (session) session->mark_known(b.hash());
+            const Hash256 hash = b.hash();
+            if (session) session->mark_known(hash);
+            resolve_fetch(hash);
             const auto outcome = chain_.import(b);
             if (outcome.result == core::ImportResult::kImported) {
               ++blocks_imported_;
+              useful = true;
               if (outcome.became_head) after_head_change();
             } else if (outcome.result == core::ImportResult::kUnknownParent) {
-              orphans_.emplace(b.header.parent_hash, b);
+              add_orphan(b, solicited);
               if (!still_orphaned) {
                 still_orphaned = true;
                 deepest_missing = b.header.parent_hash;
               }
             } else if (outcome.result == core::ImportResult::kWrongFork) {
               wrong_fork = true;
+              mark_rejected(hash);
+            } else if (outcome.result != core::ImportResult::kAlreadyKnown) {
+              garbage = true;  // structurally invalid block
+              mark_rejected(hash);
             }
           }
           try_orphans();
@@ -196,11 +311,12 @@ void FullNode::handle_eth(const NodeId& from, const Message& msg) {
             peers_.disconnect(from, DisconnectReason::kWrongFork);
             return;
           }
+          if (useful) peers_.note_useful(from);
+          if (garbage) peers_.note_garbage(from);
           if (still_orphaned && !chain_.contains(deepest_missing)) {
             // deepen the sync window
-            send(from, Message{GetBlocks{
-                           deepest_missing,
-                           static_cast<std::uint32_t>(options_.sync_batch)}});
+            request_blocks(from, deepest_missing,
+                           static_cast<std::uint32_t>(options_.sync_batch));
           }
         } else if constexpr (std::is_same_v<T, Transactions>) {
           std::vector<core::Transaction> fresh;
@@ -226,6 +342,7 @@ void FullNode::import_and_relay(const NodeId& from, const core::Block& block) {
   switch (outcome.result) {
     case core::ImportResult::kImported: {
       ++blocks_imported_;
+      peers_.note_useful(from);
       pool_.remove_included(block.transactions, chain_.head_state());
       relay_block(block);
       try_orphans();
@@ -233,19 +350,23 @@ void FullNode::import_and_relay(const NodeId& from, const core::Block& block) {
       break;
     }
     case core::ImportResult::kUnknownParent: {
-      orphans_.emplace(block.header.parent_hash, block);
-      send(from, Message{GetBlocks{
-                     block.header.parent_hash,
-                     static_cast<std::uint32_t>(options_.sync_batch)}});
+      add_orphan(block, /*solicited=*/false);
+      request_blocks(from, block.header.parent_hash,
+                     static_cast<std::uint32_t>(options_.sync_batch));
       break;
     }
     case core::ImportResult::kWrongFork:
       // a peer pushing the other side's fork block is on the other network
+      mark_rejected(block.hash());
       if (options_.drop_wrong_fork_peers)
         peers_.disconnect(from, DisconnectReason::kWrongFork);
       break;
+    case core::ImportResult::kAlreadyKnown:
+      break;
     default:
-      break;  // invalid or duplicate: drop silently
+      mark_rejected(block.hash());
+      peers_.note_garbage(from);  // structurally invalid push
+      break;
   }
 }
 
@@ -262,6 +383,32 @@ void FullNode::after_head_change() {
   if (on_head_changed) on_head_changed();
 }
 
+void FullNode::add_orphan(const core::Block& block, bool solicited) {
+  const Hash256 hash = block.hash();
+  auto& bucket = orphans_[block.header.parent_hash];
+  for (const core::Block& b : bucket)
+    if (b.hash() == hash) return;  // duplicate orphan
+  bucket.push_back(block);
+  orphan_order_.push_back(
+      OrphanRef{block.header.parent_hash, hash, solicited});
+  while (orphan_order_.size() > options_.max_orphans) {
+    // evict the oldest unsolicited orphan (flood fodder) before touching
+    // sync state; fall back to the overall oldest if everything was asked
+    // for
+    auto victim_it = std::find_if(
+        orphan_order_.begin(), orphan_order_.end(),
+        [](const OrphanRef& r) { return !r.solicited; });
+    if (victim_it == orphan_order_.end()) victim_it = orphan_order_.begin();
+    const OrphanRef victim = *victim_it;
+    orphan_order_.erase(victim_it);
+    auto it = orphans_.find(victim.parent);
+    if (it == orphans_.end()) continue;  // bucket already imported/evicted
+    std::erase_if(it->second,
+                  [&](const core::Block& b) { return b.hash() == victim.hash; });
+    if (it->second.empty()) orphans_.erase(it);
+  }
+}
+
 void FullNode::try_orphans() {
   bool progress = true;
   while (progress) {
@@ -271,14 +418,19 @@ void FullNode::try_orphans() {
         ++it;
         continue;
       }
-      const core::Block block = it->second;
+      const Hash256 parent = it->first;
+      const std::vector<core::Block> children = std::move(it->second);
       it = orphans_.erase(it);
-      const auto outcome = chain_.import(block);
-      if (outcome.result == core::ImportResult::kImported) {
-        ++blocks_imported_;
-        relay_block(block);
-        if (outcome.became_head) after_head_change();
-        progress = true;
+      std::erase_if(orphan_order_,
+                    [&](const OrphanRef& r) { return r.parent == parent; });
+      for (const core::Block& block : children) {
+        const auto outcome = chain_.import(block);
+        if (outcome.result == core::ImportResult::kImported) {
+          ++blocks_imported_;
+          relay_block(block);
+          if (outcome.became_head) after_head_change();
+          progress = true;
+        }
       }
     }
   }

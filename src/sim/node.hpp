@@ -5,8 +5,11 @@
 // headers, sync via GetBlocks, and gossip blocks and transactions.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "core/chain.hpp"
 #include "core/txpool.hpp"
@@ -24,6 +27,19 @@ struct NodeOptions {
   /// Seconds between maintenance ticks (dial candidates, refresh buckets).
   double tick_interval = 5.0;
   std::size_t sync_batch = 32;
+  /// Resilient sync: a GetBlocks whose reply hasn't arrived after
+  /// `sync_timeout * sync_backoff^attempt` seconds is re-sent, preferring a
+  /// different active peer, up to `sync_max_retries` times. Without this a
+  /// single lost reply stalls sync until some unrelated event restarts it.
+  double sync_timeout = 8.0;
+  double sync_backoff = 1.6;
+  std::uint32_t sync_max_retries = 5;
+  /// Peer scoring / banning / liveness knobs.
+  p2p::PeerPolicy peer_policy;
+  /// Bound on blocks parked while their ancestors are fetched; beyond it
+  /// orphans are evicted — unsolicited ones (gossip pushes) first, so an
+  /// orphan flood cannot evict a deep sync's legitimately buffered chain.
+  std::size_t max_orphans = 4096;
   /// Genesis parameters (must match across nodes meant to share a network).
   U256 genesis_difficulty = U256(131072);
   core::Gas genesis_gas_limit = 0;  // 0 = chain config default
@@ -85,6 +101,14 @@ class FullNode {
   std::uint64_t wrong_fork_drops() const noexcept {
     return peers_.wrong_fork_drops();
   }
+  /// Resilient-sync telemetry.
+  std::uint64_t sync_timeouts() const noexcept { return sync_timeouts_; }
+  std::uint64_t sync_retries() const noexcept { return sync_retries_; }
+  std::uint64_t sync_gave_up() const noexcept { return sync_gave_up_; }
+  std::size_t sync_inflight() const noexcept { return pending_fetch_.size(); }
+  std::uint64_t dial_attempts() const noexcept { return dial_attempts_; }
+  std::uint64_t peers_banned() const noexcept { return peers_.bans(); }
+  std::size_t orphan_count() const noexcept { return orphan_order_.size(); }
 
  private:
   void on_message(const p2p::NodeId& from, const Bytes& wire);
@@ -98,7 +122,14 @@ class FullNode {
 
   void import_and_relay(const p2p::NodeId& from, const core::Block& block);
   void after_head_change();
+  void add_orphan(const core::Block& block, bool solicited);
   void try_orphans();
+  void request_blocks(const p2p::NodeId& peer, const Hash256& head,
+                      std::uint32_t count);
+  void arm_fetch_timer(const Hash256& head, std::uint64_t token,
+                       double timeout);
+  void on_fetch_timeout(const Hash256& head, std::uint64_t token);
+  void resolve_fetch(const Hash256& hash);
   void relay_block(const core::Block& block);
   void relay_transactions(const std::vector<core::Transaction>& txs,
                           const std::optional<p2p::NodeId>& skip);
@@ -116,12 +147,44 @@ class FullNode {
   std::uint64_t generation_ = 0;  // invalidates pending ticks on shutdown
   std::vector<p2p::NodeId> bootstrap_;
 
-  /// Orphans waiting for ancestors, keyed by parent hash.
-  std::unordered_map<Hash256, core::Block, Hash256Hasher> orphans_;
+  /// Orphans waiting for ancestors, keyed by parent hash; a parent can
+  /// have several orphaned children (sibling forks), and the whole buffer
+  /// is bounded by NodeOptions::max_orphans with FIFO eviction.
+  std::unordered_map<Hash256, std::vector<core::Block>, Hash256Hasher>
+      orphans_;
+  /// Insertion order for eviction; solicited = arrived in a reply to one
+  /// of our own GetBlocks (sync state, evicted only as a last resort).
+  struct OrphanRef {
+    Hash256 parent;
+    Hash256 hash;
+    bool solicited = false;
+  };
+  std::deque<OrphanRef> orphan_order_;
+
+  /// In-flight GetBlocks requests keyed by the requested head hash.
+  struct PendingFetch {
+    p2p::NodeId peer;
+    std::uint32_t max_blocks = 1;
+    std::uint32_t attempt = 0;
+    std::uint64_t token = 0;  // invalidates superseded timeout events
+  };
+  std::unordered_map<Hash256, PendingFetch, Hash256Hasher> pending_fetch_;
+  std::uint64_t next_fetch_token_ = 0;
+
+  /// Hashes our rules rejected (wrong-fork / invalid blocks): never
+  /// re-fetched no matter how often the other side re-announces them.
+  /// Bounded FIFO so a hostile flood of junk hashes can't grow it forever.
+  std::unordered_set<Hash256, Hash256Hasher> rejected_;
+  std::deque<Hash256> rejected_order_;
+  void mark_rejected(const Hash256& hash);
 
   std::uint64_t blocks_imported_ = 0;
   std::uint64_t txs_received_ = 0;
   std::uint64_t duplicate_block_pushes_ = 0;
+  std::uint64_t sync_timeouts_ = 0;
+  std::uint64_t sync_retries_ = 0;
+  std::uint64_t sync_gave_up_ = 0;
+  std::uint64_t dial_attempts_ = 0;
   bool rechallenged_at_fork_ = false;
 };
 

@@ -43,6 +43,7 @@ class ForkScenario {
 
   p2p::EventLoop& loop() noexcept { return loop_; }
   p2p::Network& network() noexcept { return network_; }
+  const ScenarioParams& params() const noexcept { return params_; }
 
   std::size_t node_count() const noexcept { return nodes_.size(); }
   FullNode& node(std::size_t i) { return *nodes_[i]; }

@@ -72,6 +72,47 @@ TEST(EventLoopTest, EventsCanScheduleEvents) {
   EXPECT_DOUBLE_EQ(loop.now(), 4.0);
 }
 
+TEST(EventLoopTest, SameScheduleReplaysIdentically) {
+  // the determinism contract every chaos run leans on: two loops fed the
+  // same schedule (including ties and event-scheduled events) execute in
+  // exactly the same order at exactly the same times
+  auto run = [] {
+    EventLoop loop;
+    std::vector<std::pair<int, SimTime>> trace;
+    Rng rng(99);
+    for (int i = 0; i < 50; ++i) {
+      const double at = rng.uniform01() * 10.0;
+      loop.schedule(at, [&trace, &loop, i] {
+        trace.emplace_back(i, loop.now());
+      });
+    }
+    for (int i = 0; i < 10; ++i)  // deliberate ties at t=5
+      loop.schedule(5.0, [&trace, &loop, i] {
+        trace.emplace_back(100 + i, loop.now());
+        loop.schedule(1.0, [&trace, &loop, i] {
+          trace.emplace_back(200 + i, loop.now());
+        });
+      });
+    loop.run();
+    return trace;
+  };
+  const auto first = run();
+  const auto second = run();
+  ASSERT_EQ(first.size(), 70u);
+  EXPECT_EQ(first, second);
+}
+
+TEST(LatencyModelTest, SampleIsNeverNegative) {
+  Rng rng(123);
+  // jittery model: thousands of draws, all must be >= 0
+  const LatencyModel wan = LatencyModel::wan();
+  for (int i = 0; i < 5000; ++i) EXPECT_GE(wan.sample(rng), 0.0);
+  // pathological negative base clamps to zero instead of scheduling into
+  // the past (which would corrupt the event loop's monotonic clock)
+  const LatencyModel bad{-1.0, 0.01, 0.3, 0.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(bad.sample(rng), 0.0);
+}
+
 TEST(EventLoopTest, NegativeDelayClampedToNow) {
   EventLoop loop;
   loop.schedule(5.0, [] {});
