@@ -74,6 +74,7 @@ std::string rule_name(core::RetargetRule rule) {
 }  // namespace
 
 int main() {
+  obs::WallTimer bench_timer;
   std::cout << "== Ablation A1: difficulty retarget rule vs fork recovery ==\n";
   std::cout << "(recovery = 60-block mean interval back within 25% of 14 s)\n\n";
 
@@ -120,5 +121,8 @@ int main() {
                epoch_99 > 0 && epoch_99 < homestead_99,
                "epoch " + fmt(epoch_99, 1) + " h");
   check.print(std::cout);
+
+  obs::BenchRecord rec("ablate_difficulty");
+  analysis::write_bench_record(rec, check, bench_timer.seconds());
   return check.all_passed() ? 0 : 1;
 }

@@ -47,6 +47,7 @@ ChaosParams base_params() {
 }  // namespace
 
 int main() {
+  obs::WallTimer bench_timer;
   std::cout << "== Ablation A6: partition convergence under adversity ==\n";
   std::cout << "(15 full nodes through the fork; loss / cut / churn swept "
                "separately, then combined)\n\n";
@@ -144,5 +145,8 @@ int main() {
                std::to_string(combined.survivors_eth) + " eth / " +
                    std::to_string(combined.survivors_etc) + " etc");
   check.print(std::cout);
+
+  obs::BenchRecord rec("ablate_faults");
+  analysis::write_bench_record(rec, check, bench_timer.seconds());
   return check.all_passed() ? 0 : 1;
 }

@@ -114,6 +114,7 @@ Result run(double push_exponent, p2p::LatencyModel latency,
 }  // namespace
 
 int main() {
+  obs::WallTimer bench_timer;
   std::cout << "== Ablation A3: gossip fanout & latency ==\n";
   std::cout << "(16 full nodes, 2 competing miners, live tx workload, "
                "30 simulated minutes)\n\n";
@@ -169,5 +170,8 @@ int main() {
                sqrt_wan.stale_rate < 0.2,
                fmt(sqrt_wan.stale_rate * 100, 1) + "% stale");
   check.print(std::cout);
+
+  obs::BenchRecord rec("ablate_gossip");
+  analysis::write_bench_record(rec, check, bench_timer.seconds());
   return check.all_passed() ? 0 : 1;
 }

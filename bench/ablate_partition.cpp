@@ -79,6 +79,7 @@ Outcome run(bool challenge, bool ban_wrong_fork, std::uint64_t seed) {
 }  // namespace
 
 int main() {
+  obs::WallTimer bench_timer;
   std::cout << "== Ablation A5: the DAO fork-header challenge ==\n";
   std::cout << "(9 full nodes through the fork, challenge on vs off)\n\n";
 
@@ -124,5 +125,8 @@ int main() {
       "none: " + fmt(none.link_seconds, 0) + " vs geth: " +
           fmt(geth.link_seconds, 0) + " link-s");
   check.print(std::cout);
+
+  obs::BenchRecord rec("ablate_partition");
+  analysis::write_bench_record(rec, check, bench_timer.seconds());
   return check.all_passed() ? 0 : 1;
 }

@@ -67,6 +67,7 @@ std::vector<double> pooled_income(PayoutScheme scheme, Rng& rng) {
 }  // namespace
 
 int main() {
+  obs::WallTimer bench_timer;
   std::cout << "== Ablation A4: payout scheme vs small-miner variance ==\n";
   std::cout << "(small miner = 1% of pool hashpower, 8000 ten-minute epochs)\n\n";
 
@@ -121,5 +122,8 @@ int main() {
                stddev(pps) <= stddev(prop) && stddev(pps) <= stddev(pplns),
                "pps " + fmt(stddev(pps), 4));
   check.print(std::cout);
+
+  obs::BenchRecord rec("ablate_pools");
+  analysis::write_bench_record(rec, check, bench_timer.seconds());
   return check.all_passed() ? 0 : 1;
 }

@@ -44,6 +44,7 @@ Exposure run(ReplayParams params, std::uint64_t seed) {
 }  // namespace
 
 int main() {
+  obs::WallTimer bench_timer;
   std::cout << "== Ablation A2: replay protection mechanisms ==\n\n";
 
   ReplayParams none;
@@ -99,5 +100,8 @@ int main() {
                e_hist.late_per_day > 0,
                std::to_string(e_hist.late_per_day) + "/day in final month");
   check.print(std::cout);
+
+  obs::BenchRecord rec("ablate_replay");
+  analysis::write_bench_record(rec, check, bench_timer.seconds());
   return check.all_passed() ? 0 : 1;
 }

@@ -57,6 +57,7 @@ double etc_share(double day) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::WallTimer bench_timer;
   std::cout << "== Figure 1: short-term fork dynamics (30 days) ==\n";
   std::cout << "Simulating the month after the DAO fork block...\n";
 
@@ -169,5 +170,8 @@ int main(int argc, char** argv) {
                    fmt_sci(etc_diff_after));
 
   check.print(std::cout);
+
+  obs::BenchRecord rec("fig1_short_term");
+  analysis::write_bench_record(rec, check, bench_timer.seconds());
   return check.all_passed() ? 0 : 1;
 }

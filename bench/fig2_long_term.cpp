@@ -21,6 +21,7 @@ using namespace forksim;
 using namespace forksim::sim;
 
 int main(int argc, char** argv) {
+  obs::WallTimer bench_timer;
   std::cout << "== Figure 2: long-term fork dynamics (270 days) ==\n";
 
   Rng rng(20160720);
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
     return total_hashrate * (0.17 + 0.13 * day / 270.0);
   };
 
+  std::uint64_t blocks_mined = 0;
   std::vector<double> days;
   std::vector<double> eth_diff;
   std::vector<double> etc_diff;
@@ -58,9 +60,15 @@ int main(int argc, char** argv) {
     RunningStats eth_day_diff;
     RunningStats etc_day_diff;
     eth.mine_until((day + 1) * kSecondsPerDay, rng,
-                   [&](const BlockEvent& ev) { eth_day_diff.add(ev.difficulty); });
+                   [&](const BlockEvent& ev) {
+                     eth_day_diff.add(ev.difficulty);
+                     ++blocks_mined;
+                   });
     etc.mine_until((day + 1) * kSecondsPerDay, rng,
-                   [&](const BlockEvent& ev) { etc_day_diff.add(ev.difficulty); });
+                   [&](const BlockEvent& ev) {
+                     etc_day_diff.add(ev.difficulty);
+                     ++blocks_mined;
+                   });
 
     const auto load = workload.step(day);
     days.push_back(day);
@@ -126,5 +134,14 @@ int main(int argc, char** argv) {
       max_gap, 12.0);
 
   check.print(std::cout);
+
+  obs::BenchRecord rec("fig2_long_term");
+  rec.param("days", std::uint64_t{270});
+  rec.param("seed", std::uint64_t{20160720});
+  rec.metric("blocks_mined", blocks_mined);
+  const double wall = bench_timer.seconds();
+  rec.metric("blocks_per_second",
+             wall > 0 ? static_cast<double>(blocks_mined) / wall : 0.0);
+  analysis::write_bench_record(rec, check, wall);
   return check.all_passed() ? 0 : 1;
 }

@@ -23,6 +23,7 @@ using namespace forksim;
 using namespace forksim::sim;
 
 int main(int argc, char** argv) {
+  obs::WallTimer bench_timer;
   std::cout << "== Figure 3: mining-market efficiency (270 days) ==\n";
 
   Rng rng(3);
@@ -136,5 +137,8 @@ int main(int argc, char** argv) {
                   after_rally, before_rally * 0.8);
 
   check.print(std::cout);
+
+  obs::BenchRecord rec("fig3_efficiency");
+  analysis::write_bench_record(rec, check, bench_timer.seconds());
   return check.all_passed() ? 0 : 1;
 }

@@ -21,6 +21,7 @@ using namespace forksim;
 using namespace forksim::sim;
 
 int main(int argc, char** argv) {
+  obs::WallTimer bench_timer;
   std::cout << "== Figure 4: rebroadcast (echo) transactions (270 days) ==\n";
 
   Rng rng(4);
@@ -106,5 +107,8 @@ int main(int argc, char** argv) {
                   avg(echoes_per_day, 140, 170) * 0.8);
 
   check.print(std::cout);
+
+  obs::BenchRecord rec("fig4_replay");
+  analysis::write_bench_record(rec, check, bench_timer.seconds());
   return check.all_passed() ? 0 : 1;
 }

@@ -31,6 +31,7 @@ double top_share_of_wins(const std::vector<std::uint64_t>& wins,
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::WallTimer bench_timer;
   std::cout << "== Figure 5: mining-pool concentration (240 days) ==\n";
 
   Rng rng(5);
@@ -147,5 +148,8 @@ int main(int argc, char** argv) {
                    " pp");
 
   check.print(std::cout);
+
+  obs::BenchRecord rec("fig5_pools");
+  analysis::write_bench_record(rec, check, bench_timer.seconds());
   return check.all_passed() ? 0 : 1;
 }

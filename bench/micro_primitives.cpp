@@ -3,6 +3,8 @@
 // the simulation signatures, EVM execution, and block production/import.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
 #include "core/chain.hpp"
 #include "crypto/ecdsa.hpp"
 #include "crypto/keccak.hpp"
@@ -10,6 +12,7 @@
 #include "evm/contracts.hpp"
 #include "evm/executor.hpp"
 #include "rlp/rlp.hpp"
+#include "obs/bench_record.hpp"
 #include "support/rng.hpp"
 #include "trie/trie.hpp"
 
@@ -184,6 +187,44 @@ void BM_DifficultyCalc(benchmark::State& state) {
 }
 BENCHMARK(BM_DifficultyCalc);
 
+// Console reporting plus BENCH_micro_primitives.json: every benchmark's
+// per-iteration real time (in its time unit, ns by default) lands in the
+// record as "<name>_real_time".
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit RecordingReporter(obs::BenchRecord& rec) : rec_(rec) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      rec_.metric(run.benchmark_name() + "_real_time",
+                  run.GetAdjustedRealTime());
+    }
+  }
+
+ private:
+  obs::BenchRecord& rec_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  obs::WallTimer timer;
+  obs::BenchRecord rec("micro_primitives");
+  RecordingReporter reporter(rec);
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
+  rec.param("benchmarks_run", static_cast<std::uint64_t>(ran));
+  rec.metric("wall_seconds", timer.seconds());
+  const std::string path = rec.write();
+  if (path.empty())
+    std::cerr << "cannot write BENCH_micro_primitives.json\n";
+  else
+    std::cout << "wrote " << path << "\n";
+
+  benchmark::Shutdown();
+  return 0;
+}

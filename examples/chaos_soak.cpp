@@ -80,6 +80,39 @@ int main(int argc, char** argv) {
   table.add_row({"fingerprint", r.fingerprint.hex().substr(0, 16)});
   table.print(std::cout);
 
+  // Telemetry section: the registry snapshot that went into the
+  // fingerprint, condensed to the layers the chaos stresses most.
+  const obs::Snapshot& t = r.telemetry;
+  std::cout << "\n-- telemetry (" << t.counters.size() << " counters, "
+            << t.gauges.size() << " gauges, " << t.histograms.size()
+            << " histograms) --\n";
+  Table tt({"metric", "value"});
+  const auto c = [&](const char* name) {
+    return std::to_string(t.counter_value(name));
+  };
+  tt.add_row({"net.messages_delivered", c("net.messages_delivered")});
+  tt.add_row({"net.dropped_detached", c("net.dropped_detached")});
+  tt.add_row({"node.blocks_imported", c("node.blocks_imported")});
+  tt.add_row({"node.orphan_evictions", c("node.orphan_evictions")});
+  tt.add_row({"chain.import.unknown_parent", c("chain.import.unknown_parent")});
+  tt.add_row({"chain.import.wrong_fork", c("chain.import.wrong_fork")});
+  tt.add_row({"peers.wrong_fork_drops", c("peers.wrong_fork_drops")});
+  tt.add_row({"peers.liveness_drops", c("peers.liveness_drops")});
+  tt.add_row({"evm.ops", c("evm.ops")});
+  tt.add_row({"trie.hash_recomputations", c("trie.hash_recomputations")});
+  for (const auto& h : t.histograms) {
+    if (h.name != "net.delay_seconds" && h.name != "chain.reorg_depth")
+      continue;
+    const double mean =
+        h.count ? h.sum / static_cast<double>(h.count) : 0.0;
+    tt.add_row({h.name + " (count/mean/max)",
+                std::to_string(h.count) + " / " + fmt(mean, 3) + " / " +
+                    fmt(h.max, 3)});
+  }
+  tt.add_row({"trace events", std::to_string(runner.tracer().size())});
+  tt.add_row({"telemetry fingerprint", t.fingerprint().hex().substr(0, 16)});
+  tt.print(std::cout);
+
   std::cout << "\n"
             << (r.converged
                     ? "both fork sides converged to a single head despite "

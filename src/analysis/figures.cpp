@@ -87,6 +87,20 @@ bool maybe_write_csv(int argc, char** argv, const std::string& name,
   return false;
 }
 
+void write_bench_record(obs::BenchRecord& rec, const PaperCheck& check,
+                        double wall_seconds) {
+  rec.metric("wall_seconds", wall_seconds);
+  rec.metric("checks_total", static_cast<std::uint64_t>(check.checks()));
+  rec.metric("checks_passed",
+             static_cast<std::uint64_t>(check.checks() - check.failures()));
+  rec.param("all_passed", check.all_passed());
+  const std::string path = rec.write();
+  if (path.empty())
+    std::cerr << "cannot write BENCH_" << rec.name() << ".json\n";
+  else
+    std::cout << "wrote " << path << "\n";
+}
+
 std::ptrdiff_t first_stable_index(const std::vector<double>& xs,
                                   double target, double tolerance,
                                   std::size_t run) {

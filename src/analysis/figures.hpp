@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/bench_record.hpp"
 #include "support/table.hpp"
 #include "support/timeseries.hpp"
 
@@ -28,6 +29,7 @@ class PaperCheck {
 
   bool all_passed() const noexcept { return failures_ == 0; }
   std::size_t checks() const noexcept { return rows_.size(); }
+  std::size_t failures() const noexcept { return failures_; }
 
   void print(std::ostream& os) const;
 
@@ -61,5 +63,11 @@ std::ptrdiff_t first_stable_index(const std::vector<double>& xs,
 /// printed series are also available machine-readable.
 bool maybe_write_csv(int argc, char** argv, const std::string& name,
                      const Table& table);
+
+/// BENCH_<name>.json emission: folds the wall time and the paper-check
+/// tally into `rec` (callers add bench-specific metrics/params first) and
+/// writes it to $FORKSIM_BENCH_DIR or the working directory.
+void write_bench_record(obs::BenchRecord& rec, const PaperCheck& check,
+                        double wall_seconds);
 
 }  // namespace forksim::analysis

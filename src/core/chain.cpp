@@ -218,7 +218,44 @@ std::optional<std::pair<State, std::vector<Receipt>>> Blockchain::execute_body(
   return std::make_pair(std::move(state), std::move(receipts));
 }
 
+namespace {
+
+/// Metric-name slug per import outcome (to_string() is for humans).
+const char* result_slug(ImportResult r) {
+  switch (r) {
+    case ImportResult::kImported: return "imported";
+    case ImportResult::kAlreadyKnown: return "already_known";
+    case ImportResult::kUnknownParent: return "unknown_parent";
+    case ImportResult::kInvalidHeader: return "invalid_header";
+    case ImportResult::kInvalidBody: return "invalid_body";
+    case ImportResult::kInvalidOmmers: return "invalid_ommers";
+    case ImportResult::kWrongFork: return "wrong_fork";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void Blockchain::attach_telemetry(obs::Registry& reg) {
+  for (std::size_t i = 0; i < tm_results_.size(); ++i) {
+    const auto r = static_cast<ImportResult>(i);
+    tm_results_[i] =
+        &reg.counter(std::string("chain.import.") + result_slug(r));
+  }
+  tm_reorg_ = &reg.histogram("chain.reorg_depth",
+                             obs::Histogram::linear_bounds(1.0, 1.0, 16));
+  tm_produced_ = &reg.counter("chain.blocks_produced");
+}
+
 ImportOutcome Blockchain::import(const Block& block) {
+  const ImportOutcome outcome = import_impl(block);
+  obs::inc(tm_results_[static_cast<std::size_t>(outcome.result)]);
+  if (outcome.reorg_depth > 0)
+    obs::observe(tm_reorg_, static_cast<double>(outcome.reorg_depth));
+  return outcome;
+}
+
+ImportOutcome Blockchain::import_impl(const Block& block) {
   const Hash256 hash = block.hash();
   if (records_.contains(hash)) return {ImportResult::kAlreadyKnown};
 
@@ -368,6 +405,7 @@ Block Blockchain::produce_block(const Address& coinbase, Timestamp timestamp,
   h.transactions_root = block.compute_transactions_root();
   h.receipts_root = receipts_root(receipts);
   h.state_root = state.root();
+  obs::inc(tm_produced_);
   return block;
 }
 

@@ -10,6 +10,7 @@
 // forbids it.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <map>
 #include <memory>
@@ -19,6 +20,7 @@
 #include "core/config.hpp"
 #include "core/difficulty.hpp"
 #include "core/receipt.hpp"
+#include "obs/metrics.hpp"
 
 namespace forksim::core {
 
@@ -117,7 +119,14 @@ class Blockchain {
 
   std::size_t block_count() const noexcept { return records_.size(); }
 
+  /// Register chain.import.<result> counters, a chain.reorg_depth
+  /// histogram, and a chain.blocks_produced counter in `reg`. Shared
+  /// registries aggregate across chains (all nodes in a sim).
+  void attach_telemetry(obs::Registry& reg);
+
  private:
+  ImportOutcome import_impl(const Block& block);
+
   struct Record {
     Block block;
     U256 total_difficulty;
@@ -142,6 +151,9 @@ class Blockchain {
   Hash256 head_hash_;
   std::vector<Address> dao_accounts_;
   Address dao_refund_;
+  std::array<obs::Counter*, 7> tm_results_{};
+  obs::Histogram* tm_reorg_ = nullptr;
+  obs::Counter* tm_produced_ = nullptr;
 };
 
 }  // namespace forksim::core

@@ -18,8 +18,44 @@ std::string to_string(PoolAddResult r) {
   return "unknown";
 }
 
+namespace {
+
+/// Metric-name slug per admission outcome (to_string() is for humans).
+const char* result_slug(PoolAddResult r) {
+  switch (r) {
+    case PoolAddResult::kAdded: return "added";
+    case PoolAddResult::kAlreadyKnown: return "already_known";
+    case PoolAddResult::kInvalidSignature: return "invalid_signature";
+    case PoolAddResult::kWrongChainId: return "wrong_chain_id";
+    case PoolAddResult::kNonceTooLow: return "nonce_too_low";
+    case PoolAddResult::kUnderpriced: return "underpriced";
+    case PoolAddResult::kPoolFull: return "pool_full";
+    case PoolAddResult::kReplacedExisting: return "replaced_existing";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void TxPool::attach_telemetry(obs::Registry& reg) {
+  for (std::size_t i = 0; i < tm_results_.size(); ++i) {
+    const auto r = static_cast<PoolAddResult>(i);
+    tm_results_[i] =
+        &reg.counter(std::string("txpool.") + result_slug(r));
+  }
+  tm_size_ = &reg.gauge("txpool.size");
+}
+
 PoolAddResult TxPool::add(const Transaction& tx, const State& state,
                           BlockNumber head_number) {
+  const PoolAddResult r = add_impl(tx, state, head_number);
+  obs::inc(tm_results_[static_cast<std::size_t>(r)]);
+  obs::set(tm_size_, static_cast<double>(by_hash_.size()));
+  return r;
+}
+
+PoolAddResult TxPool::add_impl(const Transaction& tx, const State& state,
+                               BlockNumber head_number) {
   const Hash256 hash = tx.hash();
   if (by_hash_.contains(hash)) return PoolAddResult::kAlreadyKnown;
 

@@ -5,6 +5,7 @@
 // here as long as the sender's pre-fork account still has the funds.
 #pragma once
 
+#include <array>
 #include <map>
 #include <optional>
 #include <unordered_map>
@@ -14,6 +15,7 @@
 #include "core/config.hpp"
 #include "core/state.hpp"
 #include "core/transaction.hpp"
+#include "obs/metrics.hpp"
 
 namespace forksim::core {
 
@@ -68,7 +70,14 @@ class TxPool {
 
   const Transaction* by_hash(const Hash256& h) const;
 
+  /// Register one txpool.<result> counter per admission outcome plus a
+  /// txpool.size gauge in `reg`. Shared registries aggregate across pools.
+  void attach_telemetry(obs::Registry& reg);
+
  private:
+  PoolAddResult add_impl(const Transaction& tx, const State& state,
+                         BlockNumber head_number);
+
   struct Entry {
     Transaction tx;
     Address sender;
@@ -80,6 +89,8 @@ class TxPool {
   /// sender -> nonce -> tx hash (for replacement and contiguity checks)
   std::unordered_map<Address, std::map<std::uint64_t, Hash256>, AddressHasher>
       by_sender_;
+  std::array<obs::Counter*, 8> tm_results_{};
+  obs::Gauge* tm_size_ = nullptr;
 };
 
 }  // namespace forksim::core

@@ -4,6 +4,26 @@
 
 namespace forksim::evm {
 
+void EvmExecutor::attach_telemetry(obs::Registry& reg) {
+  count_opcodes_ = true;
+  tm_txs_ = &reg.counter("evm.txs_executed");
+  tm_failed_ = &reg.counter("evm.txs_failed");
+  tm_rejected_ = &reg.counter("evm.txs_rejected");
+  tm_gas_ = &reg.histogram("evm.gas_used",
+                           obs::Histogram::exponential_bounds(1000, 4.0, 10));
+  // Per-opcode counters are mirrored at snapshot time: the interpreter
+  // tallies into a flat array (cheap), the collector names what it saw.
+  reg.add_collector([this](obs::Registry& r) {
+    r.counter("evm.ops").set(ops_);
+    for (std::size_t op = 0; op < opcode_counts_.size(); ++op) {
+      if (opcode_counts_[op] == 0) continue;
+      r.counter(std::string("evm.op.") +
+                std::string(op_name(static_cast<std::uint8_t>(op))))
+          .set(opcode_counts_[op]);
+    }
+  });
+}
+
 core::ExecutionResult EvmExecutor::execute(core::State& state,
                                            const core::Transaction& tx,
                                            const core::BlockContext& ctx,
@@ -14,7 +34,10 @@ core::ExecutionResult EvmExecutor::execute(core::State& state,
   core::TxError error{};
   const auto sender = core::validate_transaction(
       state, tx, config, ctx.number, block_gas_remaining, error);
-  if (!sender) return {std::nullopt, error};
+  if (!sender) {
+    obs::inc(tm_rejected_);
+    return {std::nullopt, error};
+  }
 
   const bool homestead = config.is_homestead(ctx.number);
   const GasSchedule schedule = config.is_eip150(ctx.number)
@@ -30,6 +53,7 @@ core::ExecutionResult EvmExecutor::execute(core::State& state,
   Gas gas = tx.gas_limit - intrinsic;
 
   Vm vm(state, ctx, schedule, *sender, tx.gas_price);
+  if (count_opcodes_) vm.set_opcode_recorder(&opcode_counts_, &ops_);
   CallResult result;
   std::optional<Address> created;
 
@@ -66,6 +90,10 @@ core::ExecutionResult EvmExecutor::execute(core::State& state,
   // self-destructed accounts disappear at transaction end
   if (result.success)
     for (const Address& dead : vm.destroyed()) state.destroy(dead);
+
+  obs::inc(tm_txs_);
+  if (!result.success) obs::inc(tm_failed_);
+  obs::observe(tm_gas_, static_cast<double>(gas_used));
 
   core::Receipt receipt;
   receipt.success = result.success;

@@ -3,8 +3,11 @@
 // Plugs into core::Blockchain through the core::Executor interface.
 #pragma once
 
+#include <array>
+
 #include "core/receipt.hpp"
 #include "evm/vm.hpp"
+#include "obs/metrics.hpp"
 
 namespace forksim::evm {
 
@@ -15,6 +18,28 @@ class EvmExecutor final : public core::Executor {
                                 const core::BlockContext& ctx,
                                 const core::ChainConfig& config,
                                 core::Gas block_gas_remaining) override;
+
+  /// Register evm.* metrics in `reg`: transactions executed/failed, a
+  /// gas-used histogram, and — via a snapshot-time collector — the total
+  /// opcode count plus one evm.op.<NAME> counter per opcode seen. Also
+  /// turns on the interpreter's per-opcode tally.
+  void attach_telemetry(obs::Registry& reg);
+
+  /// Opcodes executed since construction (0 until telemetry is attached —
+  /// the interpreter only tallies when asked to).
+  std::uint64_t ops_executed() const noexcept { return ops_; }
+  const std::array<std::uint64_t, 256>& opcode_counts() const noexcept {
+    return opcode_counts_;
+  }
+
+ private:
+  bool count_opcodes_ = false;
+  std::array<std::uint64_t, 256> opcode_counts_{};
+  std::uint64_t ops_ = 0;
+  obs::Counter* tm_txs_ = nullptr;
+  obs::Counter* tm_failed_ = nullptr;
+  obs::Counter* tm_rejected_ = nullptr;
+  obs::Histogram* tm_gas_ = nullptr;
 };
 
 }  // namespace forksim::evm

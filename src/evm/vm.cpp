@@ -221,6 +221,10 @@ CallResult Vm::execute(const CallParams& params, BytesView code) {
   while (f.pc < code.size()) {
     const std::uint8_t opcode = code[f.pc];
     const Op op = static_cast<Op>(opcode);
+    if (op_counts_ != nullptr) {
+      ++(*op_counts_)[opcode];
+      ++*ops_total_;
+    }
 
     // ---- PUSH/DUP/SWAP/LOG families -------------------------------------
     if (is_push(opcode)) {

@@ -15,6 +15,7 @@
 // on the real rules.
 #pragma once
 
+#include <array>
 #include <unordered_set>
 #include <vector>
 
@@ -95,6 +96,15 @@ class Vm {
   /// keccak(rlp([sender, nonce])).
   static Address create_address(const Address& sender, std::uint64_t nonce);
 
+  /// Tally every executed opcode into `counts[opcode]` and the grand total
+  /// into `*ops` (both owned by the caller, usually EvmExecutor). Null
+  /// (default) skips the tally — the interpreter pays one branch per op.
+  void set_opcode_recorder(std::array<std::uint64_t, 256>* counts,
+                           std::uint64_t* ops) noexcept {
+    op_counts_ = counts;
+    ops_total_ = ops;
+  }
+
  private:
   CallResult execute(const CallParams& params, BytesView code);
 
@@ -106,6 +116,8 @@ class Vm {
   std::vector<core::Log> logs_;
   std::uint64_t refund_ = 0;
   std::unordered_set<Address, AddressHasher> destroyed_;
+  std::array<std::uint64_t, 256>* op_counts_ = nullptr;
+  std::uint64_t* ops_total_ = nullptr;
 };
 
 }  // namespace forksim::evm

@@ -1,0 +1,46 @@
+// Minimal JSON emission helpers shared by the obs exporters. Emission
+// only — the simulator never parses JSON; tests carry their own validator.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+namespace forksim::obs {
+
+inline void json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Shortest round-trippable decimal; non-finite values become null (JSON
+/// has no NaN/Infinity).
+inline void json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+}  // namespace forksim::obs

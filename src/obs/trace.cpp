@@ -1,0 +1,226 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <ostream>
+
+#include "crypto/keccak.hpp"
+#include "obs/json.hpp"
+
+namespace forksim::obs {
+
+namespace {
+
+void hash_u64(Keccak256& h, std::uint64_t v) {
+  const auto be = be_fixed64(v);
+  h.update(BytesView(be.data(), be.size()));
+}
+
+void hash_double(Keccak256& h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  hash_u64(h, bits);
+}
+
+void hash_str(Keccak256& h, const std::string& s) {
+  hash_u64(h, s.size());
+  h.update(std::string_view(s));
+}
+
+}  // namespace
+
+void EventTracer::record(TraceEvent ev) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(ev));
+}
+
+void EventTracer::instant(std::string_view cat, std::string_view name,
+                          std::uint32_t lane,
+                          std::initializer_list<Arg> args) {
+  TraceEvent ev;
+  ev.ts = now();
+  ev.lane = lane;
+  ev.cat = std::string(cat);
+  ev.name = std::string(name);
+  for (const Arg& a : args) ev.args.emplace_back(std::string(a.first), a.second);
+  record(std::move(ev));
+}
+
+void EventTracer::complete(double start, double dur, std::string_view cat,
+                           std::string_view name, std::uint32_t lane,
+                           std::initializer_list<Arg> args, double wall_us) {
+  TraceEvent ev;
+  ev.ts = start;
+  ev.dur = dur < 0 ? 0 : dur;
+  ev.lane = lane;
+  ev.cat = std::string(cat);
+  ev.name = std::string(name);
+  for (const Arg& a : args) ev.args.emplace_back(std::string(a.first), a.second);
+  ev.wall_us = wall_us;
+  record(std::move(ev));
+}
+
+void EventTracer::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Span
+
+EventTracer::Span::Span(EventTracer* tracer, std::string_view cat,
+                        std::string_view name, std::uint32_t lane)
+    : tracer_(tracer), cat_(cat), name_(name), lane_(lane) {
+  if (tracer_ == nullptr) return;
+  start_ = tracer_->now();
+  wall_ = tracer_->wall_time_enabled();
+  if (wall_) wall_start_ = std::chrono::steady_clock::now();
+}
+
+EventTracer::Span::Span(Span&& other) noexcept
+    : tracer_(other.tracer_),
+      start_(other.start_),
+      wall_start_(other.wall_start_),
+      wall_(other.wall_),
+      cat_(std::move(other.cat_)),
+      name_(std::move(other.name_)),
+      lane_(other.lane_),
+      args_(std::move(other.args_)) {
+  other.tracer_ = nullptr;
+}
+
+void EventTracer::Span::add_arg(std::string_view key, std::int64_t value) {
+  args_.emplace_back(std::string(key), value);
+}
+
+EventTracer::Span::~Span() {
+  if (tracer_ == nullptr) return;
+  TraceEvent ev;
+  ev.ts = start_;
+  ev.dur = std::max(0.0, tracer_->now() - start_);
+  ev.lane = lane_;
+  ev.cat = std::move(cat_);
+  ev.name = std::move(name_);
+  ev.args = std::move(args_);
+  if (wall_) {
+    const auto delta = std::chrono::steady_clock::now() - wall_start_;
+    ev.wall_us =
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            delta)
+            .count();
+  }
+  tracer_->record(std::move(ev));
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint + exports
+
+Hash256 EventTracer::fingerprint(std::size_t max_events) const {
+  const std::size_t n = std::min(max_events, events_.size());
+  Keccak256 h;
+  h.update(std::string_view("forksim/obs-trace/v1"));
+  hash_u64(h, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& ev = events_[i];
+    hash_double(h, ev.ts);
+    hash_double(h, ev.dur);
+    hash_u64(h, ev.lane);
+    hash_str(h, ev.cat);
+    hash_str(h, ev.name);
+    hash_u64(h, ev.args.size());
+    for (const auto& [key, value] : ev.args) {
+      hash_str(h, key);
+      hash_u64(h, static_cast<std::uint64_t>(value));
+    }
+    // ev.wall_us deliberately not hashed: wall time varies run to run
+  }
+  return h.digest();
+}
+
+namespace {
+
+void write_event_json(std::ostream& os, const TraceEvent& ev) {
+  os << "{\"name\":";
+  json_string(os, ev.name);
+  os << ",\"cat\":";
+  json_string(os, ev.cat);
+  if (ev.dur < 0) {
+    os << ",\"ph\":\"i\",\"s\":\"t\"";
+  } else {
+    os << ",\"ph\":\"X\",\"dur\":";
+    json_number(os, ev.dur * 1e6);
+  }
+  os << ",\"ts\":";
+  json_number(os, ev.ts * 1e6);
+  os << ",\"pid\":0,\"tid\":" << ev.lane;
+  if (!ev.args.empty() || ev.wall_us >= 0) {
+    os << ",\"args\":{";
+    bool first = true;
+    for (const auto& [key, value] : ev.args) {
+      if (!first) os << ',';
+      first = false;
+      json_string(os, key);
+      os << ':' << value;
+    }
+    if (ev.wall_us >= 0) {
+      if (!first) os << ',';
+      os << "\"wall_us\":";
+      json_number(os, ev.wall_us);
+    }
+    os << '}';
+  }
+  os << '}';
+}
+
+/// Indices sorted by sim timestamp (stable: record order breaks ties), so
+/// exported timestamps are monotone even when spans finished out of order.
+std::vector<std::size_t> ts_order(const std::vector<TraceEvent>& events) {
+  std::vector<std::size_t> order(events.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return events[a].ts < events[b].ts;
+                   });
+  return order;
+}
+
+}  // namespace
+
+void EventTracer::write_chrome_json(std::ostream& os) const {
+  os << "[";
+  bool first = true;
+  for (const std::size_t i : ts_order(events_)) {
+    if (!first) os << ",\n";
+    first = false;
+    write_event_json(os, events_[i]);
+  }
+  os << "]\n";
+}
+
+void EventTracer::write_csv(std::ostream& os) const {
+  os << "ts,dur,lane,cat,name,args\n";
+  for (const std::size_t i : ts_order(events_)) {
+    const TraceEvent& ev = events_[i];
+    os << ev.ts << ',' << (ev.dur < 0 ? 0.0 : ev.dur) << ',' << ev.lane << ','
+       << ev.cat << ',' << ev.name << ",\"";
+    for (std::size_t a = 0; a < ev.args.size(); ++a) {
+      if (a > 0) os << ' ';
+      os << ev.args[a].first << '=' << ev.args[a].second;
+    }
+    os << "\"\n";
+  }
+}
+
+bool EventTracer::write_chrome_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_json(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace forksim::obs

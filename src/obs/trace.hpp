@@ -1,0 +1,125 @@
+// Typed event tracing keyed on deterministic simulation time.
+//
+// The tracer records instant and complete (duration) events stamped with
+// the sim clock it was given — usually p2p::EventLoop::now — so the stream
+// is reproducible from a seed. Wall-clock capture is opt-in and is never
+// part of a fingerprint: two runs of the same seed fingerprint identically
+// no matter how fast the host executed them.
+//
+// Exports:
+//  * Chrome trace-event JSON (loads in about:tracing / Perfetto): events
+//    are sorted by sim timestamp, microsecond units.
+//  * A compact CSV (ts,dur,lane,cat,name,args) for ad-hoc analysis.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/bytes.hpp"
+
+namespace forksim::obs {
+
+struct TraceEvent {
+  double ts = 0.0;   // sim seconds
+  double dur = -1.0; // sim seconds; < 0 => instant event
+  /// Display lane (Chrome "tid"); instrumented layers use the node index.
+  std::uint32_t lane = 0;
+  std::string cat;
+  std::string name;
+  std::vector<std::pair<std::string, std::int64_t>> args;
+  /// Optional wall-clock duration in microseconds (< 0 = not captured).
+  /// Deliberately excluded from fingerprint().
+  double wall_us = -1.0;
+};
+
+class EventTracer {
+ public:
+  using Clock = std::function<double()>;
+  using Arg = std::pair<std::string_view, std::int64_t>;
+
+  /// `clock` supplies sim time; `capacity` bounds memory — events past it
+  /// are counted in dropped() instead of recorded.
+  explicit EventTracer(Clock clock, std::size_t capacity = 1 << 20)
+      : clock_(std::move(clock)), capacity_(capacity) {}
+
+  double now() const { return clock_ ? clock_() : 0.0; }
+
+  /// Capture wall-clock durations for spans (off by default; never
+  /// fingerprinted).
+  void set_wall_time_enabled(bool on) noexcept { wall_time_ = on; }
+  bool wall_time_enabled() const noexcept { return wall_time_; }
+
+  void instant(std::string_view cat, std::string_view name,
+               std::uint32_t lane = 0, std::initializer_list<Arg> args = {});
+
+  void complete(double start, double dur, std::string_view cat,
+                std::string_view name, std::uint32_t lane = 0,
+                std::initializer_list<Arg> args = {},
+                double wall_us = -1.0);
+
+  /// RAII scoped timer on sim time; records a complete event at scope exit
+  /// (plus wall time when enabled on the tracer).
+  class Span {
+   public:
+    Span(EventTracer* tracer, std::string_view cat, std::string_view name,
+         std::uint32_t lane = 0);
+    ~Span();
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    Span(Span&& other) noexcept;
+    Span& operator=(Span&&) = delete;
+
+    void add_arg(std::string_view key, std::int64_t value);
+
+   private:
+    EventTracer* tracer_;  // null after move / for a detached span
+    double start_ = 0.0;
+    std::chrono::steady_clock::time_point wall_start_;
+    bool wall_ = false;
+    std::string cat_;
+    std::string name_;
+    std::uint32_t lane_;
+    std::vector<std::pair<std::string, std::int64_t>> args_;
+  };
+
+  Span span(std::string_view cat, std::string_view name,
+            std::uint32_t lane = 0) {
+    return Span(this, cat, name, lane);
+  }
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  void clear();
+
+  /// Digest of the first min(size, max_events) events in record order —
+  /// sim timestamps, durations, lanes, names, args; wall time excluded.
+  Hash256 fingerprint(std::size_t max_events = static_cast<std::size_t>(-1))
+      const;
+
+  /// Chrome trace-event JSON array, sorted by sim timestamp (monotone ts),
+  /// microseconds. Loads directly in about:tracing / Perfetto.
+  void write_chrome_json(std::ostream& os) const;
+  /// ts,dur,lane,cat,name,"k=v k=v" — one line per event.
+  void write_csv(std::ostream& os) const;
+  /// write_chrome_json to `path`; false on I/O failure.
+  bool write_chrome_json_file(const std::string& path) const;
+
+ private:
+  void record(TraceEvent ev);
+
+  Clock clock_;
+  std::size_t capacity_;
+  bool wall_time_ = false;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace forksim::obs

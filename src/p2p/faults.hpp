@@ -101,6 +101,9 @@ class FaultInjector {
 
   const FaultCounters& counters() const noexcept { return counters_; }
 
+  /// Register faults.* counters in `reg`; they mirror counters() live.
+  void attach_telemetry(obs::Registry& reg);
+
   /// Called by Network::send for every message while attached.
   void on_send(Network& network, const NodeId& from, const NodeId& to,
                Bytes data);
@@ -117,6 +120,12 @@ class FaultInjector {
   double reorder_delay_ = 0.5;
   DropFilter drop_filter_;
   FaultCounters counters_;
+  obs::Counter* tm_dropped_loss_ = nullptr;
+  obs::Counter* tm_dropped_cut_ = nullptr;
+  obs::Counter* tm_dropped_filter_ = nullptr;
+  obs::Counter* tm_duplicated_ = nullptr;
+  obs::Counter* tm_reordered_ = nullptr;
+  obs::Counter* tm_link_overrides_ = nullptr;
 };
 
 /// One scheduled crash (`up == false`) or restart (`up == true`).

@@ -56,7 +56,10 @@ void PeerSet::drop(const NodeId& id, DisconnectReason reason,
   if (it == sessions_.end()) return;
   if (notify_remote) cb_.send(id, Message{Disconnect{reason}});
   sessions_.erase(it);
-  if (reason == DisconnectReason::kWrongFork) ++wrong_fork_drops_;
+  if (reason == DisconnectReason::kWrongFork) {
+    ++wrong_fork_drops_;
+    obs::inc(tm_wrong_fork_);
+  }
   if (cb_.on_drop) cb_.on_drop(id, reason);
 }
 
@@ -124,6 +127,7 @@ std::size_t PeerSet::reap_stalled(std::uint32_t max_ticks) {
     if (++session.stalled_ticks > max_ticks) dead.push_back(id);
   }
   liveness_drops_ += liveness_dead;
+  obs::inc(tm_liveness_, liveness_dead);
   for (const NodeId& id : dead)
     drop(id, DisconnectReason::kUselessPeer, /*notify_remote=*/true);
   // lapsed bans come off the list so the dialer can try those peers again
@@ -155,6 +159,7 @@ void PeerSet::penalize(const NodeId& id, int amount) {
   if (it->second.score > policy_.ban_score) return;
   banned_[id] = now() + policy_.ban_seconds;
   ++bans_;
+  obs::inc(tm_bans_);
   drop(id, DisconnectReason::kUselessPeer, /*notify_remote=*/true);
 }
 
@@ -209,6 +214,15 @@ bool PeerSet::handle(const NodeId& from, const Message& msg) {
         }
       },
       msg);
+}
+
+void PeerSet::attach_telemetry(obs::Registry& reg) {
+  tm_wrong_fork_ = &reg.counter("peers.wrong_fork_drops");
+  tm_bans_ = &reg.counter("peers.bans");
+  tm_liveness_ = &reg.counter("peers.liveness_drops");
+  tm_wrong_fork_->inc(wrong_fork_drops_);
+  tm_bans_->inc(bans_);
+  tm_liveness_->inc(liveness_drops_);
 }
 
 }  // namespace forksim::p2p

@@ -153,6 +153,11 @@ class PeerSet {
   /// Telemetry: active sessions dropped by the liveness probe.
   std::uint64_t liveness_drops() const noexcept { return liveness_drops_; }
 
+  /// Register peers.* counters in `reg`. Multiple PeerSets (one per node)
+  /// may attach to the same registry; the named counters then aggregate
+  /// across the whole population.
+  void attach_telemetry(obs::Registry& reg);
+
  private:
   void on_status(const NodeId& from, const Status& status);
   void activate(const NodeId& id);
@@ -171,6 +176,9 @@ class PeerSet {
   std::uint64_t wrong_fork_drops_ = 0;
   std::uint64_t bans_ = 0;
   std::uint64_t liveness_drops_ = 0;
+  obs::Counter* tm_wrong_fork_ = nullptr;
+  obs::Counter* tm_bans_ = nullptr;
+  obs::Counter* tm_liveness_ = nullptr;
 };
 
 }  // namespace forksim::p2p

@@ -54,22 +54,48 @@ void Network::detach(const NodeId& id) { handlers_.erase(id); }
 void Network::send(const NodeId& from, const NodeId& to, Bytes data) {
   ++messages_sent_;
   bytes_sent_ += data.size();
+  obs::inc(tm_sent_);
+  obs::inc(tm_bytes_, data.size());
   if (faults_ != nullptr) {
     faults_->on_send(*this, from, to, std::move(data));
     return;
   }
-  if (latency_.loss > 0.0 && rng_.chance(latency_.loss)) return;
+  if (latency_.loss > 0.0 && rng_.chance(latency_.loss)) {
+    obs::inc(tm_dropped_loss_);
+    return;
+  }
   deliver_after(latency_.sample(rng_), from, to, std::move(data));
 }
 
 void Network::deliver_after(double delay, const NodeId& from, const NodeId& to,
                             Bytes data) {
+  obs::observe(tm_delay_, delay);
   loop_.schedule(delay, [this, from, to, data = std::move(data)]() {
     auto it = handlers_.find(to);
-    if (it == handlers_.end()) return;  // peer gone
+    if (it == handlers_.end()) {
+      obs::inc(tm_dropped_detached_);
+      return;  // peer gone
+    }
     ++messages_delivered_;
+    obs::inc(tm_delivered_);
     it->second(from, data);
   });
+}
+
+void Network::attach_telemetry(obs::Registry& reg) {
+  tm_sent_ = &reg.counter("net.messages_sent");
+  tm_delivered_ = &reg.counter("net.messages_delivered");
+  tm_bytes_ = &reg.counter("net.bytes_sent");
+  // catch up on traffic sent before attachment (nodes dial their
+  // bootstrap peers at construction time) so the registry mirrors the
+  // lifetime accessors exactly
+  tm_sent_->inc(messages_sent_);
+  tm_delivered_->inc(messages_delivered_);
+  tm_bytes_->inc(bytes_sent_);
+  tm_dropped_loss_ = &reg.counter("net.dropped_loss");
+  tm_dropped_detached_ = &reg.counter("net.dropped_detached");
+  tm_delay_ = &reg.histogram(
+      "net.delay_seconds", obs::Histogram::exponential_bounds(0.001, 2.0, 12));
 }
 
 }  // namespace forksim::p2p

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "support/bytes.hpp"
 #include "support/rng.hpp"
 #include "support/timeseries.hpp"  // SimTime
@@ -121,6 +122,11 @@ class Network {
   }
   std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
 
+  /// Register net.* metrics in `reg` and start feeding them. Without a
+  /// registry the hot path pays one null check per metric and consumes no
+  /// extra Rng draws, so attaching telemetry never perturbs a seeded run.
+  void attach_telemetry(obs::Registry& reg);
+
  private:
   EventLoop& loop_;
   Rng rng_;
@@ -130,6 +136,12 @@ class Network {
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  obs::Counter* tm_sent_ = nullptr;
+  obs::Counter* tm_delivered_ = nullptr;
+  obs::Counter* tm_bytes_ = nullptr;
+  obs::Counter* tm_dropped_loss_ = nullptr;
+  obs::Counter* tm_dropped_detached_ = nullptr;
+  obs::Histogram* tm_delay_ = nullptr;
 };
 
 }  // namespace forksim::p2p

@@ -12,6 +12,7 @@ namespace forksim::sim {
 ChaosRunner::ChaosRunner(ChaosParams params)
     : params_(params),
       rng_(params.scenario.seed ^ 0xc8a05f4d2b179e63ull),
+      tracer_([this] { return scenario_->loop().now(); }),
       scenario_(std::make_unique<ForkScenario>(params.scenario)) {
   faults_ = std::make_unique<p2p::FaultInjector>(scenario_->loop(),
                                                  rng_.fork());
@@ -22,6 +23,8 @@ ChaosRunner::ChaosRunner(ChaosParams params)
   faults_->set_reorder_delay(params_.reorder_delay);
   install_cut();
   install_churn();
+  scenario_->attach_telemetry(registry_, &tracer_);
+  faults_->attach_telemetry(registry_);
 }
 
 void ChaosRunner::install_cut() {
@@ -114,9 +117,10 @@ bool ChaosRunner::converged() const {
          scenario_->best_height_etc() >= params_.scenario.fork_block;
 }
 
-Hash256 ChaosRunner::fingerprint() const {
+Hash256 ChaosRunner::fingerprint(const obs::Snapshot& telemetry) const {
   Keccak256 h;
   h.update(std::string_view("forksim/chaos-fingerprint"));
+  h.update(telemetry.fingerprint().view());
   auto u64 = [&](std::uint64_t v) {
     const auto be = be_fixed64(v);
     h.update(BytesView(be.data(), be.size()));
@@ -176,7 +180,8 @@ ChaosReport ChaosRunner::run() {
   report.restarts = restarts_;
   report.messages_sent = scenario_->network().messages_sent();
   report.faults = faults_->counters();
-  report.fingerprint = fingerprint();
+  report.telemetry = registry_.snapshot();
+  report.fingerprint = fingerprint(report.telemetry);
   return report;
 }
 

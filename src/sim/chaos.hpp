@@ -69,8 +69,11 @@ struct ChaosReport {
   std::uint64_t peers_banned = 0;
   std::uint64_t messages_sent = 0;
   p2p::FaultCounters faults;
-  /// Digest of the end state (per-node heads, heights, counters): equal
-  /// across two runs iff they were bit-identical.
+  /// Full telemetry snapshot of the run (every layer's registry metrics).
+  obs::Snapshot telemetry;
+  /// Digest of the end state (per-node heads, heights, counters, and the
+  /// telemetry snapshot): equal across two runs iff they were
+  /// bit-identical.
   Hash256 fingerprint;
 };
 
@@ -81,6 +84,9 @@ class ChaosRunner {
   ForkScenario& scenario() noexcept { return *scenario_; }
   p2p::FaultInjector& faults() noexcept { return *faults_; }
   const p2p::ChurnSchedule& churn() const noexcept { return churn_; }
+  /// Live registry for the run (snapshot lands in ChaosReport::telemetry).
+  obs::Registry& telemetry() noexcept { return registry_; }
+  obs::EventTracer& tracer() noexcept { return tracer_; }
 
   /// Every running node on each side shares one head and both sides have
   /// crossed the fork block (so the heads are provably per-side).
@@ -93,10 +99,14 @@ class ChaosRunner {
   void install_cut();
   void install_churn();
   void set_node_mining(std::size_t node_index, bool on);
-  Hash256 fingerprint() const;
+  Hash256 fingerprint(const obs::Snapshot& telemetry) const;
 
   ChaosParams params_;
   Rng rng_;
+  // Declared before scenario_ so they outlive it: nodes emit trace events
+  // from shutdown() during ~ForkScenario.
+  obs::Registry registry_;
+  obs::EventTracer tracer_;
   std::unique_ptr<ForkScenario> scenario_;
   std::unique_ptr<p2p::FaultInjector> faults_;
   p2p::ChurnSchedule churn_;

@@ -50,8 +50,33 @@ FullNode::FullNode(Network& network, NodeId id, core::ChainConfig config,
 
 FullNode::~FullNode() { shutdown(); }
 
+void FullNode::attach_telemetry(obs::Registry& reg, obs::EventTracer* tracer,
+                                std::uint32_t lane) {
+  tm_imported_ = &reg.counter("node.blocks_imported");
+  tm_txs_ = &reg.counter("node.txs_received");
+  tm_dup_push_ = &reg.counter("node.duplicate_block_pushes");
+  tm_sync_timeouts_ = &reg.counter("node.sync_timeouts");
+  tm_sync_retries_ = &reg.counter("node.sync_retries");
+  tm_sync_gave_up_ = &reg.counter("node.sync_gave_up");
+  tm_dials_ = &reg.counter("node.dial_attempts");
+  tm_orphan_evict_ = &reg.counter("node.orphan_evictions");
+  tm_orphan_occ_ = &reg.gauge("node.orphan_occupancy");
+  tracer_ = tracer;
+  lane_ = lane;
+  tm_imported_->inc(blocks_imported_);
+  tm_txs_->inc(txs_received_);
+  tm_dup_push_->inc(duplicate_block_pushes_);
+  tm_sync_timeouts_->inc(sync_timeouts_);
+  tm_sync_retries_->inc(sync_retries_);
+  tm_sync_gave_up_->inc(sync_gave_up_);
+  tm_dials_->inc(dial_attempts_);
+  tm_orphan_evict_->inc(orphan_evictions_);
+  peers_.attach_telemetry(reg);
+}
+
 void FullNode::start(const std::vector<NodeId>& bootstrap) {
   running_ = true;
+  if (tracer_ != nullptr) tracer_->instant("node", "start", lane_);
   bootstrap_ = bootstrap;
   // a restart after a crash begins with a clean slate: half-open sessions
   // and in-flight fetches from the previous life are meaningless
@@ -70,6 +95,7 @@ void FullNode::start(const std::vector<NodeId>& bootstrap) {
 void FullNode::shutdown() {
   if (!running_) return;
   running_ = false;
+  if (tracer_ != nullptr) tracer_->instant("node", "stop", lane_);
   ++generation_;
   network_.detach(id_);
 }
@@ -86,7 +112,10 @@ void FullNode::tick() {
     for (const NodeId& candidate :
          discovery_.table().closest(id_, options_.target_peers * 2)) {
       if (peers_.connected_to(candidate)) continue;
-      if (peers_.connect(candidate)) ++dial_attempts_;
+      if (peers_.connect(candidate)) {
+        ++dial_attempts_;
+        obs::inc(tm_dials_);
+      }
       if (peers_.session_count() >= options_.max_peers) break;
     }
     if (rng_.chance(0.5)) discovery_.refresh();
@@ -207,10 +236,14 @@ void FullNode::on_fetch_timeout(const Hash256& head, std::uint64_t token) {
     return;
   }
   ++sync_timeouts_;
+  obs::inc(tm_sync_timeouts_);
+  if (tracer_ != nullptr) tracer_->instant("sync", "timeout", lane_);
   PendingFetch& req = it->second;
   peers_.note_timeout(req.peer);
   if (req.attempt >= options_.sync_max_retries) {
     ++sync_gave_up_;
+    obs::inc(tm_sync_gave_up_);
+    if (tracer_ != nullptr) tracer_->instant("sync", "gave_up", lane_);
     pending_fetch_.erase(it);
     return;
   }
@@ -227,6 +260,10 @@ void FullNode::on_fetch_timeout(const Hash256& head, std::uint64_t token) {
   }
   ++req.attempt;
   ++sync_retries_;
+  obs::inc(tm_sync_retries_);
+  if (tracer_ != nullptr)
+    tracer_->instant("sync", "retry", lane_,
+                     {{"attempt", static_cast<std::int64_t>(req.attempt)}});
   req.token = ++next_fetch_token_;
   send(req.peer, Message{GetBlocks{head, req.max_blocks}});
   arm_fetch_timer(head, req.token,
@@ -247,7 +284,10 @@ void FullNode::handle_eth(const NodeId& from, const Message& msg) {
         if constexpr (std::is_same_v<T, NewBlock>) {
           const Hash256 hash = m.block.hash();
           if (session) session->mark_known(hash);
-          if (chain_.contains(hash)) ++duplicate_block_pushes_;
+          if (chain_.contains(hash)) {
+            ++duplicate_block_pushes_;
+            obs::inc(tm_dup_push_);
+          }
           resolve_fetch(hash);
           import_and_relay(from, m.block);
         } else if constexpr (std::is_same_v<T, NewBlockHashes>) {
@@ -289,6 +329,7 @@ void FullNode::handle_eth(const NodeId& from, const Message& msg) {
             const auto outcome = chain_.import(b);
             if (outcome.result == core::ImportResult::kImported) {
               ++blocks_imported_;
+              obs::inc(tm_imported_);
               useful = true;
               if (outcome.became_head) after_head_change();
             } else if (outcome.result == core::ImportResult::kUnknownParent) {
@@ -325,6 +366,7 @@ void FullNode::handle_eth(const NodeId& from, const Message& msg) {
             const auto result =
                 pool_.add(tx, chain_.head_state(), chain_.height());
             ++txs_received_;
+            obs::inc(tm_txs_);
             if (result == core::PoolAddResult::kAdded ||
                 result == core::PoolAddResult::kReplacedExisting)
               fresh.push_back(tx);
@@ -342,6 +384,7 @@ void FullNode::import_and_relay(const NodeId& from, const core::Block& block) {
   switch (outcome.result) {
     case core::ImportResult::kImported: {
       ++blocks_imported_;
+      obs::inc(tm_imported_);
       peers_.note_useful(from);
       pool_.remove_included(block.transactions, chain_.head_state());
       relay_block(block);
@@ -380,7 +423,15 @@ void FullNode::after_head_change() {
     for (const NodeId& peer : peers_.active_peers())
       peers_.rechallenge(peer);
   }
+  if (tracer_ != nullptr)
+    tracer_->instant(
+        "chain", "head", lane_,
+        {{"height", static_cast<std::int64_t>(chain_.height())}});
   if (on_head_changed) on_head_changed();
+}
+
+void FullNode::update_orphan_gauge() {
+  obs::set(tm_orphan_occ_, static_cast<double>(orphan_order_.size()));
 }
 
 void FullNode::add_orphan(const core::Block& block, bool solicited) {
@@ -401,12 +452,15 @@ void FullNode::add_orphan(const core::Block& block, bool solicited) {
     if (victim_it == orphan_order_.end()) victim_it = orphan_order_.begin();
     const OrphanRef victim = *victim_it;
     orphan_order_.erase(victim_it);
+    ++orphan_evictions_;
+    obs::inc(tm_orphan_evict_);
     auto it = orphans_.find(victim.parent);
     if (it == orphans_.end()) continue;  // bucket already imported/evicted
     std::erase_if(it->second,
                   [&](const core::Block& b) { return b.hash() == victim.hash; });
     if (it->second.empty()) orphans_.erase(it);
   }
+  update_orphan_gauge();
 }
 
 void FullNode::try_orphans() {
@@ -427,6 +481,7 @@ void FullNode::try_orphans() {
         const auto outcome = chain_.import(block);
         if (outcome.result == core::ImportResult::kImported) {
           ++blocks_imported_;
+          obs::inc(tm_imported_);
           relay_block(block);
           if (outcome.became_head) after_head_change();
           progress = true;
@@ -434,6 +489,7 @@ void FullNode::try_orphans() {
       }
     }
   }
+  update_orphan_gauge();
 }
 
 void FullNode::relay_block(const core::Block& block) {
@@ -485,6 +541,7 @@ core::ImportOutcome FullNode::submit_block(const core::Block& block) {
   const auto outcome = chain_.import(block);
   if (outcome.result == core::ImportResult::kImported) {
     ++blocks_imported_;
+    obs::inc(tm_imported_);
     pool_.remove_included(block.transactions, chain_.head_state());
     relay_block(block);
     if (outcome.became_head) after_head_change();

@@ -13,6 +13,7 @@
 
 #include "core/chain.hpp"
 #include "core/txpool.hpp"
+#include "obs/trace.hpp"
 #include "p2p/discovery.hpp"
 #include "p2p/gossip.hpp"
 #include "p2p/peers.hpp"
@@ -109,6 +110,16 @@ class FullNode {
   std::uint64_t dial_attempts() const noexcept { return dial_attempts_; }
   std::uint64_t peers_banned() const noexcept { return peers_.bans(); }
   std::size_t orphan_count() const noexcept { return orphan_order_.size(); }
+  /// Orphans evicted because the buffer hit NodeOptions::max_orphans.
+  std::uint64_t orphan_evictions() const noexcept { return orphan_evictions_; }
+
+  /// Register node.*/peers.* metrics in `reg` (shared across nodes: named
+  /// counters aggregate over the population) and, when `tracer` is given,
+  /// emit sync/lifecycle instants on display lane `lane` (one lane per
+  /// node keeps Chrome traces readable). Call any time; prior counts fold
+  /// in. Never consumes Rng draws.
+  void attach_telemetry(obs::Registry& reg, obs::EventTracer* tracer = nullptr,
+                        std::uint32_t lane = 0);
 
  private:
   void on_message(const p2p::NodeId& from, const Bytes& wire);
@@ -185,7 +196,21 @@ class FullNode {
   std::uint64_t sync_retries_ = 0;
   std::uint64_t sync_gave_up_ = 0;
   std::uint64_t dial_attempts_ = 0;
+  std::uint64_t orphan_evictions_ = 0;
   bool rechallenged_at_fork_ = false;
+
+  void update_orphan_gauge();
+  obs::Counter* tm_imported_ = nullptr;
+  obs::Counter* tm_txs_ = nullptr;
+  obs::Counter* tm_dup_push_ = nullptr;
+  obs::Counter* tm_sync_timeouts_ = nullptr;
+  obs::Counter* tm_sync_retries_ = nullptr;
+  obs::Counter* tm_sync_gave_up_ = nullptr;
+  obs::Counter* tm_dials_ = nullptr;
+  obs::Counter* tm_orphan_evict_ = nullptr;
+  obs::Gauge* tm_orphan_occ_ = nullptr;
+  obs::EventTracer* tracer_ = nullptr;
+  std::uint32_t lane_ = 0;
 };
 
 }  // namespace forksim::sim

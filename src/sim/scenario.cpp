@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "trie/trie.hpp"
+
 namespace forksim::sim {
 
 namespace {
@@ -130,6 +132,19 @@ std::uint64_t ForkScenario::total_wrong_fork_drops() const {
   std::uint64_t total = 0;
   for (const auto& node : nodes_) total += node->wrong_fork_drops();
   return total;
+}
+
+void ForkScenario::attach_telemetry(obs::Registry& reg,
+                                    obs::EventTracer* tracer) {
+  network_.attach_telemetry(reg);
+  executor_.attach_telemetry(reg);
+  trie::attach_telemetry(reg);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    FullNode& node = *nodes_[i];
+    node.attach_telemetry(reg, tracer, static_cast<std::uint32_t>(i));
+    node.chain().attach_telemetry(reg);
+    node.txpool().attach_telemetry(reg);
+  }
 }
 
 }  // namespace forksim::sim

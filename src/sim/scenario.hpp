@@ -73,6 +73,14 @@ class ForkScenario {
   /// Total wrong-fork disconnects observed (the DAO challenge firing).
   std::uint64_t total_wrong_fork_drops() const;
 
+  /// Wire every layer into `reg`: the network substrate, the shared EVM
+  /// executor (per-opcode tallies), the trie counters, and each node's
+  /// chain, txpool, sync, and peer metrics. With `tracer` non-null, nodes
+  /// also emit sim-time trace events on lane = node index. Attaching never
+  /// consumes Rng draws — a seeded run is unchanged draw for draw.
+  void attach_telemetry(obs::Registry& reg,
+                        obs::EventTracer* tracer = nullptr);
+
  private:
   ScenarioParams params_;
   Rng rng_;

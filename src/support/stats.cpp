@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 namespace forksim {
@@ -24,8 +25,11 @@ double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
 
 double percentile(std::vector<double> xs, double p) {
   if (xs.empty()) return 0.0;
-  p = std::clamp(p, 0.0, 100.0);
+  // NaN must not reach the rank cast below (casting NaN to size_t is UB).
+  if (std::isnan(p)) return std::numeric_limits<double>::quiet_NaN();
   std::sort(xs.begin(), xs.end());
+  if (p <= 0.0) return xs.front();
+  if (p >= 100.0) return xs.back();
   const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, xs.size() - 1);

@@ -16,7 +16,9 @@ double variance(const std::vector<double>& xs);
 /// Sample standard deviation.
 double stddev(const std::vector<double>& xs);
 
-/// Linear-interpolated percentile, p in [0,100]; 0 for empty input.
+/// Linear-interpolated percentile. p <= 0 yields the minimum, p >= 100 the
+/// maximum (so a single-element input returns that element for every p);
+/// empty input yields 0 and NaN p yields NaN.
 double percentile(std::vector<double> xs, double p);
 
 double median(std::vector<double> xs);

@@ -5,9 +5,33 @@
 #include <cassert>
 
 #include "crypto/keccak.hpp"
+#include "obs/metrics.hpp"
 #include "rlp/rlp.hpp"
 
 namespace forksim::trie {
+
+namespace {
+TrieCounters g_counters;
+}  // namespace
+
+const TrieCounters& counters() noexcept { return g_counters; }
+
+void reset_counters() noexcept { g_counters = TrieCounters{}; }
+
+void attach_telemetry(obs::Registry& reg) {
+  // Report deltas from the attach point: the globals span the whole
+  // process, but a registry should only see its own run's work (two
+  // same-seed runs in one process must snapshot identically).
+  const TrieCounters base = g_counters;
+  reg.add_collector([base](obs::Registry& r) {
+    r.counter("trie.reads").set(g_counters.reads - base.reads);
+    r.counter("trie.writes").set(g_counters.writes - base.writes);
+    r.counter("trie.node_visits")
+        .set(g_counters.node_visits - base.node_visits);
+    r.counter("trie.hash_recomputations")
+        .set(g_counters.hash_recomputations - base.hash_recomputations);
+  });
+}
 
 namespace {
 using Nibbles = std::vector<std::uint8_t>;
@@ -116,6 +140,7 @@ using Node = Trie::Node;
 namespace {
 const Node* find(const Node* node, const Nibbles& key, std::size_t depth) {
   while (node != nullptr) {
+    ++g_counters.node_visits;
     switch (node->kind) {
       case Node::Kind::kLeaf: {
         if (key.size() - depth == node->path.size() &&
@@ -147,6 +172,7 @@ const Node* find(const Node* node, const Nibbles& key, std::size_t depth) {
 }  // namespace
 
 std::optional<Bytes> Trie::get(BytesView key) const {
+  ++g_counters.reads;
   const Nibbles nk = to_nibbles(key);
   const Node* n = find(root_.get(), nk, 0);
   if (n == nullptr) return std::nullopt;
@@ -248,6 +274,7 @@ void Trie::put(BytesView key, BytesView value) {
     erase(key);
     return;
   }
+  ++g_counters.writes;
   const Nibbles nk = to_nibbles(key);
   const bool existed = find(root_.get(), nk, 0) != nullptr;
   root_ = insert(std::move(root_), nk, 0, Bytes(value.begin(), value.end()));
@@ -360,6 +387,7 @@ std::unique_ptr<Node> remove(std::unique_ptr<Node> node, const Nibbles& key,
 }  // namespace
 
 bool Trie::erase(BytesView key) {
+  ++g_counters.writes;
   const Nibbles nk = to_nibbles(key);
   bool removed = false;
   root_ = remove(std::move(root_), nk, 0, removed);
@@ -381,6 +409,7 @@ rlp::Item node_ref(const Node* node) {
   rlp::Item item = encode_item(*node);
   Bytes encoded = rlp::encode(item);
   if (encoded.size() < 32) return item;
+  ++g_counters.hash_recomputations;
   return rlp::Item::str(keccak256(encoded).view());
 }
 
@@ -414,6 +443,7 @@ Hash256 empty_trie_root() {
 
 Hash256 Trie::root_hash() const {
   if (!root_) return empty_trie_root();
+  ++g_counters.hash_recomputations;
   return keccak256(rlp::encode(encode_item(*root_)));
 }
 

@@ -13,7 +13,28 @@
 
 #include "support/bytes.hpp"
 
+namespace forksim::obs {
+class Registry;
+}
+
 namespace forksim::trie {
+
+/// Process-wide trie work tallies (the simulator is single-threaded).
+/// Always on: plain unconditional increments, no branches, no Rng draws —
+/// cheap enough to leave enabled and exact enough to fingerprint.
+struct TrieCounters {
+  std::uint64_t reads = 0;   // get() calls
+  std::uint64_t writes = 0;  // put() / erase() calls
+  std::uint64_t node_visits = 0;  // nodes walked during lookups
+  std::uint64_t hash_recomputations = 0;  // keccak over node encodings
+};
+
+const TrieCounters& counters() noexcept;
+void reset_counters() noexcept;
+
+/// Register a snapshot-time collector on `reg` that mirrors counters()
+/// into trie.* counters.
+void attach_telemetry(obs::Registry& reg);
 
 /// Nibble (4-bit) expansion of a key, most-significant nibble first.
 std::vector<std::uint8_t> to_nibbles(BytesView key);

@@ -1,0 +1,131 @@
+// Golden-trace regression: the instrumented DAO-fork scenario replays
+// bit-identically from a seed — telemetry snapshot fingerprint AND the
+// (truncated) sim-time event trace — while injected faults provably move
+// the fingerprints. Also pins the "attaching telemetry never perturbs the
+// simulation" guarantee: an uninstrumented same-seed run reaches the
+// exact same chain state.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "p2p/faults.hpp"
+#include "sim/scenario.hpp"
+
+namespace forksim::sim {
+namespace {
+
+ScenarioParams golden_params() {
+  ScenarioParams sp;
+  sp.nodes_eth = 4;
+  sp.nodes_etc = 2;
+  sp.miners_per_side_eth = 2;
+  sp.miners_per_side_etc = 1;
+  sp.total_hashrate = 3e4;
+  sp.etc_hashpower_fraction = 0.25;
+  sp.fork_block = 6;
+  sp.funded_accounts = 4;
+  sp.seed = 20160720;
+  return sp;
+}
+
+constexpr double kRunSeconds = 400.0;
+constexpr std::size_t kTracePrefix = 256;
+
+struct GoldenRun {
+  Hash256 telemetry_fp;
+  Hash256 trace_fp;       // first kTracePrefix events
+  std::string chrome_json;
+  Hash256 head_eth;       // node 0's canonical head
+  Hash256 head_etc;       // last node's canonical head
+  std::uint64_t blocks_imported = 0;
+};
+
+GoldenRun run_instrumented(bool with_faults) {
+  ForkScenario scenario(golden_params());
+  obs::Registry reg;
+  obs::EventTracer tracer([&scenario] { return scenario.loop().now(); });
+  scenario.attach_telemetry(reg, &tracer);
+
+  std::unique_ptr<p2p::FaultInjector> faults;
+  if (with_faults) {
+    faults = std::make_unique<p2p::FaultInjector>(scenario.loop(), Rng(99));
+    faults->attach_to(scenario.network());
+    faults->set_extra_loss(0.15);
+    faults->attach_telemetry(reg);
+  }
+
+  scenario.run_for(kRunSeconds);
+
+  GoldenRun out;
+  out.telemetry_fp = reg.fingerprint();
+  out.trace_fp = tracer.fingerprint(kTracePrefix);
+  std::ostringstream os;
+  tracer.write_chrome_json(os);
+  out.chrome_json = os.str();
+  out.head_eth = scenario.node(0).chain().head().hash();
+  out.head_etc =
+      scenario.node(scenario.node_count() - 1).chain().head().hash();
+  out.blocks_imported = reg.counter_value("node.blocks_imported");
+  return out;
+}
+
+TEST(GoldenTraceTest, SameSeedRunsFingerprintIdentically) {
+  const GoldenRun first = run_instrumented(/*with_faults=*/false);
+  const GoldenRun second = run_instrumented(/*with_faults=*/false);
+
+  // the run did real work: blocks flowed and both fork sides diverged
+  EXPECT_GT(first.blocks_imported, 0u);
+  EXPECT_NE(first.head_eth, first.head_etc);
+
+  // bit-identical telemetry and (truncated) trace, byte-identical export
+  EXPECT_EQ(first.telemetry_fp, second.telemetry_fp);
+  EXPECT_EQ(first.trace_fp, second.trace_fp);
+  EXPECT_EQ(first.chrome_json, second.chrome_json);
+  EXPECT_EQ(first.head_eth, second.head_eth);
+  EXPECT_EQ(first.head_etc, second.head_etc);
+}
+
+TEST(GoldenTraceTest, InjectedFaultsChangeTheFingerprints) {
+  const GoldenRun clean = run_instrumented(/*with_faults=*/false);
+  const GoldenRun faulty = run_instrumented(/*with_faults=*/true);
+
+  EXPECT_NE(clean.telemetry_fp, faulty.telemetry_fp);
+  EXPECT_NE(clean.trace_fp, faulty.trace_fp);
+}
+
+// Attaching a registry and tracer must not perturb the simulation: a
+// bare same-seed run reaches the exact same chain state draw for draw.
+TEST(GoldenTraceTest, AttachingTelemetryDoesNotPerturbTheRun) {
+  const GoldenRun instrumented = run_instrumented(/*with_faults=*/false);
+
+  ForkScenario bare(golden_params());
+  bare.run_for(kRunSeconds);
+  EXPECT_EQ(bare.node(0).chain().head().hash(), instrumented.head_eth);
+  EXPECT_EQ(bare.node(bare.node_count() - 1).chain().head().hash(),
+            instrumented.head_etc);
+}
+
+// The exported Chrome trace is Perfetto-loadable: non-empty, and the
+// "ts" sequence (sim microseconds) is monotone non-decreasing.
+TEST(GoldenTraceTest, ChromeTraceTimestampsAreMonotone) {
+  const GoldenRun run = run_instrumented(/*with_faults=*/false);
+  const std::string& json = run.chrome_json;
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '[');
+
+  std::vector<double> ts;
+  for (std::size_t pos = json.find("\"ts\":"); pos != std::string::npos;
+       pos = json.find("\"ts\":", pos + 1))
+    ts.push_back(std::strtod(json.c_str() + pos + 5, nullptr));
+  ASSERT_GT(ts.size(), 10u);
+  for (std::size_t i = 1; i < ts.size(); ++i)
+    ASSERT_GE(ts[i], ts[i - 1]) << "event " << i << " out of order";
+  // everything happened inside the simulated window
+  EXPECT_LE(ts.back(), kRunSeconds * 1e6);
+}
+
+}  // namespace
+}  // namespace forksim::sim

@@ -1,0 +1,126 @@
+// Chaos soak acceptance tests (ctest label: soak — the slowest suite in
+// the tree, split out of the tier-1 binary so CI can schedule it
+// separately).
+//
+// The soak runs the full DAO-fork scenario under the acceptance adversity
+// — 10% message loss, a scheduled 60-sim-second bisection cut, and >=20%
+// node churn — and requires every surviving node on each fork side to
+// converge on a single head, bit-identically across two same-seed runs.
+// The telemetry registry snapshot carried by the report is part of the
+// fingerprint, and the assertions below check the registry agrees with
+// the independently-kept per-node counters.
+#include <gtest/gtest.h>
+
+#include "sim/chaos.hpp"
+
+namespace forksim::sim {
+namespace {
+
+ChaosParams acceptance_params() {
+  ChaosParams cp;
+  cp.scenario.nodes_eth = 10;
+  cp.scenario.nodes_etc = 5;
+  cp.scenario.miners_per_side_eth = 3;
+  cp.scenario.miners_per_side_etc = 2;
+  cp.scenario.total_hashrate = 3e4;
+  cp.scenario.etc_hashpower_fraction = 0.25;
+  cp.scenario.fork_block = 10;
+  cp.scenario.seed = 2026;
+  cp.extra_loss = 0.10;        // 10% message loss
+  cp.cut_start = 300.0;        // one 60-sim-second bisection cut
+  cp.cut_duration = 60.0;
+  cp.churn_fraction = 0.20;    // >=20% of nodes churned
+  cp.churn_start = 120.0;
+  cp.churn_end = 900.0;
+  cp.mining_duration = 1500.0;
+  cp.settle_deadline = 1200.0;
+  return cp;
+}
+
+TEST(ChaosSoakTest, ConvergesUnderLossCutAndChurn) {
+  ChaosRunner runner(acceptance_params());
+
+  // the sampled churn really hits >= 20% of the population
+  const std::size_t n = runner.scenario().node_count();
+  EXPECT_GE(runner.churn().crash_count(),
+            static_cast<std::size_t>(0.2 * static_cast<double>(n)));
+
+  const ChaosReport report = runner.run();
+
+  EXPECT_TRUE(report.converged)
+      << "no per-side convergence before the settle deadline";
+  EXPECT_GE(report.time_to_convergence, 0.0);
+  EXPECT_GT(report.survivors_eth, 0u);
+  EXPECT_GT(report.survivors_etc, 0u);
+  EXPECT_GT(report.height_eth, acceptance_params().scenario.fork_block);
+  EXPECT_GT(report.height_etc, acceptance_params().scenario.fork_block);
+
+  // the adversity actually happened...
+  EXPECT_GE(report.crashes, runner.churn().crash_count());
+  EXPECT_GT(report.faults.dropped_by_loss, 0u);
+  EXPECT_GT(report.faults.dropped_by_cut, 0u);
+  // ...and the resilience machinery visibly fought back
+  EXPECT_GT(report.sync_timeouts, 0u);
+  EXPECT_GT(report.sync_retries, 0u);
+  EXPECT_GT(report.dial_attempts, 0u);
+
+  // the telemetry registry tells the same story as the hand-kept
+  // counters it mirrors — population-wide aggregates must agree exactly
+  const obs::Snapshot& t = report.telemetry;
+  EXPECT_EQ(t.counter_value("node.sync_timeouts"), report.sync_timeouts);
+  EXPECT_EQ(t.counter_value("node.sync_retries"), report.sync_retries);
+  EXPECT_EQ(t.counter_value("node.dial_attempts"), report.dial_attempts);
+  EXPECT_EQ(t.counter_value("peers.bans"), report.peers_banned);
+  EXPECT_EQ(t.counter_value("net.messages_sent"), report.messages_sent);
+  EXPECT_EQ(t.counter_value("faults.dropped_by_loss"),
+            report.faults.dropped_by_loss);
+  EXPECT_EQ(t.counter_value("faults.dropped_by_cut"),
+            report.faults.dropped_by_cut);
+  EXPECT_EQ(t.counter_value("faults.duplicated"), report.faults.duplicated);
+  EXPECT_GT(t.counter_value("node.blocks_imported"), 0u);
+  EXPECT_GT(t.counter_value("trie.writes"), 0u);
+
+  // the run emitted a sim-time trace on the side
+  EXPECT_GT(runner.tracer().size(), 0u);
+  EXPECT_EQ(runner.tracer().dropped(), 0u);
+}
+
+TEST(ChaosSoakTest, SameSeedReplaysBitIdentically) {
+  ChaosRunner r1(acceptance_params());
+  const ChaosReport a = r1.run();
+  ChaosRunner r2(acceptance_params());
+  const ChaosReport b = r2.run();
+
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.sync_retries, b.sync_retries);
+  EXPECT_EQ(a.faults.dropped_by_loss, b.faults.dropped_by_loss);
+  EXPECT_DOUBLE_EQ(a.time_to_convergence, b.time_to_convergence);
+
+  // the full telemetry snapshot — every counter, gauge, and histogram
+  // bucket across every layer — is bit-identical, and so is the trace
+  EXPECT_EQ(a.telemetry.fingerprint(), b.telemetry.fingerprint());
+  EXPECT_EQ(r1.tracer().fingerprint(), r2.tracer().fingerprint());
+}
+
+TEST(ChaosSoakTest, DifferentSeedsProduceDifferentRuns) {
+  ChaosParams p1 = acceptance_params();
+  p1.mining_duration = 300.0;
+  p1.settle_deadline = 300.0;
+  p1.cut_start = -1.0;  // keep the short runs cheap
+  ChaosParams p2 = p1;
+  p2.scenario.seed = 31337;
+
+  ChaosRunner r1(p1);
+  ChaosRunner r2(p2);
+  const ChaosReport a = r1.run();
+  const ChaosReport b = r2.run();
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+  EXPECT_NE(a.telemetry.fingerprint(), b.telemetry.fingerprint());
+}
+
+}  // namespace
+}  // namespace forksim::sim

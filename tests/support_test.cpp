@@ -355,6 +355,25 @@ TEST(StatsTest, Percentile) {
   EXPECT_DOUBLE_EQ(median(xs), 3.0);
 }
 
+TEST(StatsTest, PercentileEdgeCases) {
+  // a single element answers every p with itself
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 50), 7.5);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 100), 7.5);
+
+  // out-of-range p clamps to min/max instead of indexing out of bounds
+  std::vector<double> xs = {3, 1, 2};
+  EXPECT_DOUBLE_EQ(percentile(xs, -10), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 250), 3.0);
+
+  // NaN p propagates rather than being cast to a rank (UB); the empty
+  // check still wins over the NaN check
+  EXPECT_TRUE(std::isnan(percentile(xs, std::nan(""))));
+  EXPECT_EQ(percentile({}, std::nan("")), 0.0);
+}
+
 TEST(StatsTest, PearsonPerfectCorrelation) {
   std::vector<double> xs = {1, 2, 3, 4};
   std::vector<double> ys = {2, 4, 6, 8};

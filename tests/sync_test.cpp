@@ -7,6 +7,7 @@
 
 #include "evm/assembler.hpp"
 #include "evm/executor.hpp"
+#include "obs/metrics.hpp"
 #include "sim/miner.hpp"
 #include "sim/node.hpp"
 
@@ -53,16 +54,30 @@ TEST(SyncTest, DeepChainSyncAcrossMultipleBatches) {
   ASSERT_GT(a->chain().height(), 80u);
 
   auto b = net.make_node(2, 2);
+  obs::Registry reg;
+  b->attach_telemetry(reg);
+  b->chain().attach_telemetry(reg);
   b->start({a->id()});
   net.loop.run_until(net.loop.now() + 120.0);
   EXPECT_EQ(b->chain().head().hash(), a->chain().head().hash());
   EXPECT_EQ(b->chain().height(), a->chain().height());
+
+  // telemetry view of the catch-up: the late joiner imported the whole
+  // chain (several sync batches), every import accounted for by name
+  EXPECT_EQ(reg.counter_value("node.blocks_imported"), b->chain().height());
+  EXPECT_EQ(reg.counter_value("chain.import.imported"),
+            b->chain().height());
+  EXPECT_EQ(reg.counter_value("node.sync_gave_up"), 0u);
 }
 
 TEST(SyncTest, SyncSurvivesPacketLoss) {
   Net net(LatencyModel{0.02, 0.01, 0.5, /*loss=*/0.15}, 9);
+  obs::Registry reg;
+  net.network.attach_telemetry(reg);
   auto a = net.make_node(1, 1);
   auto b = net.make_node(2, 2);
+  a->attach_telemetry(reg);
+  b->attach_telemetry(reg);
   a->start({});
   b->start({a->id()});
   net.loop.run_until(60.0);
@@ -76,6 +91,17 @@ TEST(SyncTest, SyncSurvivesPacketLoss) {
   ASSERT_GT(a->chain().height(), 20u);
   // with 15% loss, b may lag a touch but must track within a few blocks
   EXPECT_GE(b->chain().height() + 3, a->chain().height());
+
+  // the lossy wire shows up in the network telemetry, and the retry
+  // counters aggregate both nodes' resilient-sync effort
+  const obs::Snapshot t = reg.snapshot();
+  EXPECT_GT(t.counter_value("net.dropped_loss"), 0u);
+  EXPECT_EQ(t.counter_value("net.messages_sent"),
+            net.network.messages_sent());
+  EXPECT_EQ(t.counter_value("node.sync_timeouts"),
+            a->sync_timeouts() + b->sync_timeouts());
+  EXPECT_EQ(t.counter_value("node.sync_retries"),
+            a->sync_retries() + b->sync_retries());
 }
 
 TEST(SyncTest, CompetingMinersConvergeOnOneChain) {
