@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <map>
 
 #include "core/chain.hpp"
 #include "crypto/ecdsa.hpp"
@@ -175,6 +176,95 @@ void BM_ProduceAndImportBlock(benchmark::State& state) {
 }
 BENCHMARK(BM_ProduceAndImportBlock);
 
+// ---- state engine: journaled snapshot/revert vs whole-copy, incremental
+// ---- root commits vs full rebuilds
+
+struct PopulatedState {
+  core::State state;
+  std::vector<Address> pool;
+};
+
+/// 10k funded accounts, some with storage — the scale at which the old
+/// copy-everything snapshot engine hurt.
+PopulatedState make_state_10k() {
+  PopulatedState out;
+  Rng rng(42);
+  for (int i = 0; i < 10'000; ++i) {
+    Bytes raw(20);
+    for (auto& b : raw) b = static_cast<std::uint8_t>(rng.uniform(256));
+    const Address addr = Address::left_padded(raw);
+    out.state.add_balance(addr, core::Wei(1 + rng.uniform(1'000'000)));
+    out.state.set_nonce(addr, rng.uniform(100));
+    if (i % 16 == 0)
+      out.state.set_storage(addr, U256(rng.uniform(4)),
+                            U256(1 + rng.uniform(1000)));
+    out.pool.push_back(addr);
+  }
+  out.state.clear_journal();
+  return out;
+}
+
+/// One EVM-call-frame's worth of mutations against `st`.
+void mutate_frame(core::State& st, const std::vector<Address>& pool,
+                  Rng& rng) {
+  const Address& a = pool[rng.uniform(pool.size())];
+  const Address& b = pool[rng.uniform(pool.size())];
+  st.add_balance(a, core::Wei(1));
+  st.set_storage(a, U256(1), U256(rng.uniform(100)));
+  st.increment_nonce(b);
+}
+
+void BM_StateSnapshotRevert10k(benchmark::State& state) {
+  PopulatedState p = make_state_10k();
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto mark = p.state.snapshot();  // O(1) journal mark
+    mutate_frame(p.state, p.pool, rng);
+    p.state.revert(mark);
+    benchmark::DoNotOptimize(p.state.account_count());
+  }
+}
+BENCHMARK(BM_StateSnapshotRevert10k);
+
+void BM_StateSnapshotRevertWholeCopy10k(benchmark::State& state) {
+  // The engine the journal replaced: snapshot = copy the whole account
+  // map, revert = move it back. Kept as the benchmark baseline so the
+  // speedup is measured, not asserted.
+  PopulatedState p = make_state_10k();
+  Rng rng(7);
+  for (auto _ : state) {
+    core::State snapshot(p.state);
+    mutate_frame(p.state, p.pool, rng);
+    p.state = std::move(snapshot);
+    benchmark::DoNotOptimize(p.state.account_count());
+  }
+}
+BENCHMARK(BM_StateSnapshotRevertWholeCopy10k);
+
+void BM_StateRootIncremental8Dirty(benchmark::State& state) {
+  PopulatedState p = make_state_10k();
+  (void)p.state.root();  // prime the cached trie
+  Rng rng(7);
+  for (auto _ : state) {
+    for (int i = 0; i < 8; ++i)
+      p.state.add_balance(p.pool[rng.uniform(p.pool.size())], core::Wei(1));
+    benchmark::DoNotOptimize(p.state.root());  // patches <= 8 leaves
+  }
+}
+BENCHMARK(BM_StateRootIncremental8Dirty);
+
+void BM_StateRootFullRebuild10k(benchmark::State& state) {
+  PopulatedState p = make_state_10k();
+  Rng rng(7);
+  for (auto _ : state) {
+    for (int i = 0; i < 8; ++i)
+      p.state.add_balance(p.pool[rng.uniform(p.pool.size())], core::Wei(1));
+    p.state.invalidate_root_cache();  // what every root() used to do
+    benchmark::DoNotOptimize(p.state.root());
+  }
+}
+BENCHMARK(BM_StateRootFullRebuild10k);
+
 void BM_DifficultyCalc(benchmark::State& state) {
   const core::ChainConfig config = core::ChainConfig::mainnet_pre_fork();
   const U256 parent(62'000'000'000'000ull);
@@ -192,19 +282,23 @@ BENCHMARK(BM_DifficultyCalc);
 // record as "<name>_real_time".
 class RecordingReporter : public benchmark::ConsoleReporter {
  public:
-  explicit RecordingReporter(obs::BenchRecord& rec) : rec_(rec) {}
+  explicit RecordingReporter(obs::BenchRecord& rec,
+                             std::map<std::string, double>& times)
+      : rec_(rec), times_(times) {}
 
   void ReportRuns(const std::vector<Run>& runs) override {
     ConsoleReporter::ReportRuns(runs);
     for (const Run& run : runs) {
       if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
-      rec_.metric(run.benchmark_name() + "_real_time",
-                  run.GetAdjustedRealTime());
+      const double t = run.GetAdjustedRealTime();
+      rec_.metric(run.benchmark_name() + "_real_time", t);
+      times_[run.benchmark_name()] = t;
     }
   }
 
  private:
   obs::BenchRecord& rec_;
+  std::map<std::string, double>& times_;
 };
 
 }  // namespace
@@ -215,10 +309,30 @@ int main(int argc, char** argv) {
 
   obs::WallTimer timer;
   obs::BenchRecord rec("micro_primitives");
-  RecordingReporter reporter(rec);
+  std::map<std::string, double> times;
+  RecordingReporter reporter(rec, times);
   const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
   rec.param("benchmarks_run", static_cast<std::uint64_t>(ran));
   rec.metric("wall_seconds", timer.seconds());
+
+  // Machine-independent state-engine speedups: each pair ran in this same
+  // process, so the ratio cancels the host out. CI checks these against
+  // absolute floors (see scripts/check_bench_regression.py).
+  const auto ratio = [&](const char* slow, const char* fast) {
+    const auto s = times.find(slow);
+    const auto f = times.find(fast);
+    return (s != times.end() && f != times.end() && f->second > 0.0)
+               ? s->second / f->second
+               : 0.0;
+  };
+  const double snap_speedup = ratio("BM_StateSnapshotRevertWholeCopy10k",
+                                    "BM_StateSnapshotRevert10k");
+  const double root_speedup = ratio("BM_StateRootFullRebuild10k",
+                                    "BM_StateRootIncremental8Dirty");
+  if (snap_speedup > 0.0)
+    rec.metric("snapshot_revert_speedup_10k", snap_speedup);
+  if (root_speedup > 0.0)
+    rec.metric("root_commit_speedup_8dirty", root_speedup);
   const std::string path = rec.write();
   if (path.empty())
     std::cerr << "cannot write BENCH_micro_primitives.json\n";

@@ -32,7 +32,7 @@ Blockchain::Blockchain(ChainConfig config, Executor& executor,
       genesis_difficulty);
   genesis.header.state_root = genesis_state.root();
 
-  const Hash256 h = genesis.hash();
+  const Hash256 h = header_hash(genesis.header);
   Record rec;
   rec.block = genesis;
   rec.total_difficulty = genesis.header.difficulty;
@@ -146,14 +146,14 @@ ImportResult Blockchain::validate_ommers(const Block& block) const {
     if (r == nullptr) break;
     ancestors.emplace(cursor, r);
     for (const BlockHeader& o : r->block.ommers)
-      used_ommers.emplace(o.hash(), true);
+      used_ommers.emplace(header_hash(o), true);
     if (r->block.header.number == 0) break;
     cursor = r->block.header.parent_hash;
   }
 
   std::unordered_map<Hash256, bool, Hash256Hasher> seen_in_block;
   for (const BlockHeader& ommer : block.ommers) {
-    const Hash256 ommer_hash = ommer.hash();
+    const Hash256 ommer_hash = header_hash(ommer);
     // kinship window
     if (ommer.number + kOmmerWindow < block.header.number ||
         ommer.number >= block.header.number)
@@ -256,7 +256,7 @@ ImportOutcome Blockchain::import(const Block& block) {
 }
 
 ImportOutcome Blockchain::import_impl(const Block& block) {
-  const Hash256 hash = block.hash();
+  const Hash256 hash = header_hash(block.header);
   if (records_.contains(hash)) return {ImportResult::kAlreadyKnown};
 
   const Record* parent = record(block.header.parent_hash);
@@ -319,7 +319,8 @@ std::vector<BlockHeader> Blockchain::collect_ommers() const {
     const Record* r = record(cursor);
     if (r == nullptr) break;
     ancestors.emplace(cursor, true);
-    for (const BlockHeader& o : r->block.ommers) used.emplace(o.hash(), true);
+    for (const BlockHeader& o : r->block.ommers)
+      used.emplace(header_hash(o), true);
     if (r->block.header.number == 0) break;
     cursor = r->block.header.parent_hash;
   }

@@ -19,6 +19,7 @@
 #include "core/block.hpp"
 #include "core/config.hpp"
 #include "core/difficulty.hpp"
+#include "core/hashcache.hpp"
 #include "core/receipt.hpp"
 #include "obs/metrics.hpp"
 
@@ -135,6 +136,11 @@ class Blockchain {
   };
 
   const Record* record(const Hash256& hash) const;
+  /// Header hash through the LRU memo — every hash the chain computes for
+  /// fork-choice, ommer validation, and import goes through here.
+  Hash256 header_hash(const BlockHeader& header) const {
+    return header_hashes_.hash_of(header);
+  }
   ImportResult validate_header(const BlockHeader& header,
                                const Record& parent) const;
   ImportResult validate_ommers(const Block& block) const;
@@ -151,6 +157,9 @@ class Blockchain {
   Hash256 head_hash_;
   std::vector<Address> dao_accounts_;
   Address dao_refund_;
+  /// Memoized header hashes (mutable: hashing is pure; the cache is not
+  /// observable state). Sized for the ancestry windows partitions re-walk.
+  mutable HeaderHashCache header_hashes_{4096};
   std::array<obs::Counter*, 7> tm_results_{};
   obs::Histogram* tm_reorg_ = nullptr;
   obs::Counter* tm_produced_ = nullptr;

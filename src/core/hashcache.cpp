@@ -1,0 +1,28 @@
+#include "core/hashcache.hpp"
+
+#include "core/state.hpp"
+#include "crypto/keccak.hpp"
+
+namespace forksim::core {
+
+Hash256 HeaderHashCache::hash_of(const BlockHeader& header) {
+  Bytes encoding = header.encode();
+  auto it = index_.find(encoding);
+  if (it != index_.end()) {
+    ++engine_counters_mut().header_cache_hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // promote to front
+    return it->second->hash;
+  }
+
+  ++engine_counters_mut().header_cache_misses;
+  const Hash256 hash = keccak256(encoding);
+  lru_.push_front(Slot{encoding, hash});
+  index_.emplace(std::move(encoding), lru_.begin());
+  if (index_.size() > capacity_) {
+    index_.erase(lru_.back().encoding);
+    lru_.pop_back();
+  }
+  return hash;
+}
+
+}  // namespace forksim::core

@@ -1,0 +1,48 @@
+// A small LRU memo from header RLP encodings to their keccak hashes.
+//
+// Fork-choice re-evaluation during partitions hashes the same headers over
+// and over: every import with ommers re-hashes the ancestry window's ommer
+// headers, and every produce_block() re-hashes the stale-block candidates.
+// Keying on the exact RLP encoding keeps the cache trivially sound — two
+// headers hash equal iff their encodings are byte-equal.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/block.hpp"
+
+namespace forksim::core {
+
+class HeaderHashCache {
+ public:
+  explicit HeaderHashCache(std::size_t capacity = 1024)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// keccak256 of the header's RLP encoding, memoized with LRU eviction.
+  Hash256 hash_of(const BlockHeader& header);
+
+  std::size_t size() const noexcept { return index_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Slot {
+    Bytes encoding;
+    Hash256 hash;
+  };
+
+  struct BytesHasher {
+    std::size_t operator()(const Bytes& b) const noexcept {
+      return std::hash<std::string_view>{}(std::string_view(
+          reinterpret_cast<const char*>(b.data()), b.size()));
+    }
+  };
+
+  std::size_t capacity_;
+  std::list<Slot> lru_;  // front = most recently used
+  std::unordered_map<Bytes, std::list<Slot>::iterator, BytesHasher> index_;
+};
+
+}  // namespace forksim::core

@@ -65,9 +65,10 @@ CallResult Vm::call(const CallParams& params) {
   if (params.depth > kMaxCallDepth)
     return {false, VmError::kCallDepthExceeded, 0, {}};
 
-  auto snapshot = state_.snapshot();
+  const auto snapshot = state_.snapshot();
   const auto logs_mark = logs_.size();
   const auto refund_mark = refund_;
+  const auto destroyed_mark = destroyed_.size();
 
   if (params.transfers_value && !params.value.is_zero()) {
     if (!state_.sub_balance(params.caller, params.value))
@@ -81,9 +82,10 @@ CallResult Vm::call(const CallParams& params) {
                    : execute(params, code);
 
   if (!result.success) {
-    state_.revert(std::move(snapshot));
+    state_.revert(snapshot);
     logs_.resize(logs_mark);
     refund_ = refund_mark;
+    destroyed_.resize(destroyed_mark);
   }
   return result;
 }
@@ -100,13 +102,14 @@ CallResult Vm::create(const Address& caller, const Wei& value,
   // it happens before the snapshot
   state_.increment_nonce(caller);
 
-  auto snapshot = state_.snapshot();
+  const auto snapshot = state_.snapshot();
   const auto logs_mark = logs_.size();
   const auto refund_mark = refund_;
+  const auto destroyed_mark = destroyed_.size();
 
   if (!value.is_zero()) {
     if (!state_.sub_balance(caller, value)) {
-      state_.revert(std::move(snapshot));
+      state_.revert(snapshot);
       return {false, VmError::kInsufficientBalance, gas, {}};
     }
     state_.add_balance(created, value);
@@ -146,9 +149,10 @@ CallResult Vm::create(const Address& caller, const Wei& value,
   }
 
   if (!result.success) {
-    state_.revert(std::move(snapshot));
+    state_.revert(snapshot);
     logs_.resize(logs_mark);
     refund_ = refund_mark;
+    destroyed_.resize(destroyed_mark);
   }
   return result;
 }
@@ -779,8 +783,9 @@ CallResult Vm::execute(const CallParams& params, BytesView code) {
           (void)moved;
           state_.add_balance(beneficiary, balance);
         }
-        if (!destroyed_.contains(params.address)) {
-          destroyed_.insert(params.address);
+        if (std::find(destroyed_.begin(), destroyed_.end(),
+                      params.address) == destroyed_.end()) {
+          destroyed_.push_back(params.address);
           refund_ += gas_.selfdestruct_refund;
         }
         return {true, VmError::kNone, f.gas, {}};

@@ -16,7 +16,6 @@
 #pragma once
 
 #include <array>
-#include <unordered_set>
 #include <vector>
 
 #include "core/receipt.hpp"
@@ -88,7 +87,11 @@ class Vm {
 
   const std::vector<core::Log>& logs() const noexcept { return logs_; }
   std::uint64_t refund() const noexcept { return refund_; }
-  const std::unordered_set<Address, AddressHasher>& destroyed() const {
+  /// Accounts scheduled for destruction at transaction end, in the order
+  /// they self-destructed. Entries from reverted frames are unwound along
+  /// with the state journal (a SELFDESTRUCT inside a frame that later
+  /// reverts must not destroy the account).
+  const std::vector<Address>& destroyed() const noexcept {
     return destroyed_;
   }
 
@@ -115,7 +118,7 @@ class Vm {
   Wei gas_price_;
   std::vector<core::Log> logs_;
   std::uint64_t refund_ = 0;
-  std::unordered_set<Address, AddressHasher> destroyed_;
+  std::vector<Address> destroyed_;
   std::array<std::uint64_t, 256>* op_counts_ = nullptr;
   std::uint64_t* ops_total_ = nullptr;
 };

@@ -102,6 +102,19 @@ struct Trie::Node {
   std::unique_ptr<Node> child;                     // extension only
   std::array<std::unique_ptr<Node>, 16> children;  // branch only
 
+  // Memoized commitment state: the node's RLP encoding (empty = stale) and,
+  // for nodes referenced by hash, the keccak of that encoding. Mutations
+  // invalidate these along the touched path only; subtrees that did not
+  // change keep their caches, which is what makes re-hashing incremental.
+  mutable Bytes enc_cache;
+  mutable Hash256 hash_cache;
+  mutable bool hash_valid = false;
+
+  void invalidate() noexcept {
+    enc_cache.clear();
+    hash_valid = false;
+  }
+
   static std::unique_ptr<Node> leaf(Nibbles p, Bytes v) {
     auto n = std::make_unique<Node>();
     n->kind = Kind::kLeaf;
@@ -187,6 +200,10 @@ std::unique_ptr<Node> insert(std::unique_ptr<Node> node, const Nibbles& key,
                              std::size_t depth, Bytes value) {
   if (!node) return Node::leaf(slice(key, depth, key.size() - depth),
                                std::move(value));
+
+  // every node on the insertion path changes its encoding; subtrees the key
+  // does not descend into keep their memoized commitments
+  node->invalidate();
 
   switch (node->kind) {
     case Node::Kind::kLeaf: {
@@ -316,6 +333,7 @@ std::unique_ptr<Node> collapse_branch(std::unique_ptr<Node> branch) {
       merged.push_back(nib);
       merged.insert(merged.end(), child->path.begin(), child->path.end());
       child->path = std::move(merged);
+      child->invalidate();  // path changed => encoding changed
       return child;
     }
     case Node::Kind::kBranch: {
@@ -335,6 +353,7 @@ std::unique_ptr<Node> collapse_extension(std::unique_ptr<Node> ext) {
       Nibbles merged = std::move(ext->path);
       merged.insert(merged.end(), child->path.begin(), child->path.end());
       child->path = std::move(merged);
+      child->invalidate();  // path changed => encoding changed
       return child;
     }
     case Node::Kind::kBranch:
@@ -364,6 +383,7 @@ std::unique_ptr<Node> remove(std::unique_ptr<Node> node, const Nibbles& key,
       node->child = remove(std::move(node->child), key,
                            depth + node->path.size(), removed);
       if (!removed) return node;
+      node->invalidate();
       return collapse_extension(std::move(node));
     }
     case Node::Kind::kBranch: {
@@ -372,6 +392,7 @@ std::unique_ptr<Node> remove(std::unique_ptr<Node> node, const Nibbles& key,
         node->has_value = false;
         node->value.clear();
         removed = true;
+        node->invalidate();
         return collapse_branch(std::move(node));
       }
       const std::uint8_t nib = key[depth];
@@ -379,6 +400,7 @@ std::unique_ptr<Node> remove(std::unique_ptr<Node> node, const Nibbles& key,
       node->children[nib] =
           remove(std::move(node->children[nib]), key, depth + 1, removed);
       if (!removed) return node;
+      node->invalidate();
       return collapse_branch(std::move(node));
     }
   }
@@ -402,15 +424,27 @@ namespace {
 
 rlp::Item encode_item(const Node& node);
 
+/// The node's RLP encoding, memoized until the next mutation on its path.
+const Bytes& node_encoding(const Node& node) {
+  if (node.enc_cache.empty())
+    node.enc_cache = rlp::encode(encode_item(node));
+  return node.enc_cache;
+}
+
 /// Spec rule: a child node whose RLP encoding is shorter than 32 bytes is
-/// embedded directly; otherwise it is referenced by its keccak hash.
+/// embedded directly; otherwise it is referenced by its keccak hash. The
+/// hash is memoized alongside the encoding, so an unchanged subtree costs
+/// zero keccak permutations per root_hash().
 rlp::Item node_ref(const Node* node) {
   if (node == nullptr) return rlp::Item::str(BytesView{});
-  rlp::Item item = encode_item(*node);
-  Bytes encoded = rlp::encode(item);
-  if (encoded.size() < 32) return item;
-  ++g_counters.hash_recomputations;
-  return rlp::Item::str(keccak256(encoded).view());
+  const Bytes& encoded = node_encoding(*node);
+  if (encoded.size() < 32) return encode_item(*node);  // embedded, tiny
+  if (!node->hash_valid) {
+    ++g_counters.hash_recomputations;
+    node->hash_cache = keccak256(encoded);
+    node->hash_valid = true;
+  }
+  return rlp::Item::str(node->hash_cache.view());
 }
 
 rlp::Item encode_item(const Node& node) {
@@ -443,8 +477,14 @@ Hash256 empty_trie_root() {
 
 Hash256 Trie::root_hash() const {
   if (!root_) return empty_trie_root();
-  ++g_counters.hash_recomputations;
-  return keccak256(rlp::encode(encode_item(*root_)));
+  const Bytes& encoded = node_encoding(*root_);
+  // the root is always referenced by hash, even when its encoding is short
+  if (!root_->hash_valid) {
+    ++g_counters.hash_recomputations;
+    root_->hash_cache = keccak256(encoded);
+    root_->hash_valid = true;
+  }
+  return root_->hash_cache;
 }
 
 // ---------------------------------------------------------------------------
@@ -457,7 +497,7 @@ std::vector<Bytes> Trie::prove(BytesView key) const {
   std::size_t depth = 0;
   bool at_hashed_boundary = true;  // root is always included
   while (node != nullptr) {
-    const Bytes encoded = rlp::encode(encode_item(*node));
+    const Bytes& encoded = node_encoding(*node);
     if (at_hashed_boundary) proof.push_back(encoded);
     at_hashed_boundary = encoded.size() >= 32;
     // embedded (short) nodes ride inside their parent's encoding; only

@@ -5,6 +5,12 @@
 // path encoding, spec-compliant structural hashing (nodes whose RLP encoding
 // is shorter than 32 bytes are embedded in their parent rather than hashed),
 // insertion, lookup, deletion with path collapsing, and Merkle proofs.
+//
+// Every node memoizes its RLP encoding and keccak reference; mutations
+// invalidate the caches only along the root-to-leaf path they touch, so a
+// root_hash() after k updates re-hashes O(k · depth) nodes instead of the
+// whole trie. This is what makes the incremental state-root commit in
+// core::State cheap: patch the dirty account leaves, re-hash the spine.
 #pragma once
 
 #include <memory>
@@ -71,6 +77,8 @@ class Trie {
 
   /// Keccak-256 commitment to the whole trie. The empty trie hashes to
   /// keccak256(rlp("")) = 0x56e8...421 (the well-known empty root).
+  /// Memoized: a second call with no intervening mutation re-hashes
+  /// nothing, and after k mutations only the touched paths are re-encoded.
   Hash256 root_hash() const;
 
   /// Merkle proof: the RLP encodings of every node on the path from the root

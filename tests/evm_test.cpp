@@ -405,6 +405,90 @@ TEST_F(VmTest, SelfdestructMovesBalanceAndRefunds) {
   EXPECT_EQ(last_refund_, 24000u);
 }
 
+TEST_F(VmTest, SelfdestructInsideRevertedFrameIsUnwound) {
+  // A calls B; B calls C, which selfdestructs (successfully); B then
+  // REVERTs; A succeeds. C must survive the transaction: the scheduled
+  // destruction happened inside a frame whose effects were rolled back,
+  // so it must be unwound along with the state journal — not linger in
+  // the VM's destroyed list and get applied by the executor at tx end.
+  const Address b = Address::left_padded(Bytes{0xbb});
+  const Address c = Address::left_padded(Bytes{0xcc});
+  const Address heir = Address::left_padded(Bytes{0x99});
+
+  Asm cc;  // C: selfdestruct to heir
+  cc.push(heir).op(Op::kSelfdestruct);
+  state_.set_code(c, cc.build());
+  state_.add_balance(c, ether(2));
+
+  Asm bb;  // B: call C, then revert unconditionally
+  bb.push(std::uint64_t{0}).push(std::uint64_t{0});  // out_len, out_off
+  bb.push(std::uint64_t{0}).push(std::uint64_t{0});  // in_len, in_off
+  bb.push(std::uint64_t{0});                         // value
+  bb.push(c).push(std::uint64_t{100000}).op(Op::kCall);
+  bb.push(std::uint64_t{0}).push(std::uint64_t{0}).op(Op::kRevert);
+  state_.set_code(b, bb.build());
+
+  Asm aa;  // A: call B, ignore its failure, halt successfully
+  aa.push(std::uint64_t{0}).push(std::uint64_t{0});
+  aa.push(std::uint64_t{0}).push(std::uint64_t{0});
+  aa.push(std::uint64_t{0});
+  aa.push(b).push(std::uint64_t{300000}).op(Op::kCall);
+  aa.op(Op::kStop);
+  state_.set_code(kContract, aa.build());
+
+  Vm vm(state_, ctx_, GasSchedule::homestead(), kCaller, gwei(20));
+  CallParams p;
+  p.caller = kCaller;
+  p.address = kContract;
+  p.code_address = kContract;
+  p.gas = 1'000'000;
+  const CallResult r = vm.call(p);
+  ASSERT_TRUE(r.success);
+
+  EXPECT_TRUE(vm.destroyed().empty());       // destruction unwound
+  EXPECT_EQ(state_.balance(c), ether(2));    // balance sweep rolled back
+  EXPECT_EQ(state_.balance(heir), Wei(0));
+  EXPECT_EQ(vm.refund(), 0u);                // refund rolled back with it
+}
+
+TEST_F(VmTest, SelfdestructInCommittedFrameSurvivesSiblingRevert) {
+  // The converse: C selfdestructs in a frame that *commits*; a later
+  // sibling call that reverts must not disturb the earlier destruction.
+  const Address b = Address::left_padded(Bytes{0xbb});
+  const Address c = Address::left_padded(Bytes{0xcc});
+  const Address heir = Address::left_padded(Bytes{0x99});
+
+  Asm cc;
+  cc.push(heir).op(Op::kSelfdestruct);
+  state_.set_code(c, cc.build());
+
+  Asm bb;  // B: revert immediately
+  bb.push(std::uint64_t{0}).push(std::uint64_t{0}).op(Op::kRevert);
+  state_.set_code(b, bb.build());
+
+  Asm aa;  // A: call C (commits the destruction), then call B (reverts)
+  for (const Address& target : {c, b}) {
+    aa.push(std::uint64_t{0}).push(std::uint64_t{0});
+    aa.push(std::uint64_t{0}).push(std::uint64_t{0});
+    aa.push(std::uint64_t{0});
+    aa.push(target).push(std::uint64_t{100000}).op(Op::kCall);
+    aa.op(Op::kPop);
+  }
+  aa.op(Op::kStop);
+  state_.set_code(kContract, aa.build());
+
+  Vm vm(state_, ctx_, GasSchedule::homestead(), kCaller, gwei(20));
+  CallParams p;
+  p.caller = kCaller;
+  p.address = kContract;
+  p.code_address = kContract;
+  p.gas = 1'000'000;
+  ASSERT_TRUE(vm.call(p).success);
+
+  ASSERT_EQ(vm.destroyed().size(), 1u);
+  EXPECT_EQ(vm.destroyed().front(), c);
+}
+
 // ------------------------------------------------------------------- calls
 
 TEST_F(VmTest, NestedCallTransfersValue) {

@@ -6,6 +6,7 @@
 #include "core/block.hpp"
 #include "crypto/keccak.hpp"
 #include "p2p/messages.hpp"
+#include "rlp/rlp.hpp"
 #include "support/rng.hpp"
 #include "trie/trie.hpp"
 
@@ -177,6 +178,101 @@ TEST(TrieProofPropertyTest, EveryKeyProvableAtEveryRoot) {
     }
   }
 }
+
+// -------------------------------------------- trie node encoding round-trip
+
+/// Build a populated trie and collect the RLP encoding of every node on
+/// every key's proof path — i.e. the exact bytes the trie's per-node
+/// encoding memo produces and peers would receive in a proof.
+std::vector<Bytes> proof_node_encodings(Rng& rng, std::vector<Bytes>* keys) {
+  trie::Trie t;
+  for (int i = 0; i < 60; ++i) {
+    Bytes key = random_bytes(rng, 6);
+    if (key.empty()) key.push_back(static_cast<std::uint8_t>(i));
+    Bytes value = random_bytes(rng, 50);
+    if (value.empty()) value.push_back(1);
+    t.put(key, value);
+    if (keys != nullptr) keys->push_back(std::move(key));
+  }
+  std::vector<Bytes> nodes;
+  for (const auto& [key, _] : t.entries())
+    for (Bytes& enc : t.prove(key)) nodes.push_back(std::move(enc));
+  return nodes;
+}
+
+class TrieNodeFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieNodeFuzzTest, NodeEncodingsRoundTripThroughRlp) {
+  Rng rng(GetParam() * 101);
+  for (const Bytes& enc : proof_node_encodings(rng, nullptr)) {
+    // every node the trie emits is canonical RLP: it decodes without error,
+    // consumes every byte, and re-encodes to the identical byte string
+    const rlp::DecodeResult decoded = rlp::decode(enc);
+    ASSERT_TRUE(decoded.item.has_value());
+    ASSERT_FALSE(decoded.error.has_value());
+    EXPECT_EQ(rlp::encode(*decoded.item), enc);
+    // structural shape: leaf/extension (2 items) or branch (17 items)
+    ASSERT_TRUE(decoded.item->is_list());
+    const std::size_t arity = decoded.item->items().size();
+    EXPECT_TRUE(arity == 2 || arity == 17) << arity;
+  }
+}
+
+TEST_P(TrieNodeFuzzTest, MutatedNodeEncodingsNeverCrashDecoders) {
+  Rng rng(GetParam() * 103);
+  std::vector<Bytes> keys;
+  const std::vector<Bytes> nodes = proof_node_encodings(rng, &keys);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes enc = nodes[rng.uniform(nodes.size())];
+    const std::size_t pos = rng.uniform(enc.size());
+    enc[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform(8));
+
+    // the RLP layer must reject or re-shape, never crash
+    (void)rlp::decode(enc);
+    // nor may the path decoder, fed the (possibly garbage) first payload
+    (void)trie::decode_hex_prefix(enc);
+
+    // a proof whose root node was swapped for the corrupted bytes must fail
+    // verification (the root commitment no longer matches) — and not crash
+    trie::Trie t;
+    t.put(Bytes{0x01}, Bytes{0xaa});
+    const Hash256 root = t.root_hash();
+    auto proof = t.prove(Bytes{0x01});
+    ASSERT_FALSE(proof.empty());
+    proof[0] = enc;  // swap in the corrupted node
+    EXPECT_FALSE(
+        trie::Trie::verify_proof(root, Bytes{0x01}, proof).has_value());
+  }
+}
+
+TEST_P(TrieNodeFuzzTest, HexPrefixRoundTrips) {
+  Rng rng(GetParam() * 107);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> nibbles(rng.uniform(12), 0);
+    for (auto& n : nibbles) n = static_cast<std::uint8_t>(rng.uniform(16));
+    const bool is_leaf = rng.chance(0.5);
+
+    const Bytes encoded = trie::hex_prefix(nibbles, is_leaf);
+    const auto decoded = trie::decode_hex_prefix(encoded);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->first, nibbles);
+    EXPECT_EQ(decoded->second, is_leaf);
+  }
+}
+
+TEST_P(TrieNodeFuzzTest, RandomBytesNeverCrashHexPrefixDecode) {
+  Rng rng(GetParam() * 109);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Bytes junk = random_bytes(rng, 40);
+    const auto decoded = trie::decode_hex_prefix(junk);
+    // when it does decode, the nibble count must match the payload exactly
+    if (decoded.has_value())
+      for (const auto n : decoded->first) EXPECT_LT(n, 16u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieNodeFuzzTest,
+                         ::testing::Values(1, 2, 3, 4));
 
 TEST(TrieProofPropertyTest, ProofFromOldRootFailsAfterMutation) {
   trie::Trie t;

@@ -88,6 +88,35 @@ TEST(GoldenTraceTest, SameSeedRunsFingerprintIdentically) {
   EXPECT_EQ(first.head_etc, second.head_etc);
 }
 
+// The engine-upgrade guard: these constants are the fingerprints the
+// golden scenario produced on the pre-journal state engine (whole-map
+// snapshots, from-scratch root builds, no header hash cache). The
+// journaled engine, the incremental root commit, the memoizing trie, and
+// the header LRU are all pure optimizations — same seed must still
+// produce these exact bytes. If this test fails, the new engine changed
+// observable behavior, not just speed.
+TEST(GoldenTraceTest, FingerprintsMatchPreJournalEngine) {
+  const auto expect = [](std::string_view hex) {
+    const auto h = Hash256::from_hex(hex);
+    EXPECT_TRUE(h.has_value());
+    return *h;
+  };
+
+  const GoldenRun run = run_instrumented(/*with_faults=*/false);
+  EXPECT_EQ(run.telemetry_fp,
+            expect("b7a61852560c75a69036569a82d23d2a"
+                   "096d9ef0051966dd9b60d6b4a6795aae"));
+  EXPECT_EQ(run.trace_fp,
+            expect("8f2d9d88c203f779e81e4abbea5a4c8e"
+                   "8e3710fed23df40a200bed8ad9b47224"));
+  EXPECT_EQ(run.head_eth,
+            expect("cce771fb9b78cc0ac8fedc1bb5edf5c4"
+                   "3e54aed149c57671d705539e9d799295"));
+  EXPECT_EQ(run.head_etc,
+            expect("b7ce2fba706c902ffbfc430d21a5520a"
+                   "6210e92921b20e8086f2cac4ed4c0724"));
+}
+
 TEST(GoldenTraceTest, InjectedFaultsChangeTheFingerprints) {
   const GoldenRun clean = run_instrumented(/*with_faults=*/false);
   const GoldenRun faulty = run_instrumented(/*with_faults=*/true);

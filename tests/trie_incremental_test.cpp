@@ -1,0 +1,218 @@
+// Property tests for the trie's incremental hashing: a trie mutated in
+// place (whose nodes memoize encodings/hashes and invalidate only the
+// touched paths) must always hash identically to a trie rebuilt from
+// scratch over the same final contents — across random insert/update/delete
+// batches, including the empty-trie and single-leaf edges. Also pins the
+// incremental behavior down with counter deltas (an unchanged re-root does
+// zero keccak work) and checks core::State's incremental root commit
+// against a fresh full rebuild.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/state.hpp"
+#include "support/rng.hpp"
+#include "trie/trie.hpp"
+
+namespace forksim::trie {
+namespace {
+
+Bytes random_key(Rng& rng) {
+  // Short keys collide on prefixes often, forcing extension/branch
+  // restructuring — the paths most likely to miss an invalidation.
+  Bytes key(1 + rng.uniform(4), 0);
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.uniform(16));
+  return key;
+}
+
+Bytes random_value(Rng& rng) {
+  Bytes value(1 + rng.uniform(40), 0);
+  for (auto& b : value) b = static_cast<std::uint8_t>(rng.next());
+  return value;
+}
+
+/// Rebuild a trie from scratch over `model` and return its root.
+Hash256 scratch_root(const std::map<Bytes, Bytes>& model) {
+  Trie fresh;
+  for (const auto& [key, value] : model) fresh.put(key, value);
+  return fresh.root_hash();
+}
+
+class TrieIncrementalPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieIncrementalPropertyTest, IncrementalRootEqualsScratchRoot) {
+  Rng rng(GetParam());
+  Trie trie;
+  std::map<Bytes, Bytes> model;
+
+  // Interleave mutation batches with root checks: each root_hash() both
+  // validates the memoized hashes and *primes* them for the next batch, so
+  // every batch exercises incremental re-hash over a warm cache.
+  constexpr int kBatches = 30;
+  for (int batch = 0; batch < kBatches; ++batch) {
+    const std::uint64_t batch_ops = 1 + rng.uniform(12);
+    for (std::uint64_t i = 0; i < batch_ops; ++i) {
+      const Bytes key = random_key(rng);
+      if (rng.uniform(3) == 0) {
+        EXPECT_EQ(trie.erase(key), model.erase(key) > 0);
+      } else {
+        const Bytes value = random_value(rng);
+        trie.put(key, value);
+        model[key] = value;
+      }
+    }
+
+    ASSERT_EQ(trie.size(), model.size()) << "batch " << batch;
+    ASSERT_EQ(trie.root_hash(), scratch_root(model)) << "batch " << batch;
+  }
+
+  // Drain to empty through the incremental path: must land exactly on the
+  // canonical empty root.
+  while (!model.empty()) {
+    const Bytes key = model.begin()->first;
+    model.erase(model.begin());
+    EXPECT_TRUE(trie.erase(key));
+    EXPECT_EQ(trie.root_hash(), scratch_root(model));
+  }
+  EXPECT_EQ(trie.root_hash(), empty_trie_root());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieIncrementalPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ---- edges ----------------------------------------------------------------
+
+TEST(TrieIncrementalTest, EmptyTrieRootIsStableAcrossMutationCycles) {
+  Trie t;
+  EXPECT_EQ(t.root_hash(), empty_trie_root());
+  t.put(Bytes{0x01}, Bytes{0xaa});
+  t.erase(Bytes{0x01});
+  EXPECT_EQ(t.root_hash(), empty_trie_root());
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(TrieIncrementalTest, SingleLeafUpdateRehashes) {
+  Trie t;
+  t.put(Bytes{0x01}, Bytes{0xaa});
+  const Hash256 first = t.root_hash();
+
+  t.put(Bytes{0x01}, Bytes{0xbb});  // overwrite must invalidate the memo
+  const Hash256 second = t.root_hash();
+  EXPECT_NE(first, second);
+
+  t.put(Bytes{0x01}, Bytes{0xaa});  // and converge back
+  EXPECT_EQ(t.root_hash(), first);
+}
+
+TEST(TrieIncrementalTest, UnchangedRerootDoesZeroHashWork) {
+  Trie t;
+  Rng rng(99);
+  for (int i = 0; i < 64; ++i) t.put(random_key(rng), random_value(rng));
+  (void)t.root_hash();  // prime every memo
+
+  const std::uint64_t before = counters().hash_recomputations;
+  const Hash256 again = t.root_hash();
+  EXPECT_EQ(counters().hash_recomputations, before);
+  EXPECT_EQ(again, t.root_hash());
+}
+
+TEST(TrieIncrementalTest, SingleUpdateRehashesOnlyTheTouchedPath) {
+  Trie t;
+  Rng rng(7);
+  std::uint64_t total_puts = 0;
+  for (int i = 0; i < 256; ++i) {
+    // 4-byte keys: deep enough for real branch fan-out
+    Bytes key(4, 0);
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+    t.put(key, random_value(rng));
+    ++total_puts;
+  }
+  (void)t.root_hash();
+
+  const std::uint64_t full_cost = [&] {
+    const std::uint64_t before = counters().hash_recomputations;
+    Trie fresh;
+    // worst case: rebuild re-hashes every node
+    for (const auto& [key, value] : t.entries()) fresh.put(key, value);
+    (void)fresh.root_hash();
+    return counters().hash_recomputations - before;
+  }();
+
+  const std::uint64_t before = counters().hash_recomputations;
+  t.put(Bytes{0x01, 0x02, 0x03, 0x04}, Bytes{0xff});
+  (void)t.root_hash();
+  const std::uint64_t incremental_cost =
+      counters().hash_recomputations - before;
+
+  EXPECT_GT(incremental_cost, 0u);
+  // one root-to-leaf path, not the whole trie
+  EXPECT_LT(incremental_cost * 4, full_cost) << "full=" << full_cost;
+  (void)total_puts;
+}
+
+// ---- State-level incremental commits -------------------------------------
+
+TEST(TrieIncrementalTest, StateIncrementalRootMatchesFullRebuild) {
+  core::State state;
+  Rng rng(1234);
+  std::vector<Address> pool;
+  for (std::uint8_t i = 1; i <= 40; ++i)
+    pool.push_back(Address::left_padded(Bytes{i}));
+
+  for (const Address& a : pool)
+    state.add_balance(a, core::Wei(1 + rng.uniform(1000)));
+  (void)state.root();  // prime the cached trie
+
+  for (int round = 0; round < 20; ++round) {
+    // mutate a small dirty set, like one block's worth of touched accounts
+    const std::uint64_t touched = 1 + rng.uniform(8);
+    for (std::uint64_t i = 0; i < touched; ++i) {
+      const Address& a = pool[rng.uniform(pool.size())];
+      switch (rng.uniform(4)) {
+        case 0: state.add_balance(a, core::Wei(rng.uniform(50))); break;
+        case 1: state.increment_nonce(a); break;
+        case 2:
+          state.set_storage(a, U256(rng.uniform(4)), U256(rng.uniform(9)));
+          break;
+        case 3: state.destroy(a); break;
+      }
+    }
+
+    const Hash256 incremental = state.root();
+    core::State copy(state);  // copy drops the cache: full rebuild
+    EXPECT_EQ(copy.root(), incremental) << "round " << round;
+  }
+}
+
+TEST(TrieIncrementalTest, StateRootCacheInvalidationForcesRebuild) {
+  core::reset_engine_counters();
+  core::State state;
+  state.add_balance(Address::left_padded(Bytes{0x01}), core::Wei(5));
+
+  (void)state.root();  // full (first use)
+  (void)state.root();  // incremental (nothing dirty)
+  state.invalidate_root_cache();
+  (void)state.root();  // full again
+
+  EXPECT_EQ(core::engine_counters().root_commits_full, 2u);
+  EXPECT_EQ(core::engine_counters().root_commits_incremental, 1u);
+}
+
+TEST(TrieIncrementalTest, StateRevertedMutationsStillCommitCorrectRoot) {
+  core::State state;
+  const Address a = Address::left_padded(Bytes{0x01});
+  const Address b = Address::left_padded(Bytes{0x02});
+  state.add_balance(a, core::Wei(10));
+  const Hash256 before = state.root();  // prime cache
+
+  // dirty `b` inside a reverted scope: the revert itself re-dirties it, and
+  // the next commit must erase the aborted leaf rather than keep it
+  const auto mark = state.snapshot();
+  state.add_balance(b, core::Wei(99));
+  state.revert(mark);
+  EXPECT_EQ(state.root(), before);
+}
+
+}  // namespace
+}  // namespace forksim::trie
