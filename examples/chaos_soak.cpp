@@ -9,8 +9,13 @@
 // retries, peer scoring/banning, keepalive probes) is what makes the
 // answer yes. Same seed, same run: every fault replays bit-identically.
 //
-//   ./build/examples/chaos_soak [seed]
+// With --byzantine, a fraction of the (non-anchor, non-miner) nodes run
+// hostile agents — invalid-block forgers, withholders, tx spammers,
+// equivocators — and every honest node switches its ingress hardening on.
+//
+//   ./build/examples/chaos_soak [seed] [--byzantine <fraction>]
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "sim/chaos.hpp"
@@ -30,7 +35,7 @@ int main(int argc, char** argv) {
   cp.scenario.total_hashrate = 3e4;
   cp.scenario.etc_hashpower_fraction = 0.25;
   cp.scenario.fork_block = 10;
-  cp.scenario.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2016;
+  cp.scenario.seed = 2016;
   cp.extra_loss = 0.10;
   cp.duplicate_prob = 0.02;
   cp.reorder_prob = 0.05;
@@ -40,11 +45,23 @@ int main(int argc, char** argv) {
   cp.mining_duration = 1500.0;
   cp.settle_deadline = 1200.0;
 
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--byzantine") == 0 && i + 1 < argc) {
+      cp.adversaries.fraction = std::strtod(argv[++i], nullptr);
+    } else {
+      cp.scenario.seed = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
+
   std::cout << cp.scenario.nodes_eth + cp.scenario.nodes_etc
             << " nodes, fork at block " << cp.scenario.fork_block
             << ", seed " << cp.scenario.seed << "\n"
             << "adversity: 10% loss, 2% duplication, 5% reordering, "
-               "60 s bisection at t=300, 20% churn\n\n";
+               "60 s bisection at t=300, 20% churn";
+  if (cp.adversaries.fraction > 0.0)
+    std::cout << ", " << fmt(cp.adversaries.fraction * 100.0, 0)
+              << "% Byzantine peers";
+  std::cout << "\n\n";
 
   ChaosRunner runner(cp);
   std::cout << "churn schedule: " << runner.churn().crash_count()
@@ -79,6 +96,27 @@ int main(int argc, char** argv) {
                      std::to_string(r.faults.reordered)});
   table.add_row({"fingerprint", r.fingerprint.hex().substr(0, 16)});
   table.print(std::cout);
+
+  if (r.adversaries > 0) {
+    std::cout << "\n-- Byzantine layer (" << r.adversaries
+              << " hostile agents) --\n";
+    Table at({"metric", "value"});
+    at.add_row({"blocks forged", std::to_string(r.blocks_forged)});
+    at.add_row(
+        {"phantom announcements", std::to_string(r.phantom_announcements)});
+    at.add_row({"txs spammed", std::to_string(r.txs_spammed)});
+    at.add_row({"equivocations", std::to_string(r.equivocations)});
+    at.add_row({"attackers banned",
+                std::to_string(r.attackers_banned) + " / " +
+                    std::to_string(r.adversaries)});
+    at.add_row(
+        {"honest-honest ban events", std::to_string(r.honest_ban_events)});
+    at.add_row({"wasted executions", std::to_string(r.wasted_executions)});
+    at.add_row({"invalid-cache hits", std::to_string(r.invalid_cache_hits)});
+    at.add_row({"rate-limited messages", std::to_string(r.rate_limited)});
+    at.add_row({"txpool evictions", std::to_string(r.txpool_evictions)});
+    at.print(std::cout);
+  }
 
   // Telemetry section: the registry snapshot that went into the
   // fingerprint, condensed to the layers the chaos stresses most.

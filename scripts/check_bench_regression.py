@@ -42,7 +42,11 @@ SPEEDUP_FLOORS = {
 # normalized *_real_time metrics.
 SKIPPED_METRICS = {"wall_seconds"}
 
-RECORDS = ["BENCH_micro_primitives.json", "BENCH_fig1_short_term.json"]
+RECORDS = [
+    "BENCH_micro_primitives.json",
+    "BENCH_fig1_short_term.json",
+    "BENCH_ablate_adversary.json",
+]
 
 # Absolute slack (ns) added to every timing limit: benchmarks that resolve
 # to a cache hit (e.g. the trie's memoized root_hash) run in ~1-2 ns, where

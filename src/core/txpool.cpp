@@ -38,12 +38,17 @@ const char* result_slug(PoolAddResult r) {
 }  // namespace
 
 void TxPool::attach_telemetry(obs::Registry& reg) {
+  reg_ = &reg;
   for (std::size_t i = 0; i < tm_results_.size(); ++i) {
     const auto r = static_cast<PoolAddResult>(i);
     tm_results_[i] =
         &reg.counter(std::string("txpool.") + result_slug(r));
   }
   tm_size_ = &reg.gauge("txpool.size");
+  if (evictions_ > 0) {
+    tm_evicted_ = &reg.counter("txpool.evicted");
+    tm_evicted_->inc(evictions_);
+  }
 }
 
 PoolAddResult TxPool::add(const Transaction& tx, const State& state,
@@ -88,9 +93,36 @@ PoolAddResult TxPool::add_impl(const Transaction& tx, const State& state,
     return PoolAddResult::kReplacedExisting;
   }
 
-  if (by_hash_.size() >= options_.capacity) return PoolAddResult::kPoolFull;
+  if (by_hash_.size() >= options_.capacity) {
+    // Backpressure: a full pool evicts its strictly cheapest pending entry
+    // to admit a better-paying newcomer. Equal or worse price is refused, so
+    // floor-price spam can never displace honest transactions. The victim is
+    // chosen by (lowest gas price, then smallest hash) — a deterministic
+    // function of the pool's contents, independent of map iteration order.
+    auto victim = by_hash_.end();
+    for (auto it = by_hash_.begin(); it != by_hash_.end(); ++it) {
+      if (it->second.tx.gas_price >= tx.gas_price) continue;
+      if (victim == by_hash_.end() ||
+          it->second.tx.gas_price < victim->second.tx.gas_price ||
+          (it->second.tx.gas_price == victim->second.tx.gas_price &&
+           it->first < victim->first))
+        victim = it;
+    }
+    if (victim == by_hash_.end()) return PoolAddResult::kPoolFull;
+    auto s_it = by_sender_.find(victim->second.sender);
+    if (s_it != by_sender_.end()) {
+      s_it->second.erase(victim->second.tx.nonce);
+      if (s_it->second.empty()) by_sender_.erase(s_it);
+    }
+    by_hash_.erase(victim);
+    ++evictions_;
+    if (!tm_evicted_ && reg_) tm_evicted_ = &reg_->counter("txpool.evicted");
+    obs::inc(tm_evicted_);
+  }
 
-  sender_slots.emplace(tx.nonce, hash);
+  // re-lookup: eviction may have erased this sender's (now-empty) slot map,
+  // invalidating `sender_slots`
+  by_sender_[*sender].emplace(tx.nonce, hash);
   by_hash_.emplace(hash, Entry{tx, *sender});
   return PoolAddResult::kAdded;
 }

@@ -70,6 +70,10 @@ class TxPool {
 
   const Transaction* by_hash(const Hash256& h) const;
 
+  /// How many pending transactions a full pool evicted to admit
+  /// better-priced newcomers (backpressure under spam).
+  std::uint64_t evictions() const noexcept { return evictions_; }
+
   /// Register one txpool.<result> counter per admission outcome plus a
   /// txpool.size gauge in `reg`. Shared registries aggregate across pools.
   void attach_telemetry(obs::Registry& reg);
@@ -89,8 +93,13 @@ class TxPool {
   /// sender -> nonce -> tx hash (for replacement and contiguity checks)
   std::unordered_map<Address, std::map<std::uint64_t, Hash256>, AddressHasher>
       by_sender_;
+  std::uint64_t evictions_ = 0;
   std::array<obs::Counter*, 8> tm_results_{};
   obs::Gauge* tm_size_ = nullptr;
+  /// Lazily registered on the first eviction: adversary-free runs must keep
+  /// the registry's metric set (and thus its fingerprint) unchanged.
+  obs::Counter* tm_evicted_ = nullptr;
+  obs::Registry* reg_ = nullptr;
 };
 
 }  // namespace forksim::core

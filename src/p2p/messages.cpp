@@ -15,8 +15,10 @@ rlp::Item hashes_item(const std::vector<Hash256>& hashes) {
   return rlp::Item::list(std::move(items));
 }
 
-std::optional<std::vector<Hash256>> parse_hashes(const rlp::Item& item) {
+std::optional<std::vector<Hash256>> parse_hashes(const rlp::Item& item,
+                                                 std::size_t max_count) {
   if (!item.is_list()) return std::nullopt;
+  if (item.items().size() > max_count) return std::nullopt;
   std::vector<Hash256> out;
   for (const auto& child : item.items()) {
     if (!child.is_bytes()) return std::nullopt;
@@ -102,6 +104,7 @@ Bytes encode_message(const Message& msg) {
 }
 
 std::optional<Message> decode_message(BytesView wire) {
+  if (wire.size() > kMaxMessageBytes) return std::nullopt;
   auto decoded = rlp::decode(wire);
   if (!decoded.ok() || !decoded.item->is_list()) return std::nullopt;
   const auto& fields = decoded.item->items();
@@ -123,7 +126,7 @@ std::optional<Message> decode_message(BytesView wire) {
     }
     case MsgId::kNeighbors: {
       if (fields.size() != 2) return std::nullopt;
-      auto nodes = parse_hashes(fields[1]);
+      auto nodes = parse_hashes(fields[1], kMaxNeighborsPerMessage);
       if (!nodes) return std::nullopt;
       return Message{Neighbors{std::move(*nodes)}};
     }
@@ -149,12 +152,13 @@ std::optional<Message> decode_message(BytesView wire) {
     }
     case MsgId::kNewBlockHashes: {
       if (fields.size() != 2) return std::nullopt;
-      auto hashes = parse_hashes(fields[1]);
+      auto hashes = parse_hashes(fields[1], kMaxHashesPerMessage);
       if (!hashes) return std::nullopt;
       return Message{NewBlockHashes{std::move(*hashes)}};
     }
     case MsgId::kTransactions: {
       if (fields.size() != 2 || !fields[1].is_list()) return std::nullopt;
+      if (fields[1].items().size() > kMaxTxsPerMessage) return std::nullopt;
       Transactions txs;
       for (const auto& item : fields[1].items()) {
         auto tx = core::Transaction::from_rlp(item);
@@ -167,11 +171,12 @@ std::optional<Message> decode_message(BytesView wire) {
       if (fields.size() != 3 || !fields[1].is_bytes()) return std::nullopt;
       auto head = Hash256::from_bytes(fields[1].bytes());
       auto max = fields[2].as_u64();
-      if (!head || !max) return std::nullopt;
+      if (!head || !max || *max > kMaxGetBlocksRequest) return std::nullopt;
       return Message{GetBlocks{*head, static_cast<std::uint32_t>(*max)}};
     }
     case MsgId::kBlocks: {
       if (fields.size() != 2 || !fields[1].is_list()) return std::nullopt;
+      if (fields[1].items().size() > kMaxBlocksPerMessage) return std::nullopt;
       Blocks blocks;
       for (const auto& item : fields[1].items()) {
         auto b = core::Block::from_rlp(item);

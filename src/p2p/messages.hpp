@@ -17,6 +17,16 @@
 
 namespace forksim::p2p {
 
+/// Hard ceilings on decoded payloads. Honest traffic sits orders of
+/// magnitude below these; anything larger is a resource-exhaustion attempt
+/// and decode_message rejects it before element parsing allocates.
+inline constexpr std::size_t kMaxMessageBytes = 4u << 20;  // 4 MiB wire frame
+inline constexpr std::size_t kMaxHashesPerMessage = 1024;
+inline constexpr std::size_t kMaxNeighborsPerMessage = 256;
+inline constexpr std::size_t kMaxTxsPerMessage = 4096;
+inline constexpr std::size_t kMaxBlocksPerMessage = 512;
+inline constexpr std::uint64_t kMaxGetBlocksRequest = 4096;
+
 enum class MsgId : std::uint8_t {
   // discovery
   kPing = 0x01,

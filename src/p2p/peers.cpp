@@ -1,6 +1,19 @@
 #include "p2p/peers.hpp"
 
+#include <algorithm>
+
 namespace forksim::p2p {
+
+bool TokenBucket::take(SimTime now, double cost) {
+  if (!enabled()) return true;
+  if (now > last) {
+    tokens = std::min(capacity, tokens + (now - last) * rate);
+    last = now;
+  }
+  if (tokens < cost) return false;
+  tokens -= cost;
+  return true;
+}
 
 void PeerSession::mark_known(const Hash256& h, std::size_t cap) {
   if (known.contains(h)) return;
@@ -10,6 +23,24 @@ void PeerSession::mark_known(const Hash256& h, std::size_t cap) {
     known.erase(known_order.front());
     known_order.pop_front();
   }
+}
+
+std::size_t PeerSession::note_child(const Hash256& parent,
+                                    const Hash256& child, std::size_t cap) {
+  auto it = children_seen.find(parent);
+  if (it == children_seen.end()) {
+    children_seen.emplace(parent, std::vector<Hash256>{child});
+    children_order.push_back(parent);
+    while (children_order.size() > cap) {
+      children_seen.erase(children_order.front());
+      children_order.pop_front();
+    }
+    return 1;
+  }
+  auto& kids = it->second;
+  if (std::find(kids.begin(), kids.end(), child) == kids.end())
+    kids.push_back(child);
+  return kids.size();
 }
 
 std::size_t PeerSet::active_count() const {
@@ -152,12 +183,20 @@ void PeerSet::note_timeout(const NodeId& id) { penalize(id, 1); }
 
 void PeerSet::note_garbage(const NodeId& id) { penalize(id, 3); }
 
+void PeerSet::note_spam(const NodeId& id) {
+  ++spam_penalties_;
+  if (!tm_spam_ && reg_) tm_spam_ = &reg_->counter("peers.spam_penalties");
+  obs::inc(tm_spam_);
+  penalize(id, 1);
+}
+
 void PeerSet::penalize(const NodeId& id, int amount) {
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return;
   it->second.score -= amount;
   if (it->second.score > policy_.ban_score) return;
   banned_[id] = now() + policy_.ban_seconds;
+  ban_history_.insert(id);
   ++bans_;
   obs::inc(tm_bans_);
   drop(id, DisconnectReason::kUselessPeer, /*notify_remote=*/true);
@@ -217,12 +256,19 @@ bool PeerSet::handle(const NodeId& from, const Message& msg) {
 }
 
 void PeerSet::attach_telemetry(obs::Registry& reg) {
+  reg_ = &reg;
   tm_wrong_fork_ = &reg.counter("peers.wrong_fork_drops");
   tm_bans_ = &reg.counter("peers.bans");
   tm_liveness_ = &reg.counter("peers.liveness_drops");
   tm_wrong_fork_->inc(wrong_fork_drops_);
   tm_bans_->inc(bans_);
   tm_liveness_->inc(liveness_drops_);
+  // spam_penalties stays lazily registered: adversary-free runs must keep
+  // the registry's metric set (and thus its fingerprint) unchanged.
+  if (spam_penalties_ > 0) {
+    tm_spam_ = &reg.counter("peers.spam_penalties");
+    tm_spam_->inc(spam_penalties_);
+  }
 }
 
 }  // namespace forksim::p2p

@@ -28,6 +28,23 @@ enum class PeerState {
   kActive,
 };
 
+/// Deterministic per-peer rate limiter. Refills continuously at `rate`
+/// tokens per sim-second up to `capacity`; a disabled bucket (rate == 0)
+/// admits everything, so un-hardened nodes pay nothing. Refill is computed
+/// from sim time only — no wall clock — so same-seed runs stay bit-identical.
+struct TokenBucket {
+  double rate = 0.0;      // tokens per sim-second; 0 = unlimited
+  double capacity = 0.0;  // burst ceiling
+  double tokens = 0.0;
+  SimTime last = 0.0;
+
+  bool enabled() const noexcept { return rate > 0.0; }
+
+  /// Refill up to `now`, then try to take `cost` tokens. Returns true if
+  /// admitted. Disabled buckets always admit.
+  bool take(SimTime now, double cost = 1.0);
+};
+
 struct PeerSession {
   PeerState state = PeerState::kHandshaking;
   Status remote;  // valid once past handshaking
@@ -51,6 +68,24 @@ struct PeerSession {
 
   void mark_known(const Hash256& h, std::size_t cap = 4096);
   bool knows(const Hash256& h) const { return known.contains(h); }
+
+  /// Ingress rate limits (disabled unless the owning node opts into
+  /// hardening): one bucket for block-bearing traffic, one for transactions.
+  TokenBucket block_bucket;
+  TokenBucket tx_bucket;
+
+  /// Distinct children of each parent this session has announced — the
+  /// equivocation detector. Honest peers relay at most the children that
+  /// became head; a peer pushing many siblings of one parent is splitting
+  /// the network on purpose. Bounded to the most recent `cap` parents.
+  std::unordered_map<Hash256, std::vector<Hash256>, Hash256Hasher>
+      children_seen;
+  std::deque<Hash256> children_order;
+
+  /// Record that this session announced `child` under `parent`; returns how
+  /// many distinct children of `parent` it has now announced.
+  std::size_t note_child(const Hash256& parent, const Hash256& child,
+                         std::size_t cap = 256);
 };
 
 /// Knobs for peer scoring, banning, and liveness probing.
@@ -124,8 +159,17 @@ class PeerSet {
   void note_useful(const NodeId& id);
   void note_timeout(const NodeId& id);
   void note_garbage(const NodeId& id);
+  /// Mild demerit (-1) for traffic rejected by a rate limiter or flood
+  /// heuristic: each event is individually benign but a sustained flood
+  /// accumulates to a ban while one honest burst does not.
+  void note_spam(const NodeId& id);
 
   bool is_banned(const NodeId& id) const;
+  /// Whether `id` was ever score-banned by this set, regardless of whether
+  /// the ban has since lapsed (adversary-test oracle).
+  bool ever_banned(const NodeId& id) const {
+    return ban_history_.contains(id);
+  }
 
   /// Forget all sessions without notifying anyone — a crashed node's
   /// half-open sessions are meaningless after it restarts. Bans survive.
@@ -152,6 +196,8 @@ class PeerSet {
   std::uint64_t bans() const noexcept { return bans_; }
   /// Telemetry: active sessions dropped by the liveness probe.
   std::uint64_t liveness_drops() const noexcept { return liveness_drops_; }
+  /// Telemetry: spam demerits handed out (rate-limit / flood rejections).
+  std::uint64_t spam_penalties() const noexcept { return spam_penalties_; }
 
   /// Register peers.* counters in `reg`. Multiple PeerSets (one per node)
   /// may attach to the same registry; the named counters then aggregate
@@ -173,12 +219,20 @@ class PeerSet {
   std::unordered_map<NodeId, PeerSession, NodeIdHasher> sessions_;
   /// Banned peer -> sim time the ban lifts.
   std::unordered_map<NodeId, SimTime, NodeIdHasher> banned_;
+  /// Every peer this set has ever score-banned (never pruned).
+  std::unordered_set<NodeId, NodeIdHasher> ban_history_;
   std::uint64_t wrong_fork_drops_ = 0;
   std::uint64_t bans_ = 0;
   std::uint64_t liveness_drops_ = 0;
+  std::uint64_t spam_penalties_ = 0;
   obs::Counter* tm_wrong_fork_ = nullptr;
   obs::Counter* tm_bans_ = nullptr;
   obs::Counter* tm_liveness_ = nullptr;
+  /// Created lazily on the first spam event so registries in runs without
+  /// adversaries keep exactly the pre-existing metric set (golden
+  /// fingerprints hash every registered name).
+  obs::Counter* tm_spam_ = nullptr;
+  obs::Registry* reg_ = nullptr;
 };
 
 }  // namespace forksim::p2p

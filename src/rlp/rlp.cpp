@@ -82,7 +82,8 @@ std::optional<DecodeError> parse_header(BytesView input, Header& h) {
   return std::nullopt;
 }
 
-DecodeResult decode_one(BytesView& input) {
+DecodeResult decode_one(BytesView& input, std::size_t depth) {
+  if (depth > kMaxDepth) return {std::nullopt, DecodeError::kTooDeep};
   Header h;
   if (auto err = parse_header(input, h)) return {std::nullopt, err};
 
@@ -109,7 +110,7 @@ DecodeResult decode_one(BytesView& input) {
   std::vector<Item> children;
   BytesView cursor = payload;
   while (!cursor.empty()) {
-    DecodeResult child = decode_one(cursor);
+    DecodeResult child = decode_one(cursor, depth + 1);
     if (!child.ok()) return child;
     children.push_back(std::move(*child.item));
   }
@@ -156,18 +157,19 @@ std::string to_string(DecodeError e) {
     case DecodeError::kTrailingBytes: return "trailing bytes";
     case DecodeError::kNonCanonical: return "non-canonical encoding";
     case DecodeError::kLengthOverflow: return "length overflow";
+    case DecodeError::kTooDeep: return "nesting too deep";
   }
   return "unknown";
 }
 
 DecodeResult decode(BytesView input) {
   BytesView cursor = input;
-  DecodeResult result = decode_one(cursor);
+  DecodeResult result = decode_one(cursor, 0);
   if (!result.ok()) return result;
   if (!cursor.empty()) return {std::nullopt, DecodeError::kTrailingBytes};
   return result;
 }
 
-DecodeResult decode_prefix(BytesView& input) { return decode_one(input); }
+DecodeResult decode_prefix(BytesView& input) { return decode_one(input, 0); }
 
 }  // namespace forksim::rlp

@@ -68,7 +68,14 @@ enum class DecodeError {
   kNonCanonical,     // length encoded non-minimally or single byte < 0x80
                      // wrapped in a string header
   kLengthOverflow,   // declared length exceeds practical limits
+  kTooDeep,          // list nesting beyond kMaxDepth (hostile payloads
+                     // could otherwise overflow the decoder's stack)
 };
+
+/// Maximum list nesting depth accepted by decode(). Honest payloads (blocks,
+/// transactions, wire messages) nest fewer than 8 levels; anything deeper is
+/// a crafted input trying to exhaust the recursive decoder's stack.
+inline constexpr std::size_t kMaxDepth = 64;
 
 std::string to_string(DecodeError e);
 

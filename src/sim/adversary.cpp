@@ -1,0 +1,232 @@
+#include "sim/adversary.hpp"
+
+#include "core/difficulty.hpp"
+#include "crypto/keccak.hpp"
+
+namespace forksim::sim {
+
+using namespace p2p;
+
+std::string_view to_string(AdversaryKind k) {
+  switch (k) {
+    case AdversaryKind::kInvalidForger: return "invalid-forger";
+    case AdversaryKind::kWithholder: return "withholder";
+    case AdversaryKind::kTxSpammer: return "tx-spammer";
+    case AdversaryKind::kEquivocator: return "equivocator";
+  }
+  return "unknown";
+}
+
+Adversary::Adversary(FullNode& host, AdversaryOptions options, Rng rng)
+    : host_(host), options_(options), rng_(rng) {
+  spam_keys_.reserve(options_.spam_accounts);
+  for (std::size_t i = 0; i < options_.spam_accounts; ++i)
+    spam_keys_.push_back(PrivateKey::from_seed(rng_.next()));
+  spam_nonces_.assign(spam_keys_.size(), 0);
+}
+
+void Adversary::attach_telemetry(obs::Registry& reg) {
+  tm_rounds_ = &reg.counter("adversary.rounds");
+  tm_forged_ = &reg.counter("adversary.blocks_forged");
+  tm_phantoms_ = &reg.counter("adversary.phantom_announcements");
+  tm_spam_ = &reg.counter("adversary.txs_spammed");
+  tm_equivocations_ = &reg.counter("adversary.equivocations");
+  tm_rounds_->inc(counters_.rounds);
+  tm_forged_->inc(counters_.blocks_forged);
+  tm_phantoms_->inc(counters_.phantom_announcements);
+  tm_spam_->inc(counters_.txs_spammed);
+  tm_equivocations_->inc(counters_.equivocations);
+}
+
+void Adversary::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void Adversary::stop() {
+  running_ = false;
+  ++generation_;
+}
+
+void Adversary::schedule_next() {
+  const std::uint64_t gen = generation_;
+  host_.network().loop().schedule(options_.interval, [this, gen] {
+    if (gen != generation_ || !running_) return;
+    tick();
+  });
+}
+
+void Adversary::tick() {
+  if (host_.running()) {
+    ++counters_.rounds;
+    obs::inc(tm_rounds_);
+    switch (options_.kind) {
+      case AdversaryKind::kInvalidForger: run_forger(); break;
+      case AdversaryKind::kWithholder: run_withholder(); break;
+      case AdversaryKind::kTxSpammer: run_spammer(); break;
+      case AdversaryKind::kEquivocator: run_equivocator(); break;
+    }
+  }
+  schedule_next();
+}
+
+std::vector<NodeId> Adversary::targets() const {
+  return host_.peers().active_peers();
+}
+
+void Adversary::send_raw(const NodeId& to, const Message& msg) {
+  // straight onto the wire, bypassing the host's honest send paths and
+  // inventory bookkeeping — exactly what a modified client would do
+  host_.network().send(host_.id(), to, encode_message(msg));
+}
+
+core::Block Adversary::forge_block() {
+  const auto& chain = host_.chain();
+  const core::BlockNumber head_height = chain.height();
+  const core::BlockNumber parent_height =
+      head_height > options_.forge_depth ? head_height - options_.forge_depth
+                                         : 0;
+  const core::Block* parent = chain.block_by_number(parent_height);
+  const auto& config = chain.config();
+  ++forge_seq_;
+
+  core::Block block;
+  core::BlockHeader& h = block.header;
+  h.parent_hash = parent->hash();
+  h.number = parent->header.number + 1;
+  // unique timestamp per forgery so every round yields a fresh hash
+  h.timestamp = parent->header.timestamp + 13 + forge_seq_;
+  h.gas_limit = parent->header.gas_limit;
+  h.gas_used = 0;
+  h.difficulty =
+      core::next_difficulty(config, h.number, h.timestamp,
+                            parent->header.difficulty,
+                            parent->header.timestamp);
+  if (config.dao_fork_block && h.number == *config.dao_fork_block &&
+      config.dao_fork_support)
+    h.extra_data = core::dao_fork_extra_data();
+  // Garbage state/receipts commitments: producing the real ones would mean
+  // doing the execution work the forger is trying to push onto victims.
+  Keccak256 sr;
+  sr.update(std::string_view("forksim/forged-state"));
+  const auto be = be_fixed64(forge_seq_);
+  sr.update(BytesView(be.data(), be.size()));
+  h.state_root = sr.digest();
+  h.receipts_root = h.state_root;
+  // correct body commitments (empty body), so nothing cheaper than
+  // execution can expose the kBadStateRoot defect
+  h.transactions_root = block.compute_transactions_root();
+  h.ommers_hash = block.compute_ommers_hash();
+
+  switch (options_.defect) {
+    case ForgeDefect::kBadStateRoot:
+      break;  // the garbage state root above is the defect
+    case ForgeDefect::kBadDifficulty:
+      h.difficulty = h.difficulty + U256(1'000'003);
+      break;
+    case ForgeDefect::kBadStructure:
+      h.extra_data.assign(64, 0xad);
+      break;
+  }
+  return block;
+}
+
+void Adversary::run_forger() {
+  const std::vector<NodeId> t = targets();
+  if (t.empty()) return;
+  const core::Block block = forge_block();
+  ++counters_.blocks_forged;
+  obs::inc(tm_forged_);
+  const U256 td =
+      host_.chain().total_difficulty_of(block.header.parent_hash) +
+      block.header.difficulty;
+  for (const NodeId& peer : t)
+    send_raw(peer, Message{NewBlock{block, td}});
+  forged_.push_back(block);
+  if (forged_.size() > 8) forged_.erase(forged_.begin());
+  // re-push earlier forgeries: a hardened victim absorbs them from its
+  // known-invalid cache; an un-hardened one re-validates every time
+  for (std::size_t i = 0; i < options_.forge_repush; ++i) {
+    const core::Block& old = forged_[repush_cursor_++ % forged_.size()];
+    const U256 old_td =
+        host_.chain().total_difficulty_of(old.header.parent_hash) +
+        old.header.difficulty;
+    for (const NodeId& peer : t)
+      send_raw(peer, Message{NewBlock{old, old_td}});
+  }
+}
+
+void Adversary::run_withholder() {
+  const std::vector<NodeId> t = targets();
+  if (t.empty()) return;
+  NewBlockHashes ann;
+  for (std::size_t i = 0; i < options_.withhold_batch; ++i) {
+    Keccak256 k;
+    k.update(std::string_view("forksim/phantom"));
+    k.update(host_.id().view());
+    const auto be = be_fixed64(++phantom_seq_);
+    k.update(BytesView(be.data(), be.size()));
+    ann.hashes.push_back(k.digest());
+  }
+  counters_.phantom_announcements += ann.hashes.size();
+  obs::inc(tm_phantoms_, ann.hashes.size());
+  for (const NodeId& peer : t) send_raw(peer, Message{ann});
+}
+
+void Adversary::run_spammer() {
+  const std::vector<NodeId> t = targets();
+  if (t.empty()) return;
+  const Address sink = derive_address(spam_keys_[0]);
+  const std::size_t third = options_.spam_batch / 3;
+  Transactions batch;
+  // (a) admitted-but-worthless: floor-priced, from unfunded junk accounts —
+  // these occupy pool slots until honest traffic evicts them
+  std::vector<core::Transaction> fillers;
+  for (std::size_t i = 0; i < third; ++i) {
+    const std::size_t k = spam_seq_++ % spam_keys_.size();
+    fillers.push_back(core::make_transaction(
+        spam_keys_[k], spam_nonces_[k]++, sink, core::Wei(1),
+        /*chain_id=*/std::nullopt, /*gas_price=*/core::Wei(1)));
+  }
+  for (const auto& tx : fillers) batch.transactions.push_back(tx);
+  // (b) duplicates: last round's fillers verbatim (kAlreadyKnown churn)
+  for (const auto& tx : last_fillers_) batch.transactions.push_back(tx);
+  // (c) underpriced: below the pool floor, hard-rejected on sight — this is
+  // what trips the victim's junk-batch detector
+  for (std::size_t i = 0; i < third; ++i) {
+    const std::size_t k = spam_seq_++ % spam_keys_.size();
+    batch.transactions.push_back(core::make_transaction(
+        spam_keys_[k], 0, sink, core::Wei(1),
+        /*chain_id=*/std::nullopt, /*gas_price=*/core::Wei(0)));
+  }
+  last_fillers_ = std::move(fillers);
+  counters_.txs_spammed += batch.transactions.size();
+  obs::inc(tm_spam_, batch.transactions.size());
+  for (const NodeId& peer : t) send_raw(peer, Message{batch});
+}
+
+void Adversary::run_equivocator() {
+  auto& chain = host_.chain();
+  if (chain.height() == 0) return;  // genesis has no siblings
+  const std::vector<NodeId> t = targets();
+  if (t.empty()) return;
+  const core::Block& head = chain.head();
+  // Siblings of the current head: same parent, same difficulty, different
+  // pow nonce. Each is fully valid (the nonce is outside the state
+  // transition), so victims pay a complete execution per clone, but a total-
+  // difficulty tie never takes over a head — equivocation splits views
+  // without requiring any real hashpower.
+  const U256 td = chain.total_difficulty_of(head.hash());
+  for (std::size_t k = 0; k < options_.equivocation_fanout; ++k) {
+    core::Block clone = head;
+    clone.header.nonce = rng_.next();
+    ++counters_.equivocations;
+    obs::inc(tm_equivocations_);
+    // disjoint halves of the peer set get alternating clones
+    for (std::size_t i = 0; i < t.size(); ++i)
+      if (i % 2 == k % 2) send_raw(t[i], Message{NewBlock{clone, td}});
+  }
+}
+
+}  // namespace forksim::sim

@@ -1,0 +1,136 @@
+// Byzantine adversary agents: hostile participants riding the same
+// SimNet/FullNode machinery as honest nodes. Each adversary keeps its
+// host's honest plumbing (discovery, handshakes, the DAO challenge, serving
+// real blocks) so its sessions look legitimate, and injects attack traffic
+// by sending raw wire messages to the host's active peers:
+//
+//   kInvalidForger  — pushes structurally/consensus-invalid blocks built on
+//                     real ancestors at a configurable depth; the defect
+//                     picks which validation stage the victim pays for
+//   kWithholder     — advertises head hashes it never serves, stalling the
+//                     victims' GetBlocks pipeline
+//   kTxSpammer      — floods pools with admitted-but-worthless, duplicate,
+//                     underpriced, and nonce-gapped transactions
+//   kEquivocator    — announces conflicting siblings of the same parent to
+//                     disjoint peer subsets
+//
+// The honest-node defenses these exercise live in sim/node.*
+// (HardeningOptions), p2p/peers.* (scoring, token buckets), and
+// core/txpool.* (eviction); bench/ablate_adversary.cpp measures them.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "sim/node.hpp"
+
+namespace forksim::sim {
+
+enum class AdversaryKind {
+  kInvalidForger,
+  kWithholder,
+  kTxSpammer,
+  kEquivocator,
+};
+
+std::string_view to_string(AdversaryKind k);
+
+/// Which defect a forged block carries — each targets a different stage of
+/// the victim's ingress pipeline.
+enum class ForgeDefect {
+  /// Correct header and transactions root, garbage state root: the victim
+  /// pays a full execution before the commitment check fails. The
+  /// worst-case wasted work a forger can impose.
+  kBadStateRoot,
+  /// Difficulty that doesn't match the retarget rule: caught by the cheap
+  /// header validation, no execution.
+  kBadDifficulty,
+  /// Oversized extra_data: a hardened victim rejects it in the structural
+  /// precheck before any consensus rule runs; an un-hardened one executes
+  /// the body first (the state root is garbage too) — the precheck's value
+  /// in one defect.
+  kBadStructure,
+};
+
+struct AdversaryOptions {
+  AdversaryKind kind = AdversaryKind::kInvalidForger;
+  /// Sim seconds between attack rounds.
+  double interval = 10.0;
+  /// Forger: defect and how many blocks below the host's head the forged
+  /// block's parent sits.
+  ForgeDefect defect = ForgeDefect::kBadStateRoot;
+  core::BlockNumber forge_depth = 0;
+  /// Forger: previously-forged blocks re-pushed per round (a hardened
+  /// victim absorbs these from its known-invalid cache at zero cost).
+  std::size_t forge_repush = 2;
+  /// Spammer: transactions per round and distinct junk sender keys.
+  std::size_t spam_batch = 48;
+  std::size_t spam_accounts = 8;
+  /// Equivocator: conflicting siblings announced per round.
+  std::size_t equivocation_fanout = 6;
+  /// Withholder: phantom hashes announced per round.
+  std::size_t withhold_batch = 4;
+};
+
+struct AdversaryCounters {
+  std::uint64_t rounds = 0;
+  std::uint64_t blocks_forged = 0;
+  std::uint64_t phantom_announcements = 0;
+  std::uint64_t txs_spammed = 0;
+  std::uint64_t equivocations = 0;
+};
+
+class Adversary {
+ public:
+  Adversary(FullNode& host, AdversaryOptions options, Rng rng);
+
+  Adversary(const Adversary&) = delete;
+  Adversary& operator=(const Adversary&) = delete;
+
+  void start();
+  void stop();
+  bool running() const noexcept { return running_; }
+
+  FullNode& host() noexcept { return host_; }
+  const AdversaryOptions& options() const noexcept { return options_; }
+  const AdversaryCounters& counters() const noexcept { return counters_; }
+
+  /// Register adversary.* counters in `reg`. Only attack runs call this, so
+  /// honest registries (and their golden fingerprints) keep exactly the
+  /// pre-existing metric set.
+  void attach_telemetry(obs::Registry& reg);
+
+ private:
+  void tick();
+  void schedule_next();
+  std::vector<p2p::NodeId> targets() const;
+  void send_raw(const p2p::NodeId& to, const p2p::Message& msg);
+
+  void run_forger();
+  void run_withholder();
+  void run_spammer();
+  void run_equivocator();
+
+  core::Block forge_block();
+
+  FullNode& host_;
+  AdversaryOptions options_;
+  Rng rng_;
+  bool running_ = false;
+  std::uint64_t generation_ = 0;  // invalidates pending ticks on stop()
+  AdversaryCounters counters_;
+  /// Recently forged blocks, kept for re-pushes (bounded ring).
+  std::vector<core::Block> forged_;
+  std::size_t repush_cursor_ = 0;
+  std::vector<PrivateKey> spam_keys_;
+  std::vector<std::uint64_t> spam_nonces_;
+  std::vector<core::Transaction> last_fillers_;
+  std::uint64_t spam_seq_ = 0;
+  std::uint64_t forge_seq_ = 0;
+  std::uint64_t phantom_seq_ = 0;
+  obs::Counter* tm_rounds_ = nullptr;
+  obs::Counter* tm_forged_ = nullptr;
+  obs::Counter* tm_phantoms_ = nullptr;
+  obs::Counter* tm_spam_ = nullptr;
+  obs::Counter* tm_equivocations_ = nullptr;
+};
+
+}  // namespace forksim::sim

@@ -9,11 +9,24 @@
 
 namespace forksim::sim {
 
+namespace {
+
+// An attack run hardens every honest node; an adversary-free run must leave
+// the scenario params untouched so its behavior (and fingerprints) match
+// builds without the Byzantine layer.
+ChaosParams apply_adversary_hardening(ChaosParams p) {
+  if (p.adversaries.fraction > 0)
+    p.scenario.node_options.hardening.enabled = true;
+  return p;
+}
+
+}  // namespace
+
 ChaosRunner::ChaosRunner(ChaosParams params)
-    : params_(params),
-      rng_(params.scenario.seed ^ 0xc8a05f4d2b179e63ull),
+    : params_(apply_adversary_hardening(std::move(params))),
+      rng_(params_.scenario.seed ^ 0xc8a05f4d2b179e63ull),
       tracer_([this] { return scenario_->loop().now(); }),
-      scenario_(std::make_unique<ForkScenario>(params.scenario)) {
+      scenario_(std::make_unique<ForkScenario>(params_.scenario)) {
   faults_ = std::make_unique<p2p::FaultInjector>(scenario_->loop(),
                                                  rng_.fork());
   faults_->attach_to(scenario_->network());
@@ -22,9 +35,15 @@ ChaosRunner::ChaosRunner(ChaosParams params)
   faults_->set_reorder_prob(params_.reorder_prob);
   faults_->set_reorder_delay(params_.reorder_delay);
   install_cut();
+  // Host selection draws no rng, so it can run before churn (which must
+  // exempt adversary hosts) without shifting the adversary-free draw
+  // sequence; the draw-consuming install comes after churn.
+  select_adversary_hosts();
   install_churn();
+  install_adversaries();
   scenario_->attach_telemetry(registry_, &tracer_);
   faults_->attach_telemetry(registry_);
+  for (auto& adv : adversaries_) adv->attach_telemetry(registry_);
 }
 
 void ChaosRunner::install_cut() {
@@ -47,9 +66,31 @@ void ChaosRunner::install_cut() {
                                    params_.cut_start, params_.cut_duration);
 }
 
+void ChaosRunner::select_adversary_hosts() {
+  if (params_.adversaries.fraction <= 0) return;
+  const std::size_t n = scenario_->node_count();
+  std::unordered_set<const FullNode*> miner_hosts;
+  for (std::size_t m = 0; m < scenario_->miner_count(); ++m)
+    miner_hosts.insert(&scenario_->miner(m).node());
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == 0 || i == params_.scenario.nodes_eth) continue;
+    if (miner_hosts.contains(&scenario_->node(i))) continue;
+    candidates.push_back(i);
+  }
+  // The highest-indexed eligible nodes turn hostile: deterministic without
+  // consuming any rng draws (so fraction == 0 runs replay unchanged).
+  auto count = static_cast<std::size_t>(std::ceil(
+      params_.adversaries.fraction * static_cast<double>(n)));
+  count = std::min(count, candidates.size());
+  for (std::size_t k = 0; k < count; ++k)
+    adversary_hosts_.insert(candidates[candidates.size() - 1 - k]);
+}
+
 void ChaosRunner::install_churn() {
   const std::size_t n = scenario_->node_count();
-  // exempt the bootstrap anchors (first node on each side) and miner hosts
+  // exempt the bootstrap anchors (first node on each side), miner hosts,
+  // and adversary hosts (an attacker that crashes is no test of defenses)
   std::unordered_set<const FullNode*> hosts;
   for (std::size_t m = 0; m < scenario_->miner_count(); ++m)
     hosts.insert(&scenario_->miner(m).node());
@@ -57,6 +98,7 @@ void ChaosRunner::install_churn() {
   for (std::size_t i = 0; i < n; ++i) {
     if (i == 0 || i == params_.scenario.nodes_eth) continue;
     if (hosts.contains(&scenario_->node(i))) continue;
+    if (adversary_hosts_.contains(i)) continue;
     candidates.push_back(i);
   }
   const auto count = static_cast<std::size_t>(
@@ -87,6 +129,34 @@ void ChaosRunner::install_churn() {
   }
 }
 
+void ChaosRunner::install_adversaries() {
+  if (adversary_hosts_.empty()) return;
+  const auto& mix = params_.adversaries;
+  std::vector<AdversaryKind> kinds;
+  if (mix.forgers) kinds.push_back(AdversaryKind::kInvalidForger);
+  if (mix.withholders) kinds.push_back(AdversaryKind::kWithholder);
+  if (mix.spammers) kinds.push_back(AdversaryKind::kTxSpammer);
+  if (mix.equivocators) kinds.push_back(AdversaryKind::kEquivocator);
+  if (kinds.empty()) kinds.push_back(AdversaryKind::kInvalidForger);
+
+  std::vector<std::size_t> ordered(adversary_hosts_.begin(),
+                                   adversary_hosts_.end());
+  std::sort(ordered.begin(), ordered.end());
+  auto& loop = scenario_->loop();
+  std::size_t k = 0;
+  for (std::size_t idx : ordered) {
+    AdversaryOptions opt;
+    opt.kind = kinds[k++ % kinds.size()];
+    opt.interval = mix.interval;
+    auto adv = std::make_unique<Adversary>(scenario_->node(idx), opt,
+                                           rng_.fork());
+    Adversary* raw = adv.get();
+    // first attack round fires at start + interval
+    loop.schedule(mix.start, [raw] { raw->start(); });
+    adversaries_.push_back(std::move(adv));
+  }
+}
+
 void ChaosRunner::set_node_mining(std::size_t node_index, bool on) {
   const FullNode* node = &scenario_->node(node_index);
   for (std::size_t m = 0; m < scenario_->miner_count(); ++m) {
@@ -105,6 +175,9 @@ bool ChaosRunner::converged() const {
   for (std::size_t i = 0; i < scenario_->node_count(); ++i) {
     const FullNode& node = scenario_->node(i);
     if (!node.running()) continue;
+    // Adversary hosts don't count: a banned attacker legitimately lags
+    // while its victims refuse to serve it.
+    if (adversary_hosts_.contains(i)) continue;
     const Hash256 head = node.chain().head().hash();
     auto& side = scenario_->is_eth_node(i) ? eth_head : etc_head;
     if (side.has_value() && *side != head) return false;
@@ -143,6 +216,20 @@ Hash256 ChaosRunner::fingerprint(const obs::Snapshot& telemetry) const {
   u64(f.dropped_by_cut);
   u64(f.duplicated);
   u64(f.reordered);
+  // Folded only for attack runs, so adversary-free fingerprints stay
+  // byte-identical to those produced before this layer existed.
+  if (!adversaries_.empty()) {
+    u64(adversaries_.size());
+    for (const auto& adv : adversaries_) {
+      const AdversaryCounters& c = adv->counters();
+      u64(static_cast<std::uint64_t>(adv->options().kind));
+      u64(c.rounds);
+      u64(c.blocks_forged);
+      u64(c.phantom_announcements);
+      u64(c.txs_spammed);
+      u64(c.equivocations);
+    }
+  }
   return h.digest();
 }
 
@@ -151,6 +238,11 @@ ChaosReport ChaosRunner::run() {
   while (loop.now() < params_.mining_duration) scenario_->run_for(5.0);
   for (std::size_t m = 0; m < scenario_->miner_count(); ++m)
     scenario_->miner(m).stop();
+  // The attack window is the mining window. Stopping the agents with the
+  // miners keeps the settle phase honest-only: with no fresh blocks, an
+  // equivocated total-difficulty tie could otherwise pin a lagging node on
+  // a clone forever (ties never displace a head).
+  for (auto& adv : adversaries_) adv->stop();
   const double mining_stopped = loop.now();
 
   ChaosReport report;
@@ -180,6 +272,41 @@ ChaosReport ChaosRunner::run() {
   report.restarts = restarts_;
   report.messages_sent = scenario_->network().messages_sent();
   report.faults = faults_->counters();
+
+  report.adversaries = adversaries_.size();
+  for (const auto& adv : adversaries_) {
+    const AdversaryCounters& c = adv->counters();
+    report.blocks_forged += c.blocks_forged;
+    report.phantom_announcements += c.phantom_announcements;
+    report.txs_spammed += c.txs_spammed;
+    report.equivocations += c.equivocations;
+  }
+  if (!adversaries_.empty()) {
+    for (std::size_t i = 0; i < scenario_->node_count(); ++i) {
+      if (adversary_hosts_.contains(i)) continue;
+      FullNode& node = scenario_->node(i);
+      report.wasted_executions += node.wasted_executions();
+      report.invalid_cache_hits += node.invalid_cache_hits();
+      report.rate_limited += node.rate_limited();
+      report.txpool_evictions += node.txpool().evictions();
+      for (std::size_t j = 0; j < scenario_->node_count(); ++j) {
+        if (j == i || adversary_hosts_.contains(j)) continue;
+        if (node.peers().ever_banned(scenario_->node(j).id()))
+          ++report.honest_ban_events;
+      }
+    }
+    for (const auto& adv : adversaries_) {
+      bool banned = false;
+      for (std::size_t i = 0; i < scenario_->node_count(); ++i) {
+        if (adversary_hosts_.contains(i)) continue;
+        if (scenario_->node(i).peers().ever_banned(adv->host().id())) {
+          banned = true;
+          break;
+        }
+      }
+      if (banned) ++report.attackers_banned;
+    }
+  }
   report.telemetry = registry_.snapshot();
   report.fingerprint = fingerprint(report.telemetry);
   return report;

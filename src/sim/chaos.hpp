@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "p2p/faults.hpp"
+#include "sim/adversary.hpp"
 #include "sim/scenario.hpp"
 
 namespace forksim::sim {
@@ -50,6 +51,24 @@ struct ChaosParams {
   /// network must converge.
   double mining_duration = 2400.0;
   double settle_deadline = 1200.0;
+
+  /// Byzantine adversaries mixed into the population. With fraction > 0,
+  /// that share of the nodes (never bootstrap anchors or miner hosts —
+  /// deterministically the highest-indexed eligible nodes, exempt from
+  /// churn) run hostile agents cycling through the enabled kinds, and every
+  /// honest node switches HardeningOptions on. With fraction == 0 nothing
+  /// here consumes rng draws or registers telemetry, so adversary-free runs
+  /// replay bit-identically to builds without this layer.
+  struct AdversaryMix {
+    double fraction = 0.0;
+    /// Sim time the agents start attacking, and their round interval.
+    double start = 60.0;
+    double interval = 12.0;
+    bool forgers = true;
+    bool withholders = true;
+    bool spammers = true;
+    bool equivocators = true;
+  } adversaries;
 };
 
 struct ChaosReport {
@@ -68,6 +87,22 @@ struct ChaosReport {
   std::uint64_t dial_attempts = 0;
   std::uint64_t peers_banned = 0;
   std::uint64_t messages_sent = 0;
+  // Byzantine layer (all zero when AdversaryMix::fraction == 0)
+  std::size_t adversaries = 0;
+  std::uint64_t blocks_forged = 0;
+  std::uint64_t phantom_announcements = 0;
+  std::uint64_t txs_spammed = 0;
+  std::uint64_t equivocations = 0;
+  /// Adversaries score-banned by at least one honest node.
+  std::size_t attackers_banned = 0;
+  /// Honest-node pairs where one ever banned the other (should stay 0:
+  /// defenses must not friendly-fire).
+  std::uint64_t honest_ban_events = 0;
+  // honest defense work, summed over honest nodes
+  std::uint64_t wasted_executions = 0;
+  std::uint64_t invalid_cache_hits = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t txpool_evictions = 0;
   p2p::FaultCounters faults;
   /// Full telemetry snapshot of the run (every layer's registry metrics).
   obs::Snapshot telemetry;
@@ -84,6 +119,13 @@ class ChaosRunner {
   ForkScenario& scenario() noexcept { return *scenario_; }
   p2p::FaultInjector& faults() noexcept { return *faults_; }
   const p2p::ChurnSchedule& churn() const noexcept { return churn_; }
+  const std::vector<std::unique_ptr<Adversary>>& adversaries() const noexcept {
+    return adversaries_;
+  }
+  /// Is node `i` hosting a Byzantine agent?
+  bool is_adversary(std::size_t i) const {
+    return adversary_hosts_.contains(i);
+  }
   /// Live registry for the run (snapshot lands in ChaosReport::telemetry).
   obs::Registry& telemetry() noexcept { return registry_; }
   obs::EventTracer& tracer() noexcept { return tracer_; }
@@ -97,7 +139,9 @@ class ChaosRunner {
 
  private:
   void install_cut();
+  void select_adversary_hosts();
   void install_churn();
+  void install_adversaries();
   void set_node_mining(std::size_t node_index, bool on);
   Hash256 fingerprint(const obs::Snapshot& telemetry) const;
 
@@ -110,6 +154,8 @@ class ChaosRunner {
   std::unique_ptr<ForkScenario> scenario_;
   std::unique_ptr<p2p::FaultInjector> faults_;
   p2p::ChurnSchedule churn_;
+  std::vector<std::unique_ptr<Adversary>> adversaries_;
+  std::unordered_set<std::size_t> adversary_hosts_;
   std::size_t crashes_ = 0;
   std::size_t restarts_ = 0;
 };

@@ -71,7 +71,37 @@ void FullNode::attach_telemetry(obs::Registry& reg, obs::EventTracer* tracer,
   tm_sync_gave_up_->inc(sync_gave_up_);
   tm_dials_->inc(dial_attempts_);
   tm_orphan_evict_->inc(orphan_evictions_);
+  // Defense counters stay lazily registered (created on the first
+  // adversarial event): attaching must not change the metric set — and so
+  // the registry fingerprint — of adversary-free runs.
+  reg_ = &reg;
+  struct Fold {
+    std::uint64_t value;
+    obs::Counter** slot;
+    const char* name;
+  };
+  for (const Fold& f : {
+           Fold{invalid_cache_hits_, &tm_cache_hits_,
+                "node.ingress.invalid_cache_hits"},
+           Fold{precheck_rejections_, &tm_precheck_,
+                "node.ingress.precheck_rejected"},
+           Fold{rate_limited_, &tm_rate_limited_,
+                "node.ingress.rate_limited"},
+           Fold{equivocations_, &tm_equivocations_,
+                "node.ingress.equivocations"},
+           Fold{withheld_, &tm_withheld_, "node.ingress.withheld"},
+           Fold{wasted_executions_, &tm_wasted_, "node.wasted_executions"},
+       }) {
+    if (f.value == 0) continue;
+    *f.slot = &reg.counter(f.name);
+    (*f.slot)->inc(f.value);
+  }
   peers_.attach_telemetry(reg);
+}
+
+void FullNode::bump_defense(obs::Counter*& c, const char* name) {
+  if (c == nullptr && reg_ != nullptr) c = &reg_->counter(name);
+  obs::inc(c);
 }
 
 void FullNode::start(const std::vector<NodeId>& bootstrap) {
@@ -188,10 +218,43 @@ bool FullNode::check_dao_header(
 }
 
 void FullNode::on_peer_active(const NodeId& peer, const Status& status) {
+  init_session_buckets(peer);
   // start syncing if the peer's chain is heavier
   if (status.total_difficulty > chain_.head_total_difficulty())
     request_blocks(peer, status.head_hash,
                    static_cast<std::uint32_t>(options_.sync_batch));
+}
+
+void FullNode::init_session_buckets(const NodeId& peer) {
+  if (!hardened()) return;
+  PeerSession* s = peers_.session(peer);
+  if (s == nullptr) return;
+  const auto& h = options_.hardening;
+  const SimTime t = network_.loop().now();
+  s->block_bucket = TokenBucket{h.blocks_per_sec, h.block_burst,
+                                h.block_burst, t};
+  s->tx_bucket = TokenBucket{h.txs_per_sec, h.tx_burst, h.tx_burst, t};
+}
+
+bool FullNode::precheck_block(const core::Block& block) const {
+  const core::BlockHeader& h = block.header;
+  if (h.extra_data.size() > 32) return false;
+  if (block.ommers.size() > core::Blockchain::kMaxOmmers) return false;
+  if (block.transactions.size() > 1024) return false;
+  if (h.gas_used > h.gas_limit) return false;
+  if (h.difficulty.is_zero()) return false;
+  return true;
+}
+
+void FullNode::note_import_reject(const Hash256& hash,
+                                  core::ImportResult result) {
+  mark_rejected(hash);
+  if (result == core::ImportResult::kInvalidBody) {
+    // the body ran through full transaction execution before a commitment
+    // (state root / receipts / gas) failed — work the forger wasted
+    ++wasted_executions_;
+    bump_defense(tm_wasted_, "node.wasted_executions");
+  }
 }
 
 void FullNode::mark_rejected(const Hash256& hash) {
@@ -206,6 +269,10 @@ void FullNode::mark_rejected(const Hash256& hash) {
 void FullNode::request_blocks(const NodeId& peer, const Hash256& head,
                               std::uint32_t count) {
   if (chain_.contains(head) || rejected_.contains(head)) return;
+  // Backpressure: the in-flight table is bounded so an announcement flood
+  // of never-resolving hashes can't grow it (and its timer population)
+  // without limit. Honest sync needs a handful of entries.
+  if (!pending_fetch_.contains(head) && pending_fetch_.size() >= 4096) return;
   auto [it, inserted] = pending_fetch_.try_emplace(head);
   PendingFetch& req = it->second;
   if (!inserted) {
@@ -214,6 +281,7 @@ void FullNode::request_blocks(const NodeId& peer, const Hash256& head,
     return;
   }
   req.peer = peer;
+  req.origin = peer;
   req.max_blocks = count;
   req.token = ++next_fetch_token_;
   send(peer, Message{GetBlocks{head, req.max_blocks}});
@@ -247,16 +315,43 @@ void FullNode::on_fetch_timeout(const Hash256& head, std::uint64_t token) {
     pending_fetch_.erase(it);
     return;
   }
-  // re-request, preferring a different active peer than the one that
-  // failed us; with nobody else around, retry the same peer if its
-  // session survived, else give up until a new peer activates
-  std::vector<NodeId> candidates = peers_.active_peers();
-  std::erase(candidates, req.peer);
-  if (!candidates.empty()) {
-    req.peer = candidates[rng_.uniform(candidates.size())];
-  } else if (peers_.session(req.peer) == nullptr) {
-    pending_fetch_.erase(it);
-    return;
+  if (hardened()) {
+    // Inventory-aware retry: only ask peers that also advertised the hash.
+    // The un-hardened path sprays retries across random peers, which a
+    // withholder weaponizes — every phantom announcement makes the victim
+    // hand out note_timeout demerits to innocent neighbours. If nobody else
+    // ever advertised it, the announcement was a phantom: charge the
+    // announcer and stop chasing it.
+    std::vector<NodeId> informed;
+    for (const NodeId& p : peers_.active_peers()) {
+      if (p == req.peer) continue;
+      const PeerSession* s = peers_.session(p);
+      if (s != nullptr && s->knows(head)) informed.push_back(p);
+    }
+    if (informed.empty()) {
+      ++withheld_;
+      bump_defense(tm_withheld_, "node.ingress.withheld");
+      if (peers_.session(req.origin) != nullptr)
+        peers_.note_garbage(req.origin);
+      ++sync_gave_up_;
+      obs::inc(tm_sync_gave_up_);
+      if (tracer_ != nullptr) tracer_->instant("sync", "gave_up", lane_);
+      pending_fetch_.erase(it);
+      return;
+    }
+    req.peer = informed[rng_.uniform(informed.size())];
+  } else {
+    // re-request, preferring a different active peer than the one that
+    // failed us; with nobody else around, retry the same peer if its
+    // session survived, else give up until a new peer activates
+    std::vector<NodeId> candidates = peers_.active_peers();
+    std::erase(candidates, req.peer);
+    if (!candidates.empty()) {
+      req.peer = candidates[rng_.uniform(candidates.size())];
+    } else if (peers_.session(req.peer) == nullptr) {
+      pending_fetch_.erase(it);
+      return;
+    }
   }
   ++req.attempt;
   ++sync_retries_;
@@ -284,6 +379,38 @@ void FullNode::handle_eth(const NodeId& from, const Message& msg) {
         if constexpr (std::is_same_v<T, NewBlock>) {
           const Hash256 hash = m.block.hash();
           if (session) session->mark_known(hash);
+          // Staged ingress (hardening only): known-invalid cache, then the
+          // per-peer rate limit, then cheap structural checks, then the
+          // equivocation detector — each stage rejects before the next one
+          // spends anything, and full execution only runs inside import.
+          if (hardened() && session != nullptr) {
+            if (rejected_.contains(hash)) {
+              ++invalid_cache_hits_;
+              bump_defense(tm_cache_hits_, "node.ingress.invalid_cache_hits");
+              peers_.note_garbage(from);  // re-pushing a block we rejected
+              return;
+            }
+            if (!session->block_bucket.take(network_.loop().now())) {
+              ++rate_limited_;
+              bump_defense(tm_rate_limited_, "node.ingress.rate_limited");
+              peers_.note_spam(from);
+              return;
+            }
+            if (!precheck_block(m.block)) {
+              ++precheck_rejections_;
+              bump_defense(tm_precheck_, "node.ingress.precheck_rejected");
+              mark_rejected(hash);
+              peers_.note_garbage(from);
+              return;
+            }
+            if (session->note_child(m.block.header.parent_hash, hash) >=
+                options_.hardening.equivocation_threshold) {
+              ++equivocations_;
+              bump_defense(tm_equivocations_, "node.ingress.equivocations");
+              peers_.note_garbage(from);
+              return;
+            }
+          }
           if (chain_.contains(hash)) {
             ++duplicate_block_pushes_;
             obs::inc(tm_dup_push_);
@@ -291,14 +418,34 @@ void FullNode::handle_eth(const NodeId& from, const Message& msg) {
           resolve_fetch(hash);
           import_and_relay(from, m.block);
         } else if constexpr (std::is_same_v<T, NewBlockHashes>) {
+          if (hardened() && session != nullptr &&
+              !session->block_bucket.take(
+                  network_.loop().now(),
+                  static_cast<double>(m.hashes.size()))) {
+            ++rate_limited_;
+            bump_defense(tm_rate_limited_, "node.ingress.rate_limited");
+            peers_.note_spam(from);
+            return;
+          }
           for (const Hash256& h : m.hashes) {
             if (session) session->mark_known(h);
+            if (hardened() && rejected_.contains(h)) {
+              // never re-fetch a hash our rules already condemned
+              ++invalid_cache_hits_;
+              bump_defense(tm_cache_hits_, "node.ingress.invalid_cache_hits");
+              continue;
+            }
             if (!chain_.contains(h)) request_blocks(from, h, 1);
           }
         } else if constexpr (std::is_same_v<T, GetBlocks>) {
+          // serve at most 256 blocks per request regardless of what was
+          // asked — honest sync batches are 32, so only a resource-
+          // exhaustion request ever sees the clamp
+          const std::uint32_t serve_limit =
+              std::min<std::uint32_t>(m.max_blocks, 256u);
           Blocks reply;
           Hash256 cursor = m.head;
-          while (reply.blocks.size() < m.max_blocks) {
+          while (reply.blocks.size() < serve_limit) {
             const core::Block* b = chain_.block_by_hash(cursor);
             if (b == nullptr) break;
             reply.blocks.push_back(*b);
@@ -322,10 +469,37 @@ void FullNode::handle_eth(const NodeId& from, const Message& msg) {
               solicited = true;
               break;
             }
+          // replies we asked for are exempt from the rate limit — deep sync
+          // legitimately delivers large batches in bursts
+          if (hardened() && session != nullptr && !solicited &&
+              !session->block_bucket.take(
+                  network_.loop().now(),
+                  static_cast<double>(m.blocks.size()))) {
+            ++rate_limited_;
+            bump_defense(tm_rate_limited_, "node.ingress.rate_limited");
+            peers_.note_spam(from);
+            return;
+          }
           for (const core::Block& b : m.blocks) {
             const Hash256 hash = b.hash();
             if (session) session->mark_known(hash);
             resolve_fetch(hash);
+            if (hardened()) {
+              if (rejected_.contains(hash)) {
+                ++invalid_cache_hits_;
+                bump_defense(tm_cache_hits_,
+                             "node.ingress.invalid_cache_hits");
+                garbage = true;
+                continue;  // absorbed: no re-validation, no re-execution
+              }
+              if (!precheck_block(b)) {
+                ++precheck_rejections_;
+                bump_defense(tm_precheck_, "node.ingress.precheck_rejected");
+                mark_rejected(hash);
+                garbage = true;
+                continue;
+              }
+            }
             const auto outcome = chain_.import(b);
             if (outcome.result == core::ImportResult::kImported) {
               ++blocks_imported_;
@@ -343,7 +517,7 @@ void FullNode::handle_eth(const NodeId& from, const Message& msg) {
               mark_rejected(hash);
             } else if (outcome.result != core::ImportResult::kAlreadyKnown) {
               garbage = true;  // structurally invalid block
-              mark_rejected(hash);
+              note_import_reject(hash, outcome.result);
             }
           }
           try_orphans();
@@ -360,7 +534,17 @@ void FullNode::handle_eth(const NodeId& from, const Message& msg) {
                            static_cast<std::uint32_t>(options_.sync_batch));
           }
         } else if constexpr (std::is_same_v<T, Transactions>) {
+          if (hardened() && session != nullptr &&
+              !session->tx_bucket.take(
+                  network_.loop().now(),
+                  static_cast<double>(m.transactions.size()))) {
+            ++rate_limited_;
+            bump_defense(tm_rate_limited_, "node.ingress.rate_limited");
+            peers_.note_spam(from);
+            return;
+          }
           std::vector<core::Transaction> fresh;
+          std::size_t junk = 0;
           for (const core::Transaction& tx : m.transactions) {
             if (session) session->mark_known(tx.hash());
             const auto result =
@@ -370,7 +554,15 @@ void FullNode::handle_eth(const NodeId& from, const Message& msg) {
             if (result == core::PoolAddResult::kAdded ||
                 result == core::PoolAddResult::kReplacedExisting)
               fresh.push_back(tx);
+            // hard rejects only: duplicates and nonce races happen between
+            // honest gossipers, piles of invalid transactions do not
+            if (result == core::PoolAddResult::kInvalidSignature ||
+                result == core::PoolAddResult::kWrongChainId ||
+                result == core::PoolAddResult::kUnderpriced)
+              ++junk;
           }
+          if (hardened() && junk >= options_.hardening.tx_junk_threshold)
+            peers_.note_garbage(from);  // a spam batch, not a gossip race
           if (!fresh.empty()) relay_transactions(fresh, from);
         } else {
           // discovery / session messages never reach here
@@ -387,7 +579,7 @@ void FullNode::import_and_relay(const NodeId& from, const core::Block& block) {
       obs::inc(tm_imported_);
       peers_.note_useful(from);
       pool_.remove_included(block.transactions, chain_.head_state());
-      relay_block(block);
+      relay_block(block, outcome.became_head);
       try_orphans();
       if (outcome.became_head) after_head_change();
       break;
@@ -407,7 +599,7 @@ void FullNode::import_and_relay(const NodeId& from, const core::Block& block) {
     case core::ImportResult::kAlreadyKnown:
       break;
     default:
-      mark_rejected(block.hash());
+      note_import_reject(block.hash(), outcome.result);
       peers_.note_garbage(from);  // structurally invalid push
       break;
   }
@@ -482,9 +674,15 @@ void FullNode::try_orphans() {
         if (outcome.result == core::ImportResult::kImported) {
           ++blocks_imported_;
           obs::inc(tm_imported_);
-          relay_block(block);
+          relay_block(block, outcome.became_head);
           if (outcome.became_head) after_head_change();
           progress = true;
+        } else if (outcome.result != core::ImportResult::kAlreadyKnown &&
+                   outcome.result != core::ImportResult::kUnknownParent) {
+          // an orphan that turned out invalid once its parent arrived (a
+          // forger building on a real ancestor); cache it so re-sends are
+          // absorbed without another execution
+          note_import_reject(block.hash(), outcome.result);
         }
       }
     }
@@ -492,7 +690,12 @@ void FullNode::try_orphans() {
   update_orphan_gauge();
 }
 
-void FullNode::relay_block(const core::Block& block) {
+void FullNode::relay_block(const core::Block& block, bool became_head) {
+  // Hardened nodes only forward blocks that advanced their own head: a
+  // flood of valid same-parent siblings (equivocation) dies at the first
+  // honest hop instead of being amplified, and the sibling detector can
+  // then never fire on an honest relay.
+  if (hardened() && !became_head) return;
   const Hash256 hash = block.hash();
   std::vector<NodeId> targets;
   for (const NodeId& peer : peers_.active_peers()) {
@@ -543,7 +746,7 @@ core::ImportOutcome FullNode::submit_block(const core::Block& block) {
     ++blocks_imported_;
     obs::inc(tm_imported_);
     pool_.remove_included(block.transactions, chain_.head_state());
-    relay_block(block);
+    relay_block(block, outcome.became_head);
     if (outcome.became_head) after_head_change();
   }
   return outcome;

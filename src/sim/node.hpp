@@ -20,6 +20,29 @@
 
 namespace forksim::sim {
 
+/// Byzantine-resistance knobs. Everything here is opt-in: with `enabled`
+/// false (the default) the node behaves — draw for draw — exactly like the
+/// un-hardened implementation, which is what keeps adversary-free golden
+/// fingerprints bit-identical. Adversarial scenarios switch it on.
+struct HardeningOptions {
+  bool enabled = false;
+  /// Per-peer token buckets for block-bearing ingress (NewBlock pushes,
+  /// unsolicited Blocks batches, NewBlockHashes announcements)…
+  double blocks_per_sec = 8.0;
+  double block_burst = 192.0;
+  /// …and for transaction gossip (tokens are charged per transaction).
+  double txs_per_sec = 64.0;
+  double tx_burst = 1024.0;
+  /// A single Transactions message containing at least this many hard
+  /// rejects (bad signature / wrong chain / underpriced) is a spam batch:
+  /// honest gossip races produce duplicates, never piles of invalid txs.
+  std::size_t tx_junk_threshold = 16;
+  /// Distinct children of one parent announced by one session before we
+  /// call it equivocation. Honest relays forward at most the (one or two)
+  /// children that actually took the head.
+  std::size_t equivocation_threshold = 3;
+};
+
 struct NodeOptions {
   std::size_t max_peers = 25;
   /// Keep dialing until this many active sessions.
@@ -52,6 +75,8 @@ struct NodeOptions {
   /// challenge to show the un-partitioned failure mode: sessions persist
   /// and both sides gossip at each other forever).
   bool drop_wrong_fork_peers = true;
+  /// Byzantine-resistance layer (off by default; see HardeningOptions).
+  HardeningOptions hardening;
 };
 
 class FullNode {
@@ -112,6 +137,32 @@ class FullNode {
   std::size_t orphan_count() const noexcept { return orphan_order_.size(); }
   /// Orphans evicted because the buffer hit NodeOptions::max_orphans.
   std::uint64_t orphan_evictions() const noexcept { return orphan_evictions_; }
+  /// Defense telemetry (all zero unless hardening is enabled and peers
+  /// misbehave). Announcements/pushes of hashes already in the
+  /// known-invalid cache — attacks absorbed without re-validation.
+  std::uint64_t invalid_cache_hits() const noexcept {
+    return invalid_cache_hits_;
+  }
+  /// Blocks rejected by the cheap structural precheck, before any header
+  /// rule or execution ran.
+  std::uint64_t precheck_rejections() const noexcept {
+    return precheck_rejections_;
+  }
+  /// Messages dropped by a per-peer token bucket.
+  std::uint64_t rate_limited() const noexcept { return rate_limited_; }
+  /// Same-parent sibling floods detected (equivocation).
+  std::uint64_t equivocations_detected() const noexcept {
+    return equivocations_;
+  }
+  /// Fetches abandoned because nobody but the announcer ever advertised the
+  /// hash — phantom announcements from a withholder.
+  std::uint64_t withheld_announcements() const noexcept { return withheld_; }
+  /// Blocks that were fully executed only to fail a body commitment
+  /// (state/receipts/gas mismatch) — the work an invalid-block forger
+  /// managed to waste.
+  std::uint64_t wasted_executions() const noexcept {
+    return wasted_executions_;
+  }
 
   /// Register node.*/peers.* metrics in `reg` (shared across nodes: named
   /// counters aggregate over the population) and, when `tracer` is given,
@@ -141,7 +192,7 @@ class FullNode {
                        double timeout);
   void on_fetch_timeout(const Hash256& head, std::uint64_t token);
   void resolve_fetch(const Hash256& hash);
-  void relay_block(const core::Block& block);
+  void relay_block(const core::Block& block, bool became_head);
   void relay_transactions(const std::vector<core::Transaction>& txs,
                           const std::optional<p2p::NodeId>& skip);
   void send(const p2p::NodeId& to, const p2p::Message& msg);
@@ -175,6 +226,9 @@ class FullNode {
   /// In-flight GetBlocks requests keyed by the requested head hash.
   struct PendingFetch {
     p2p::NodeId peer;
+    /// Who announced the hash in the first place (hardening blames phantom
+    /// announcements on the announcer, not on whoever we last retried).
+    p2p::NodeId origin;
     std::uint32_t max_blocks = 1;
     std::uint32_t attempt = 0;
     std::uint64_t token = 0;  // invalidates superseded timeout events
@@ -197,7 +251,26 @@ class FullNode {
   std::uint64_t sync_gave_up_ = 0;
   std::uint64_t dial_attempts_ = 0;
   std::uint64_t orphan_evictions_ = 0;
+  std::uint64_t invalid_cache_hits_ = 0;
+  std::uint64_t precheck_rejections_ = 0;
+  std::uint64_t rate_limited_ = 0;
+  std::uint64_t equivocations_ = 0;
+  std::uint64_t withheld_ = 0;
+  std::uint64_t wasted_executions_ = 0;
   bool rechallenged_at_fork_ = false;
+
+  /// Staged ingress pipeline helpers (active only under hardening).
+  bool hardened() const noexcept { return options_.hardening.enabled; }
+  /// Cheap structural plausibility: field sizes and arithmetic only — no
+  /// trie roots, no execution, no extra telemetry in honest runs.
+  bool precheck_block(const core::Block& block) const;
+  void init_session_buckets(const p2p::NodeId& peer);
+  /// Record an import rejection: cache the hash and attribute wasted
+  /// execution work when the block got as far as running transactions.
+  void note_import_reject(const Hash256& hash, core::ImportResult result);
+  /// Bump a lazily-registered defense counter (created on first event so
+  /// adversary-free registries — and their fingerprints — are unchanged).
+  void bump_defense(obs::Counter*& c, const char* name);
 
   void update_orphan_gauge();
   obs::Counter* tm_imported_ = nullptr;
@@ -209,6 +282,14 @@ class FullNode {
   obs::Counter* tm_dials_ = nullptr;
   obs::Counter* tm_orphan_evict_ = nullptr;
   obs::Gauge* tm_orphan_occ_ = nullptr;
+  // lazily registered (see bump_defense)
+  obs::Counter* tm_cache_hits_ = nullptr;
+  obs::Counter* tm_precheck_ = nullptr;
+  obs::Counter* tm_rate_limited_ = nullptr;
+  obs::Counter* tm_equivocations_ = nullptr;
+  obs::Counter* tm_withheld_ = nullptr;
+  obs::Counter* tm_wasted_ = nullptr;
+  obs::Registry* reg_ = nullptr;
   obs::EventTracer* tracer_ = nullptr;
   std::uint32_t lane_ = 0;
 };

@@ -1,0 +1,340 @@
+// Adversarial resilience: Byzantine agents from sim/adversary.* attacking
+// hardened honest nodes, plus property tests for the defenses they exercise
+// (txpool eviction backpressure, per-peer token buckets, equivocation
+// tracking). The convergence tests are the acceptance criterion in miniature:
+// with attackers at 20% of the population, every honest node must end on one
+// head, no honest node may ban another honest node, and every attacker must
+// get itself score-banned by at least one victim.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "evm/executor.hpp"
+#include "obs/metrics.hpp"
+#include "sim/adversary.hpp"
+#include "sim/miner.hpp"
+#include "sim/node.hpp"
+
+namespace forksim::sim {
+namespace {
+
+using core::PoolAddResult;
+using core::Transaction;
+using core::TxPool;
+using p2p::LatencyModel;
+using p2p::TokenBucket;
+
+const PrivateKey kBob = PrivateKey::from_seed(0xb0b);
+
+p2p::NodeId test_id(std::uint64_t n) {
+  Keccak256 h;
+  h.update(std::string_view("adversary-test"));
+  const auto be = be_fixed64(n);
+  h.update(BytesView(be.data(), be.size()));
+  return h.digest();
+}
+
+// ---------------------------------------------------- txpool under spam
+
+class TxPoolSpamTest : public ::testing::Test {
+ protected:
+  TxPoolSpamTest() : pool_(config_, TxPool::Options{/*capacity=*/8}) {
+    for (std::uint64_t i = 0; i < 32; ++i) {
+      keys_.push_back(PrivateKey::from_seed(1000 + i));
+      state_.add_balance(derive_address(keys_.back()), core::ether(10));
+    }
+  }
+
+  Transaction tx_from(std::size_t key, std::uint64_t nonce, core::Wei price) {
+    return core::make_transaction(keys_[key], nonce, derive_address(kBob),
+                                  core::Wei(1), std::nullopt, price);
+  }
+
+  core::ChainConfig config_ = core::ChainConfig::mainnet_pre_fork();
+  core::State state_;
+  TxPool pool_;
+  std::vector<PrivateKey> keys_;
+};
+
+TEST_F(TxPoolSpamTest, FullPoolEvictsStrictlyCheapestForBetterPayer) {
+  // fill to capacity with ascending prices; the gwei(1) tx is the victim
+  std::vector<Hash256> hashes;
+  for (std::size_t i = 0; i < 8; ++i) {
+    Transaction t = tx_from(i, 0, core::gwei(i + 1));
+    hashes.push_back(t.hash());
+    ASSERT_EQ(pool_.add(t, state_, 1), PoolAddResult::kAdded);
+  }
+  ASSERT_EQ(pool_.size(), 8u);
+
+  Transaction rich = tx_from(20, 0, core::gwei(50));
+  EXPECT_EQ(pool_.add(rich, state_, 1), PoolAddResult::kAdded);
+  EXPECT_EQ(pool_.size(), 8u);  // bounded: eviction, not growth
+  EXPECT_EQ(pool_.evictions(), 1u);
+  EXPECT_FALSE(pool_.contains(hashes[0]));  // cheapest gone
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_TRUE(pool_.contains(hashes[i]));
+  EXPECT_TRUE(pool_.contains(rich.hash()));
+}
+
+TEST_F(TxPoolSpamTest, EqualPricedSpamCannotDisplacePendingTxs) {
+  for (std::size_t i = 0; i < 8; ++i)
+    ASSERT_EQ(pool_.add(tx_from(i, 0, core::gwei(10)), state_, 1),
+              PoolAddResult::kAdded);
+  // floor-price flood: same price as the incumbents -> refused, no eviction
+  for (std::size_t i = 8; i < 16; ++i)
+    EXPECT_EQ(pool_.add(tx_from(i, 0, core::gwei(10)), state_, 1),
+              PoolAddResult::kPoolFull);
+  EXPECT_EQ(pool_.size(), 8u);
+  EXPECT_EQ(pool_.evictions(), 0u);
+}
+
+TEST_F(TxPoolSpamTest, EvictionVictimIsInsertionOrderIndependent) {
+  // same transactions admitted in two different orders must evict the same
+  // victim (lowest price, then smallest hash — never map iteration order)
+  std::vector<Transaction> txs;
+  for (std::size_t i = 0; i < 8; ++i)
+    txs.push_back(tx_from(i, 0, core::gwei(i < 3 ? 2 : 5 + i)));
+  Transaction newcomer = tx_from(21, 0, core::gwei(40));
+
+  TxPool forward(config_, TxPool::Options{/*capacity=*/8});
+  for (const auto& t : txs)
+    ASSERT_EQ(forward.add(t, state_, 1), PoolAddResult::kAdded);
+  ASSERT_EQ(forward.add(newcomer, state_, 1), PoolAddResult::kAdded);
+
+  TxPool backward(config_, TxPool::Options{/*capacity=*/8});
+  for (auto it = txs.rbegin(); it != txs.rend(); ++it)
+    ASSERT_EQ(backward.add(*it, state_, 1), PoolAddResult::kAdded);
+  ASSERT_EQ(backward.add(newcomer, state_, 1), PoolAddResult::kAdded);
+
+  for (const auto& t : txs)
+    EXPECT_EQ(forward.contains(t.hash()), backward.contains(t.hash()));
+}
+
+TEST_F(TxPoolSpamTest, DuplicateAndNonceGapSpamRejected) {
+  Transaction t = tx_from(0, 0, core::gwei(10));
+  ASSERT_EQ(pool_.add(t, state_, 1), PoolAddResult::kAdded);
+  // duplicate floods never grow the pool
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(pool_.add(t, state_, 1), PoolAddResult::kAlreadyKnown);
+  EXPECT_EQ(pool_.size(), 1u);
+  // a nonce far beyond the account nonce is refused outright (it could
+  // never execute, it would only squat a slot)
+  EXPECT_EQ(pool_.add(tx_from(0, 1000, core::gwei(99)), state_, 1),
+            PoolAddResult::kPoolFull);
+  // and underpriced spam is refused before any bookkeeping
+  EXPECT_EQ(pool_.add(tx_from(1, 0, core::Wei(0)), state_, 1),
+            PoolAddResult::kUnderpriced);
+  EXPECT_EQ(pool_.size(), 1u);
+}
+
+TEST_F(TxPoolSpamTest, BoundedSizeInvariantUnderRandomFlood) {
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t k = rng.uniform(keys_.size());
+    const auto nonce = static_cast<std::uint64_t>(rng.uniform(4));
+    const core::Wei price = core::gwei(1 + rng.uniform(30));
+    pool_.add(tx_from(k, nonce, price), state_, 1);
+    ASSERT_LE(pool_.size(), 8u);  // the invariant, checked at every step
+  }
+  EXPECT_GT(pool_.evictions(), 0u);
+}
+
+// -------------------------------------------------- defense primitives
+
+TEST(TokenBucketTest, RefillsFromSimTimeAndBoundsBursts) {
+  TokenBucket b;
+  b.rate = 2.0;
+  b.capacity = 4.0;
+  b.tokens = 4.0;
+  // burst up to capacity, then dry
+  EXPECT_TRUE(b.take(0.0, 4.0));
+  EXPECT_FALSE(b.take(0.0, 1.0));
+  // 1 sim-second at 2/s -> 2 tokens
+  EXPECT_TRUE(b.take(1.0, 2.0));
+  EXPECT_FALSE(b.take(1.0, 0.5));
+  // refill saturates at capacity, not beyond
+  EXPECT_TRUE(b.take(100.0, 4.0));
+  EXPECT_FALSE(b.take(100.0, 1.0));
+}
+
+TEST(TokenBucketTest, DisabledBucketAdmitsEverything) {
+  TokenBucket b;  // rate 0 = disabled: the un-hardened configuration
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(b.take(0.0, 1e9));
+}
+
+TEST(PeerSessionTest, NoteChildCountsDistinctSiblingsPerParent) {
+  p2p::PeerSession s;
+  const Hash256 parent = test_id(1);
+  EXPECT_EQ(s.note_child(parent, test_id(10)), 1u);
+  EXPECT_EQ(s.note_child(parent, test_id(10)), 1u);  // repeat: no growth
+  EXPECT_EQ(s.note_child(parent, test_id(11)), 2u);
+  EXPECT_EQ(s.note_child(parent, test_id(12)), 3u);
+  // other parents are tracked independently
+  EXPECT_EQ(s.note_child(test_id(2), test_id(13)), 1u);
+}
+
+// --------------------------------------------- convergence under attack
+
+constexpr std::size_t kHonest = 8;
+constexpr std::size_t kAttackers = 2;  // 20% of the population
+
+class AdversaryConvergenceTest : public ::testing::Test {
+ protected:
+  void run(AdversaryKind kind, std::uint64_t seed) {
+    network_ = std::make_unique<p2p::Network>(
+        loop_, Rng(seed), LatencyModel{0.02, 0.01, 0.3, 0.0});
+    for (std::uint64_t i = 0; i < kHonest + kAttackers; ++i) {
+      NodeOptions options;
+      options.genesis_difficulty = U256(100'000);
+      options.hardening.enabled = true;
+      nodes_.push_back(std::make_unique<FullNode>(
+          *network_, test_id(i), core::ChainConfig::mainnet_pre_fork(),
+          executor_, core::GenesisAlloc{}, Rng(seed * 100 + i), options));
+    }
+    for (auto& n : nodes_) n->start({nodes_[0]->id()});
+    loop_.run_until(40.0);
+
+    for (std::size_t m = 0; m < 2; ++m) {
+      miners_.push_back(std::make_unique<Miner>(
+          *nodes_[m],
+          Address::left_padded(Bytes{static_cast<std::uint8_t>(m + 1)}), 3e4,
+          Rng(seed + 500 + m)));
+      miners_.back()->start();
+    }
+
+    AdversaryOptions opt;
+    opt.kind = kind;
+    opt.interval = 9.0;
+    for (std::size_t a = 0; a < kAttackers; ++a) {
+      advs_.push_back(std::make_unique<Adversary>(*nodes_[kHonest + a], opt,
+                                                  Rng(seed * 7 + a)));
+      advs_.back()->start();
+    }
+
+    loop_.run_until(700.0);
+    // End the attack while mining continues: fresh honest blocks break any
+    // equivocated total-difficulty ties before the settle window.
+    for (auto& adv : advs_) adv->stop();
+    loop_.run_until(770.0);
+    for (auto& m : miners_) m->stop();
+    loop_.run_until(loop_.now() + 150.0);
+  }
+
+  template <typename F>
+  std::uint64_t sum_honest(F f) const {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < kHonest; ++i) total += f(*nodes_[i]);
+    return total;
+  }
+
+  void expect_attack_contained() const {
+    // every honest node on one head, and the chain made real progress
+    for (std::size_t i = 1; i < kHonest; ++i)
+      EXPECT_EQ(nodes_[i]->chain().head().hash(),
+                nodes_[0]->chain().head().hash())
+          << "honest node " << i << " diverged";
+    EXPECT_GT(nodes_[0]->chain().height(), 10u);
+    // defenses never friendly-fire: no honest node banned another
+    for (std::size_t i = 0; i < kHonest; ++i)
+      for (std::size_t j = 0; j < kHonest; ++j)
+        if (i != j)
+          EXPECT_FALSE(nodes_[i]->peers().ever_banned(nodes_[j]->id()))
+              << "honest " << i << " banned honest " << j;
+    // and every attacker got itself banned by at least one victim
+    for (std::size_t a = 0; a < kAttackers; ++a) {
+      bool banned = false;
+      for (std::size_t i = 0; i < kHonest; ++i)
+        banned = banned ||
+                 nodes_[i]->peers().ever_banned(nodes_[kHonest + a]->id());
+      EXPECT_TRUE(banned) << "attacker " << a << " was never banned";
+      EXPECT_GT(advs_[a]->counters().rounds, 0u);
+    }
+  }
+
+  p2p::EventLoop loop_;
+  evm::EvmExecutor executor_;
+  std::unique_ptr<p2p::Network> network_;
+  std::vector<std::unique_ptr<FullNode>> nodes_;
+  std::vector<std::unique_ptr<Miner>> miners_;
+  std::vector<std::unique_ptr<Adversary>> advs_;
+};
+
+TEST_F(AdversaryConvergenceTest, InvalidBlockForgerIsBannedAndCached) {
+  run(AdversaryKind::kInvalidForger, 1201);
+  expect_attack_contained();
+  // forged bodies executed once before the commitment check caught them...
+  EXPECT_GT(
+      sum_honest([](const FullNode& n) { return n.wasted_executions(); }), 0u);
+  // ...and re-pushes were absorbed by the known-invalid cache for free
+  EXPECT_GT(
+      sum_honest([](const FullNode& n) { return n.invalid_cache_hits(); }),
+      0u);
+}
+
+TEST_F(AdversaryConvergenceTest, WithholderBlamedForPhantomAnnouncements) {
+  run(AdversaryKind::kWithholder, 1301);
+  expect_attack_contained();
+  // fetches nobody but the announcer could serve were written off and
+  // charged to the announcer, not to innocent peers
+  EXPECT_GT(
+      sum_honest([](const FullNode& n) { return n.withheld_announcements(); }),
+      0u);
+}
+
+TEST_F(AdversaryConvergenceTest, TxSpammerTripsJunkDetectorPoolStaysBounded) {
+  run(AdversaryKind::kTxSpammer, 1401);
+  expect_attack_contained();
+  // the spam reached the pools (the admitted-filler share)...
+  EXPECT_GT(sum_honest([](const FullNode& n) { return n.txs_received(); }),
+            0u);
+  // ...but no pool outgrew its bound
+  for (std::size_t i = 0; i < kHonest; ++i)
+    EXPECT_LE(nodes_[i]->txpool().size(), std::size_t{16384});
+}
+
+TEST_F(AdversaryConvergenceTest, EquivocatorDetectedBySiblingTracking) {
+  run(AdversaryKind::kEquivocator, 1501);
+  expect_attack_contained();
+  EXPECT_GT(
+      sum_honest([](const FullNode& n) { return n.equivocations_detected(); }),
+      0u);
+}
+
+// With hardening off (the default), the staged-pipeline counters stay zero
+// and every re-push is re-validated from scratch — the attacker is still
+// banned (garbage imports), but only after repeatedly wasted work. The
+// pipeline's value is turning "banned eventually" into "absorbed for free".
+TEST(AdversaryBaselineTest, UnhardenedNodeRevalidatesEveryRepush) {
+  p2p::EventLoop loop;
+  p2p::Network network(loop, Rng(5), LatencyModel{0.01, 0.0, 0.0, 0.0});
+  evm::EvmExecutor executor;
+  NodeOptions options;
+  options.genesis_difficulty = U256(100'000);
+  ASSERT_FALSE(options.hardening.enabled);  // the default stays off
+  FullNode victim(network, test_id(1), core::ChainConfig::mainnet_pre_fork(),
+                  executor, core::GenesisAlloc{}, Rng(1), options);
+  FullNode attacker_host(network, test_id(2),
+                         core::ChainConfig::mainnet_pre_fork(), executor,
+                         core::GenesisAlloc{}, Rng(2), options);
+  victim.start({});
+  attacker_host.start({victim.id()});
+  loop.run_until(30.0);
+
+  AdversaryOptions opt;
+  opt.kind = AdversaryKind::kInvalidForger;
+  opt.interval = 5.0;
+  Adversary adv(attacker_host, opt, Rng(9));
+  adv.start();
+  loop.run_until(120.0);
+  adv.stop();
+
+  EXPECT_GT(adv.counters().blocks_forged, 0u);
+  // un-hardened: no staged-pipeline counters move, every push re-validated
+  EXPECT_EQ(victim.invalid_cache_hits(), 0u);
+  EXPECT_EQ(victim.precheck_rejections(), 0u);
+  EXPECT_EQ(victim.rate_limited(), 0u);
+  // but invalid blocks still cost garbage demerits -> the attacker is banned
+  EXPECT_TRUE(victim.peers().ever_banned(attacker_host.id()));
+}
+
+}  // namespace
+}  // namespace forksim::sim

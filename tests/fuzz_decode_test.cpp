@@ -114,6 +114,152 @@ TEST_P(FuzzSeedTest, MessageRoundTripsThroughWire) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeedTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+// ------------------------------------------- hostile message envelopes
+// A Byzantine peer controls every byte it sends. The decoder must bound
+// what a single frame can make us allocate or traverse: oversized frames,
+// oversized element counts, absurd request widths, and deeply nested RLP
+// are all rejected before any per-element work happens.
+
+TEST(HostileEnvelopeTest, OversizedWireFrameRejectedBeforeParsing) {
+  // 1 byte past the frame cap: refused no matter what the bytes contain
+  const Bytes huge(p2p::kMaxMessageBytes + 1, 0x00);
+  EXPECT_FALSE(p2p::decode_message(huge).has_value());
+}
+
+TEST(HostileEnvelopeTest, HashFloodAnnouncementRejected) {
+  p2p::NewBlockHashes ann;
+  for (std::size_t i = 0; i <= p2p::kMaxHashesPerMessage; ++i) {
+    Hash256 h;
+    h[0] = static_cast<std::uint8_t>(i);
+    ann.hashes.push_back(h);
+  }
+  EXPECT_FALSE(
+      p2p::decode_message(p2p::encode_message(p2p::Message{ann})).has_value());
+  // exactly at the cap still decodes
+  ann.hashes.pop_back();
+  EXPECT_TRUE(
+      p2p::decode_message(p2p::encode_message(p2p::Message{ann})).has_value());
+}
+
+TEST(HostileEnvelopeTest, TransactionFloodRejected) {
+  const core::Transaction tx = sample_tx(3);
+  p2p::Transactions batch;
+  batch.transactions.assign(p2p::kMaxTxsPerMessage + 1, tx);
+  EXPECT_FALSE(p2p::decode_message(p2p::encode_message(p2p::Message{batch}))
+                   .has_value());
+}
+
+TEST(HostileEnvelopeTest, BlockFloodRejected) {
+  p2p::Blocks batch;
+  batch.blocks.assign(p2p::kMaxBlocksPerMessage + 1, sample_block(1));
+  EXPECT_FALSE(p2p::decode_message(p2p::encode_message(p2p::Message{batch}))
+                   .has_value());
+}
+
+TEST(HostileEnvelopeTest, NeighborFloodRejected) {
+  p2p::Neighbors n;
+  n.nodes.assign(p2p::kMaxNeighborsPerMessage + 1, p2p::NodeId{});
+  EXPECT_FALSE(
+      p2p::decode_message(p2p::encode_message(p2p::Message{n})).has_value());
+}
+
+TEST(HostileEnvelopeTest, AbsurdGetBlocksWidthRejected) {
+  p2p::GetBlocks req;
+  req.head = keccak256(Bytes{0x01});
+  req.max_blocks = 1u << 20;  // "send me a million blocks"
+  EXPECT_FALSE(
+      p2p::decode_message(p2p::encode_message(p2p::Message{req})).has_value());
+  req.max_blocks = static_cast<std::uint32_t>(p2p::kMaxGetBlocksRequest);
+  EXPECT_TRUE(
+      p2p::decode_message(p2p::encode_message(p2p::Message{req})).has_value());
+}
+
+/// Length-correct single-element list wrapper (the RLP a hostile encoder
+/// would actually produce for a nesting bomb).
+Bytes wrap_in_list(Bytes payload) {
+  Bytes out;
+  const std::size_t len = payload.size();
+  if (len <= 55) {
+    out.push_back(static_cast<std::uint8_t>(0xc0 + len));
+  } else {
+    Bytes be;
+    for (std::size_t v = len; v > 0; v >>= 8)
+      be.insert(be.begin(), static_cast<std::uint8_t>(v & 0xff));
+    out.push_back(static_cast<std::uint8_t>(0xf7 + be.size()));
+    out.insert(out.end(), be.begin(), be.end());
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+TEST(HostileEnvelopeTest, DeeplyNestedRlpRejectedNotRecursedInto) {
+  // n nested single-element lists — a stack bomb for an unbounded recursive
+  // decoder. With the innermost string at depth n, exactly kMaxDepth is the
+  // last accepted nesting.
+  for (const std::size_t depth :
+       {rlp::kMaxDepth, rlp::kMaxDepth + 1, std::size_t{4000}}) {
+    Bytes bomb{0x80};
+    for (std::size_t i = 0; i < depth; ++i) bomb = wrap_in_list(bomb);
+    const rlp::DecodeResult r = rlp::decode(bomb);
+    if (depth > rlp::kMaxDepth) {
+      ASSERT_TRUE(r.error.has_value()) << depth;
+      EXPECT_EQ(*r.error, rlp::DecodeError::kTooDeep);
+    } else {
+      EXPECT_FALSE(r.error.has_value()) << depth;
+    }
+    // and the message layer shrugs it off too
+    (void)p2p::decode_message(bomb);
+  }
+}
+
+TEST(HostileEnvelopeTest, MutatedEnvelopesOfEveryVariantNeverCrash) {
+  // one valid encoding of every message variant...
+  std::vector<Bytes> wires;
+  wires.push_back(p2p::encode_message(p2p::Message{p2p::Ping{}}));
+  wires.push_back(p2p::encode_message(p2p::Message{p2p::Pong{}}));
+  wires.push_back(
+      p2p::encode_message(p2p::Message{p2p::FindNode{keccak256(Bytes{1})}}));
+  wires.push_back(p2p::encode_message(
+      p2p::Message{p2p::Neighbors{{keccak256(Bytes{2}), keccak256(Bytes{3})}}}));
+  wires.push_back(p2p::encode_message(p2p::Message{p2p::Status{}}));
+  wires.push_back(p2p::encode_message(
+      p2p::Message{p2p::NewBlockHashes{{keccak256(Bytes{4})}}}));
+  wires.push_back(p2p::encode_message(
+      p2p::Message{p2p::Transactions{{sample_tx(1), sample_tx(2)}}}));
+  wires.push_back(p2p::encode_message(
+      p2p::Message{p2p::GetBlocks{keccak256(Bytes{5}), 32}}));
+  wires.push_back(
+      p2p::encode_message(p2p::Message{p2p::Blocks{{sample_block(2)}}}));
+  wires.push_back(p2p::encode_message(
+      p2p::Message{p2p::NewBlock{sample_block(3), U256(99)}}));
+  wires.push_back(p2p::encode_message(p2p::Message{p2p::GetDaoHeader{}}));
+  wires.push_back(p2p::encode_message(
+      p2p::Message{p2p::DaoHeader{sample_block(6).header}}));
+  wires.push_back(p2p::encode_message(p2p::Message{p2p::Disconnect{}}));
+
+  // ...then bit-flip, truncate, and extend each at random: decode either
+  // rejects or yields some message, but never crashes or throws
+  Rng rng(20260807);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes wire = wires[rng.uniform(wires.size())];
+    switch (rng.uniform(3)) {
+      case 0:
+        wire[rng.uniform(wire.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.uniform(8));
+        break;
+      case 1:
+        wire.resize(rng.uniform(wire.size() + 1));
+        break;
+      default:
+        for (std::size_t i = rng.uniform(16) + 1; i > 0; --i)
+          wire.push_back(static_cast<std::uint8_t>(rng.uniform(256)));
+        break;
+    }
+    (void)p2p::decode_message(wire);
+  }
+  SUCCEED();
+}
+
 // ---------------------------------------------------------- keccak property
 
 TEST(KeccakPropertyTest, IncrementalSplitInvariance) {

@@ -184,6 +184,90 @@ TEST(SyncTest, TransientForkResolvesAndLoserBecomesOmmer) {
   EXPECT_GT(ommers, 0u);
 }
 
+// ---------------------------------------------- peer ban boundary behavior
+// A standalone PeerSet driven by a fake clock pins the expiry semantics the
+// adversary layer depends on: a ban is active strictly before
+// t0 + ban_seconds, lifts at exactly t0 + ban_seconds, reap prunes only
+// lapsed bans, and the ban history survives both expiry and re-offense.
+
+struct BanRig {
+  BanRig() {
+    p2p::PeerSet::Callbacks cb;
+    cb.send = [this](const p2p::NodeId&, const p2p::Message&) { ++sent; };
+    cb.make_status = [] { return p2p::Status{}; };
+    cb.now = [this] { return now; };
+    set = std::make_unique<p2p::PeerSet>(1, Hash256{}, 8, std::move(cb),
+                                         p2p::PeerPolicy{});
+  }
+  double now = 0.0;
+  std::size_t sent = 0;
+  std::unique_ptr<p2p::PeerSet> set;
+};
+
+TEST(PeerBanTest, BanLiftsAtExactlyBanSeconds) {
+  BanRig rig;
+  const p2p::NodeId peer = test_id(99);
+  rig.now = 10.0;
+  ASSERT_TRUE(rig.set->connect(peer));
+  rig.set->note_garbage(peer);
+  EXPECT_FALSE(rig.set->is_banned(peer));  // -3: below the ban line
+  rig.set->note_garbage(peer);             // -6 <= ban_score: banned to 190
+  EXPECT_TRUE(rig.set->is_banned(peer));
+  EXPECT_FALSE(rig.set->connected_to(peer));  // the ban drops the session
+  EXPECT_EQ(rig.set->bans(), 1u);
+  EXPECT_TRUE(rig.set->ever_banned(peer));
+
+  rig.now = 189.5;  // strictly inside the window: still banned, undialable
+  EXPECT_TRUE(rig.set->is_banned(peer));
+  EXPECT_FALSE(rig.set->connect(peer));
+
+  rig.now = 190.0;  // exactly t0 + ban_seconds: the ban lifts
+  EXPECT_FALSE(rig.set->is_banned(peer));
+  EXPECT_TRUE(rig.set->connect(peer));
+  EXPECT_TRUE(rig.set->ever_banned(peer));  // history survives expiry
+}
+
+TEST(PeerBanTest, RepeatOffenderIsRebannedAndReapPrunesLapsedBans) {
+  BanRig rig;
+  const p2p::NodeId peer = test_id(98);
+  ASSERT_TRUE(rig.set->connect(peer));
+  rig.set->note_garbage(peer);
+  rig.set->note_garbage(peer);  // ban #1, until 180
+  ASSERT_TRUE(rig.set->is_banned(peer));
+
+  rig.now = 179.0;
+  rig.set->reap_stalled(1000);  // still active: must not be pruned
+  EXPECT_TRUE(rig.set->is_banned(peer));
+  EXPECT_FALSE(rig.set->connect(peer));
+
+  rig.now = 180.0;
+  rig.set->reap_stalled(1000);  // lapsed: pruned, dialable again
+  EXPECT_FALSE(rig.set->is_banned(peer));
+  ASSERT_TRUE(rig.set->connect(peer));
+
+  // the fresh session starts at score 0 (one strike is not a re-ban)...
+  rig.set->note_garbage(peer);
+  EXPECT_FALSE(rig.set->is_banned(peer));
+  // ...but a repeat offense bans again, and history counts both
+  rig.set->note_garbage(peer);
+  EXPECT_TRUE(rig.set->is_banned(peer));
+  EXPECT_EQ(rig.set->bans(), 2u);
+  EXPECT_TRUE(rig.set->ever_banned(peer));
+}
+
+TEST(PeerBanTest, SustainedSpamAccumulatesToBanOneBurstDoesNot) {
+  BanRig rig;
+  const p2p::NodeId peer = test_id(97);
+  ASSERT_TRUE(rig.set->connect(peer));
+  // each spam demerit is mild (-1): a single rate-limited burst never bans
+  for (int i = 0; i < 4; ++i) rig.set->note_spam(peer);
+  EXPECT_FALSE(rig.set->is_banned(peer));
+  // but a sustained flood accumulates to the ban line
+  rig.set->note_spam(peer);
+  EXPECT_TRUE(rig.set->is_banned(peer));
+  EXPECT_EQ(rig.set->spam_penalties(), 5u);
+}
+
 // ------------------------------------------------------- EIP-150 gas rule
 
 TEST(Eip150Test, CallForwardsAtMostAllButOne64th) {
