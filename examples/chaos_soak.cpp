@@ -13,7 +13,14 @@
 // hostile agents — invalid-block forgers, withholders, tx spammers,
 // equivocators — and every honest node switches its ingress hardening on.
 //
+// With --cold-restarts, every node gets a WAL-backed block store on a
+// simulated disk, and churned nodes come back with that probability as a
+// COLD restart: wiped memory, recovered from the log, replayed, re-synced.
+// --disk-faults makes each crash corrupt the disk (torn writes, tail
+// truncation, bit rot at the given rate) before recovery runs.
+//
 //   ./build/examples/chaos_soak [seed] [--byzantine <fraction>]
+//       [--cold-restarts <prob>] [--disk-faults <rate>]
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -48,6 +55,13 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--byzantine") == 0 && i + 1 < argc) {
       cp.adversaries.fraction = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--cold-restarts") == 0 && i + 1 < argc) {
+      cp.cold_restart_prob = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--disk-faults") == 0 && i + 1 < argc) {
+      const double rate = std::strtod(argv[++i], nullptr);
+      cp.storage_faults.torn_write_prob = rate;
+      cp.storage_faults.tail_truncate_prob = rate;
+      cp.storage_faults.bit_rot_prob = rate * 0.6;
     } else {
       cp.scenario.seed = std::strtoull(argv[i], nullptr, 10);
     }
@@ -61,6 +75,13 @@ int main(int argc, char** argv) {
   if (cp.adversaries.fraction > 0.0)
     std::cout << ", " << fmt(cp.adversaries.fraction * 100.0, 0)
               << "% Byzantine peers";
+  if (cp.cold_restart_prob > 0.0) {
+    std::cout << ", " << fmt(cp.cold_restart_prob * 100.0, 0)
+              << "% cold restarts";
+    if (cp.storage_faults.any())
+      std::cout << " on " << fmt(cp.storage_faults.torn_write_prob * 100.0, 0)
+                << "%-faulty disks";
+  }
   std::cout << "\n\n";
 
   ChaosRunner runner(cp);
@@ -116,6 +137,25 @@ int main(int argc, char** argv) {
     at.add_row({"rate-limited messages", std::to_string(r.rate_limited)});
     at.add_row({"txpool evictions", std::to_string(r.txpool_evictions)});
     at.print(std::cout);
+  }
+
+  if (cp.cold_restart_prob > 0.0) {
+    std::cout << "\n-- durability (" << r.cold_restarts
+              << " cold restarts) --\n";
+    Table dt({"metric", "value"});
+    dt.add_row({"store appends", std::to_string(r.store_appends)});
+    dt.add_row({"records scanned / corrupt",
+                std::to_string(r.store_records_scanned) + " / " +
+                    std::to_string(r.store_corrupt_records)});
+    dt.add_row({"blocks replayed / rejected",
+                std::to_string(r.store_blocks_replayed) + " / " +
+                    std::to_string(r.store_replay_rejected)});
+    dt.add_row({"recovery time (s)", fmt(r.recovery_seconds, 2)});
+    dt.add_row({"disk: torn / truncated / bits flipped",
+                std::to_string(r.disk_torn_writes) + " / " +
+                    std::to_string(r.disk_tail_truncations) + " / " +
+                    std::to_string(r.disk_bits_flipped)});
+    dt.print(std::cout);
   }
 
   // Telemetry section: the registry snapshot that went into the

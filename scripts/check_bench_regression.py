@@ -46,6 +46,7 @@ RECORDS = [
     "BENCH_micro_primitives.json",
     "BENCH_fig1_short_term.json",
     "BENCH_ablate_adversary.json",
+    "BENCH_ablate_recovery.json",
 ]
 
 # Absolute slack (ns) added to every timing limit: benchmarks that resolve

@@ -42,6 +42,18 @@ Blockchain::Blockchain(ChainConfig config, Executor& executor,
   head_hash_ = h;
 }
 
+void Blockchain::reset_to_genesis() {
+  // Genesis is never pruned (prune_states_below keeps checkpoint 0), so
+  // its record — including the post-alloc state — can seed the fresh map.
+  const Hash256 genesis_hash = canonical_.at(0);
+  Record genesis = std::move(records_.at(genesis_hash));
+  records_.clear();
+  canonical_.clear();
+  records_.emplace(genesis_hash, std::move(genesis));
+  canonical_[0] = genesis_hash;
+  head_hash_ = genesis_hash;
+}
+
 const Blockchain::Record* Blockchain::record(const Hash256& hash) const {
   auto it = records_.find(hash);
   return it == records_.end() ? nullptr : &it->second;

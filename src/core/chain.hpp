@@ -82,6 +82,13 @@ class Blockchain {
   // ---- mutation -----------------------------------------------------------
   ImportOutcome import(const Block& block);
 
+  /// Forget every block except genesis — the cold-restart primitive: a
+  /// crashed process lost its in-memory chain, and recovery re-imports
+  /// whatever the durable store's checksums vouch for. Config, executor,
+  /// genesis state, and the DAO account list all survive (they are code
+  /// and configuration, not process state).
+  void reset_to_genesis();
+
   /// Assemble, execute and seal a block on top of the current head.
   /// Transactions that fail validation are skipped (as a miner would skip
   /// them); eligible ommers known to this chain are included automatically

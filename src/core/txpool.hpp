@@ -65,6 +65,14 @@ class TxPool {
   void remove_included(const std::vector<Transaction>& included,
                        const State& new_state);
 
+  /// Drop every pending transaction (a cold-restarted process lost its
+  /// mempool). Telemetry counters survive; only the content is gone.
+  void clear() {
+    by_hash_.clear();
+    by_sender_.clear();
+    obs::set(tm_size_, 0.0);
+  }
+
   /// All pending hashes (for gossip inventory).
   std::vector<Hash256> hashes() const;
 

@@ -1,0 +1,100 @@
+#include "db/simdisk.hpp"
+
+#include <algorithm>
+
+namespace forksim::db {
+
+void SimDisk::append(const std::string& file, BytesView data) {
+  File& f = files_[file];
+  f.last_write_off = f.data.size();
+  f.last_write_len = data.size();
+  f.prev.clear();
+  f.data.insert(f.data.end(), data.begin(), data.end());
+  ++counters_.appends;
+  counters_.bytes_written += data.size();
+}
+
+void SimDisk::overwrite(const std::string& file, std::size_t offset,
+                        BytesView data) {
+  File& f = files_[file];
+  if (f.data.size() < offset + data.size())
+    f.data.resize(offset + data.size(), 0);
+  f.last_write_off = offset;
+  f.last_write_len = data.size();
+  f.prev.assign(f.data.begin() + static_cast<std::ptrdiff_t>(offset),
+                f.data.begin() +
+                    static_cast<std::ptrdiff_t>(offset + data.size()));
+  std::copy(data.begin(), data.end(),
+            f.data.begin() + static_cast<std::ptrdiff_t>(offset));
+  ++counters_.overwrites;
+  counters_.bytes_written += data.size();
+}
+
+const Bytes& SimDisk::read(const std::string& file) const {
+  static const Bytes kEmpty;
+  auto it = files_.find(file);
+  return it == files_.end() ? kEmpty : it->second.data;
+}
+
+std::size_t SimDisk::size(const std::string& file) const {
+  auto it = files_.find(file);
+  return it == files_.end() ? 0 : it->second.data.size();
+}
+
+void SimDisk::truncate(const std::string& file, std::size_t new_size) {
+  auto it = files_.find(file);
+  if (it == files_.end() || it->second.data.size() <= new_size) return;
+  File& f = it->second;
+  f.data.resize(new_size);
+  f.last_write_off = std::min(f.last_write_off, new_size);
+  f.last_write_len = 0;
+  f.prev.clear();
+}
+
+void SimDisk::crash() {
+  ++counters_.crashes;
+  if (!faults_.any()) return;  // perfect disk: zero draws, zero damage
+  for (auto& [name, f] : files_) {
+    // Torn write: the last write's suffix never made it — new bytes give
+    // way to whatever the region held before (appends: the file shrinks).
+    if (faults_.torn_write_prob > 0 && f.last_write_len > 0 &&
+        rng_.chance(faults_.torn_write_prob)) {
+      const std::size_t kept = rng_.uniform(f.last_write_len);
+      const std::size_t lost = f.last_write_len - kept;
+      if (f.prev.empty()) {
+        f.data.resize(f.last_write_off + kept);
+      } else {
+        std::copy(f.prev.begin() + static_cast<std::ptrdiff_t>(kept),
+                  f.prev.end(),
+                  f.data.begin() +
+                      static_cast<std::ptrdiff_t>(f.last_write_off + kept));
+      }
+      ++counters_.torn_writes;
+      counters_.truncated_bytes += lost;
+    }
+    // Tail truncation: un-flushed page-cache tail gone.
+    if (faults_.tail_truncate_prob > 0 && !f.data.empty() &&
+        rng_.chance(faults_.tail_truncate_prob)) {
+      const std::size_t bound =
+          std::min(f.data.size(), faults_.max_truncate_bytes);
+      const std::size_t chop = rng_.uniform(bound) + 1;
+      f.data.resize(f.data.size() - chop);
+      ++counters_.tail_truncations;
+      counters_.truncated_bytes += chop;
+    }
+    // Bit rot: flipped bits anywhere in the surviving image.
+    if (faults_.bit_rot_prob > 0 && !f.data.empty() &&
+        rng_.chance(faults_.bit_rot_prob)) {
+      const std::size_t flips = rng_.uniform(faults_.max_bit_flips) + 1;
+      for (std::size_t i = 0; i < flips; ++i) {
+        const std::size_t bit = rng_.uniform(f.data.size() * 8);
+        f.data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      counters_.bits_flipped += flips;
+    }
+    f.last_write_len = 0;
+    f.prev.clear();
+  }
+}
+
+}  // namespace forksim::db

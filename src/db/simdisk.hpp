@@ -1,0 +1,109 @@
+// Deterministic in-simulation disk.
+//
+// Real measurement nodes survived the fork on spinning disks that lose
+// power mid-write: the tail of the page cache never reaches the platter
+// (tail truncation), a sector write stops halfway (torn write), and cold
+// storage slowly rots bits. SimDisk models exactly that failure surface —
+// named byte files with append / in-place overwrite, and a `crash()` that
+// applies the configured StorageFaults to the un-synced tail — while
+// staying bit-reproducible: every fault decision comes from the disk's own
+// seeded Rng (forked from the run's support/rng machinery), so the same
+// seed corrupts the same bytes every run, and a disk with all fault
+// probabilities at zero never draws at all.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace forksim::db {
+
+/// Crash-consistency fault knobs. All zero (the default) = a perfect disk:
+/// crash() is a no-op and consumes no Rng draws, which is what keeps
+/// fault-free runs draw-for-draw identical to runs without this layer.
+struct StorageFaults {
+  /// Probability (per file, per crash) that the last write survives only
+  /// partially — its suffix reverts to whatever the region held before.
+  double torn_write_prob = 0.0;
+  /// Probability a crash chops a random run of bytes off the file's tail
+  /// (page-cache pages that never hit the platter).
+  double tail_truncate_prob = 0.0;
+  /// Probability a crash leaves flipped bits somewhere in the file.
+  double bit_rot_prob = 0.0;
+  /// At most this many bytes may be chopped by one tail truncation.
+  std::size_t max_truncate_bytes = 1024;
+  /// 1..max_bit_flips bits flip when bit rot strikes.
+  std::size_t max_bit_flips = 8;
+
+  bool any() const noexcept {
+    return torn_write_prob > 0 || tail_truncate_prob > 0 || bit_rot_prob > 0;
+  }
+};
+
+/// Observability: what the disk did and what the crashes cost.
+struct DiskCounters {
+  std::uint64_t appends = 0;
+  std::uint64_t overwrites = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t torn_writes = 0;
+  std::uint64_t tail_truncations = 0;
+  std::uint64_t truncated_bytes = 0;
+  std::uint64_t bits_flipped = 0;
+};
+
+class SimDisk {
+ public:
+  explicit SimDisk(Rng rng, StorageFaults faults = StorageFaults())
+      : rng_(rng), faults_(faults) {}
+
+  SimDisk(const SimDisk&) = delete;
+  SimDisk& operator=(const SimDisk&) = delete;
+
+  const StorageFaults& faults() const noexcept { return faults_; }
+  const DiskCounters& counters() const noexcept { return counters_; }
+
+  /// Grow `file` by `data` (creating it if needed).
+  void append(const std::string& file, BytesView data);
+
+  /// In-place write at `offset` (zero-extends the file if the region lies
+  /// beyond the current end) — the primitive behind the block store's
+  /// double-slot head pointer.
+  void overwrite(const std::string& file, std::size_t offset, BytesView data);
+
+  /// Whole-file snapshot; empty for files never written.
+  const Bytes& read(const std::string& file) const;
+  std::size_t size(const std::string& file) const;
+
+  /// Shrink `file` to `new_size` (no-op if already smaller) — recovery uses
+  /// this to repair a log after discarding a corrupt tail.
+  void truncate(const std::string& file, std::size_t new_size);
+
+  /// The process died mid-flight: apply the configured faults to every
+  /// file's un-synced tail. Deterministic (the disk's own Rng adjudicates,
+  /// files in name order) and a guaranteed no-op with zero draws when all
+  /// fault probabilities are zero.
+  void crash();
+
+ private:
+  struct File {
+    Bytes data;
+    /// Region touched by the most recent write — the bytes a torn write
+    /// may lose. `prev` holds what the region contained before (empty for
+    /// appends: the file simply shrinks back).
+    std::size_t last_write_off = 0;
+    std::size_t last_write_len = 0;
+    Bytes prev;
+  };
+
+  // name-ordered so crash() iterates files deterministically
+  std::map<std::string, File> files_;
+  Rng rng_;
+  StorageFaults faults_;
+  DiskCounters counters_;
+};
+
+}  // namespace forksim::db

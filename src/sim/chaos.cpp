@@ -39,11 +39,38 @@ ChaosRunner::ChaosRunner(ChaosParams params)
   // exempt adversary hosts) without shifting the adversary-free draw
   // sequence; the draw-consuming install comes after churn.
   select_adversary_hosts();
+  // Stores fork one disk Rng per node, so this must come before churn for a
+  // stable draw order — and does nothing (zero draws) when the durability
+  // layer is off.
+  install_stores();
   install_churn();
   install_adversaries();
   scenario_->attach_telemetry(registry_, &tracer_);
   faults_->attach_telemetry(registry_);
   for (auto& adv : adversaries_) adv->attach_telemetry(registry_);
+  for (auto& store : stores_) store->attach_telemetry(registry_);
+}
+
+void ChaosRunner::install_stores() {
+  if (params_.cold_restart_prob <= 0) return;
+  const std::size_t n = scenario_->node_count();
+  disks_.reserve(n);
+  stores_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // one disk per node: crash faults on one machine never touch another
+    disks_.push_back(std::make_unique<db::SimDisk>(rng_.fork(),
+                                                   params_.storage_faults));
+    stores_.push_back(std::make_unique<db::BlockStore>(
+        *disks_.back(), "node" + std::to_string(i)));
+    scenario_->node(i).attach_store(stores_.back().get());
+  }
+}
+
+std::vector<p2p::NodeId> ChaosRunner::rejoin_bootstrap_for(
+    std::size_t i) const {
+  const std::size_t anchor =
+      scenario_->is_eth_node(i) ? 0 : params_.scenario.nodes_eth;
+  return {scenario_->node(anchor).id()};
 }
 
 void ChaosRunner::install_cut() {
@@ -108,16 +135,42 @@ void ChaosRunner::install_churn() {
       params_.churn_end, params_.mean_downtime, params_.restart_prob);
 
   auto& loop = scenario_->loop();
-  const std::vector<p2p::NodeId> rejoin_bootstrap = {
-      scenario_->node(0).id(),
-      scenario_->node(params_.scenario.nodes_eth).id()};
-  for (const p2p::ChurnEvent& ev : churn_.events()) {
-    loop.schedule(ev.at, [this, ev, rejoin_bootstrap] {
+  // Cold-vs-warm is decided per restart event here, at install time, so the
+  // runtime callbacks stay draw-free (and prob == 0 draws nothing at all).
+  const auto& events = churn_.events();
+  std::vector<char> cold(events.size(), 0);
+  if (params_.cold_restart_prob > 0)
+    for (std::size_t k = 0; k < events.size(); ++k)
+      if (events[k].up && rng_.chance(params_.cold_restart_prob)) cold[k] = 1;
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    const p2p::ChurnEvent& ev = events[k];
+    const bool is_cold = cold[k] != 0;
+    loop.schedule(ev.at, [this, ev, is_cold] {
       FullNode& node = scenario_->node(ev.node_index);
       if (ev.up) {
         if (node.running()) return;
-        node.start(rejoin_bootstrap);
-        set_node_mining(ev.node_index, true);
+        // rejoin through the node's own side's anchor: a post-fork restart
+        // should pull toward its network, not burn dials on peers that
+        // will DAO-challenge it away
+        const std::vector<p2p::NodeId> rejoin =
+            rejoin_bootstrap_for(ev.node_index);
+        if (is_cold) {
+          // the crash mangled the disk tail; recovery scans and repairs
+          if (ev.node_index < disks_.size())
+            disks_[ev.node_index]->crash();
+          const RecoveryOutcome out = node.cold_restart(rejoin);
+          ++cold_restarts_;
+          store_replay_rejected_ += out.replay_rejected;
+          recovery_seconds_ += out.resume_delay;
+          // mining resumes with the node, after the modeled recovery time
+          const std::size_t idx = ev.node_index;
+          scenario_->loop().schedule(out.resume_delay, [this, idx] {
+            if (scenario_->node(idx).running()) set_node_mining(idx, true);
+          });
+        } else {
+          node.start(rejoin);
+          set_node_mining(ev.node_index, true);
+        }
         ++restarts_;
       } else {
         if (!node.running()) return;
@@ -216,6 +269,26 @@ Hash256 ChaosRunner::fingerprint(const obs::Snapshot& telemetry) const {
   u64(f.dropped_by_cut);
   u64(f.duplicated);
   u64(f.reordered);
+  // Folded only for store-backed runs, so store-less fingerprints stay
+  // byte-identical to those produced before the durability layer existed.
+  if (!stores_.empty()) {
+    u64(stores_.size());
+    for (std::size_t i = 0; i < scenario_->node_count(); ++i) {
+      const FullNode& node = scenario_->node(i);
+      u64(node.cold_restarts());
+      u64(node.recovery_scanned());
+      u64(node.recovery_corrupt());
+      u64(node.recovery_replayed());
+      u64(node.recovery_rejects());
+      u64(stores_[i]->record_count());
+      const db::DiskCounters& d = disks_[i]->counters();
+      u64(d.appends);
+      u64(d.crashes);
+      u64(d.torn_writes);
+      u64(d.tail_truncations);
+      u64(d.bits_flipped);
+    }
+  }
   // Folded only for attack runs, so adversary-free fingerprints stay
   // byte-identical to those produced before this layer existed.
   if (!adversaries_.empty()) {
@@ -272,6 +345,21 @@ ChaosReport ChaosRunner::run() {
   report.restarts = restarts_;
   report.messages_sent = scenario_->network().messages_sent();
   report.faults = faults_->counters();
+
+  report.cold_restarts = cold_restarts_;
+  report.store_replay_rejected = store_replay_rejected_;
+  report.recovery_seconds = recovery_seconds_;
+  for (std::size_t i = 0; i < stores_.size(); ++i) {
+    const FullNode& node = scenario_->node(i);
+    report.store_records_scanned += node.recovery_scanned();
+    report.store_corrupt_records += node.recovery_corrupt();
+    report.store_blocks_replayed += node.recovery_replayed();
+    const db::DiskCounters& d = disks_[i]->counters();
+    report.store_appends += d.appends;
+    report.disk_torn_writes += d.torn_writes;
+    report.disk_tail_truncations += d.tail_truncations;
+    report.disk_bits_flipped += d.bits_flipped;
+  }
 
   report.adversaries = adversaries_.size();
   for (const auto& adv : adversaries_) {

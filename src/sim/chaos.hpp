@@ -15,6 +15,7 @@
 
 #include <memory>
 
+#include "db/blockstore.hpp"
 #include "p2p/faults.hpp"
 #include "sim/adversary.hpp"
 #include "sim/scenario.hpp"
@@ -46,6 +47,21 @@ struct ChaosParams {
   double mean_downtime = 180.0;
   /// Probability a crashed node ever comes back (< 1 models the exodus).
   double restart_prob = 0.8;
+
+  /// Durability layer. With cold_restart_prob > 0, every node gets a
+  /// WAL-backed block store on a per-node SimDisk, and each scheduled
+  /// restart is — with this probability — a COLD restart: the process
+  /// loses its in-memory chain and mempool, the disk's crash faults hit
+  /// the log tail, and the node recovers by checksum-scanning the store,
+  /// replaying the surviving prefix, and re-syncing the lost tail from
+  /// peers. With cold_restart_prob == 0 (the default) no stores exist, no
+  /// extra Rng draws happen, and runs stay bit-identical to builds without
+  /// this layer. Restarts that miss the coin stay warm (the historical
+  /// "chain survives in memory" behavior).
+  double cold_restart_prob = 0.0;
+  /// Crash-time disk faults (torn writes, tail truncation, bit rot)
+  /// applied to a cold-restarting node's store before recovery runs.
+  db::StorageFaults storage_faults;
 
   /// Mining (and chaos) phase length, then a settle window in which the
   /// network must converge.
@@ -81,6 +97,19 @@ struct ChaosReport {
   std::size_t survivors_etc = 0;
   std::size_t crashes = 0;
   std::size_t restarts = 0;
+  // durability layer (all zero when ChaosParams::cold_restart_prob == 0)
+  std::size_t cold_restarts = 0;
+  std::uint64_t store_appends = 0;
+  std::uint64_t store_records_scanned = 0;
+  std::uint64_t store_corrupt_records = 0;
+  std::uint64_t store_blocks_replayed = 0;
+  /// Checksummed records the chain refused on replay — must stay 0: every
+  /// corrupt record is caught by the scan, never imported.
+  std::uint64_t store_replay_rejected = 0;
+  double recovery_seconds = 0.0;  // modeled sim-time spent recovering
+  std::uint64_t disk_torn_writes = 0;
+  std::uint64_t disk_tail_truncations = 0;
+  std::uint64_t disk_bits_flipped = 0;
   // resilience telemetry, summed over surviving nodes
   std::uint64_t sync_timeouts = 0;
   std::uint64_t sync_retries = 0;
@@ -126,6 +155,14 @@ class ChaosRunner {
   bool is_adversary(std::size_t i) const {
     return adversary_hosts_.contains(i);
   }
+  /// Node `i`'s block store (null when the durability layer is off).
+  db::BlockStore* store(std::size_t i) {
+    return i < stores_.size() ? stores_[i].get() : nullptr;
+  }
+  /// Bootstrap list a churned node rejoins through: its own fork side's
+  /// anchor, so a post-fork restart pulls toward the right network instead
+  /// of burning dials on peers that will DAO-challenge it away.
+  std::vector<p2p::NodeId> rejoin_bootstrap_for(std::size_t i) const;
   /// Live registry for the run (snapshot lands in ChaosReport::telemetry).
   obs::Registry& telemetry() noexcept { return registry_; }
   obs::EventTracer& tracer() noexcept { return tracer_; }
@@ -140,6 +177,7 @@ class ChaosRunner {
  private:
   void install_cut();
   void select_adversary_hosts();
+  void install_stores();
   void install_churn();
   void install_adversaries();
   void set_node_mining(std::size_t node_index, bool on);
@@ -156,8 +194,15 @@ class ChaosRunner {
   p2p::ChurnSchedule churn_;
   std::vector<std::unique_ptr<Adversary>> adversaries_;
   std::unordered_set<std::size_t> adversary_hosts_;
+  /// Per-node durable storage, indexed by node (empty when the durability
+  /// layer is off; one SimDisk per node so crash faults stay independent).
+  std::vector<std::unique_ptr<db::SimDisk>> disks_;
+  std::vector<std::unique_ptr<db::BlockStore>> stores_;
   std::size_t crashes_ = 0;
   std::size_t restarts_ = 0;
+  std::size_t cold_restarts_ = 0;
+  std::uint64_t store_replay_rejected_ = 0;
+  double recovery_seconds_ = 0.0;
 };
 
 }  // namespace forksim::sim

@@ -13,6 +13,7 @@
 
 #include "core/chain.hpp"
 #include "core/txpool.hpp"
+#include "db/blockstore.hpp"
 #include "obs/trace.hpp"
 #include "p2p/discovery.hpp"
 #include "p2p/gossip.hpp"
@@ -77,6 +78,22 @@ struct NodeOptions {
   bool drop_wrong_fork_peers = true;
   /// Byzantine-resistance layer (off by default; see HardeningOptions).
   HardeningOptions hardening;
+  /// Modeled cost of a cold restart: sim-seconds per block replayed from
+  /// the attached store (log scan + re-execution latency stand-in). The
+  /// node rejoins the network only after this much recovery time.
+  double recovery_seconds_per_block = 0.002;
+};
+
+/// What one cold restart recovered and what it cost.
+struct RecoveryOutcome {
+  db::RecoveryStats store;            // the store's scan/repair stats
+  std::uint64_t blocks_replayed = 0;  // log records re-imported into the chain
+  /// Checksummed records the chain still refused — must stay 0: a valid
+  /// checksum proves the record is byte-identical to a block this same
+  /// chain once imported.
+  std::uint64_t replay_rejected = 0;
+  /// Modeled sim-seconds before the node rejoins (start() fires then).
+  double resume_delay = 0.0;
 };
 
 class FullNode {
@@ -106,6 +123,37 @@ class FullNode {
   /// mass node exodus at the fork.
   void shutdown();
   bool running() const noexcept { return running_; }
+  /// Monotonic life counter: shutdown() bumps it so timers armed in a
+  /// previous life can never fire into the next one (test hook).
+  std::uint64_t generation() const noexcept { return generation_; }
+
+  /// Attach a durable block store (must outlive the node). Every block the
+  /// chain imports from now on is appended as a checksummed log record;
+  /// cold_restart() recovers from it. Never consumes Rng draws.
+  void attach_store(db::BlockStore* store) { store_ = store; }
+  db::BlockStore* store() const noexcept { return store_; }
+
+  /// Cold restart: the process died. The in-memory chain resets to
+  /// genesis, the mempool empties, and the node recovers by scanning the
+  /// attached store — verify checksums, truncate the log at the first
+  /// invalid record, replay the surviving blocks through the state engine
+  /// — then rejoins the network after the modeled recovery delay (start()
+  /// is scheduled resume_delay sim-seconds out; the lost tail re-syncs
+  /// from peers through the normal timeout/retry machinery). Without a
+  /// store this is a total wipe: the node restarts from genesis.
+  RecoveryOutcome cold_restart(const std::vector<p2p::NodeId>& bootstrap);
+  std::uint64_t cold_restarts() const noexcept { return cold_restarts_; }
+  /// Sum of replay_rejected over this node's cold restarts (must stay 0).
+  std::uint64_t recovery_rejects() const noexcept {
+    return recovery_rejects_;
+  }
+  // recovery totals over this node's cold restarts
+  std::uint64_t recovery_scanned() const noexcept { return recovery_scanned_; }
+  std::uint64_t recovery_corrupt() const noexcept { return recovery_corrupt_; }
+  std::uint64_t recovery_replayed() const noexcept {
+    return recovery_replayed_;
+  }
+  double recovery_seconds() const noexcept { return recovery_seconds_; }
 
   /// Inject a locally-created transaction (adds to the pool and gossips).
   core::PoolAddResult submit_transaction(const core::Transaction& tx);
@@ -197,6 +245,10 @@ class FullNode {
                           const std::optional<p2p::NodeId>& skip);
   void send(const p2p::NodeId& to, const p2p::Message& msg);
 
+  /// chain_.import plus durability: imported blocks are appended to the
+  /// attached store (skipped while a recovery replay is re-reading them).
+  core::ImportOutcome import_block(const core::Block& block);
+
   p2p::Network& network_;
   p2p::NodeId id_;
   core::Blockchain chain_;
@@ -259,6 +311,16 @@ class FullNode {
   std::uint64_t wasted_executions_ = 0;
   bool rechallenged_at_fork_ = false;
 
+  /// Durability layer (null / zero unless a store is attached).
+  db::BlockStore* store_ = nullptr;
+  bool replaying_ = false;  // recovery replay must not re-append its input
+  std::uint64_t cold_restarts_ = 0;
+  std::uint64_t recovery_rejects_ = 0;
+  std::uint64_t recovery_scanned_ = 0;
+  std::uint64_t recovery_corrupt_ = 0;
+  std::uint64_t recovery_replayed_ = 0;
+  double recovery_seconds_ = 0.0;
+
   /// Staged ingress pipeline helpers (active only under hardening).
   bool hardened() const noexcept { return options_.hardening.enabled; }
   /// Cheap structural plausibility: field sizes and arithmetic only — no
@@ -283,6 +345,11 @@ class FullNode {
   obs::Counter* tm_orphan_evict_ = nullptr;
   obs::Gauge* tm_orphan_occ_ = nullptr;
   // lazily registered (see bump_defense)
+  obs::Counter* tm_cold_restarts_ = nullptr;
+  obs::Counter* tm_rec_scanned_ = nullptr;
+  obs::Counter* tm_rec_corrupt_ = nullptr;
+  obs::Counter* tm_rec_replayed_ = nullptr;
+  obs::Gauge* tm_rec_seconds_ = nullptr;
   obs::Counter* tm_cache_hits_ = nullptr;
   obs::Counter* tm_precheck_ = nullptr;
   obs::Counter* tm_rate_limited_ = nullptr;

@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "db/blockstore.hpp"
 #include "evm/assembler.hpp"
 #include "evm/executor.hpp"
 #include "obs/metrics.hpp"
@@ -152,6 +153,78 @@ TEST(SyncTest, NodeChurnRejoin) {
 
   EXPECT_GT(a->chain().height(), height_while_down);
   EXPECT_EQ(b->chain().head().hash(), a->chain().head().hash());
+}
+
+// Rapid crash/restart cycles: every shutdown bumps the generation token,
+// and while the node is down no timer from a previous life may fire — the
+// dial counter must not move while dead, and the final life must still
+// sync cleanly.
+TEST(SyncTest, RapidCrashRestartCyclesLeaveNoStaleTimers) {
+  Net net(LatencyModel{0.02, 0.0, 0.0, 0.0}, 51);
+  auto a = net.make_node(1, 1);
+  auto b = net.make_node(2, 2);
+  a->start({});
+  Miner miner(*a, Address::left_padded(Bytes{0x01}), 5e4, Rng(7));
+  miner.start();
+  net.loop.run_until(100.0);
+
+  std::uint64_t gen = b->generation();
+  for (int i = 0; i < 10; ++i) {
+    b->start({a->id()});
+    // lifetimes from sub-tick to several ticks
+    net.loop.run_until(net.loop.now() + 1.0 + 4.0 * i);
+    b->shutdown();
+    EXPECT_EQ(b->generation(), ++gen);
+
+    // dead air longer than the 5s tick interval: a stale tick (or any
+    // other timer from the just-ended life) would dial or gossip here
+    const std::uint64_t dials = b->dial_attempts();
+    net.loop.run_until(net.loop.now() + 12.0);
+    EXPECT_FALSE(b->running());
+    EXPECT_EQ(b->dial_attempts(), dials) << "stale timer dialed while down";
+  }
+
+  b->start({a->id()});
+  net.loop.run_until(net.loop.now() + 200.0);
+  miner.stop();
+  net.loop.run_until(net.loop.now() + 60.0);
+  EXPECT_EQ(b->chain().head().hash(), a->chain().head().hash());
+}
+
+// A cold restart defers start() by the modeled recovery delay. If the node
+// is warm-restarted and crashed again before that deferred start fires, the
+// generation token must keep the stale start from resurrecting the corpse.
+TEST(SyncTest, StaleDeferredStartNeverResurrectsACrashedNode) {
+  Net net(LatencyModel{0.02, 0.0, 0.0, 0.0}, 52);
+  auto a = net.make_node(1, 1);
+  auto b = net.make_node(2, 2);
+  db::SimDisk disk{Rng(8)};
+  db::BlockStore store(disk, "b");
+  b->attach_store(&store);
+  a->start({});
+  b->start({a->id()});
+
+  Miner miner(*a, Address::left_padded(Bytes{0x01}), 5e4, Rng(9));
+  miner.start();
+  net.loop.run_until(400.0);
+  miner.stop();
+  net.loop.run_until(net.loop.now() + 60.0);
+  ASSERT_GT(b->chain().height(), 0u);
+
+  // cold restart: start() is now scheduled resume_delay out
+  const RecoveryOutcome out = b->cold_restart({a->id()});
+  ASSERT_GT(out.blocks_replayed, 0u);
+  ASSERT_GT(out.resume_delay, 0.0);
+  EXPECT_FALSE(b->running());
+
+  // a warm restart races in ahead of the deferred start, then crashes
+  b->start({a->id()});
+  ASSERT_TRUE(b->running());
+  b->shutdown();
+
+  // past the deferred start's fire time: the stale timer must not act
+  net.loop.run_until(net.loop.now() + out.resume_delay + 30.0);
+  EXPECT_FALSE(b->running());
 }
 
 TEST(SyncTest, TransientForkResolvesAndLoserBecomesOmmer) {
