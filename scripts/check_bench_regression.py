@@ -47,6 +47,7 @@ RECORDS = [
     "BENCH_fig1_short_term.json",
     "BENCH_ablate_adversary.json",
     "BENCH_ablate_recovery.json",
+    "BENCH_matrix.json",
 ]
 
 # Absolute slack (ns) added to every timing limit: benchmarks that resolve

@@ -3,11 +3,126 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <unordered_set>
 
 #include "crypto/keccak.hpp"
 
 namespace forksim::sim {
+
+namespace {
+
+void require_prob(double value, const char* field) {
+  if (!(value >= 0.0 && value <= 1.0))
+    throw std::invalid_argument(std::string("ChaosParams::") + field +
+                                " must be a probability in [0, 1], got " +
+                                std::to_string(value));
+}
+
+void require_non_negative(double value, const char* field) {
+  if (!(value >= 0.0))
+    throw std::invalid_argument(std::string("ChaosParams::") + field +
+                                " must be >= 0, got " +
+                                std::to_string(value));
+}
+
+}  // namespace
+
+void ChaosParams::validate() const {
+  require_prob(extra_loss, "extra_loss");
+  require_prob(duplicate_prob, "duplicate_prob");
+  require_prob(reorder_prob, "reorder_prob");
+  require_non_negative(reorder_delay, "reorder_delay");
+  // negative cut_start is the documented "no cut" flag; the duration and
+  // share must make sense regardless, so enabling the cut later can't
+  // surface a latent nonsense value
+  require_non_negative(cut_duration, "cut_duration");
+  require_prob(partitioned_share, "partitioned_share");
+  require_prob(churn_fraction, "churn_fraction");
+  if (churn_end < churn_start)
+    throw std::invalid_argument(
+        "ChaosParams: churn_end (" + std::to_string(churn_end) +
+        ") precedes churn_start (" + std::to_string(churn_start) + ")");
+  require_non_negative(mean_downtime, "mean_downtime");
+  require_prob(restart_prob, "restart_prob");
+  require_prob(cold_restart_prob, "cold_restart_prob");
+  require_prob(storage_faults.torn_write_prob,
+               "storage_faults.torn_write_prob");
+  require_prob(storage_faults.tail_truncate_prob,
+               "storage_faults.tail_truncate_prob");
+  require_prob(storage_faults.bit_rot_prob, "storage_faults.bit_rot_prob");
+  require_non_negative(mining_duration, "mining_duration");
+  require_non_negative(settle_deadline, "settle_deadline");
+  require_prob(adversaries.fraction, "adversaries.fraction");
+  if (probe.enabled) {
+    if (!(probe.interval > 0.0))
+      throw std::invalid_argument(
+          "ChaosParams::probe.interval must be > 0, got " +
+          std::to_string(probe.interval));
+    require_prob(probe.quorum_fraction, "probe.quorum_fraction");
+    require_non_negative(probe.heal_sustain, "probe.heal_sustain");
+    if (probe.failure_start >= 0 && probe.failure_end >= 0 &&
+        probe.failure_end < probe.failure_start)
+      throw std::invalid_argument(
+          "ChaosParams: probe.failure_end precedes probe.failure_start");
+  }
+}
+
+AvailabilityStats summarize_availability(
+    const std::vector<AvailabilitySample>& samples,
+    const ChaosParams::AvailabilityProbe& probe) {
+  AvailabilityStats stats;
+  stats.samples = samples.size();
+  if (samples.empty()) return stats;
+
+  std::size_t pre_total = 0, pre_ok = 0;
+  std::size_t dur_total = 0, dur_ok = 0;
+  std::size_t post_total = 0, post_ok = 0;
+  for (const AvailabilitySample& s : samples) {
+    const bool ok = s.available();
+    if (!ok) stats.degraded_seconds += probe.interval;
+    if (s.t < probe.failure_start) {
+      ++pre_total;
+      pre_ok += ok;
+    } else if (s.t < probe.failure_end) {
+      ++dur_total;
+      dur_ok += ok;
+    } else {
+      ++post_total;
+      post_ok += ok;
+    }
+  }
+  const auto frac = [](std::size_t ok, std::size_t total) {
+    return total ? static_cast<double>(ok) / static_cast<double>(total)
+                 : -1.0;
+  };
+  stats.pre = frac(pre_ok, pre_total);
+  stats.during_failure = frac(dur_ok, dur_total);
+  stats.post = frac(post_ok, post_total);
+
+  // Time-to-heal: the first post-failure instant from which availability
+  // held for heal_sustain seconds. A streak that runs into the end of
+  // sampling counts — the run ended (typically by converging) while still
+  // healthy, which is the opposite of a relapse.
+  const double last_t = samples.back().t;
+  double streak_start = -1.0;
+  for (const AvailabilitySample& s : samples) {
+    if (s.t < probe.failure_end) continue;
+    if (!s.available()) {
+      streak_start = -1.0;
+      continue;
+    }
+    if (streak_start < 0) streak_start = s.t;
+    if (s.t - streak_start >= probe.heal_sustain) {
+      stats.time_to_heal = std::max(0.0, streak_start - probe.failure_end);
+      return stats;
+    }
+  }
+  if (streak_start >= 0 && last_t - streak_start >= 0)
+    stats.time_to_heal = std::max(0.0, streak_start - probe.failure_end);
+  return stats;
+}
 
 namespace {
 
@@ -20,10 +135,17 @@ ChaosParams apply_adversary_hardening(ChaosParams p) {
   return p;
 }
 
+// Validation runs before any member that could do work is built, so a bad
+// sweep config fails at construction with a named field, not mid-run.
+ChaosParams validated(ChaosParams p) {
+  p.validate();
+  return p;
+}
+
 }  // namespace
 
 ChaosRunner::ChaosRunner(ChaosParams params)
-    : params_(apply_adversary_hardening(std::move(params))),
+    : params_(apply_adversary_hardening(validated(std::move(params)))),
       rng_(params_.scenario.seed ^ 0xc8a05f4d2b179e63ull),
       tracer_([this] { return scenario_->loop().now(); }),
       scenario_(std::make_unique<ForkScenario>(params_.scenario)) {
@@ -45,6 +167,7 @@ ChaosRunner::ChaosRunner(ChaosParams params)
   install_stores();
   install_churn();
   install_adversaries();
+  install_probe();
   scenario_->attach_telemetry(registry_, &tracer_);
   faults_->attach_telemetry(registry_);
   for (auto& adv : adversaries_) adv->attach_telemetry(registry_);
@@ -76,15 +199,24 @@ std::vector<p2p::NodeId> ChaosRunner::rejoin_bootstrap_for(
 void ChaosRunner::install_cut() {
   if (params_.cut_start < 0) return;
   const std::size_t n = scenario_->node_count();
-  // seeded random bisection, independent of the consensus fork sides
+  // Seeded random victim set, independent of the consensus fork sides. The
+  // shuffle is a full Fisher-Yates regardless of the share so every share
+  // consumes the identical rng sequence — partitioned_share == 0.5 picks
+  // the same nodes, draw for draw, as the historical hardcoded bisection.
   std::vector<std::size_t> order(n);
   for (std::size_t i = 0; i < n; ++i) order[i] = i;
   for (std::size_t i = 0; i + 1 < n; ++i) {
     const std::size_t j = i + rng_.uniform(n - i);
     std::swap(order[i], order[j]);
   }
-  std::unordered_set<std::size_t> half(order.begin(),
-                                       order.begin() + n / 2);
+  // floor() the scaled count (+epsilon against 0.3*10 = 2.999... artifacts)
+  // so share 0.5 yields exactly the old n/2 even for odd n
+  const auto count = std::min(
+      n, static_cast<std::size_t>(
+             params_.partitioned_share * static_cast<double>(n) + 1e-9));
+  cut_members_.assign(order.begin(), order.begin() + count);
+  std::sort(cut_members_.begin(), cut_members_.end());
+  std::unordered_set<std::size_t> half(order.begin(), order.begin() + count);
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = i + 1; j < n; ++j)
       if (half.contains(i) != half.contains(j))
@@ -210,6 +342,70 @@ void ChaosRunner::install_adversaries() {
   }
 }
 
+void ChaosRunner::install_probe() {
+  probe_ = params_.probe;
+  if (!probe_.enabled) return;
+  // Derive the phase window when the caller left it implicit: the cut
+  // window when a partition is scheduled, else the churn window. Both
+  // absent leaves a zero-width window at t=0 (everything is "post").
+  if (probe_.failure_start < 0) {
+    if (params_.cut_start >= 0) {
+      probe_.failure_start = params_.cut_start;
+      probe_.failure_end = params_.cut_start + params_.cut_duration;
+    } else if (params_.churn_fraction > 0) {
+      probe_.failure_start = params_.churn_start;
+      probe_.failure_end = params_.churn_end;
+    } else {
+      probe_.failure_start = 0.0;
+      probe_.failure_end = 0.0;
+    }
+  }
+  if (probe_.failure_end < probe_.failure_start)
+    probe_.failure_end = probe_.failure_start;
+  scenario_->loop().schedule(probe_.interval, [this] { probe_tick(); });
+}
+
+// The probe only reads node state — no messages, no rng draws — so a
+// probe-less same-seed run is unchanged draw for draw, and a probed run
+// is itself deterministic.
+void ChaosRunner::probe_tick() {
+  auto& loop = scenario_->loop();
+  AvailabilitySample s;
+  s.t = loop.now();
+  s.eth_ok = side_meets_quorum(/*eth_side=*/true);
+  s.etc_ok = side_meets_quorum(/*eth_side=*/false);
+  availability_samples_.push_back(s);
+  if (loop.now() + probe_.interval <=
+      params_.mining_duration + params_.settle_deadline)
+    loop.schedule(probe_.interval, [this] { probe_tick(); });
+}
+
+bool ChaosRunner::side_meets_quorum(bool eth_side) const {
+  // Availability is a statement about the honest population: adversary
+  // hosts neither count toward the quorum nor define the side's head.
+  std::size_t honest = 0;
+  core::BlockNumber best = 0;
+  for (std::size_t i = 0; i < scenario_->node_count(); ++i) {
+    if (scenario_->is_eth_node(i) != eth_side) continue;
+    if (adversary_hosts_.contains(i)) continue;
+    ++honest;
+    const FullNode& node = scenario_->node(i);
+    if (node.running()) best = std::max(best, node.chain().height());
+  }
+  if (honest == 0) return false;
+  std::size_t live_and_synced = 0;
+  for (std::size_t i = 0; i < scenario_->node_count(); ++i) {
+    if (scenario_->is_eth_node(i) != eth_side) continue;
+    if (adversary_hosts_.contains(i)) continue;
+    const FullNode& node = scenario_->node(i);
+    if (node.running() && node.chain().height() + probe_.max_head_lag >= best)
+      ++live_and_synced;
+  }
+  // epsilon guards exact-threshold quorums (0.6 * 5 = 3.0000000000000004)
+  return static_cast<double>(live_and_synced) + 1e-9 >=
+         probe_.quorum_fraction * static_cast<double>(honest);
+}
+
 void ChaosRunner::set_node_mining(std::size_t node_index, bool on) {
   const FullNode* node = &scenario_->node(node_index);
   for (std::size_t m = 0; m < scenario_->miner_count(); ++m) {
@@ -288,6 +484,21 @@ Hash256 ChaosRunner::fingerprint(const obs::Snapshot& telemetry) const {
       u64(d.tail_truncations);
       u64(d.bits_flipped);
     }
+  }
+  // Folded only for probed runs, so probe-less fingerprints stay
+  // byte-identical to those produced before the availability layer existed.
+  if (probe_.enabled) {
+    const auto fx = [](double v) {
+      return static_cast<std::uint64_t>(std::llround(v * 1e6));
+    };
+    u64(availability_samples_.size());
+    for (const AvailabilitySample& s : availability_samples_) {
+      u64(fx(s.t));
+      u64(s.eth_ok ? 1 : 0);
+      u64(s.etc_ok ? 1 : 0);
+    }
+    u64(fx(probe_.failure_start));
+    u64(fx(probe_.failure_end));
   }
   // Folded only for attack runs, so adversary-free fingerprints stay
   // byte-identical to those produced before this layer existed.
@@ -395,6 +606,7 @@ ChaosReport ChaosRunner::run() {
       if (banned) ++report.attackers_banned;
     }
   }
+  report.availability = summarize_availability(availability_samples_, probe_);
   report.telemetry = registry_.snapshot();
   report.fingerprint = fingerprint(report.telemetry);
   return report;

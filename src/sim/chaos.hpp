@@ -31,11 +31,14 @@ struct ChaosParams {
   double reorder_prob = 0.05;
   double reorder_delay = 0.5;
 
-  /// Network-layer bisection: a seeded random half of the nodes is cut
-  /// off from the other half for [cut_start, cut_start + cut_duration).
-  /// Negative cut_start disables the cut.
+  /// Network-layer partition: a seeded random `partitioned_share` fraction
+  /// of the nodes is cut off from the rest for [cut_start, cut_start +
+  /// cut_duration). Negative cut_start disables the cut. The default share
+  /// of 0.5 reproduces the historical bisection draw for draw (the shuffle
+  /// consumes the same rng sequence regardless of the share).
   double cut_start = -1.0;
   double cut_duration = 60.0;
+  double partitioned_share = 0.5;
 
   /// Fraction of ALL nodes crashed at sampled times in [churn_start,
   /// churn_end]. Bootstrap anchors (the first node on each side) and
@@ -85,7 +88,68 @@ struct ChaosParams {
     bool spammers = true;
     bool equivocators = true;
   } adversaries;
+
+  /// Availability probe: a sim-time sampler that, every `interval`
+  /// seconds, scores each fork side against a quorum threshold — the side
+  /// is "available" when at least `quorum_fraction` of its honest nodes
+  /// are live AND within `max_head_lag` blocks of the side's best height —
+  /// and buckets samples into pre-failure / during-failure / post-heal
+  /// phases around [failure_start, failure_end). Disabled by default: no
+  /// samples are taken, no extra fields fold into the fingerprint, and
+  /// runs replay bit-identically to builds without the probe.
+  struct AvailabilityProbe {
+    bool enabled = false;
+    double interval = 5.0;
+    double quorum_fraction = 0.6;
+    core::BlockNumber max_head_lag = 2;
+    /// Seconds the network must stay above quorum after failure_end
+    /// before the first such instant counts as "healed" (a single lucky
+    /// sample is not a recovery).
+    double heal_sustain = 30.0;
+    /// Phase boundaries. Negative values derive them from the composed
+    /// failure windows: the cut window when a cut is scheduled, else the
+    /// churn window.
+    double failure_start = -1.0;
+    double failure_end = -1.0;
+  } probe;
+
+  /// Throws std::invalid_argument naming the offending field when a knob
+  /// is out of range (probabilities outside [0,1], negative durations,
+  /// an inverted churn window). ChaosRunner calls this on construction so
+  /// a typo'd sweep fails loudly instead of silently running nonsense.
+  void validate() const;
 };
+
+/// One availability probe sample (taken every AvailabilityProbe::interval).
+struct AvailabilitySample {
+  double t = 0.0;
+  bool eth_ok = false;
+  bool etc_ok = false;
+  /// Both sides met quorum at this instant.
+  bool available() const noexcept { return eth_ok && etc_ok; }
+};
+
+/// Availability accounting over one failure episode.
+struct AvailabilityStats {
+  /// Fraction of samples available per phase; -1 = phase had no samples.
+  double pre = -1.0;
+  double during_failure = -1.0;
+  double post = -1.0;
+  /// Total sim-time below quorum (samples * interval), whole run.
+  double degraded_seconds = 0.0;
+  /// Seconds from failure_end to the first instant after it where
+  /// availability held for heal_sustain seconds (or through the end of
+  /// sampling); -1 = never healed, 0 = quorum never lost after the
+  /// failure window closed.
+  double time_to_heal = -1.0;
+  std::size_t samples = 0;
+};
+
+/// Pure fold of a sample timeline into per-phase stats; separated from the
+/// runner so hand-built timelines can pin exact values in tests.
+AvailabilityStats summarize_availability(
+    const std::vector<AvailabilitySample>& samples,
+    const ChaosParams::AvailabilityProbe& probe);
 
 struct ChaosReport {
   bool converged = false;
@@ -133,6 +197,8 @@ struct ChaosReport {
   std::uint64_t rate_limited = 0;
   std::uint64_t txpool_evictions = 0;
   p2p::FaultCounters faults;
+  /// Availability probe results (all -1 / 0 when the probe is disabled).
+  AvailabilityStats availability;
   /// Full telemetry snapshot of the run (every layer's registry metrics).
   obs::Snapshot telemetry;
   /// Digest of the end state (per-node heads, heights, counters, and the
@@ -166,6 +232,21 @@ class ChaosRunner {
   /// Live registry for the run (snapshot lands in ChaosReport::telemetry).
   obs::Registry& telemetry() noexcept { return registry_; }
   obs::EventTracer& tracer() noexcept { return tracer_; }
+  /// Node indices severed from the rest by the scheduled partition cut
+  /// (empty when the cut is disabled); test hook for partitioned_share.
+  const std::vector<std::size_t>& cut_members() const noexcept {
+    return cut_members_;
+  }
+  /// Availability samples taken so far (empty unless probe.enabled).
+  const std::vector<AvailabilitySample>& availability_samples()
+      const noexcept {
+    return availability_samples_;
+  }
+  /// The phase window the probe actually used ([failure_start,
+  /// failure_end), explicit or derived from the cut/churn windows).
+  const ChaosParams::AvailabilityProbe& effective_probe() const noexcept {
+    return probe_;
+  }
 
   /// Every running node on each side shares one head and both sides have
   /// crossed the fork block (so the heads are provably per-side).
@@ -180,6 +261,9 @@ class ChaosRunner {
   void install_stores();
   void install_churn();
   void install_adversaries();
+  void install_probe();
+  void probe_tick();
+  bool side_meets_quorum(bool eth_side) const;
   void set_node_mining(std::size_t node_index, bool on);
   Hash256 fingerprint(const obs::Snapshot& telemetry) const;
 
@@ -198,6 +282,10 @@ class ChaosRunner {
   /// layer is off; one SimDisk per node so crash faults stay independent).
   std::vector<std::unique_ptr<db::SimDisk>> disks_;
   std::vector<std::unique_ptr<db::BlockStore>> stores_;
+  std::vector<std::size_t> cut_members_;
+  /// Resolved probe config (phase window derived when not explicit).
+  ChaosParams::AvailabilityProbe probe_;
+  std::vector<AvailabilitySample> availability_samples_;
   std::size_t crashes_ = 0;
   std::size_t restarts_ = 0;
   std::size_t cold_restarts_ = 0;

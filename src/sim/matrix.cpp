@@ -1,0 +1,146 @@
+#include "sim/matrix.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "crypto/keccak.hpp"
+
+namespace forksim::sim {
+
+namespace {
+
+void require_axis(const std::vector<double>& axis, const char* name,
+                  bool is_share) {
+  if (axis.empty())
+    throw std::invalid_argument(std::string("MatrixAxes::") + name +
+                                " is empty: nothing to sweep");
+  for (double v : axis) {
+    if (is_share ? !(v >= 0.0 && v <= 1.0) : !(v >= 0.0))
+      throw std::invalid_argument(
+          std::string("MatrixAxes::") + name + " value " + std::to_string(v) +
+          (is_share ? " outside [0, 1]" : " is negative"));
+  }
+}
+
+}  // namespace
+
+void MatrixParams::validate() const {
+  require_axis(axes.byzantine_share, "byzantine_share", /*is_share=*/true);
+  require_axis(axes.offline_share, "offline_share", /*is_share=*/true);
+  require_axis(axes.partitioned_share, "partitioned_share",
+               /*is_share=*/true);
+  require_axis(axes.partition_duration, "partition_duration",
+               /*is_share=*/false);
+  if (!(failure_start >= 0.0))
+    throw std::invalid_argument("MatrixParams::failure_start must be >= 0");
+  // every composed cell must be a valid ChaosParams; checking the extreme
+  // corner of each axis up front covers the whole grid (composition is
+  // monotone in the axis values)
+  MatrixCellSpec corner;
+  for (double b : axes.byzantine_share)
+    corner.byzantine_share = std::max(corner.byzantine_share, b);
+  for (double o : axes.offline_share)
+    corner.offline_share = std::max(corner.offline_share, o);
+  for (double p : axes.partitioned_share)
+    corner.partitioned_share = std::max(corner.partitioned_share, p);
+  for (double d : axes.partition_duration)
+    corner.partition_duration = std::max(corner.partition_duration, d);
+  compose_cell(*this, corner).validate();
+}
+
+ChaosParams compose_cell(const MatrixParams& mp, const MatrixCellSpec& spec) {
+  ChaosParams p = mp.base;
+  const double failure_end = mp.failure_start + spec.partition_duration;
+
+  // Byzantine axis: that share of the population turns hostile, attacking
+  // from the moment the episode opens (hardening switches on inside
+  // ChaosRunner whenever the fraction is positive).
+  p.adversaries.fraction = spec.byzantine_share;
+  if (spec.byzantine_share > 0) p.adversaries.start = mp.failure_start;
+
+  // Offline axis: seeded crashes inside the episode window. Whether a
+  // restart is warm or cold (and how faulty the disk is) carries through
+  // from the base durability knobs.
+  p.churn_fraction = spec.offline_share;
+  p.churn_start = mp.failure_start;
+  p.churn_end = failure_end;
+
+  // Partition axis: cut that share of the nodes off for the duration;
+  // share zero disables the cut entirely (no draws, no scheduled heals).
+  p.partitioned_share = spec.partitioned_share;
+  if (spec.partitioned_share > 0) {
+    p.cut_start = mp.failure_start;
+    p.cut_duration = spec.partition_duration;
+  } else {
+    p.cut_start = -1.0;
+  }
+
+  // Every cell is scored by the availability probe over the same phase
+  // window, so pre/during/post read across the grid.
+  p.probe.enabled = true;
+  p.probe.failure_start = mp.failure_start;
+  p.probe.failure_end = failure_end;
+  return p;
+}
+
+MatrixRunner::MatrixRunner(MatrixParams params) : params_(std::move(params)) {
+  params_.validate();
+  specs_.reserve(params_.axes.cell_count());
+  for (double b : params_.axes.byzantine_share)
+    for (double o : params_.axes.offline_share)
+      for (double p : params_.axes.partitioned_share)
+        for (double d : params_.axes.partition_duration)
+          specs_.push_back({b, o, p, d});
+}
+
+std::size_t MatrixReport::converged_cells() const {
+  std::size_t n = 0;
+  for (const MatrixCell& c : cells) n += c.report.converged;
+  return n;
+}
+
+MatrixReport MatrixRunner::run(std::ostream* progress) {
+  MatrixReport report;
+  report.cells.reserve(specs_.size());
+
+  Keccak256 h;
+  h.update(std::string_view("forksim/matrix-fingerprint"));
+  const auto fold = [&h](std::uint64_t v) {
+    const auto be = be_fixed64(v);
+    h.update(BytesView(be.data(), be.size()));
+  };
+  const auto fx = [](double v) {
+    return static_cast<std::uint64_t>(std::llround(v * 1e6));
+  };
+
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const MatrixCellSpec& spec = specs_[i];
+    ChaosRunner runner(compose_cell(params_, spec));
+    MatrixCell cell{spec, runner.run()};
+
+    fold(fx(spec.byzantine_share));
+    fold(fx(spec.offline_share));
+    fold(fx(spec.partitioned_share));
+    fold(fx(spec.partition_duration));
+    h.update(cell.report.fingerprint.view());
+
+    if (progress) {
+      const AvailabilityStats& a = cell.report.availability;
+      *progress << "cell " << (i + 1) << "/" << specs_.size() << "  byz="
+                << spec.byzantine_share << " off=" << spec.offline_share
+                << " part=" << spec.partitioned_share << " dur="
+                << spec.partition_duration << "  -> "
+                << (cell.report.converged ? "converged" : "NO CONVERGENCE")
+                << ", avail pre/during/post = " << a.pre << "/"
+                << a.during_failure << "/" << a.post << ", heal "
+                << a.time_to_heal << " s\n";
+    }
+    report.cells.push_back(std::move(cell));
+  }
+  report.fingerprint = h.digest();
+  return report;
+}
+
+}  // namespace forksim::sim

@@ -1,0 +1,102 @@
+// Declarative failure-scenario matrix: composed partition / Byzantine /
+// crash sweeps with availability SLOs and time-to-heal.
+//
+// The repo has every individual failure mode the paper implies — message
+// faults, partitions, churn, Byzantine peers, cold restarts on corrupting
+// disks — but a single sampled point says little about a failure episode.
+// MatrixRunner sweeps byzantine_share x offline_share x partitioned_share
+// x partition_duration (each axis a configurable list), composes every
+// cell into one ChaosRunner run (fault injection + generalized cut +
+// churn + AdversaryMix + durability knobs), and scores each run with the
+// availability probe: per-phase availability against a quorum threshold,
+// degraded time, and time-to-heal after the partition closes. One run,
+// one heatmap-ready record per cell, one matrix fingerprint — the whole
+// sweep replays bit-identically from the seed.
+#pragma once
+
+#include <iosfwd>
+
+#include "sim/chaos.hpp"
+
+namespace forksim::sim {
+
+/// The four swept axes. Every combination becomes one cell; empty lists
+/// are invalid (there would be nothing to sweep).
+struct MatrixAxes {
+  std::vector<double> byzantine_share{0.0};
+  std::vector<double> offline_share{0.0};
+  std::vector<double> partitioned_share{0.0};
+  std::vector<double> partition_duration{60.0};
+
+  std::size_t cell_count() const noexcept {
+    return byzantine_share.size() * offline_share.size() *
+           partitioned_share.size() * partition_duration.size();
+  }
+};
+
+/// One point in the sweep (the axis values of a cell).
+struct MatrixCellSpec {
+  double byzantine_share = 0.0;
+  double offline_share = 0.0;
+  double partitioned_share = 0.0;
+  double partition_duration = 0.0;
+};
+
+struct MatrixParams {
+  /// Template every cell starts from. The axes overwrite the composed
+  /// knobs (adversaries.fraction, churn_fraction + window, cut_* +
+  /// partitioned_share) and force the availability probe on; everything
+  /// else — scenario shape, message faults, durability, probe thresholds —
+  /// carries through unchanged. base.probe supplies interval / quorum /
+  /// lag / sustain; the phase window is set per cell.
+  ChaosParams base;
+  MatrixAxes axes;
+  /// Sim-time the composed failure episode opens in every cell: the cut
+  /// starts and the churn window opens here; both close partition_duration
+  /// seconds later. One shared instant keeps phases comparable across the
+  /// grid.
+  double failure_start = 240.0;
+
+  /// Throws std::invalid_argument on an empty axis, an out-of-range axis
+  /// value, or an invalid base (ChaosParams::validate applied per cell).
+  void validate() const;
+};
+
+struct MatrixCell {
+  MatrixCellSpec spec;
+  ChaosReport report;
+};
+
+struct MatrixReport {
+  std::vector<MatrixCell> cells;
+  /// Keccak over every cell's axes and run fingerprint: equal across two
+  /// sweeps iff every composed run was bit-identical.
+  Hash256 fingerprint;
+
+  std::size_t converged_cells() const;
+};
+
+/// The per-cell composition, exposed for tests and for re-running one cell
+/// standalone: axes overwrite the composed knobs, the probe is forced on
+/// with the cell's phase window, everything else copies from `mp.base`.
+ChaosParams compose_cell(const MatrixParams& mp, const MatrixCellSpec& spec);
+
+class MatrixRunner {
+ public:
+  /// Validates eagerly: a typo'd axis fails here, not an hour into a sweep.
+  explicit MatrixRunner(MatrixParams params);
+
+  const MatrixParams& params() const noexcept { return params_; }
+  /// Cell specs in sweep order (byzantine outermost, duration innermost).
+  const std::vector<MatrixCellSpec>& specs() const noexcept { return specs_; }
+
+  /// Drive every cell sequentially. With `progress` non-null, one line per
+  /// finished cell is streamed to it (sweeps are minutes, not seconds).
+  MatrixReport run(std::ostream* progress = nullptr);
+
+ private:
+  MatrixParams params_;
+  std::vector<MatrixCellSpec> specs_;
+};
+
+}  // namespace forksim::sim

@@ -1,0 +1,363 @@
+// Failure-scenario matrix tests: ChaosParams validation boundaries, the
+// generalized partitioned_share cut, exact availability/time-to-heal
+// arithmetic on hand-built timelines, per-cell composition, and a small
+// end-to-end sweep.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/matrix.hpp"
+
+namespace forksim::sim {
+namespace {
+
+// ------------------------------------------------ ChaosParams validation
+
+TEST(ChaosParamsValidationTest, DefaultsAreValid) {
+  EXPECT_NO_THROW(ChaosParams{}.validate());
+}
+
+TEST(ChaosParamsValidationTest, ProbabilityBoundariesAreInclusive) {
+  ChaosParams cp;
+  cp.extra_loss = 0.0;
+  EXPECT_NO_THROW(cp.validate());
+  cp.extra_loss = 1.0;
+  EXPECT_NO_THROW(cp.validate());
+  cp.extra_loss = 1.0000001;
+  EXPECT_THROW(cp.validate(), std::invalid_argument);
+  cp.extra_loss = -0.0000001;
+  EXPECT_THROW(cp.validate(), std::invalid_argument);
+}
+
+TEST(ChaosParamsValidationTest, RejectsOutOfRangeProbabilities) {
+  const auto expect_rejected = [](auto&& mutate) {
+    ChaosParams cp;
+    mutate(cp);
+    EXPECT_THROW(cp.validate(), std::invalid_argument);
+  };
+  expect_rejected([](ChaosParams& c) { c.duplicate_prob = 1.5; });
+  expect_rejected([](ChaosParams& c) { c.reorder_prob = -0.1; });
+  expect_rejected([](ChaosParams& c) { c.churn_fraction = 2.0; });
+  expect_rejected([](ChaosParams& c) { c.restart_prob = -1.0; });
+  expect_rejected([](ChaosParams& c) { c.cold_restart_prob = 1.01; });
+  expect_rejected([](ChaosParams& c) { c.partitioned_share = 1.2; });
+  expect_rejected([](ChaosParams& c) { c.adversaries.fraction = -0.5; });
+  expect_rejected(
+      [](ChaosParams& c) { c.storage_faults.bit_rot_prob = 3.0; });
+}
+
+TEST(ChaosParamsValidationTest, RejectsNegativeCutDuration) {
+  ChaosParams cp;
+  cp.cut_duration = -1.0;
+  EXPECT_THROW(cp.validate(), std::invalid_argument);
+  // ...even when the cut itself is disabled: enabling it later must not
+  // surface a latent nonsense value
+  cp.cut_start = -1.0;
+  EXPECT_THROW(cp.validate(), std::invalid_argument);
+  cp.cut_duration = 0.0;
+  EXPECT_NO_THROW(cp.validate());
+}
+
+TEST(ChaosParamsValidationTest, RejectsInvertedChurnWindow) {
+  ChaosParams cp;
+  cp.churn_start = 100.0;
+  cp.churn_end = 99.9;
+  EXPECT_THROW(cp.validate(), std::invalid_argument);
+  cp.churn_end = 100.0;  // empty window is fine (no time to crash in)
+  EXPECT_NO_THROW(cp.validate());
+}
+
+TEST(ChaosParamsValidationTest, RejectsBadProbeConfig) {
+  ChaosParams cp;
+  cp.probe.enabled = true;
+  cp.probe.interval = 0.0;
+  EXPECT_THROW(cp.validate(), std::invalid_argument);
+  cp.probe.interval = 5.0;
+  cp.probe.quorum_fraction = 1.5;
+  EXPECT_THROW(cp.validate(), std::invalid_argument);
+  cp.probe.quorum_fraction = 0.6;
+  cp.probe.failure_start = 100.0;
+  cp.probe.failure_end = 50.0;
+  EXPECT_THROW(cp.validate(), std::invalid_argument);
+  // a disabled probe is never inspected
+  cp.probe.enabled = false;
+  EXPECT_NO_THROW(cp.validate());
+}
+
+TEST(ChaosParamsValidationTest, ChaosRunnerEnforcesValidationOnConstruction) {
+  ChaosParams cp;
+  cp.extra_loss = 7.0;
+  EXPECT_THROW(ChaosRunner runner(cp), std::invalid_argument);
+}
+
+// ------------------------------------------------- generalized partition
+
+ChaosParams tiny_cut_params(double share) {
+  ChaosParams cp;
+  cp.scenario.nodes_eth = 5;
+  cp.scenario.nodes_etc = 3;
+  cp.scenario.miners_per_side_eth = 1;
+  cp.scenario.miners_per_side_etc = 1;
+  cp.scenario.fork_block = 6;
+  cp.scenario.seed = 42;
+  cp.cut_start = 100.0;
+  cp.cut_duration = 50.0;
+  cp.partitioned_share = share;
+  return cp;
+}
+
+TEST(PartitionedShareTest, HalfShareReproducesTheBisectionSize) {
+  ChaosRunner runner(tiny_cut_params(0.5));
+  // 8 nodes at share 0.5: exactly the historical n/2 = 4 victims
+  EXPECT_EQ(runner.cut_members().size(), 4u);
+}
+
+TEST(PartitionedShareTest, ShareScalesTheVictimSet) {
+  EXPECT_EQ(ChaosRunner(tiny_cut_params(0.0)).cut_members().size(), 0u);
+  EXPECT_EQ(ChaosRunner(tiny_cut_params(0.25)).cut_members().size(), 2u);
+  EXPECT_EQ(ChaosRunner(tiny_cut_params(1.0)).cut_members().size(), 8u);
+  // 0.3 * 8 = 2.4 -> floor -> 2 (the epsilon guards only representation
+  // artifacts like 0.3*10 = 2.999..., never rounds 0.5 up)
+  EXPECT_EQ(ChaosRunner(tiny_cut_params(0.3)).cut_members().size(), 2u);
+}
+
+TEST(PartitionedShareTest, SameSeedDrawsTheSameVictims) {
+  ChaosRunner a(tiny_cut_params(0.5));
+  ChaosRunner b(tiny_cut_params(0.5));
+  EXPECT_EQ(a.cut_members(), b.cut_members());
+  // a different share consumes the identical rng sequence, so the victim
+  // sets nest: share 0.25's victims are a prefix of share 0.5's shuffle
+  ChaosRunner c(tiny_cut_params(0.25));
+  for (std::size_t m : c.cut_members())
+    EXPECT_TRUE(std::find(a.cut_members().begin(), a.cut_members().end(),
+                          m) != a.cut_members().end())
+        << "victim " << m << " not in the half-share set";
+}
+
+TEST(PartitionedShareTest, DisabledCutKeepsNoVictims) {
+  ChaosParams cp = tiny_cut_params(0.5);
+  cp.cut_start = -1.0;
+  ChaosRunner runner(cp);
+  EXPECT_TRUE(runner.cut_members().empty());
+}
+
+// -------------------------------------------- availability summarization
+
+ChaosParams::AvailabilityProbe probe(double interval, double fs, double fe,
+                                     double sustain) {
+  ChaosParams::AvailabilityProbe p;
+  p.enabled = true;
+  p.interval = interval;
+  p.failure_start = fs;
+  p.failure_end = fe;
+  p.heal_sustain = sustain;
+  return p;
+}
+
+std::vector<AvailabilitySample> timeline(double interval,
+                                         const std::vector<int>& avail) {
+  std::vector<AvailabilitySample> samples;
+  for (std::size_t i = 0; i < avail.size(); ++i) {
+    AvailabilitySample s;
+    s.t = interval * static_cast<double>(i + 1);
+    s.eth_ok = avail[i] != 0;
+    s.etc_ok = avail[i] != 0;
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+TEST(AvailabilitySummaryTest, EmptyTimelineReportsNothing) {
+  const AvailabilityStats s =
+      summarize_availability({}, probe(1.0, 3.0, 6.0, 2.0));
+  EXPECT_EQ(s.samples, 0u);
+  EXPECT_EQ(s.pre, -1.0);
+  EXPECT_EQ(s.during_failure, -1.0);
+  EXPECT_EQ(s.post, -1.0);
+  EXPECT_EQ(s.time_to_heal, -1.0);
+  EXPECT_EQ(s.degraded_seconds, 0.0);
+}
+
+TEST(AvailabilitySummaryTest, FullyAvailableTimelineHealsInstantly) {
+  // samples at t = 1..10, failure window [3, 6): pre = {1,2},
+  // during = {3,4,5}, post = {6..10}, never below quorum
+  const AvailabilityStats s = summarize_availability(
+      timeline(1.0, {1, 1, 1, 1, 1, 1, 1, 1, 1, 1}),
+      probe(1.0, 3.0, 6.0, 2.0));
+  EXPECT_EQ(s.samples, 10u);
+  EXPECT_DOUBLE_EQ(s.pre, 1.0);
+  EXPECT_DOUBLE_EQ(s.during_failure, 1.0);
+  EXPECT_DOUBLE_EQ(s.post, 1.0);
+  EXPECT_DOUBLE_EQ(s.degraded_seconds, 0.0);
+  // quorum held from the first post-failure instant: healed immediately
+  EXPECT_DOUBLE_EQ(s.time_to_heal, 0.0);
+}
+
+TEST(AvailabilitySummaryTest, OutageYieldsExactPhaseAndHealNumbers) {
+  // down for t = 3..7 (the whole failure window and 2 s beyond), back up
+  // from t = 8: pre 2/2, during 0/3, post 3/5, heal at 8 - 6 = 2 s
+  const AvailabilityStats s = summarize_availability(
+      timeline(1.0, {1, 1, 0, 0, 0, 0, 0, 1, 1, 1}),
+      probe(1.0, 3.0, 6.0, 2.0));
+  EXPECT_DOUBLE_EQ(s.pre, 1.0);
+  EXPECT_DOUBLE_EQ(s.during_failure, 0.0);
+  EXPECT_DOUBLE_EQ(s.post, 0.6);
+  EXPECT_DOUBLE_EQ(s.degraded_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(s.time_to_heal, 2.0);
+}
+
+TEST(AvailabilitySummaryTest, HealRequiresTheSustainWindow) {
+  // a lone good sample at t=7 inside a post-failure outage is not a heal;
+  // the streak from t=9 runs to the end of sampling and is
+  const AvailabilityStats s = summarize_availability(
+      timeline(1.0, {1, 1, 0, 0, 0, 0, 1, 0, 1, 1}),
+      probe(1.0, 3.0, 6.0, 2.0));
+  EXPECT_DOUBLE_EQ(s.time_to_heal, 3.0);
+  EXPECT_DOUBLE_EQ(s.post, 0.6);
+}
+
+TEST(AvailabilitySummaryTest, NeverRecoveringReportsMinusOne) {
+  const AvailabilityStats s = summarize_availability(
+      timeline(1.0, {1, 1, 0, 0, 0, 0, 0, 0, 0, 0}),
+      probe(1.0, 3.0, 6.0, 2.0));
+  EXPECT_DOUBLE_EQ(s.during_failure, 0.0);
+  EXPECT_DOUBLE_EQ(s.post, 0.0);
+  EXPECT_DOUBLE_EQ(s.time_to_heal, -1.0);
+}
+
+TEST(AvailabilitySummaryTest, OneSideDownIsUnavailable) {
+  std::vector<AvailabilitySample> samples = timeline(1.0, {1, 1, 1, 1});
+  samples[2].etc_ok = false;  // ETH fine, ETC below quorum
+  const AvailabilityStats s =
+      summarize_availability(samples, probe(1.0, 10.0, 10.0, 2.0));
+  EXPECT_FALSE(samples[2].available());
+  EXPECT_DOUBLE_EQ(s.pre, 0.75);
+  EXPECT_DOUBLE_EQ(s.degraded_seconds, 1.0);
+}
+
+// --------------------------------------------------------- composition
+
+TEST(MatrixComposeTest, AxesOverwriteTheComposedKnobs) {
+  MatrixParams mp;
+  mp.failure_start = 200.0;
+  mp.base.probe.interval = 7.0;
+  mp.base.probe.quorum_fraction = 0.75;
+  mp.base.cold_restart_prob = 1.0;
+
+  const ChaosParams cell =
+      compose_cell(mp, {/*byz=*/0.2, /*off=*/0.3, /*part=*/0.4, /*dur=*/50.0});
+  EXPECT_DOUBLE_EQ(cell.adversaries.fraction, 0.2);
+  EXPECT_DOUBLE_EQ(cell.adversaries.start, 200.0);
+  EXPECT_DOUBLE_EQ(cell.churn_fraction, 0.3);
+  EXPECT_DOUBLE_EQ(cell.churn_start, 200.0);
+  EXPECT_DOUBLE_EQ(cell.churn_end, 250.0);
+  EXPECT_DOUBLE_EQ(cell.partitioned_share, 0.4);
+  EXPECT_DOUBLE_EQ(cell.cut_start, 200.0);
+  EXPECT_DOUBLE_EQ(cell.cut_duration, 50.0);
+  EXPECT_TRUE(cell.probe.enabled);
+  EXPECT_DOUBLE_EQ(cell.probe.interval, 7.0);
+  EXPECT_DOUBLE_EQ(cell.probe.quorum_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(cell.probe.failure_start, 200.0);
+  EXPECT_DOUBLE_EQ(cell.probe.failure_end, 250.0);
+  // durability knobs carry through untouched
+  EXPECT_DOUBLE_EQ(cell.cold_restart_prob, 1.0);
+}
+
+TEST(MatrixComposeTest, ZeroPartitionShareDisablesTheCut) {
+  MatrixParams mp;
+  const ChaosParams cell = compose_cell(mp, {0.0, 0.0, 0.0, 60.0});
+  EXPECT_LT(cell.cut_start, 0.0);
+  // the probe window still exists so all three phases are defined
+  EXPECT_TRUE(cell.probe.enabled);
+  EXPECT_DOUBLE_EQ(cell.probe.failure_end - cell.probe.failure_start, 60.0);
+}
+
+TEST(MatrixComposeTest, SweepOrderIsByzOffPartDur) {
+  MatrixParams mp;
+  mp.axes.byzantine_share = {0.0, 0.1};
+  mp.axes.offline_share = {0.0, 0.2};
+  mp.axes.partitioned_share = {0.5};
+  mp.axes.partition_duration = {30.0, 60.0};
+  MatrixRunner runner(mp);
+  ASSERT_EQ(runner.specs().size(), 8u);
+  EXPECT_DOUBLE_EQ(runner.specs()[0].partition_duration, 30.0);
+  EXPECT_DOUBLE_EQ(runner.specs()[1].partition_duration, 60.0);
+  EXPECT_DOUBLE_EQ(runner.specs()[2].offline_share, 0.2);
+  EXPECT_DOUBLE_EQ(runner.specs()[4].byzantine_share, 0.1);
+  EXPECT_DOUBLE_EQ(runner.specs()[7].byzantine_share, 0.1);
+  EXPECT_DOUBLE_EQ(runner.specs()[7].offline_share, 0.2);
+}
+
+TEST(MatrixComposeTest, MatrixValidationRejectsBadAxes) {
+  MatrixParams mp;
+  mp.axes.byzantine_share.clear();
+  EXPECT_THROW(MatrixRunner{mp}, std::invalid_argument);
+  mp.axes.byzantine_share = {1.5};
+  EXPECT_THROW(MatrixRunner{mp}, std::invalid_argument);
+  mp.axes.byzantine_share = {0.1};
+  mp.axes.partition_duration = {-5.0};
+  EXPECT_THROW(MatrixRunner{mp}, std::invalid_argument);
+}
+
+// ------------------------------------------------------- probe plumbing
+
+TEST(AvailabilityProbeTest, DisabledProbeTakesNoSamples) {
+  ChaosParams cp = tiny_cut_params(0.5);
+  ChaosRunner runner(cp);
+  EXPECT_FALSE(runner.effective_probe().enabled);
+  EXPECT_TRUE(runner.availability_samples().empty());
+}
+
+TEST(AvailabilityProbeTest, WindowDerivesFromTheCutWhenImplicit) {
+  ChaosParams cp = tiny_cut_params(0.5);
+  cp.probe.enabled = true;
+  ChaosRunner runner(cp);
+  EXPECT_DOUBLE_EQ(runner.effective_probe().failure_start, 100.0);
+  EXPECT_DOUBLE_EQ(runner.effective_probe().failure_end, 150.0);
+}
+
+// ------------------------------------------------------ end-to-end sweep
+
+TEST(MatrixEndToEndTest, SmallSweepConvergesAndScoresEveryPhase) {
+  MatrixParams mp;
+  ChaosParams& cp = mp.base;
+  cp.scenario.nodes_eth = 5;
+  cp.scenario.nodes_etc = 3;
+  cp.scenario.miners_per_side_eth = 2;
+  cp.scenario.miners_per_side_etc = 1;
+  cp.scenario.total_hashrate = 3e4;
+  cp.scenario.etc_hashpower_fraction = 0.25;
+  cp.scenario.fork_block = 6;
+  cp.scenario.seed = 99;
+  cp.extra_loss = 0.0;
+  cp.restart_prob = 1.0;
+  cp.mean_downtime = 45.0;
+  cp.mining_duration = 500.0;
+  cp.settle_deadline = 500.0;
+  mp.failure_start = 150.0;
+  mp.axes.partitioned_share = {0.0, 0.5};
+  mp.axes.partition_duration = {40.0};
+
+  MatrixRunner runner(mp);
+  const MatrixReport report = runner.run();
+  ASSERT_EQ(report.cells.size(), 2u);
+  EXPECT_EQ(report.converged_cells(), 2u);
+  for (const MatrixCell& c : report.cells) {
+    const AvailabilityStats& a = c.report.availability;
+    EXPECT_TRUE(c.report.converged);
+    EXPECT_GT(a.samples, 0u);
+    EXPECT_GE(a.pre, 0.0);
+    EXPECT_GE(a.during_failure, 0.0);
+    EXPECT_GE(a.post, 0.0);
+    EXPECT_GE(a.time_to_heal, 0.0);
+  }
+  EXPECT_NE(report.fingerprint, Hash256{});
+  // the two cells differ (one partitioned, one not), so their run
+  // fingerprints must too
+  EXPECT_NE(report.cells[0].report.fingerprint,
+            report.cells[1].report.fingerprint);
+}
+
+}  // namespace
+}  // namespace forksim::sim

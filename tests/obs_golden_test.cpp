@@ -12,6 +12,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "p2p/faults.hpp"
+#include "sim/matrix.hpp"
 #include "sim/scenario.hpp"
 
 namespace forksim::sim {
@@ -135,6 +136,59 @@ TEST(GoldenTraceTest, AttachingTelemetryDoesNotPerturbTheRun) {
   EXPECT_EQ(bare.node(0).chain().head().hash(), instrumented.head_eth);
   EXPECT_EQ(bare.node(bare.node_count() - 1).chain().head().hash(),
             instrumented.head_etc);
+}
+
+// The scenario-matrix golden: a same-seed sweep — two composed cells,
+// each a full chaos run with the availability probe sampling — must
+// reproduce the matrix fingerprint bit for bit, down to every cell's run
+// fingerprint and every availability number the probe folded in.
+TEST(GoldenTraceTest, SameSeedMatrixSweepsFingerprintIdentically) {
+  MatrixParams mp;
+  ChaosParams& cp = mp.base;
+  cp.scenario.nodes_eth = 4;
+  cp.scenario.nodes_etc = 2;
+  cp.scenario.miners_per_side_eth = 2;
+  cp.scenario.miners_per_side_etc = 1;
+  cp.scenario.total_hashrate = 3e4;
+  cp.scenario.etc_hashpower_fraction = 0.25;
+  cp.scenario.fork_block = 6;
+  cp.scenario.funded_accounts = 4;
+  cp.scenario.seed = 20160720;
+  cp.extra_loss = 0.05;
+  cp.restart_prob = 1.0;
+  cp.mining_duration = 350.0;
+  cp.settle_deadline = 350.0;
+  mp.failure_start = 120.0;
+  mp.axes.offline_share = {0.0, 0.3};
+  mp.axes.partitioned_share = {0.5};
+  mp.axes.partition_duration = {40.0};
+
+  const MatrixReport first = MatrixRunner(mp).run();
+  const MatrixReport second = MatrixRunner(mp).run();
+
+  ASSERT_EQ(first.cells.size(), 2u);
+  EXPECT_EQ(first.fingerprint, second.fingerprint);
+  for (std::size_t i = 0; i < first.cells.size(); ++i) {
+    const ChaosReport& a = first.cells[i].report;
+    const ChaosReport& b = second.cells[i].report;
+    EXPECT_EQ(a.fingerprint, b.fingerprint) << "cell " << i;
+    EXPECT_EQ(a.telemetry.fingerprint(), b.telemetry.fingerprint())
+        << "cell " << i;
+    EXPECT_DOUBLE_EQ(a.availability.pre, b.availability.pre) << "cell " << i;
+    EXPECT_DOUBLE_EQ(a.availability.during_failure,
+                     b.availability.during_failure)
+        << "cell " << i;
+    EXPECT_DOUBLE_EQ(a.availability.post, b.availability.post)
+        << "cell " << i;
+    EXPECT_DOUBLE_EQ(a.availability.time_to_heal, b.availability.time_to_heal)
+        << "cell " << i;
+    EXPECT_EQ(a.availability.samples, b.availability.samples) << "cell " << i;
+  }
+  // the probe did real work: samples were taken and the probed
+  // fingerprints differ across cells (the second cell adds churn)
+  EXPECT_GT(first.cells[0].report.availability.samples, 0u);
+  EXPECT_NE(first.cells[0].report.fingerprint,
+            first.cells[1].report.fingerprint);
 }
 
 // The exported Chrome trace is Perfetto-loadable: non-empty, and the
