@@ -48,6 +48,8 @@ RECORDS = [
     "BENCH_ablate_adversary.json",
     "BENCH_ablate_recovery.json",
     "BENCH_matrix.json",
+    "BENCH_ablate_topology.json",
+    "BENCH_ablate_geo.json",
 ]
 
 # Absolute slack (ns) added to every timing limit: benchmarks that resolve

@@ -70,7 +70,10 @@ void FaultInjector::on_send(Network& network, const NodeId& from,
     obs::inc(tm_dropped_cut_);
     return;
   }
-  const LatencyModel* model = &network.default_latency();
+  // per-link override beats geography beats the uniform default; same
+  // draw count either way, so attaching geo never shifts the rng stream
+  LatencyModel effective = network.effective_latency(from, to);
+  const LatencyModel* model = &effective;
   auto it = link_latency_.find(LinkKey{from, to});
   if (it != link_latency_.end()) {
     model = &it->second;

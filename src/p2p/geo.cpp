@@ -1,0 +1,106 @@
+#include "p2p/geo.hpp"
+
+#include <stdexcept>
+
+#include "p2p/simnet.hpp"
+
+namespace forksim::p2p {
+
+GeoParams GeoParams::internet() {
+  GeoParams g;
+  g.enabled = true;
+  g.regions = {{"na", 0.32}, {"eu", 0.36}, {"as", 0.20},
+               {"sa", 0.04}, {"oc", 0.04}, {"af", 0.04}};
+  // RTT classes in seconds; symmetric, diagonal = intra-continent.
+  //            na     eu     as     sa     oc     af
+  g.rtt = {{0.040, 0.090, 0.150, 0.120, 0.160, 0.150},   // na
+           {0.090, 0.030, 0.180, 0.180, 0.280, 0.100},   // eu
+           {0.150, 0.180, 0.060, 0.300, 0.130, 0.250},   // as
+           {0.120, 0.180, 0.300, 0.040, 0.290, 0.220},   // sa
+           {0.160, 0.280, 0.130, 0.290, 0.030, 0.300},   // oc
+           {0.150, 0.100, 0.250, 0.220, 0.300, 0.050}};  // af
+  return g;
+}
+
+GeoParams GeoParams::scaled(double rtt_factor) const {
+  GeoParams out = *this;
+  for (auto& row : out.rtt)
+    for (double& v : row) v *= rtt_factor;
+  return out;
+}
+
+void GeoParams::validate() const {
+  if (regions.empty())
+    throw std::invalid_argument("GeoParams: regions list is empty");
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    if (regions[i].weight < 0.0)
+      throw std::invalid_argument(
+          "GeoParams: regions[" + std::to_string(i) + "] (" +
+          regions[i].name + ") has negative weight " +
+          std::to_string(regions[i].weight));
+    total_weight += regions[i].weight;
+  }
+  if (!(total_weight > 0.0))
+    throw std::invalid_argument(
+        "GeoParams: region weights sum to " + std::to_string(total_weight) +
+        ", must be > 0");
+  if (rtt.size() != regions.size())
+    throw std::invalid_argument(
+        "GeoParams: rtt has " + std::to_string(rtt.size()) +
+        " rows for " + std::to_string(regions.size()) + " regions");
+  for (std::size_t i = 0; i < rtt.size(); ++i) {
+    if (rtt[i].size() != regions.size())
+      throw std::invalid_argument(
+          "GeoParams: rtt[" + std::to_string(i) + "] has " +
+          std::to_string(rtt[i].size()) + " columns for " +
+          std::to_string(regions.size()) + " regions");
+    for (std::size_t j = 0; j < rtt[i].size(); ++j) {
+      if (rtt[i][j] < 0.0)
+        throw std::invalid_argument(
+            "GeoParams: rtt[" + std::to_string(i) + "][" +
+            std::to_string(j) + "] is negative (" +
+            std::to_string(rtt[i][j]) + " s)");
+      if (rtt[i][j] != rtt[j][i])
+        throw std::invalid_argument(
+            "GeoParams: rtt[" + std::to_string(i) + "][" +
+            std::to_string(j) + "] != rtt[" + std::to_string(j) + "][" +
+            std::to_string(i) + "] (matrix must be symmetric)");
+    }
+  }
+  if (jitter_scale < 0.0)
+    throw std::invalid_argument("GeoParams: jitter_scale is negative (" +
+                                std::to_string(jitter_scale) + ")");
+  if (jitter_sigma < 0.0)
+    throw std::invalid_argument("GeoParams: jitter_sigma is negative (" +
+                                std::to_string(jitter_sigma) + ")");
+}
+
+GeoModel::GeoModel(GeoParams params, std::size_t node_count)
+    : params_(std::move(params)) {
+  params_.validate();
+  std::vector<double> weights;
+  weights.reserve(params_.regions.size());
+  for (const RegionSpec& r : params_.regions) weights.push_back(r.weight);
+  Rng rng(params_.seed);
+  region_of_.resize(node_count);
+  population_.assign(params_.regions.size(), 0);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    const std::uint32_t r =
+        static_cast<std::uint32_t>(rng.weighted_index(weights));
+    region_of_[i] = r;
+    ++population_[r];
+  }
+}
+
+LatencyModel GeoModel::link_model(std::uint32_t a, std::uint32_t b,
+                                  double loss) const {
+  LatencyModel m;
+  m.base = base_delay(a, b);
+  m.jitter_scale = params_.jitter_scale;
+  m.jitter_sigma = params_.jitter_sigma;
+  m.loss = loss;
+  return m;
+}
+
+}  // namespace forksim::p2p

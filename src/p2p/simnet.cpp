@@ -4,23 +4,26 @@
 #include <cmath>
 
 #include "p2p/faults.hpp"
+#include "p2p/geo.hpp"
 
 namespace forksim::p2p {
 
 void EventLoop::schedule(SimTime delay, Callback fn) {
   if (delay < 0) delay = 0;
-  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+  queue_.push(now_ + delay, std::move(fn));
+}
+
+std::uint64_t EventLoop::schedule_cancellable(SimTime delay, Callback fn) {
+  if (delay < 0) delay = 0;
+  return queue_.push(now_ + delay, std::move(fn));
 }
 
 std::size_t EventLoop::run_until(SimTime deadline) {
   std::size_t executed = 0;
   while (!queue_.empty() && queue_.top().at <= deadline) {
-    // priority_queue::top() is const; move out via const_cast-free copy of
-    // the callback by re-popping
-    Event ev = queue_.top();
-    queue_.pop();
+    auto ev = queue_.pop();
     now_ = ev.at;
-    ev.fn();
+    ev.payload();
     ++executed;
   }
   if (now_ < deadline) now_ = deadline;
@@ -30,10 +33,9 @@ std::size_t EventLoop::run_until(SimTime deadline) {
 std::size_t EventLoop::run() {
   std::size_t executed = 0;
   while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
+    auto ev = queue_.pop();
     now_ = ev.at;
-    ev.fn();
+    ev.payload();
     ++executed;
   }
   return executed;
@@ -43,6 +45,24 @@ double LatencyModel::sample(Rng& rng) const {
   const double jitter =
       jitter_scale > 0 ? rng.lognormal(0.0, jitter_sigma) * jitter_scale : 0.0;
   return std::max(0.0, base + jitter);
+}
+
+LatencyModel Network::effective_latency(const NodeId& from,
+                                        const NodeId& to) const {
+  if (geo_ != nullptr) {
+    const auto a = geo_placement_.find(from);
+    const auto b = geo_placement_.find(to);
+    if (a != geo_placement_.end() && b != geo_placement_.end())
+      return geo_->link_model(a->second, b->second, latency_.loss);
+  }
+  return latency_;
+}
+
+void Network::set_geo(
+    const GeoModel* geo,
+    std::unordered_map<NodeId, std::uint32_t, NodeIdHasher> placement) {
+  geo_ = geo;
+  geo_placement_ = std::move(placement);
 }
 
 void Network::attach(const NodeId& id, Handler handler) {
@@ -64,22 +84,55 @@ void Network::send(const NodeId& from, const NodeId& to, Bytes data) {
     obs::inc(tm_dropped_loss_);
     return;
   }
-  deliver_after(latency_.sample(rng_), from, to, std::move(data));
+  deliver_after(effective_latency(from, to).sample(rng_), from, to,
+                std::move(data));
+}
+
+std::uint32_t Network::acquire_slot(const NodeId& from, const NodeId& to,
+                                    Bytes&& data) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    InFlight& m = pool_[slot];
+    m.from = from;
+    m.to = to;
+    // assign() reuses the retained buffer capacity; the caller's allocation
+    // is freed here, but steady-state slots stop growing
+    m.data.assign(data.begin(), data.end());
+  } else {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.push_back(InFlight{from, to, std::move(data)});
+  }
+  return slot;
+}
+
+void Network::deliver_slot(std::uint32_t slot) {
+  // Move the message out first: the handler may send — which acquires
+  // slots and can reallocate pool_ — so no reference into the pool may be
+  // live across the call.
+  const NodeId from = pool_[slot].from;
+  const NodeId to = pool_[slot].to;
+  Bytes data = std::move(pool_[slot].data);
+  auto it = handlers_.find(to);
+  if (it == handlers_.end()) {
+    obs::inc(tm_dropped_detached_);
+  } else {
+    ++messages_delivered_;
+    obs::inc(tm_delivered_);
+    it->second(from, data);
+  }
+  // hand the buffer (and its capacity) back to the slot for reuse
+  data.clear();
+  pool_[slot].data = std::move(data);
+  free_slots_.push_back(slot);
 }
 
 void Network::deliver_after(double delay, const NodeId& from, const NodeId& to,
                             Bytes data) {
   obs::observe(tm_delay_, delay);
-  loop_.schedule(delay, [this, from, to, data = std::move(data)]() {
-    auto it = handlers_.find(to);
-    if (it == handlers_.end()) {
-      obs::inc(tm_dropped_detached_);
-      return;  // peer gone
-    }
-    ++messages_delivered_;
-    obs::inc(tm_delivered_);
-    it->second(from, data);
-  });
+  const std::uint32_t slot = acquire_slot(from, to, std::move(data));
+  loop_.schedule(delay, [this, slot] { deliver_slot(slot); });
 }
 
 void Network::attach_telemetry(obs::Registry& reg) {

@@ -7,18 +7,20 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "p2p/scheduler.hpp"
 #include "support/bytes.hpp"
 #include "support/rng.hpp"
 #include "support/timeseries.hpp"  // SimTime
 
 namespace forksim::p2p {
 
-/// Deterministic priority-queue event loop. Ties broken by insertion order.
+/// Deterministic event loop over the flat 4-ary TimedQueue. Ties broken by
+/// insertion order — the same total order as the legacy priority_queue
+/// scheduler, so the swap is invisible to golden fingerprints.
 class EventLoop {
  public:
   using Callback = std::function<void()>;
@@ -27,6 +29,15 @@ class EventLoop {
 
   /// Schedule `fn` to run `delay` seconds from now (>= 0).
   void schedule(SimTime delay, Callback fn);
+
+  /// schedule() that returns a handle cancel() accepts. Timer-heavy code
+  /// (sync retries, churn) can revoke events instead of letting dead
+  /// closures fire into a generation check.
+  std::uint64_t schedule_cancellable(SimTime delay, Callback fn);
+
+  /// Revoke a scheduled event. Returns false for a handle that already
+  /// fired or was already cancelled.
+  bool cancel(std::uint64_t handle) { return queue_.cancel(handle); }
 
   /// Run events until the queue empties or `deadline` passes. Returns the
   /// number of events executed.
@@ -37,22 +48,15 @@ class EventLoop {
 
   std::size_t pending() const noexcept { return queue_.size(); }
 
- private:
-  struct Event {
-    SimTime at;
-    std::uint64_t seq;
-    Callback fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+  /// Heap-work counters of the underlying scheduler (pushes, pops, sift
+  /// depth, high-water mark) — the topology bench reports these.
+  const TimedQueueProfile& scheduler_profile() const noexcept {
+    return queue_.profile();
+  }
 
+ private:
   SimTime now_ = 0;
-  std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  TimedQueue<Callback> queue_;
 };
 
 /// Endpoint identifier on the simulated network (a devp2p node id).
@@ -83,12 +87,15 @@ struct LatencyModel {
 };
 
 class FaultInjector;
+class GeoModel;
 
 /// Message-passing network: endpoints register a receive handler; send()
 /// schedules delivery through the event loop with sampled latency. An
 /// optional FaultInjector (p2p/faults.hpp) can be interposed to add
 /// per-link faults; without one, send() behaves exactly as before, draw
-/// for draw, so fault-free runs are unchanged.
+/// for draw, so fault-free runs are unchanged. An optional GeoModel
+/// (p2p/geo.hpp) replaces the uniform latency base with the per-pair
+/// region RTT — also draw-neutral when absent.
 class Network {
  public:
   using Handler = std::function<void(const NodeId& from, const Bytes& data)>;
@@ -98,6 +105,12 @@ class Network {
 
   EventLoop& loop() noexcept { return loop_; }
   const LatencyModel& default_latency() const noexcept { return latency_; }
+
+  /// The latency model governing `from -> to`: the default model, with its
+  /// base (and jitter shape) swapped for the region pair's when a GeoModel
+  /// is attached and both endpoints are placed. Exactly one jitter draw
+  /// either way, so attaching geo never shifts the rng stream structure.
+  LatencyModel effective_latency(const NodeId& from, const NodeId& to) const;
 
   void attach(const NodeId& id, Handler handler);
   void detach(const NodeId& id);
@@ -110,17 +123,29 @@ class Network {
 
   /// Schedule delivery after `delay` seconds, bypassing latency/loss
   /// sampling. Used by the fault injector once it has made its decision.
+  /// The in-flight message lives in a recycled slot pool, not a fresh
+  /// closure capture — at thousands of nodes the per-message allocation
+  /// was the event loop's dominant cost.
   void deliver_after(double delay, const NodeId& from, const NodeId& to,
                      Bytes data);
 
   void set_fault_injector(FaultInjector* faults) noexcept { faults_ = faults; }
   FaultInjector* fault_injector() const noexcept { return faults_; }
 
+  /// Attach a region latency model. `placement` maps endpoint ids to the
+  /// model's node indices (the scenario knows the id <-> index mapping).
+  /// The model must outlive the network; pass nullptr to detach.
+  void set_geo(const GeoModel* geo,
+               std::unordered_map<NodeId, std::uint32_t, NodeIdHasher>
+                   placement = {});
+
   std::uint64_t messages_sent() const noexcept { return messages_sent_; }
   std::uint64_t messages_delivered() const noexcept {
     return messages_delivered_;
   }
   std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+  /// In-flight slot pool high-water mark (capacity actually retained).
+  std::size_t message_pool_size() const noexcept { return pool_.size(); }
 
   /// Register net.* metrics in `reg` and start feeding them. Without a
   /// registry the hot path pays one null check per metric and consumes no
@@ -128,11 +153,27 @@ class Network {
   void attach_telemetry(obs::Registry& reg);
 
  private:
+  /// One in-flight message. Slots are recycled through free_slots_ so a
+  /// steady-state run stops allocating: the Bytes buffer is moved in on
+  /// acquire and its capacity retained on release.
+  struct InFlight {
+    NodeId from;
+    NodeId to;
+    Bytes data;
+  };
+  std::uint32_t acquire_slot(const NodeId& from, const NodeId& to,
+                             Bytes&& data);
+  void deliver_slot(std::uint32_t slot);
+
   EventLoop& loop_;
   Rng rng_;
   LatencyModel latency_;
   FaultInjector* faults_ = nullptr;
+  const GeoModel* geo_ = nullptr;
+  std::unordered_map<NodeId, std::uint32_t, NodeIdHasher> geo_placement_;
   std::unordered_map<NodeId, Handler, NodeIdHasher> handlers_;
+  std::vector<InFlight> pool_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t bytes_sent_ = 0;

@@ -1,0 +1,191 @@
+#include "p2p/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "crypto/keccak.hpp"
+#include "support/rng.hpp"
+
+namespace forksim::p2p {
+
+void TopologyParams::validate(std::size_t n) const {
+  if (n < 2)
+    throw std::invalid_argument(
+        "TopologyParams: node count " + std::to_string(n) +
+        " is too small for a graph (need >= 2)");
+  if (degree == 0)
+    throw std::invalid_argument("TopologyParams: degree must be >= 1");
+  if (degree > n - 1)
+    throw std::invalid_argument(
+        "TopologyParams: degree " + std::to_string(degree) +
+        " exceeds n-1 (" + std::to_string(n - 1) + ")");
+  if (max_degree < degree)
+    throw std::invalid_argument(
+        "TopologyParams: max_degree " + std::to_string(max_degree) +
+        " is below degree " + std::to_string(degree));
+  if (max_degree < 2 && n > 2)
+    throw std::invalid_argument(
+        "TopologyParams: max_degree " + std::to_string(max_degree) +
+        " cannot form a connected graph on " + std::to_string(n) + " nodes");
+  if (distribution == DegreeDistribution::kPowerLaw && !(alpha > 0.0))
+    throw std::invalid_argument(
+        "TopologyParams: alpha must be > 0 for kPowerLaw, got " +
+        std::to_string(alpha));
+}
+
+std::size_t Topology::min_degree() const noexcept {
+  std::size_t best = neighbors.size();
+  for (std::uint32_t i = 0; i < node_count(); ++i)
+    best = std::min(best, degree(i));
+  return node_count() == 0 ? 0 : best;
+}
+
+std::size_t Topology::max_degree() const noexcept {
+  std::size_t best = 0;
+  for (std::uint32_t i = 0; i < node_count(); ++i)
+    best = std::max(best, degree(i));
+  return best;
+}
+
+double Topology::mean_degree() const noexcept {
+  return node_count() == 0 ? 0.0
+                           : static_cast<double>(neighbors.size()) /
+                                 static_cast<double>(node_count());
+}
+
+bool Topology::connected() const {
+  const std::size_t n = node_count();
+  if (n == 0) return true;
+  std::vector<std::uint8_t> seen(n, 0);
+  std::vector<std::uint32_t> stack{0};
+  seen[0] = 1;
+  std::size_t reached = 1;
+  while (!stack.empty()) {
+    const std::uint32_t v = stack.back();
+    stack.pop_back();
+    for (std::uint32_t w : neighbors_of(v))
+      if (!seen[w]) {
+        seen[w] = 1;
+        ++reached;
+        stack.push_back(w);
+      }
+  }
+  return reached == n;
+}
+
+Hash256 Topology::digest() const {
+  Keccak256 h;
+  h.update(std::string_view("forksim/topology"));
+  const auto fold = [&h](const std::vector<std::uint32_t>& v) {
+    const auto count = be_fixed64(v.size());
+    h.update(BytesView(count.data(), count.size()));
+    for (std::uint32_t x : v) {
+      const auto be = be_fixed64(x);
+      h.update(BytesView(be.data(), be.size()));
+    }
+  };
+  fold(offsets);
+  fold(neighbors);
+  return h.digest();
+}
+
+namespace {
+
+/// Adjacency under construction: per-node neighbor vectors plus an edge
+/// set for O(1) duplicate checks (keyed lo * n + hi).
+struct Builder {
+  explicit Builder(std::size_t n) : adj(n), n(n) {}
+
+  bool has_edge(std::uint32_t a, std::uint32_t b) const {
+    const auto [lo, hi] = std::minmax(a, b);
+    return edges.contains(static_cast<std::uint64_t>(lo) * n + hi);
+  }
+
+  void add_edge(std::uint32_t a, std::uint32_t b) {
+    const auto [lo, hi] = std::minmax(a, b);
+    edges.insert(static_cast<std::uint64_t>(lo) * n + hi);
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+
+  std::vector<std::vector<std::uint32_t>> adj;
+  std::unordered_set<std::uint64_t> edges;
+  std::size_t n;
+};
+
+}  // namespace
+
+Topology generate_topology(const TopologyParams& params, std::size_t n) {
+  params.validate(n);
+  Rng rng(params.seed);
+  const std::size_t cap = std::min(params.max_degree, n - 1);
+
+  // target degrees
+  std::vector<std::size_t> target(n, params.degree);
+  if (params.distribution == DegreeDistribution::kPowerLaw) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double draw =
+          rng.pareto(static_cast<double>(params.degree), params.alpha);
+      target[i] = std::min(cap, static_cast<std::size_t>(draw));
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) target[i] = std::min(cap, target[i]);
+  }
+
+  Builder b(n);
+
+  // Random spanning backbone: node i attaches to a uniform earlier node
+  // with spare capacity, which makes the graph connected by construction
+  // AND keeps the hard degree cap intact (with cap >= 2 a tree on i nodes
+  // uses 2(i-1) endpoint slots, so some earlier node is always below cap;
+  // the linear fallback finds it when rejection sampling runs dry).
+  for (std::uint32_t i = 1; i < n; ++i) {
+    std::uint32_t pick = static_cast<std::uint32_t>(rng.uniform(i));
+    for (int tries = 0; b.adj[pick].size() >= cap && tries < 64; ++tries)
+      pick = static_cast<std::uint32_t>(rng.uniform(i));
+    if (b.adj[pick].size() >= cap) {
+      for (std::uint32_t j = 0; j < i; ++j)
+        if (b.adj[j].size() < cap) {
+          pick = j;
+          break;
+        }
+    }
+    b.add_edge(i, pick);
+  }
+
+  // Densify toward the target degrees. Partners are drawn uniformly; a
+  // draw is rejected when it's a self-loop, a duplicate, or would push the
+  // partner past the cap. The attempt budget bounds the loop when targets
+  // are unsatisfiable (e.g. everyone else already at cap).
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::size_t attempts = 8 * (target[i] + 1);
+    while (b.adj[i].size() < target[i] && b.adj[i].size() < cap &&
+           attempts-- > 0) {
+      const auto j = static_cast<std::uint32_t>(rng.uniform(n));
+      if (j == i || b.adj[j].size() >= cap || b.has_edge(i, j)) continue;
+      b.add_edge(i, j);
+    }
+  }
+
+  // Flatten to CSR with sorted neighbor ranges: a canonical byte layout,
+  // so equal graphs have equal digests.
+  Topology out;
+  out.offsets.resize(n + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.offsets[i] = static_cast<std::uint32_t>(total);
+    total += b.adj[i].size();
+  }
+  out.offsets[n] = static_cast<std::uint32_t>(total);
+  out.neighbors.resize(total);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::sort(b.adj[i].begin(), b.adj[i].end());
+    std::copy(b.adj[i].begin(), b.adj[i].end(),
+              out.neighbors.begin() + out.offsets[i]);
+  }
+  return out;
+}
+
+}  // namespace forksim::p2p

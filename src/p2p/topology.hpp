@@ -1,0 +1,86 @@
+// Degree-distribution-configurable gossip topologies.
+//
+// Real Ethereum's mesh is not a clique: measurement studies (PAPERS.md —
+// Ethna/DEthna, "Unveiling Ethereum's P2P Network") find node degrees
+// spread over a heavy-tailed distribution around a protocol target, and
+// propagation percentiles depend on that shape. generate() builds a
+// deterministic random graph from a seed: a uniform-k mesh (every node
+// aims for the same degree, like geth's default peer target) or a
+// power-law mesh (a few high-degree hubs, a long low-degree tail). The
+// result is a flat CSR adjacency — two contiguous arrays, no per-node
+// heap containers — sized for O(thousands) of nodes, and regeneration
+// from the same params is byte-identical (Topology::digest pins that).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/bytes.hpp"
+
+namespace forksim::p2p {
+
+enum class DegreeDistribution : std::uint8_t {
+  kUniform = 0,   // every node targets `degree` neighbors
+  kPowerLaw = 1,  // Pareto(degree, alpha) targets, capped at max_degree
+};
+
+struct TopologyParams {
+  /// Off by default: ForkScenario keeps its historical bootstrap wiring
+  /// (everyone dials node 0 plus one random earlier node) unless a
+  /// topology is explicitly enabled.
+  bool enabled = false;
+  DegreeDistribution distribution = DegreeDistribution::kUniform;
+  /// Target degree (uniform) / minimum degree (power-law tail start).
+  std::size_t degree = 8;
+  /// Hard per-node cap; hubs in the power-law mesh stop here.
+  std::size_t max_degree = 64;
+  /// Pareto shape for kPowerLaw (smaller = heavier hub tail).
+  double alpha = 2.5;
+  std::uint64_t seed = 1;
+
+  /// Throws std::invalid_argument naming the offending field. `n` is the
+  /// node count the graph will be generated for. Boundary-inclusive:
+  /// degree == n-1 (clique) and degree == 1 are valid; degree > n-1,
+  /// degree == 0, max_degree < degree, alpha <= 0, n < 2 are not.
+  void validate(std::size_t n) const;
+};
+
+/// Flat CSR adjacency: neighbors of node i are
+/// neighbors[offsets[i] .. offsets[i+1]), sorted ascending. Undirected:
+/// every edge appears in both endpoints' ranges.
+struct Topology {
+  std::vector<std::uint32_t> offsets;    // node_count + 1 entries
+  std::vector<std::uint32_t> neighbors;  // 2 * edge_count entries
+
+  std::size_t node_count() const noexcept {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  std::size_t edge_count() const noexcept { return neighbors.size() / 2; }
+  std::size_t degree(std::uint32_t i) const noexcept {
+    return offsets[i + 1] - offsets[i];
+  }
+  std::span<const std::uint32_t> neighbors_of(std::uint32_t i) const {
+    return {neighbors.data() + offsets[i], degree(i)};
+  }
+
+  std::size_t min_degree() const noexcept;
+  std::size_t max_degree() const noexcept;
+  double mean_degree() const noexcept;
+
+  /// BFS from node 0 reaches everyone (generate() guarantees this by
+  /// construction; the property suite re-checks it from the outside).
+  bool connected() const;
+
+  /// Keccak over the CSR arrays: equal iff the graphs are byte-identical.
+  /// The regeneration property test and the scale fingerprint both fold
+  /// this in.
+  Hash256 digest() const;
+};
+
+/// Deterministic generation: a pure function of (params, n). The graph is
+/// connected by construction (random spanning backbone first, then extra
+/// edges toward each node's target degree, respecting max_degree).
+Topology generate_topology(const TopologyParams& params, std::size_t n);
+
+}  // namespace forksim::p2p

@@ -30,6 +30,11 @@ void require_non_negative(double value, const char* field) {
 }  // namespace
 
 void ChaosParams::validate() const {
+  // internet-scale wiring: degree/region configs fail loudly and by name
+  // (a 5k-node sweep with degree > n-1 must die here, not an hour in)
+  if (scenario.topology.enabled)
+    scenario.topology.validate(scenario.nodes_eth + scenario.nodes_etc);
+  if (scenario.geo.enabled) scenario.geo.validate();
   require_prob(extra_loss, "extra_loss");
   require_prob(duplicate_prob, "duplicate_prob");
   require_prob(reorder_prob, "reorder_prob");

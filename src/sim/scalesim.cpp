@@ -1,0 +1,305 @@
+#include "sim/scalesim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/keccak.hpp"
+#include "support/stats.hpp"
+
+namespace forksim::sim {
+
+namespace {
+
+void require_non_negative(double v, const char* field) {
+  if (v < 0.0)
+    throw std::invalid_argument("ScaleParams: " + std::string(field) +
+                                " is negative (" + std::to_string(v) + ")");
+}
+
+void require_prob(double v, const char* field) {
+  if (v < 0.0 || v > 1.0)
+    throw std::invalid_argument("ScaleParams: " + std::string(field) + " (" +
+                                std::to_string(v) + ") outside [0, 1]");
+}
+
+}  // namespace
+
+void ScaleParams::validate() const {
+  if (nodes < 2)
+    throw std::invalid_argument("ScaleParams: nodes must be >= 2, got " +
+                                std::to_string(nodes));
+  topology.validate(nodes);
+  if (geo.enabled) geo.validate();
+  require_non_negative(uniform_base, "uniform_base");
+  require_non_negative(jitter_scale, "jitter_scale");
+  require_non_negative(jitter_sigma, "jitter_sigma");
+  require_non_negative(relay_delay, "relay_delay");
+  if (miners == 0 || miners > nodes)
+    throw std::invalid_argument(
+        "ScaleParams: miners (" + std::to_string(miners) +
+        ") must be in [1, nodes=" + std::to_string(nodes) + "]");
+  if (!(block_interval > 0.0))
+    throw std::invalid_argument("ScaleParams: block_interval must be > 0, "
+                                "got " + std::to_string(block_interval));
+  require_non_negative(duration, "duration");
+  // negative cut_start is the documented "no cut" flag
+  require_non_negative(cut_duration, "cut_duration");
+  require_prob(cut_fraction, "cut_fraction");
+}
+
+ScaleSim::ScaleSim(ScaleParams params)
+    : params_(std::move(params)), rng_(params_.seed) {
+  params_.validate();
+  const std::size_t n = params_.nodes;
+  topo_ = p2p::generate_topology(params_.topology, n);
+  if (params_.geo.enabled) geo_.emplace(params_.geo, n);
+
+  head_block_.assign(n, kGenesis);
+  head_height_.assign(n, 0);
+  words_per_block_ = (n + 63) / 64;
+
+  // miners: evenly spread node indices (deterministic; with geo enabled
+  // the seeded placement makes their regions proportional to population)
+  miner_nodes_.reserve(params_.miners);
+  for (std::size_t m = 0; m < params_.miners; ++m)
+    miner_nodes_.push_back(static_cast<std::uint32_t>(m * n / params_.miners));
+  miner_mined_.assign(params_.miners, 0);
+  miner_wins_.assign(params_.miners, 0);
+
+  // partition membership: a seeded shuffle's prefix, drawn only when the
+  // cut is enabled so cut-free runs consume identical rng streams
+  cut_side_.assign(n, 0);
+  if (params_.cut_start >= 0.0 && params_.cut_duration > 0.0 &&
+      params_.cut_fraction > 0.0) {
+    std::vector<std::uint32_t> order(n);
+    for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = rng_.uniform(i);
+      std::swap(order[i - 1], order[j]);
+    }
+    cut_size_ = static_cast<std::size_t>(
+        static_cast<double>(n) * params_.cut_fraction + 0.5);
+    cut_size_ = std::min(cut_size_, n);
+    for (std::size_t i = 0; i < cut_size_; ++i) cut_side_[order[i]] = 1;
+  }
+}
+
+double ScaleSim::link_delay(std::uint32_t a, std::uint32_t b) {
+  double base;
+  double scale;
+  double sigma;
+  if (geo_) {
+    base = geo_->base_delay(a, b);
+    scale = geo_->params().jitter_scale;
+    sigma = geo_->params().jitter_sigma;
+  } else {
+    base = params_.uniform_base;
+    scale = params_.jitter_scale;
+    sigma = params_.jitter_sigma;
+  }
+  const double jitter = scale > 0 ? rng_.lognormal(0.0, sigma) * scale : 0.0;
+  return base + jitter + params_.relay_delay;
+}
+
+bool ScaleSim::cut_severs(std::uint32_t a, std::uint32_t b,
+                          double now) const {
+  if (cut_size_ == 0) return false;
+  if (now < params_.cut_start ||
+      now >= params_.cut_start + params_.cut_duration)
+    return false;
+  return cut_side_[a] != cut_side_[b];
+}
+
+std::uint32_t ScaleSim::new_block(std::uint32_t parent, std::uint32_t height,
+                                  std::uint32_t miner, double now) {
+  const auto idx = static_cast<std::uint32_t>(blocks_.size());
+  blocks_.push_back(BlockRec{parent, height, miner, now});
+  seen_.resize(seen_.size() + words_per_block_, 0);
+  return idx;
+}
+
+void ScaleSim::on_mine(double now) {
+  // winner of this round of the race (equal hashpower per miner)
+  const auto m =
+      static_cast<std::uint32_t>(rng_.uniform(miner_nodes_.size()));
+  const std::uint32_t host = miner_nodes_[m];
+  const std::uint32_t parent = head_block_[host];
+  const std::uint32_t height = head_height_[host] + 1;
+  const std::uint32_t block = new_block(parent, height, host, now);
+  ++miner_mined_[m];
+  on_deliver(host, block, now);  // the miner has its own block instantly
+  const double next = now + rng_.exponential(params_.block_interval);
+  if (next <= params_.duration)
+    queue_.push(next, Ev{kMineEvent, 0});
+}
+
+void ScaleSim::on_deliver(std::uint32_t dst, std::uint32_t block,
+                          double now) {
+  std::uint64_t& word =
+      seen_[static_cast<std::size_t>(block) * words_per_block_ + dst / 64];
+  const std::uint64_t bit = 1ull << (dst % 64);
+  if (word & bit) {
+    ++dup_suppressed_;
+    return;
+  }
+  word |= bit;
+  ++deliveries_;
+  const BlockRec& rec = blocks_[block];
+  if (params_.record_arrivals)
+    arrival_deltas_.push_back(now - rec.mined_at);
+
+  // fork choice: height first, then the globally deterministic
+  // arena-index tie-break (earlier-mined wins), so a drained connected
+  // network always agrees on one head
+  if (rec.height > head_height_[dst] ||
+      (rec.height == head_height_[dst] && block < head_block_[dst])) {
+    head_block_[dst] = block;
+    head_height_[dst] = rec.height;
+  }
+
+  // flood-forward on first sight: every neighbor, suppressed at receivers
+  for (const std::uint32_t nb : topo_.neighbors_of(dst)) {
+    if (cut_severs(dst, nb, now)) {
+      ++cut_dropped_;
+      continue;
+    }
+    queue_.push(now + link_delay(dst, nb), Ev{nb, block});
+  }
+}
+
+ScaleReport ScaleSim::run() {
+  if (ran_)
+    throw std::logic_error("ScaleSim::run() is one-shot; construct anew");
+  ran_ = true;
+  queue_.push(rng_.exponential(params_.block_interval), Ev{kMineEvent, 0});
+  while (!queue_.empty()) {
+    const auto ev = queue_.pop();
+    ++events_;
+    if (ev.payload.dst == kMineEvent)
+      on_mine(ev.at);
+    else
+      on_deliver(ev.payload.dst, ev.payload.block, ev.at);
+  }
+  return finalize();
+}
+
+ScaleReport ScaleSim::finalize() {
+  ScaleReport out;
+  out.blocks_mined = blocks_.size();
+  out.deliveries = deliveries_;
+  out.dup_suppressed = dup_suppressed_;
+  out.cut_dropped = cut_dropped_;
+  out.events = events_;
+  out.scheduler = queue_.profile();
+  out.topology_digest = topo_.digest();
+
+  // convergence: distinct final heads across the node table
+  std::vector<std::uint32_t> heads = head_block_;
+  std::sort(heads.begin(), heads.end());
+  out.distinct_heads = static_cast<std::size_t>(
+      std::unique(heads.begin(), heads.end()) - heads.begin());
+  out.converged = out.distinct_heads == 1 && !blocks_.empty();
+
+  // canonical chain: the globally best head (max height, min index),
+  // walked back through the arena
+  std::uint32_t best = kGenesis;
+  for (std::uint32_t b = 0; b < blocks_.size(); ++b)
+    if (best == kGenesis || blocks_[b].height > blocks_[best].height) best = b;
+  std::vector<std::uint8_t> canonical(blocks_.size(), 0);
+  std::uint64_t canonical_len = 0;
+  for (std::uint32_t b = best; b != kGenesis; b = blocks_[b].parent) {
+    canonical[b] = 1;
+    ++canonical_len;
+  }
+  out.canonical_height = best == kGenesis ? 0 : blocks_[best].height;
+  out.stale_blocks = blocks_.size() - canonical_len;
+  out.stale_rate = blocks_.empty()
+                       ? 0.0
+                       : static_cast<double>(out.stale_blocks) /
+                             static_cast<double>(blocks_.size());
+
+  // per-miner canonical wins -> fairness
+  std::vector<std::uint32_t> node_to_miner(params_.nodes, kGenesis);
+  for (std::size_t m = 0; m < miner_nodes_.size(); ++m)
+    node_to_miner[miner_nodes_[m]] = static_cast<std::uint32_t>(m);
+  for (std::uint32_t b = 0; b < blocks_.size(); ++b)
+    if (canonical[b]) ++miner_wins_[node_to_miner[blocks_[b].miner]];
+  if (canonical_len > 0) {
+    const double expected = 1.0 / static_cast<double>(miner_nodes_.size());
+    std::vector<double> wins;
+    wins.reserve(miner_wins_.size());
+    double max_dev = 0.0;
+    for (const std::uint64_t w : miner_wins_) {
+      const double share =
+          static_cast<double>(w) / static_cast<double>(canonical_len);
+      max_dev = std::max(max_dev, std::abs(share - expected) / expected);
+      wins.push_back(static_cast<double>(w));
+    }
+    out.fairness_max_dev = max_dev;
+    out.fairness_gini = gini(std::move(wins));
+  }
+
+  // per-region slice
+  const std::size_t regions = geo_ ? geo_->region_count() : 1;
+  out.regions.resize(regions);
+  for (std::size_t r = 0; r < regions; ++r) {
+    out.regions[r].name = geo_ ? geo_->params().regions[r].name : "all";
+    out.regions[r].population = geo_ ? geo_->population(
+                                           static_cast<std::uint32_t>(r))
+                                     : params_.nodes;
+  }
+  const auto region_of = [&](std::uint32_t node) -> std::size_t {
+    return geo_ ? geo_->region_of(node) : 0;
+  };
+  for (std::size_t m = 0; m < miner_nodes_.size(); ++m) {
+    RegionStats& rs = out.regions[region_of(miner_nodes_[m])];
+    ++rs.miners;
+    rs.blocks_mined += miner_mined_[m];
+    rs.blocks_canonical += miner_wins_[m];
+  }
+  for (RegionStats& rs : out.regions) {
+    if (rs.blocks_mined > 0)
+      rs.stale_rate = static_cast<double>(rs.blocks_mined -
+                                          rs.blocks_canonical) /
+                      static_cast<double>(rs.blocks_mined);
+    const double hash_share = static_cast<double>(rs.miners) /
+                              static_cast<double>(miner_nodes_.size());
+    if (canonical_len > 0 && hash_share > 0.0)
+      rs.fairness = (static_cast<double>(rs.blocks_canonical) /
+                     static_cast<double>(canonical_len)) /
+                    hash_share;
+  }
+
+  // propagation percentiles over accepted deliveries
+  if (!arrival_deltas_.empty()) {
+    out.prop_mean = mean(arrival_deltas_);
+    out.prop_p50 = percentile(arrival_deltas_, 50.0);
+    out.prop_p90 = percentile(arrival_deltas_, 90.0);
+    out.prop_p99 = percentile(arrival_deltas_, 99.0);
+  }
+
+  // fingerprint: every node's final head + the run counters
+  Keccak256 h;
+  h.update(std::string_view("forksim/scalesim"));
+  const auto fold64 = [&h](std::uint64_t v) {
+    const auto be = be_fixed64(v);
+    h.update(BytesView(be.data(), be.size()));
+  };
+  fold64(params_.seed);
+  fold64(params_.nodes);
+  h.update(out.topology_digest.view());
+  fold64(out.blocks_mined);
+  fold64(out.canonical_height);
+  fold64(out.stale_blocks);
+  fold64(deliveries_);
+  fold64(dup_suppressed_);
+  fold64(cut_dropped_);
+  for (std::size_t i = 0; i < params_.nodes; ++i) {
+    fold64(head_block_[i]);
+    fold64(head_height_[i]);
+  }
+  out.fingerprint = h.digest();
+  return out;
+}
+
+}  // namespace forksim::sim

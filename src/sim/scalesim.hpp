@@ -1,0 +1,200 @@
+// Internet-scale block-propagation engine: O(thousands) of nodes on a
+// degree-configurable gossip topology with region-based latency.
+//
+// The full-node network (node.hpp) is protocol-complete — discovery,
+// sessions, EVM-executing chains — and tops out around tens of nodes per
+// run. The paper's partition, though, played out on ~25k nodes, and the
+// geography/degree effects the related measurement papers report
+// (propagation percentiles, mining fairness vs. latency) only appear at
+// that scale. ScaleSim reproduces them with a block-granular model built
+// for the purpose:
+//
+//   * flat indexed node tables — two parallel arrays (head block, head
+//     height) instead of per-node heap objects;
+//   * an append-only block arena (parent / height / miner / mined-at as
+//     POD records) plus one flat bitset arena for per-(node, block)
+//     dedupe — no per-message or per-block allocation on the hot path;
+//   * the profiled 4-ary TimedQueue from p2p/scheduler.hpp carrying POD
+//     delivery events directly (no std::function, no closures);
+//   * gossip = flood-forward-on-first-sight over the Topology CSR, with
+//     per-hop latency from the GeoModel (or a uniform base) plus seeded
+//     lognormal jitter;
+//   * mining = the exact PoW race abstraction fastsim.hpp validates:
+//     exponential inter-block times, a weighted winner, each block
+//     extending its miner's CURRENT head — so stale rates and fairness
+//     emerge from propagation latency rather than being parameterized.
+//
+// Chain state per node is a head pointer into the shared arena (data
+// availability is not modeled — this engine measures propagation and
+// fork dynamics, not storage). Fork choice: height, then first-seen,
+// with the globally deterministic arena-index tie-break, so a healed
+// network provably converges to one head once the queue drains. The
+// whole run replays bit-identically from the seed; ScaleReport carries a
+// fingerprint over every node's final head to prove it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "p2p/geo.hpp"
+#include "p2p/scheduler.hpp"
+#include "p2p/topology.hpp"
+#include "support/rng.hpp"
+
+namespace forksim::sim {
+
+struct ScaleParams {
+  std::size_t nodes = 1000;
+  p2p::TopologyParams topology;  // `enabled` is ignored here; always used
+  /// Region latency. geo.enabled == false gives a flat network where
+  /// every hop costs `uniform_base` plus jitter.
+  p2p::GeoParams geo;
+  double uniform_base = 0.05;
+  double jitter_scale = 0.01;
+  double jitter_sigma = 0.4;
+  /// Modeled per-hop processing (validate + re-announce) delay, seconds.
+  double relay_delay = 0.005;
+
+  /// Mining: `miners` evenly spread nodes with equal hashpower, racing at
+  /// one block per `block_interval` seconds in expectation.
+  std::size_t miners = 16;
+  double block_interval = 13.0;
+  /// Mining horizon; deliveries drain past it until the queue empties.
+  double duration = 3600.0;
+
+  /// Optional partition: a seeded `cut_fraction` of nodes is severed from
+  /// the rest during [cut_start, cut_start + cut_duration). Negative
+  /// cut_start disables the cut (and consumes no rng draws).
+  double cut_start = -1.0;
+  double cut_duration = 0.0;
+  double cut_fraction = 0.5;
+
+  std::uint64_t seed = 1;
+  /// Keep every accepted delivery's (arrival - mined_at) delta for the
+  /// propagation percentiles. Costs 8 bytes per delivery; turn off for
+  /// memory-tight sweeps (percentiles then report 0).
+  bool record_arrivals = true;
+
+  /// Field-named std::invalid_argument on out-of-range knobs; also runs
+  /// topology.validate(nodes) and geo.validate() (when enabled).
+  void validate() const;
+};
+
+/// Per-region outcome slice (one entry per GeoParams region; a single
+/// synthetic "all" region when geo is disabled).
+struct RegionStats {
+  std::string name;
+  std::size_t population = 0;
+  std::size_t miners = 0;
+  std::uint64_t blocks_mined = 0;
+  std::uint64_t blocks_canonical = 0;
+  /// Mined-but-not-canonical share of this region's blocks.
+  double stale_rate = 0.0;
+  /// Canonical-win share divided by hashpower share (1.0 = perfectly
+  /// fair; < 1 = the region's latency costs it blocks).
+  double fairness = 0.0;
+};
+
+struct ScaleReport {
+  // chain outcome
+  std::uint64_t blocks_mined = 0;
+  std::uint64_t canonical_height = 0;
+  std::uint64_t stale_blocks = 0;
+  double stale_rate = 0.0;
+  /// All nodes finished on the same head (guaranteed after a drain on a
+  /// healed connected graph — see fork-choice note above).
+  bool converged = false;
+  std::size_t distinct_heads = 0;
+
+  // propagation
+  std::uint64_t deliveries = 0;       // first-sight acceptances
+  std::uint64_t dup_suppressed = 0;   // redundant floods absorbed
+  std::uint64_t cut_dropped = 0;      // messages severed by the partition
+  double prop_p50 = 0.0, prop_p90 = 0.0, prop_p99 = 0.0, prop_mean = 0.0;
+
+  // fairness (equal-hashpower miners: every win-share should be 1/miners)
+  double fairness_max_dev = 0.0;  // max |share - expected| / expected
+  double fairness_gini = 0.0;     // gini over per-miner win counts
+  std::vector<RegionStats> regions;
+
+  // engine accounting
+  std::uint64_t events = 0;
+  p2p::TimedQueueProfile scheduler;
+  Hash256 topology_digest;
+  /// Keccak over every node's final (head, height), the arena size, and
+  /// the delivery counters: equal across two runs iff bit-identical.
+  Hash256 fingerprint;
+};
+
+class ScaleSim {
+ public:
+  /// Builds the topology and (when enabled) the geo placement; validates
+  /// eagerly.
+  explicit ScaleSim(ScaleParams params);
+
+  const ScaleParams& params() const noexcept { return params_; }
+  const p2p::Topology& topology() const noexcept { return topo_; }
+  /// Null when geo is disabled.
+  const p2p::GeoModel* geo() const noexcept {
+    return geo_ ? &*geo_ : nullptr;
+  }
+  /// Nodes on the severed side of the cut (empty when disabled).
+  std::size_t cut_members() const noexcept { return cut_size_; }
+
+  /// Drive the whole run to queue-drain and report. One-shot.
+  ScaleReport run();
+
+ private:
+  struct BlockRec {
+    std::uint32_t parent;  // arena index; kGenesis for height-1 blocks
+    std::uint32_t height;
+    std::uint32_t miner;   // node index
+    double mined_at;
+  };
+  static constexpr std::uint32_t kGenesis = 0xffffffffu;
+  static constexpr std::uint32_t kMineEvent = 0xffffffffu;
+
+  struct Ev {
+    std::uint32_t dst;    // node index, or kMineEvent
+    std::uint32_t block;  // arena index (unused for mine events)
+  };
+
+  void on_mine(double now);
+  void on_deliver(std::uint32_t dst, std::uint32_t block, double now);
+  double link_delay(std::uint32_t a, std::uint32_t b);
+  bool cut_severs(std::uint32_t a, std::uint32_t b, double now) const;
+  std::uint32_t new_block(std::uint32_t parent, std::uint32_t height,
+                          std::uint32_t miner, double now);
+  ScaleReport finalize();
+
+  ScaleParams params_;
+  Rng rng_;
+  p2p::Topology topo_;
+  std::optional<p2p::GeoModel> geo_;
+
+  // flat node table (struct-of-arrays)
+  std::vector<std::uint32_t> head_block_;   // kGenesis = still at genesis
+  std::vector<std::uint32_t> head_height_;
+  std::vector<std::uint8_t> cut_side_;      // 1 = severed group
+  std::size_t cut_size_ = 0;
+
+  // block arena + flat seen-bitset arena (words_per_block_ words/block)
+  std::vector<BlockRec> blocks_;
+  std::vector<std::uint64_t> seen_;
+  std::size_t words_per_block_ = 0;
+
+  std::vector<std::uint32_t> miner_nodes_;
+  std::vector<std::uint64_t> miner_wins_;   // canonical wins, filled at end
+  std::vector<std::uint64_t> miner_mined_;
+
+  p2p::TimedQueue<Ev> queue_;
+  std::vector<double> arrival_deltas_;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t dup_suppressed_ = 0;
+  std::uint64_t cut_dropped_ = 0;
+  std::uint64_t events_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace forksim::sim

@@ -37,6 +37,13 @@ ForkScenario::ForkScenario(ScenarioParams params)
   const core::ChainConfig etc_config =
       core::ChainConfig::etc(params_.fork_block, std::nullopt);
 
+  // Internet-scale wiring (both strictly opt-in: with the flags off, no
+  // extra rng draws happen and runs stay draw-for-draw identical to
+  // builds without this layer).
+  if (params_.topology.enabled)
+    topology_ = p2p::generate_topology(params_.topology, total_nodes);
+  if (params_.geo.enabled) geo_.emplace(params_.geo, total_nodes);
+
   for (std::size_t i = 0; i < total_nodes; ++i) {
     // Both sides share network id 1 pre-fork (they are the same network —
     // only the fork rule separates them), so use the pre-fork id for the
@@ -51,13 +58,34 @@ ForkScenario::ForkScenario(ScenarioParams params)
     nodes_.push_back(std::move(node));
   }
 
-  // bootstrap: everyone knows the first node (plus one random other)
-  std::vector<p2p::NodeId> seeds = {nodes_[0]->id()};
-  for (std::size_t i = 0; i < total_nodes; ++i) {
-    std::vector<p2p::NodeId> boot = seeds;
-    if (i != 0)
-      boot.push_back(nodes_[rng_.uniform(i)]->id());  // someone earlier
-    nodes_[i]->start(boot);
+  if (geo_) {
+    std::unordered_map<p2p::NodeId, std::uint32_t, p2p::NodeIdHasher>
+        placement;
+    for (std::size_t i = 0; i < total_nodes; ++i)
+      placement.emplace(nodes_[i]->id(), static_cast<std::uint32_t>(i));
+    network_.set_geo(&*geo_, std::move(placement));
+  }
+
+  if (params_.topology.enabled) {
+    // bootstrap along the generated graph: each node dials its
+    // neighborhood, so the session mesh takes the configured degree shape
+    for (std::size_t i = 0; i < total_nodes; ++i) {
+      std::vector<p2p::NodeId> boot;
+      for (const std::uint32_t nb :
+           topology_.neighbors_of(static_cast<std::uint32_t>(i)))
+        boot.push_back(nodes_[nb]->id());
+      nodes_[i]->start(boot);
+    }
+  } else {
+    // historical wiring: everyone knows the first node (plus one random
+    // other) and the mesh emerges from discovery
+    std::vector<p2p::NodeId> seeds = {nodes_[0]->id()};
+    for (std::size_t i = 0; i < total_nodes; ++i) {
+      std::vector<p2p::NodeId> boot = seeds;
+      if (i != 0)
+        boot.push_back(nodes_[rng_.uniform(i)]->id());  // someone earlier
+      nodes_[i]->start(boot);
+    }
   }
 
   // miners: hashrate split per side; ETH-side miners sit on ETH nodes etc.

@@ -12,9 +12,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "core/receipt.hpp"
 #include "evm/executor.hpp"
+#include "p2p/geo.hpp"
+#include "p2p/topology.hpp"
 #include "sim/miner.hpp"
 #include "sim/node.hpp"
 
@@ -32,6 +35,17 @@ struct ScenarioParams {
   U256 genesis_difficulty = U256(500'000);
   std::size_t funded_accounts = 32;
   p2p::LatencyModel latency = p2p::LatencyModel::wan();
+  /// Explicit gossip topology (p2p/topology.hpp). Disabled (the default)
+  /// keeps the historical wiring: everyone dials node 0 plus one random
+  /// earlier node and the mesh emerges from discovery. Enabled, each
+  /// node's bootstrap list is its generated-graph neighborhood, so degree
+  /// distribution becomes a controlled variable. Chaos and matrix
+  /// scenarios inherit this through ChaosParams::scenario unchanged.
+  p2p::TopologyParams topology;
+  /// Region-based latency (p2p/geo.hpp). Disabled by default; enabled,
+  /// every link's base delay comes from the seeded region placement's
+  /// RTT-class pair instead of the uniform `latency` model.
+  p2p::GeoParams geo;
   NodeOptions node_options;
   std::uint64_t seed = 1;
 };
@@ -52,6 +66,15 @@ class ForkScenario {
 
   /// Is node i on the fork-supporting (ETH) side?
   bool is_eth_node(std::size_t i) const { return i < params_.nodes_eth; }
+
+  /// The generated gossip topology (null when params.topology is
+  /// disabled) and region placement (null when params.geo is disabled).
+  const p2p::Topology* topology() const noexcept {
+    return params_.topology.enabled ? &topology_ : nullptr;
+  }
+  const p2p::GeoModel* geo_model() const noexcept {
+    return geo_ ? &*geo_ : nullptr;
+  }
 
   /// Funded account keys (same on every node — pre-fork state).
   const std::vector<PrivateKey>& accounts() const noexcept {
@@ -87,6 +110,8 @@ class ForkScenario {
   p2p::EventLoop loop_;
   p2p::Network network_;
   evm::EvmExecutor executor_;
+  p2p::Topology topology_;            // empty unless params.topology.enabled
+  std::optional<p2p::GeoModel> geo_;  // engaged iff params.geo.enabled
   std::vector<PrivateKey> accounts_;
   std::vector<std::unique_ptr<FullNode>> nodes_;
   std::vector<std::unique_ptr<Miner>> miners_;

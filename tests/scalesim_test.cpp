@@ -1,0 +1,188 @@
+// ScaleSim engine tests at tier-1 size (hundreds of nodes): determinism,
+// convergence, partition behavior, geography effects, and the ForkScenario
+// integration of the topology/geo layers. The 1k-node acceptance run lives
+// in scale_test.cpp under the `scale` ctest label.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/scalesim.hpp"
+#include "sim/scenario.hpp"
+
+namespace forksim::sim {
+namespace {
+
+ScaleParams small_params() {
+  ScaleParams p;
+  p.nodes = 128;
+  p.topology.degree = 6;
+  p.miners = 8;
+  p.block_interval = 13.0;
+  p.duration = 900.0;
+  p.seed = 11;
+  return p;
+}
+
+TEST(ScaleSimTest, SameSeedSameFingerprint) {
+  const ScaleParams p = small_params();
+  ScaleSim a(p);
+  ScaleSim b(p);
+  const ScaleReport ra = a.run();
+  const ScaleReport rb = b.run();
+  EXPECT_EQ(ra.fingerprint, rb.fingerprint);
+  EXPECT_EQ(ra.blocks_mined, rb.blocks_mined);
+  EXPECT_EQ(ra.deliveries, rb.deliveries);
+  EXPECT_EQ(ra.events, rb.events);
+  EXPECT_EQ(ra.prop_p90, rb.prop_p90);
+}
+
+TEST(ScaleSimTest, DifferentSeedDifferentFingerprint) {
+  ScaleParams p = small_params();
+  ScaleSim a(p);
+  p.seed = 12;
+  ScaleSim b(p);
+  EXPECT_NE(a.run().fingerprint, b.run().fingerprint);
+}
+
+TEST(ScaleSimTest, ConvergesOnConnectedGraph) {
+  ScaleSim sim(small_params());
+  const ScaleReport r = sim.run();
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.distinct_heads, 1u);
+  // ~69 expected blocks at interval 13 over 900 s
+  EXPECT_GT(r.blocks_mined, 30u);
+  EXPECT_GT(r.canonical_height, 0u);
+  EXPECT_EQ(r.canonical_height + r.stale_blocks, r.blocks_mined);
+  // every non-miner acceptance is a delivery; floods mean duplicates too
+  EXPECT_GT(r.deliveries, r.blocks_mined);
+  EXPECT_GT(r.dup_suppressed, 0u);
+  EXPECT_EQ(r.cut_dropped, 0u);
+  // percentiles are ordered and positive once arrivals are recorded
+  EXPECT_GT(r.prop_p50, 0.0);
+  EXPECT_LE(r.prop_p50, r.prop_p90);
+  EXPECT_LE(r.prop_p90, r.prop_p99);
+  EXPECT_EQ(r.scheduler.pushes, r.scheduler.pops);
+}
+
+TEST(ScaleSimTest, PartitionSeversThenHeals) {
+  ScaleParams p = small_params();
+  p.cut_start = 200.0;
+  p.cut_duration = 300.0;
+  p.cut_fraction = 0.4;
+  ScaleSim sim(p);
+  const std::size_t members = sim.cut_members();
+  EXPECT_GT(members, 128u / 4);
+  EXPECT_LT(members, 128u);
+  const ScaleReport r = sim.run();
+  EXPECT_GT(r.cut_dropped, 0u);
+  // the partition forked the chain, but the healed graph re-converges
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.stale_blocks, 0u);
+}
+
+TEST(ScaleSimTest, GeoLatencySlowsPropagation) {
+  ScaleParams fast = small_params();
+  ScaleParams slow = small_params();
+  slow.geo = p2p::GeoParams::internet().scaled(4.0);
+  slow.geo.enabled = true;
+  const ScaleReport rf = ScaleSim(fast).run();
+  const ScaleReport rs = ScaleSim(slow).run();
+  // 4x internet RTTs dominate the 50 ms uniform base
+  EXPECT_GT(rs.prop_p90, rf.prop_p90);
+  EXPECT_TRUE(rs.converged);
+  // region slices: one synthetic region without geo, six with
+  EXPECT_EQ(rf.regions.size(), 1u);
+  EXPECT_EQ(rs.regions.size(), 6u);
+  std::size_t pop = 0;
+  for (const auto& region : rs.regions) pop += region.population;
+  EXPECT_EQ(pop, slow.nodes);
+}
+
+TEST(ScaleSimTest, ArrivalRecordingOffZeroesPercentilesOnly) {
+  ScaleParams on = small_params();
+  ScaleParams off = small_params();
+  off.record_arrivals = false;
+  const ScaleReport ron = ScaleSim(on).run();
+  const ScaleReport roff = ScaleSim(off).run();
+  // the chain outcome is identical; only the percentile capture differs
+  EXPECT_EQ(ron.fingerprint, roff.fingerprint);
+  EXPECT_GT(ron.prop_p90, 0.0);
+  EXPECT_EQ(roff.prop_p90, 0.0);
+}
+
+TEST(ScaleSimTest, FairnessNearUniformWithEqualMiners) {
+  ScaleParams p = small_params();
+  p.duration = 3600.0;  // ~275 blocks for tighter shares
+  ScaleSim sim(p);
+  const ScaleReport r = sim.run();
+  // equal hashpower on a low-latency mesh: no miner should stray far
+  EXPECT_LT(r.fairness_max_dev, 1.0);
+  EXPECT_GE(r.fairness_gini, 0.0);
+  EXPECT_LT(r.fairness_gini, 0.5);
+}
+
+TEST(ScaleSimTest, RunIsOneShot) {
+  ScaleSim sim(small_params());
+  sim.run();
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(ScaleSimTest, PowerLawTopologyRuns) {
+  ScaleParams p = small_params();
+  p.topology.distribution = p2p::DegreeDistribution::kPowerLaw;
+  p.topology.degree = 3;
+  p.topology.max_degree = 24;
+  p.topology.alpha = 2.2;
+  const ScaleReport r = ScaleSim(p).run();
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.blocks_mined, 0u);
+}
+
+// ---- ForkScenario integration of the opt-in layers ----------------------
+
+TEST(ScaleSimTest, ForkScenarioWithTopologyFormsConfiguredMesh) {
+  ScenarioParams params;
+  params.nodes_eth = 9;
+  params.nodes_etc = 3;
+  params.miners_per_side_eth = 3;
+  params.miners_per_side_etc = 1;
+  params.fork_block = 8;
+  params.topology.enabled = true;
+  params.topology.degree = 4;
+  params.seed = 21;
+  ForkScenario scenario(params);
+  ASSERT_NE(scenario.topology(), nullptr);
+  EXPECT_EQ(scenario.topology()->node_count(), 12u);
+  EXPECT_TRUE(scenario.topology()->connected());
+  scenario.run_for(240.0);
+  EXPECT_GT(scenario.best_height_eth(), 0u);
+  // full protocol stack still partitions on the fork rule
+  scenario.run_for(600.0);
+  EXPECT_GE(scenario.best_height_eth(), params.fork_block);
+}
+
+TEST(ScaleSimTest, ForkScenarioWithGeoStaysDeterministic) {
+  ScenarioParams params;
+  params.nodes_eth = 6;
+  params.nodes_etc = 2;
+  params.miners_per_side_eth = 2;
+  params.miners_per_side_etc = 1;
+  params.fork_block = 10;
+  params.geo = p2p::GeoParams::internet();
+  params.geo.enabled = true;
+  params.seed = 33;
+
+  auto run_once = [&] {
+    ForkScenario scenario(params);
+    EXPECT_NE(scenario.geo_model(), nullptr);
+    scenario.run_for(300.0);
+    return std::pair{scenario.best_height_eth(), scenario.best_height_etc()};
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.first, 0u);
+}
+
+}  // namespace
+}  // namespace forksim::sim
