@@ -50,6 +50,7 @@ RECORDS = [
     "BENCH_matrix.json",
     "BENCH_ablate_topology.json",
     "BENCH_ablate_geo.json",
+    "BENCH_ablate_parallel.json",
 ]
 
 # Absolute slack (ns) added to every timing limit: benchmarks that resolve
@@ -113,15 +114,33 @@ def check_timings(current: dict, baseline: dict, tolerance: float) -> bool:
               f"{base_value:.0f} (+{tolerance:.0%} limit {limit:.0f})")
         if normalized > limit:
             ok = False
+    # a metric the current run emits but the baseline lacks would otherwise
+    # be silently ungated forever — fail loudly so the baseline gets
+    # regenerated when a benchmark grows a new timing
+    for name in sorted(cur):
+        if (not name.endswith("_real_time") or name in SKIPPED_METRICS
+                or name == CALIBRATION_METRIC):
+            continue
+        if name not in base:
+            print(f"FAIL  {name}: baseline key missing — regenerate the "
+                  f"baseline record to gate this new metric")
+            ok = False
     return ok
 
 
-def check_correctness(current: dict, name: str) -> bool:
+def check_correctness(current: dict, baseline: dict, name: str) -> bool:
     metrics = current.get("metrics", {})
     params = current.get("params", {})
     total = metrics.get("checks_total")
     passed = metrics.get("checks_passed")
     if total is None:  # record carries no embedded checks
+        if baseline.get("metrics", {}).get("checks_total") is not None:
+            # the baseline proves this record used to embed checks; a
+            # current run without them is a silently-dropped gate
+            print(f"FAIL  {name}: checks_total missing from current run "
+                  f"but present in baseline — the embedded correctness "
+                  f"checks were dropped")
+            return False
         return True
     if passed == total and params.get("all_passed", True):
         print(f"ok    {name}: {int(passed)}/{int(total)} checks passed")
@@ -156,8 +175,8 @@ def main() -> int:
         ok &= check_speedup_floors(cur)
         ok &= check_timings(cur, base, args.tolerance)
 
-    for name, (cur, _) in records.items():
-        ok &= check_correctness(cur, name)
+    for name, (cur, base) in records.items():
+        ok &= check_correctness(cur, base, name)
 
     print("perf smoke:", "PASS" if ok else "FAIL")
     return 0 if ok else 1

@@ -18,7 +18,9 @@
 // (tests/scheduler_property_test.cpp); production code must use TimedQueue.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <queue>
 #include <unordered_set>
 #include <utility>
@@ -154,6 +156,146 @@ class TimedQueue {
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
   TimedQueueProfile profile_;
+};
+
+/// Per-shard scheduler for the conservative-PDES engine (sim/scalesim).
+///
+/// TimedQueue's (time, seq) tie-break is a push-order tie-break: it is the
+/// right total order for a single sequential loop, but push order is an
+/// execution artifact — two shard counts interleave pushes differently, so
+/// seq-based ordering cannot be bit-identical across them. KeyedTimedQueue
+/// instead orders by (time, key) where the KEY IS SUPPLIED BY THE CALLER
+/// and derived from the event's identity (which block, which edge, which
+/// mine slot) rather than from when it was pushed. Any push order of the
+/// same event set pops in the same sequence — the property that lets a
+/// K-shard run replay a 1-shard run fingerprint-for-fingerprint.
+///
+/// Callers must make (time, key) collisions either impossible or harmless:
+/// the ScaleSim engine encodes (kind | block | destination) so two entries
+/// share a key only when they are the same logical delivery (in which case
+/// pop order between them cannot matter — the second is a duplicate).
+template <typename Payload>
+class KeyedTimedQueue {
+ public:
+  struct Entry {
+    double at = 0.0;
+    std::uint64_t key = 0;
+    Payload payload{};
+  };
+
+  void push(double at, std::uint64_t key, Payload payload) {
+    heap_.push_back(Entry{at, key, std::move(payload)});
+    sift_up(heap_.size() - 1);
+    ++profile_.pushes;
+    if (heap_.size() > profile_.max_size) profile_.max_size = heap_.size();
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Min entry under (time, key). Requires !empty().
+  const Entry& top() const { return heap_.front(); }
+
+  Entry pop() {
+    Entry out = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    ++profile_.pops;
+    return out;
+  }
+
+  const TimedQueueProfile& profile() const noexcept { return profile_; }
+
+ private:
+  static bool earlier(const Entry& a, const Entry& b) noexcept {
+    if (a.at != b.at) return a.at < b.at;
+    return a.key < b.key;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!earlier(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+      ++profile_.sift_steps;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first_child = 4 * i + 1;
+      if (first_child >= n) return;
+      std::size_t best = first_child;
+      const std::size_t last_child = std::min(first_child + 4, n);
+      for (std::size_t c = first_child + 1; c < last_child; ++c)
+        if (earlier(heap_[c], heap_[best])) best = c;
+      if (!earlier(heap_[best], heap_[i])) return;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+      ++profile_.sift_steps;
+    }
+  }
+
+  std::vector<Entry> heap_;
+  TimedQueueProfile profile_;
+};
+
+/// Reusable epoch barrier for the lock-step shard workers: all `parties`
+/// threads block in arrive_and_wait() until the last one arrives, then all
+/// release together. Mutex/condvar (not atomics) on purpose — every
+/// release is a full happens-before edge, so block-arena writes made by
+/// one shard before the barrier are visible to every shard after it, and
+/// ThreadSanitizer can verify the protocol rather than trust it.
+class PhaseBarrier {
+ public:
+  explicit PhaseBarrier(std::size_t parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::uint64_t generation = generation_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != generation; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  const std::size_t parties_;
+  std::size_t waiting_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+/// A conservative-PDES execution plan: which shard owns each node, and the
+/// lookahead (minimum cross-shard one-way latency, seconds) that bounds a
+/// lock-step epoch. Built by the scenario layer from its topology + geo
+/// configuration; consumed by the ScaleSim shard engine and by
+/// EventLoop::run_epochs_until (the full-node hook, which executes the
+/// same epoch schedule sequentially until node state is shard-isolated).
+struct ShardPlan {
+  std::size_t num_shards = 1;
+  /// node index -> owning shard (contiguous ranges; empty means "derive
+  /// with shard_of on demand").
+  std::vector<std::uint32_t> shard_of;
+  /// Epoch bound: no message sent in epoch [T, T + lookahead) can arrive
+  /// before T + lookahead. <= 0 means no safe bound exists (co-located
+  /// shards); only a single shard may run then.
+  double lookahead = 0.0;
+
+  /// Balanced contiguous partition: nodes [s*n/k, (s+1)*n/k) land on shard
+  /// s. Contiguity keeps each shard's SoA rows and bitset rows adjacent.
+  static std::uint32_t shard_for(std::size_t node, std::size_t n,
+                                 std::size_t k) noexcept {
+    if (k <= 1 || n == 0) return 0;
+    return static_cast<std::uint32_t>(node * k / n);
+  }
 };
 
 /// The pre-refactor scheduler: std::priority_queue with the same (time,

@@ -30,6 +30,29 @@ std::size_t EventLoop::run_until(SimTime deadline) {
   return executed;
 }
 
+EventLoop::EpochRunStats EventLoop::run_epochs_until(SimTime deadline,
+                                                     double lookahead) {
+  EpochRunStats st;
+  if (!(lookahead > 0)) {
+    st.events = run_until(deadline);
+    st.epochs = st.events > 0 ? 1 : 0;
+    return st;
+  }
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    const SimTime horizon = queue_.top().at + lookahead;
+    ++st.epochs;
+    while (!queue_.empty() && queue_.top().at < horizon &&
+           queue_.top().at <= deadline) {
+      auto ev = queue_.pop();
+      now_ = ev.at;
+      ev.payload();
+      ++st.events;
+    }
+  }
+  if (now_ < deadline) now_ = deadline;
+  return st;
+}
+
 std::size_t EventLoop::run() {
   std::size_t executed = 0;
   while (!queue_.empty()) {

@@ -46,6 +46,23 @@ class EventLoop {
   /// Run everything (no deadline).
   std::size_t run();
 
+  /// Execution tally of run_epochs_until.
+  struct EpochRunStats {
+    std::size_t events = 0;
+    std::size_t epochs = 0;
+  };
+
+  /// run_until, restructured as conservative-PDES lookahead epochs: each
+  /// epoch drains events in [t_min, t_min + lookahead) where t_min is the
+  /// earliest pending timestamp. Event order is identical to run_until —
+  /// epoch boundaries never reorder a (time, seq) queue — so a seeded run
+  /// is draw-for-draw unchanged (asserted by tests/parallel_sim_test.cpp).
+  /// This is the scheduling seam for sharded execution: a K-shard loop
+  /// runs the same epochs with one queue per shard and a barrier where
+  /// this version merely re-reads top(). A non-positive lookahead
+  /// degenerates to a single epoch (== run_until).
+  EpochRunStats run_epochs_until(SimTime deadline, double lookahead);
+
   std::size_t pending() const noexcept { return queue_.size(); }
 
   /// Heap-work counters of the underlying scheduler (pushes, pops, sift

@@ -1,14 +1,19 @@
 #include "sim/scalesim.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
+#include <thread>
 
 #include "crypto/keccak.hpp"
+#include "obs/metrics.hpp"
 #include "support/stats.hpp"
 
 namespace forksim::sim {
 
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 void require_non_negative(double v, const char* field) {
   if (v < 0.0)
@@ -20,6 +25,17 @@ void require_prob(double v, const char* field) {
   if (v < 0.0 || v > 1.0)
     throw std::invalid_argument("ScaleParams: " + std::string(field) + " (" +
                                 std::to_string(v) + ") outside [0, 1]");
+}
+
+/// Independent per-node stream seed: two splitmix64 finalization rounds
+/// over (run seed, lane). The node streams must be decorrelated from the
+/// run stream AND from each other so attributing jitter to the forwarding
+/// node never aliases the mining race.
+std::uint64_t lane_seed(std::uint64_t seed, std::uint64_t lane) noexcept {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (lane + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
 }
 
 }  // namespace
@@ -45,6 +61,10 @@ void ScaleParams::validate() const {
   // negative cut_start is the documented "no cut" flag
   require_non_negative(cut_duration, "cut_duration");
   require_prob(cut_fraction, "cut_fraction");
+  if (num_shards == 0 || num_shards > nodes)
+    throw std::invalid_argument(
+        "ScaleParams: num_shards (" + std::to_string(num_shards) +
+        ") must be in [1, nodes=" + std::to_string(nodes) + "]");
 }
 
 ScaleSim::ScaleSim(ScaleParams params)
@@ -56,7 +76,6 @@ ScaleSim::ScaleSim(ScaleParams params)
 
   head_block_.assign(n, kGenesis);
   head_height_.assign(n, 0);
-  words_per_block_ = (n + 63) / 64;
 
   // miners: evenly spread node indices (deterministic; with geo enabled
   // the seeded placement makes their regions proportional to population)
@@ -82,14 +101,67 @@ ScaleSim::ScaleSim(ScaleParams params)
     cut_size_ = std::min(cut_size_, n);
     for (std::size_t i = 0; i < cut_size_; ++i) cut_side_[order[i]] = 1;
   }
+
+  // the mining race, pre-drawn: the winner and inter-block gap draws
+  // depend only on the seed (never on network state), so the whole race
+  // can be fixed before any worker starts — slot i IS arena index i. The
+  // first block is unconditional (mirroring the historical engine);
+  // follow-ups stop once the race passes `duration`.
+  double t = rng_.exponential(params_.block_interval);
+  for (;;) {
+    const auto winner =
+        static_cast<std::uint32_t>(rng_.uniform(miner_nodes_.size()));
+    schedule_.push_back(MineSlot{t, winner});
+    ++miner_mined_[winner];
+    t += rng_.exponential(params_.block_interval);
+    if (t > params_.duration) break;
+  }
+  blocks_.assign(schedule_.size(), BlockRec{kGenesis, 0, 0, 0.0});
+  words_per_node_ = (schedule_.size() + 63) / 64;
+  seen_.assign(n * words_per_node_, 0);
+
+  // per-node jitter streams (stream i touched only by node i's shard)
+  node_rng_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    node_rng_.emplace_back(lane_seed(params_.seed, i));
+
+  // contiguous shard partition + the conservative epoch bound
+  const std::size_t k = params_.num_shards;
+  shard_of_.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    shard_of_[i] = p2p::ShardPlan::shard_for(i, n, k);
+  lookahead_ = k > 1 ? compute_lookahead() : 0.0;
+  if (k > 1 && !(lookahead_ > 0.0))
+    throw std::invalid_argument(
+        "ScaleParams: num_shards > 1 requires a positive cross-shard "
+        "latency floor (uniform_base/geo RTT + relay_delay), got " +
+        std::to_string(lookahead_));
+  shards_ = std::vector<Shard>(k);
+  for (Shard& shard : shards_) shard.outbox.resize(k);
 }
 
-double ScaleSim::link_delay(std::uint32_t a, std::uint32_t b) {
+double ScaleSim::compute_lookahead() const {
+  // the minimum latency ANY cross-shard message can experience: base
+  // (geo pair RTT/2 or the uniform base) + relay, with jitter >= 0. A
+  // message sent at time t over a cross-shard edge therefore arrives no
+  // earlier than t + lookahead — the classic conservative PDES bound.
+  double floor = kInf;
+  for (std::uint32_t a = 0; a < params_.nodes; ++a) {
+    for (const std::uint32_t b : topo_.neighbors_of(a)) {
+      if (shard_of_[a] == shard_of_[b]) continue;
+      const double base = geo_ ? geo_->base_delay(a, b) : params_.uniform_base;
+      floor = std::min(floor, base + params_.relay_delay);
+    }
+  }
+  return floor;  // +inf when no edge crosses a shard boundary
+}
+
+double ScaleSim::link_delay(std::uint32_t src, std::uint32_t dst) {
   double base;
   double scale;
   double sigma;
   if (geo_) {
-    base = geo_->base_delay(a, b);
+    base = geo_->base_delay(src, dst);
     scale = geo_->params().jitter_scale;
     sigma = geo_->params().jitter_sigma;
   } else {
@@ -97,7 +169,11 @@ double ScaleSim::link_delay(std::uint32_t a, std::uint32_t b) {
     scale = params_.jitter_scale;
     sigma = params_.jitter_sigma;
   }
-  const double jitter = scale > 0 ? rng_.lognormal(0.0, sigma) * scale : 0.0;
+  // jitter comes from the FORWARDING node's private stream: consumed in
+  // that node's (deterministic) event order, so the draw is identical no
+  // matter which shard count — or thread — executes the forward
+  const double jitter =
+      scale > 0 ? node_rng_[src].lognormal(0.0, sigma) * scale : 0.0;
   return base + jitter + params_.relay_delay;
 }
 
@@ -110,43 +186,28 @@ bool ScaleSim::cut_severs(std::uint32_t a, std::uint32_t b,
   return cut_side_[a] != cut_side_[b];
 }
 
-std::uint32_t ScaleSim::new_block(std::uint32_t parent, std::uint32_t height,
-                                  std::uint32_t miner, double now) {
-  const auto idx = static_cast<std::uint32_t>(blocks_.size());
-  blocks_.push_back(BlockRec{parent, height, miner, now});
-  seen_.resize(seen_.size() + words_per_block_, 0);
-  return idx;
-}
-
-void ScaleSim::on_mine(double now) {
-  // winner of this round of the race (equal hashpower per miner)
-  const auto m =
-      static_cast<std::uint32_t>(rng_.uniform(miner_nodes_.size()));
-  const std::uint32_t host = miner_nodes_[m];
+void ScaleSim::exec_mine(Shard& shard, std::uint32_t slot, double now) {
+  const std::uint32_t host = miner_nodes_[schedule_[slot].winner];
   const std::uint32_t parent = head_block_[host];
   const std::uint32_t height = head_height_[host] + 1;
-  const std::uint32_t block = new_block(parent, height, host, now);
-  ++miner_mined_[m];
-  on_deliver(host, block, now);  // the miner has its own block instantly
-  const double next = now + rng_.exponential(params_.block_interval);
-  if (next <= params_.duration)
-    queue_.push(next, Ev{kMineEvent, 0});
+  blocks_[slot] = BlockRec{parent, height, host, now};
+  exec_deliver(shard, host, slot, now);  // the miner has its block instantly
 }
 
-void ScaleSim::on_deliver(std::uint32_t dst, std::uint32_t block,
-                          double now) {
+void ScaleSim::exec_deliver(Shard& shard, std::uint32_t dst,
+                            std::uint32_t block, double now) {
   std::uint64_t& word =
-      seen_[static_cast<std::size_t>(block) * words_per_block_ + dst / 64];
-  const std::uint64_t bit = 1ull << (dst % 64);
+      seen_[static_cast<std::size_t>(dst) * words_per_node_ + block / 64];
+  const std::uint64_t bit = 1ull << (block % 64);
   if (word & bit) {
-    ++dup_suppressed_;
+    ++shard.dup_suppressed;
     return;
   }
   word |= bit;
-  ++deliveries_;
+  ++shard.deliveries;
   const BlockRec& rec = blocks_[block];
   if (params_.record_arrivals)
-    arrival_deltas_.push_back(now - rec.mined_at);
+    shard.arrivals.push_back(now - rec.mined_at);
 
   // fork choice: height first, then the globally deterministic
   // arena-index tie-break (earlier-mined wins), so a drained connected
@@ -157,13 +218,84 @@ void ScaleSim::on_deliver(std::uint32_t dst, std::uint32_t block,
     head_height_[dst] = rec.height;
   }
 
-  // flood-forward on first sight: every neighbor, suppressed at receivers
+  // flood-forward on first sight: every neighbor, suppressed at receivers;
+  // off-shard destinations are buffered for the epoch barrier
+  const std::uint32_t my_shard = shard_of_[dst];
   for (const std::uint32_t nb : topo_.neighbors_of(dst)) {
     if (cut_severs(dst, nb, now)) {
-      ++cut_dropped_;
+      ++shard.cut_dropped;
       continue;
     }
-    queue_.push(now + link_delay(dst, nb), Ev{nb, block});
+    const double at = now + link_delay(dst, nb);
+    const std::uint64_t key = delivery_key(block, nb);
+    const std::uint32_t dest_shard = shard_of_[nb];
+    if (dest_shard == my_shard) {
+      shard.queue.push(at, key, Ev{nb, block});
+    } else {
+      shard.outbox[dest_shard].push_back(Mail{at, key, Ev{nb, block}});
+      ++shard.mail_out;
+    }
+  }
+}
+
+void ScaleSim::process_until(Shard& shard, double horizon) {
+  while (!shard.queue.empty() && shard.queue.top().at < horizon) {
+    const auto ev = shard.queue.pop();
+    ++shard.events;
+    if (ev.payload.dst == kMineEvent)
+      exec_mine(shard, ev.payload.block, ev.at);
+    else
+      exec_deliver(shard, ev.payload.dst, ev.payload.block, ev.at);
+  }
+}
+
+void ScaleSim::merge_inbox(std::size_t s) {
+  // drain every source shard's bucket for us, in ascending source order.
+  // Push order cannot influence pop order (KeyedTimedQueue is keyed), but
+  // a fixed order keeps the heap-shape profile reproducible run to run.
+  for (Shard& src : shards_) {
+    std::vector<Mail>& bucket = src.outbox[s];
+    for (const Mail& mail : bucket)
+      shards_[s].queue.push(mail.at, mail.key, mail.ev);
+    bucket.clear();
+  }
+}
+
+void ScaleSim::worker(std::size_t s, p2p::PhaseBarrier& barrier,
+                      EpochControl& ctl) {
+  Shard& shard = shards_[s];
+  for (;;) {
+    // (1) previous epoch's merges are done everywhere; shard 0 computes
+    // the next horizon from every queue's minimum
+    barrier.arrive_and_wait();
+    if (s == 0) {
+      double t_min = kInf;
+      for (const Shard& sh : shards_)
+        if (!sh.queue.empty()) t_min = std::min(t_min, sh.queue.top().at);
+      ctl.done = t_min == kInf;
+      if (!ctl.done) {
+        ctl.horizon = t_min + lookahead_;
+        ++ctl.epochs;
+      }
+    }
+    // (2) horizon published
+    barrier.arrive_and_wait();
+    if (ctl.done) break;
+    const double horizon = ctl.horizon;
+    process_until(shard, horizon);
+    if (params_.audit_epochs) {
+      // conservative invariant: nothing we mailed this epoch may land
+      // before the horizon — otherwise a peer shard could already have
+      // drained past the arrival time
+      for (const std::vector<Mail>& bucket : shard.outbox)
+        for (const Mail& mail : bucket) {
+          ++shard.audit_checked;
+          if (mail.at < horizon) ++shard.audit_violations;
+        }
+    }
+    // (3) all outboxes final; everyone collects their inbound mail
+    barrier.arrive_and_wait();
+    merge_inbox(s);
   }
 }
 
@@ -171,27 +303,71 @@ ScaleReport ScaleSim::run() {
   if (ran_)
     throw std::logic_error("ScaleSim::run() is one-shot; construct anew");
   ran_ = true;
-  queue_.push(rng_.exponential(params_.block_interval), Ev{kMineEvent, 0});
-  while (!queue_.empty()) {
-    const auto ev = queue_.pop();
-    ++events_;
-    if (ev.payload.dst == kMineEvent)
-      on_mine(ev.at);
-    else
-      on_deliver(ev.payload.dst, ev.payload.block, ev.at);
+
+  // seed every shard's queue with its own miners' pre-drawn race slots
+  for (std::uint32_t slot = 0;
+       slot < static_cast<std::uint32_t>(schedule_.size()); ++slot) {
+    const std::uint32_t host = miner_nodes_[schedule_[slot].winner];
+    shards_[shard_of_[host]].queue.push(schedule_[slot].at, slot,
+                                        Ev{kMineEvent, slot});
+  }
+
+  if (shards_.size() == 1) {
+    process_until(shards_[0], kInf);
+    epochs_ = shards_[0].events > 0 ? 1 : 0;
+  } else {
+    p2p::PhaseBarrier barrier(shards_.size());
+    EpochControl ctl;
+    std::vector<std::thread> threads;
+    threads.reserve(shards_.size() - 1);
+    for (std::size_t s = 1; s < shards_.size(); ++s)
+      threads.emplace_back([this, s, &barrier, &ctl] {
+        worker(s, barrier, ctl);
+      });
+    worker(0, barrier, ctl);
+    for (std::thread& th : threads) th.join();
+    epochs_ = ctl.epochs;
   }
   return finalize();
 }
 
 ScaleReport ScaleSim::finalize() {
+  // fold the per-shard tallies in ascending shard order (integer sums are
+  // order-free; the arrivals get a canonical sort below, so every shard
+  // count reports bit-identical statistics)
+  for (const Shard& shard : shards_) {
+    deliveries_ += shard.deliveries;
+    dup_suppressed_ += shard.dup_suppressed;
+    cut_dropped_ += shard.cut_dropped;
+    events_ += shard.events;
+    cross_shard_messages_ += shard.mail_out;
+    audit_checked_ += shard.audit_checked;
+    audit_violations_ += shard.audit_violations;
+    arrival_deltas_.insert(arrival_deltas_.end(), shard.arrivals.begin(),
+                           shard.arrivals.end());
+    const p2p::TimedQueueProfile& p = shard.queue.profile();
+    profile_.pushes += p.pushes;
+    profile_.pops += p.pops;
+    profile_.cancels += p.cancels;
+    profile_.sift_steps += p.sift_steps;
+    profile_.max_size = std::max(profile_.max_size, p.max_size);
+  }
+  std::sort(arrival_deltas_.begin(), arrival_deltas_.end());
+
   ScaleReport out;
   out.blocks_mined = blocks_.size();
   out.deliveries = deliveries_;
   out.dup_suppressed = dup_suppressed_;
   out.cut_dropped = cut_dropped_;
   out.events = events_;
-  out.scheduler = queue_.profile();
+  out.scheduler = profile_;
   out.topology_digest = topo_.digest();
+  out.shards = shards_.size();
+  out.epochs = epochs_;
+  out.cross_shard_messages = cross_shard_messages_;
+  out.lookahead = lookahead_;
+  out.audit_mail_checked = audit_checked_;
+  out.audit_violations = audit_violations_;
 
   // convergence: distinct final heads across the node table
   std::vector<std::uint32_t> heads = head_block_;
@@ -270,7 +446,8 @@ ScaleReport ScaleSim::finalize() {
                     hash_share;
   }
 
-  // propagation percentiles over accepted deliveries
+  // propagation percentiles over accepted deliveries (sorted above, so
+  // the mean's summation order is canonical too)
   if (!arrival_deltas_.empty()) {
     out.prop_mean = mean(arrival_deltas_);
     out.prop_p50 = percentile(arrival_deltas_, 50.0);
@@ -278,7 +455,9 @@ ScaleReport ScaleSim::finalize() {
     out.prop_p99 = percentile(arrival_deltas_, 99.0);
   }
 
-  // fingerprint: every node's final head + the run counters
+  // fingerprint: every node's final head + the run counters. Execution
+  // shape (shards, epochs, mail, profile) is deliberately excluded — the
+  // outcome it hashes is the thing that must not move with num_shards.
   Keccak256 h;
   h.update(std::string_view("forksim/scalesim"));
   const auto fold64 = [&h](std::uint64_t v) {
@@ -300,6 +479,23 @@ ScaleReport ScaleSim::finalize() {
   }
   out.fingerprint = h.digest();
   return out;
+}
+
+void ScaleSim::export_telemetry(obs::Registry& reg) const {
+  if (!ran_) return;
+  // one Snapshot per shard, merged in ascending shard order through the
+  // obs merge path — the same fold every shard count produces, so merged
+  // telemetry fingerprints are shard-count-invariant (asserted by
+  // tests/parallel_sim_test.cpp)
+  for (const Shard& shard : shards_) {
+    obs::Registry local;
+    local.counter("scalesim.deliveries").inc(shard.deliveries);
+    local.counter("scalesim.dup_suppressed").inc(shard.dup_suppressed);
+    local.counter("scalesim.cut_dropped").inc(shard.cut_dropped);
+    local.counter("scalesim.events").inc(shard.events);
+    reg.merge(local.snapshot());
+  }
+  reg.counter("scalesim.blocks_mined").inc(blocks_.size());
 }
 
 }  // namespace forksim::sim

@@ -1,5 +1,6 @@
 // Internet-scale block-propagation engine: O(thousands) of nodes on a
-// degree-configurable gossip topology with region-based latency.
+// degree-configurable gossip topology with region-based latency, executed
+// by a sharded conservative-PDES core.
 //
 // The full-node network (node.hpp) is protocol-complete — discovery,
 // sessions, EVM-executing chains — and tops out around tens of nodes per
@@ -12,10 +13,11 @@
 //   * flat indexed node tables — two parallel arrays (head block, head
 //     height) instead of per-node heap objects;
 //   * an append-only block arena (parent / height / miner / mined-at as
-//     POD records) plus one flat bitset arena for per-(node, block)
-//     dedupe — no per-message or per-block allocation on the hot path;
-//   * the profiled 4-ary TimedQueue from p2p/scheduler.hpp carrying POD
-//     delivery events directly (no std::function, no closures);
+//     POD records) plus one flat node-major seen-bitset arena for
+//     per-(node, block) dedupe — no per-message or per-block allocation on
+//     the hot path;
+//   * per-shard KeyedTimedQueues (p2p/scheduler.hpp) carrying POD delivery
+//     events directly (no std::function, no closures);
 //   * gossip = flood-forward-on-first-sight over the Topology CSR, with
 //     per-hop latency from the GeoModel (or a uniform base) plus seeded
 //     lognormal jitter;
@@ -23,6 +25,32 @@
 //     exponential inter-block times, a weighted winner, each block
 //     extending its miner's CURRENT head — so stale rates and fairness
 //     emerge from propagation latency rather than being parameterized.
+//
+// Parallel execution (num_shards > 1) is conservative PDES: nodes are
+// partitioned into contiguous index ranges, one worker thread per shard,
+// executing in lock-step epochs bounded by the LOOKAHEAD — the minimum
+// cross-shard one-way latency derived from the topology's cross-shard
+// edges, the geo RTT floor (or the uniform base), and the relay delay. A
+// message sent during epoch [T, T + L) cannot arrive anywhere off-shard
+// before T + L, so every shard can safely drain its own queue up to the
+// epoch horizon, buffer cross-shard sends in per-shard mailboxes, and
+// merge them at the barrier in deterministic (src-shard, send-order)
+// order before the next epoch begins.
+//
+// Determinism is execution-order-invariant by construction, so EVERY shard
+// count produces the bit-identical report (fingerprint, counters, region
+// stats, percentiles) — pinned by tests/parallel_sim_test.cpp:
+//
+//   * randomness is attributed to identities, not to execution order: the
+//     mining race (winner + inter-block gaps) is pre-drawn sequentially
+//     from the run seed before any worker starts, and per-hop jitter comes
+//     from the FORWARDING NODE's private stream (seeded from the run seed
+//     and the node index), consumed in that node's event order;
+//   * block arena slots are pre-assigned: block i is the i-th mine event,
+//     so the height-then-arena-index fork choice never depends on which
+//     thread allocated first;
+//   * event order is (time, key) with identity-derived keys (mine slot /
+//     block + destination), not push order — see KeyedTimedQueue.
 //
 // Chain state per node is a head pointer into the shared arena (data
 // availability is not modeled — this engine measures propagation and
@@ -41,6 +69,10 @@
 #include "p2p/scheduler.hpp"
 #include "p2p/topology.hpp"
 #include "support/rng.hpp"
+
+namespace forksim::obs {
+class Registry;
+}
 
 namespace forksim::sim {
 
@@ -75,6 +107,19 @@ struct ScaleParams {
   /// propagation percentiles. Costs 8 bytes per delivery; turn off for
   /// memory-tight sweeps (percentiles then report 0).
   bool record_arrivals = true;
+
+  /// Worker shards for the conservative-PDES core. 1 (the default) runs
+  /// the whole event population on the calling thread; K > 1 partitions
+  /// nodes into K contiguous ranges, each driven by its own thread in
+  /// lock-step lookahead epochs. Every value produces the bit-identical
+  /// report; K > 1 additionally requires a positive cross-shard latency
+  /// floor (uniform_base/geo RTT + relay_delay), checked at construction.
+  std::size_t num_shards = 1;
+
+  /// Test hook: when true, every cross-shard send is checked against the
+  /// conservative invariant (arrival >= the sending epoch's horizon) and
+  /// the audit tallies land in the report. Zero cost when off.
+  bool audit_epochs = false;
 
   /// Field-named std::invalid_argument on out-of-range knobs; also runs
   /// topology.validate(nodes) and geo.validate() (when enabled).
@@ -122,6 +167,20 @@ struct ScaleReport {
   std::uint64_t events = 0;
   p2p::TimedQueueProfile scheduler;
   Hash256 topology_digest;
+
+  // parallel-engine accounting. The OUTCOME above is bit-identical across
+  // shard counts; these describe the execution shape (and so legitimately
+  // vary with num_shards) — none of them folds into the fingerprint.
+  std::size_t shards = 1;
+  std::uint64_t epochs = 0;
+  std::uint64_t cross_shard_messages = 0;
+  double lookahead = 0.0;
+  /// Conservative-invariant audit (params.audit_epochs only): cross-shard
+  /// sends checked, and how many arrived before the sending epoch's
+  /// horizon. Any violation is a correctness bug in the epoch bound.
+  std::uint64_t audit_mail_checked = 0;
+  std::uint64_t audit_violations = 0;
+
   /// Keccak over every node's final (head, height), the arena size, and
   /// the delivery counters: equal across two runs iff bit-identical.
   Hash256 fingerprint;
@@ -129,8 +188,9 @@ struct ScaleReport {
 
 class ScaleSim {
  public:
-  /// Builds the topology and (when enabled) the geo placement; validates
-  /// eagerly.
+  /// Builds the topology, the (optional) geo placement, the seeded cut
+  /// membership, the pre-drawn mining schedule, and the shard partition;
+  /// validates eagerly (including the K > 1 lookahead-floor requirement).
   explicit ScaleSim(ScaleParams params);
 
   const ScaleParams& params() const noexcept { return params_; }
@@ -142,8 +202,26 @@ class ScaleSim {
   /// Nodes on the severed side of the cut (empty when disabled).
   std::size_t cut_members() const noexcept { return cut_size_; }
 
+  /// Owning shard of a node (contiguous ranges, ShardPlan::shard_for).
+  std::uint32_t shard_of(std::uint32_t node) const noexcept {
+    return shard_of_[node];
+  }
+  /// The conservative epoch bound: minimum over cross-shard topology edges
+  /// of (one-way base latency + relay delay). +inf when no edge crosses a
+  /// shard boundary (shards never talk); meaningless (0) when num_shards
+  /// == 1. Tests assert it never exceeds any actual link's latency floor.
+  double lookahead() const noexcept { return lookahead_; }
+
   /// Drive the whole run to queue-drain and report. One-shot.
   ScaleReport run();
+
+  /// Register scalesim.* OUTCOME counters (deliveries, duplicates, cut
+  /// drops, events, blocks mined) in `reg` after run(), folding the
+  /// per-shard tallies in ascending shard order so the merged telemetry is
+  /// bit-identical across shard counts. Execution-shape numbers (epochs,
+  /// cross-shard mail) stay report-only for the same reason the
+  /// fingerprint excludes them. No-op before run().
+  void export_telemetry(obs::Registry& reg) const;
 
  private:
   struct BlockRec {
@@ -152,21 +230,64 @@ class ScaleSim {
     std::uint32_t miner;   // node index
     double mined_at;
   };
+  /// One pre-drawn slot of the mining race: who wins the round and when.
+  /// Slot i IS arena index i — parent/height are filled in when the event
+  /// executes against the winner's then-current head.
+  struct MineSlot {
+    double at;
+    std::uint32_t winner;  // miner index (into miner_nodes_)
+  };
   static constexpr std::uint32_t kGenesis = 0xffffffffu;
   static constexpr std::uint32_t kMineEvent = 0xffffffffu;
 
   struct Ev {
     std::uint32_t dst;    // node index, or kMineEvent
-    std::uint32_t block;  // arena index (unused for mine events)
+    std::uint32_t block;  // arena index == mine slot index
+  };
+  /// Buffered cross-shard delivery, exchanged at the epoch barrier.
+  struct Mail {
+    double at;
+    std::uint64_t key;
+    Ev ev;
+  };
+  /// Per-shard worker state. Padded so two workers' hot counters never
+  /// share a cache line.
+  struct alignas(64) Shard {
+    p2p::KeyedTimedQueue<Ev> queue;
+    std::vector<std::vector<Mail>> outbox;  // one bucket per dest shard
+    std::vector<double> arrivals;
+    std::uint64_t deliveries = 0;
+    std::uint64_t dup_suppressed = 0;
+    std::uint64_t cut_dropped = 0;
+    std::uint64_t events = 0;
+    std::uint64_t mail_out = 0;
+    std::uint64_t audit_checked = 0;
+    std::uint64_t audit_violations = 0;
+  };
+  /// Barrier-published epoch control block (written by shard 0 between
+  /// barriers, read by everyone after).
+  struct EpochControl {
+    double horizon = 0.0;
+    bool done = false;
+    std::uint64_t epochs = 0;
   };
 
-  void on_mine(double now);
-  void on_deliver(std::uint32_t dst, std::uint32_t block, double now);
-  double link_delay(std::uint32_t a, std::uint32_t b);
+  void exec_mine(Shard& shard, std::uint32_t slot, double now);
+  void exec_deliver(Shard& shard, std::uint32_t dst, std::uint32_t block,
+                    double now);
+  void process_until(Shard& shard, double horizon);
+  void merge_inbox(std::size_t s);
+  void worker(std::size_t s, p2p::PhaseBarrier& barrier, EpochControl& ctl);
+  double link_delay(std::uint32_t src, std::uint32_t dst);
   bool cut_severs(std::uint32_t a, std::uint32_t b, double now) const;
-  std::uint32_t new_block(std::uint32_t parent, std::uint32_t height,
-                          std::uint32_t miner, double now);
+  double compute_lookahead() const;
   ScaleReport finalize();
+
+  static std::uint64_t delivery_key(std::uint32_t block,
+                                    std::uint32_t dst) noexcept {
+    // top bit: deliveries order after the mine slot with the same index
+    return (1ull << 63) | (static_cast<std::uint64_t>(block) << 32) | dst;
+  }
 
   ScaleParams params_;
   Rng rng_;
@@ -179,21 +300,36 @@ class ScaleSim {
   std::vector<std::uint8_t> cut_side_;      // 1 = severed group
   std::size_t cut_size_ = 0;
 
-  // block arena + flat seen-bitset arena (words_per_block_ words/block)
+  // identity-attributed randomness: the pre-drawn race + per-node jitter
+  // streams (stream i is touched only by node i's owning shard)
+  std::vector<MineSlot> schedule_;
+  std::vector<Rng> node_rng_;
+
+  // block arena (pre-sized: slot i == mine event i) + node-major seen
+  // bitset arena (node i's row: words [i*words_per_node_, ...))
   std::vector<BlockRec> blocks_;
   std::vector<std::uint64_t> seen_;
-  std::size_t words_per_block_ = 0;
+  std::size_t words_per_node_ = 0;
 
   std::vector<std::uint32_t> miner_nodes_;
   std::vector<std::uint64_t> miner_wins_;   // canonical wins, filled at end
   std::vector<std::uint64_t> miner_mined_;
 
-  p2p::TimedQueue<Ev> queue_;
-  std::vector<double> arrival_deltas_;
+  // shard partition
+  std::vector<std::uint32_t> shard_of_;
+  std::vector<Shard> shards_;
+  double lookahead_ = 0.0;
+  std::uint64_t epochs_ = 0;
+
   std::uint64_t deliveries_ = 0;
   std::uint64_t dup_suppressed_ = 0;
   std::uint64_t cut_dropped_ = 0;
   std::uint64_t events_ = 0;
+  std::uint64_t cross_shard_messages_ = 0;
+  std::uint64_t audit_checked_ = 0;
+  std::uint64_t audit_violations_ = 0;
+  std::vector<double> arrival_deltas_;
+  p2p::TimedQueueProfile profile_;
   bool ran_ = false;
 };
 

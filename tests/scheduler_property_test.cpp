@@ -7,6 +7,7 @@
 // waiting to happen.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "p2p/scheduler.hpp"
@@ -138,6 +139,100 @@ TEST(SchedulerPropertyTest, CancelOfPoppedHandleRefusedAfterReuse) {
   EXPECT_TRUE(q.cancel(h2));
   EXPECT_TRUE(q.empty());
   EXPECT_FALSE(q.cancel(12345));  // never scheduled
+}
+
+TEST(SchedulerPropertyTest, CancelThenRescheduleSameSlotAdversarial) {
+  // adversarial lazy-cancellation pattern: repeatedly cancel the earliest
+  // live entry and immediately reschedule the same payload at the SAME
+  // timestamp. Tombstones pile up at the heap top — exactly where lazy
+  // cancellation must skip them — while a model oracle (live map, sorted
+  // by (time, handle)) pins the expected drain.
+  for (std::uint64_t seed = 900; seed <= 930; ++seed) {
+    TimedQueue<int> q;
+    Rng rng(seed);
+    struct Live {
+      std::uint64_t handle;
+      double at;
+      int payload;
+    };
+    std::vector<Live> model;
+    int next_payload = 0;
+    for (int i = 0; i < 64; ++i) {
+      const double at = static_cast<double>(rng.uniform(8));
+      model.push_back({q.push(at, next_payload), at, next_payload});
+      ++next_payload;
+    }
+    for (int round = 0; round < 200; ++round) {
+      // cancel the model's earliest entry (the heap's current/near top)...
+      const auto earliest = std::min_element(
+          model.begin(), model.end(), [](const Live& a, const Live& b) {
+            return a.at != b.at ? a.at < b.at : a.handle < b.handle;
+          });
+      const double at = earliest->at;
+      ASSERT_TRUE(q.cancel(earliest->handle));
+      model.erase(earliest);
+      // ...and reschedule the same deadline, earning a fresh (later) seq
+      model.push_back({q.push(at, next_payload), at, next_payload});
+      ++next_payload;
+      EXPECT_EQ(q.size(), model.size());
+    }
+    std::sort(model.begin(), model.end(), [](const Live& a, const Live& b) {
+      return a.at != b.at ? a.at < b.at : a.handle < b.handle;
+    });
+    for (const Live& expect : model) {
+      ASSERT_FALSE(q.empty()) << "seed " << seed;
+      const auto e = q.pop();
+      EXPECT_EQ(e.at, expect.at) << "seed " << seed;
+      EXPECT_EQ(e.seq, expect.handle) << "seed " << seed;
+      EXPECT_EQ(e.payload, expect.payload) << "seed " << seed;
+    }
+    EXPECT_TRUE(q.empty()) << "seed " << seed;
+    EXPECT_GE(q.profile().cancels, 200u);
+  }
+}
+
+TEST(SchedulerPropertyTest, CancelDuringDrainAdversarial) {
+  // cancellation interleaved with the drain itself: after every pop,
+  // cancel a seeded pick of the remaining entries — including, often, the
+  // exact next-to-pop — and check the drain never surfaces a cancelled
+  // entry and never misses a live one.
+  for (std::uint64_t seed = 1000; seed <= 1030; ++seed) {
+    TimedQueue<int> q;
+    Rng rng(seed);
+    struct Live {
+      std::uint64_t handle;
+      double at;
+    };
+    std::vector<Live> model;
+    for (int i = 0; i < 256; ++i) {
+      const double at = static_cast<double>(rng.uniform(16));
+      model.push_back({q.push(at, i), at});
+    }
+    auto model_order = [](const Live& a, const Live& b) {
+      return a.at != b.at ? a.at < b.at : a.handle < b.handle;
+    };
+    while (!model.empty()) {
+      // maybe cancel 0-2 live entries first (biased toward the earliest,
+      // so tombstones sit on the heap top the next pop must step over)
+      const std::size_t cancels = rng.uniform(3);
+      for (std::size_t c = 0; c < cancels && !model.empty(); ++c) {
+        const std::size_t pick = rng.uniform01() < 0.5
+                                     ? 0
+                                     : rng.uniform(model.size());
+        std::sort(model.begin(), model.end(), model_order);
+        ASSERT_TRUE(q.cancel(model[pick].handle)) << "seed " << seed;
+        model.erase(model.begin() + pick);
+      }
+      EXPECT_EQ(q.size(), model.size());
+      if (model.empty()) break;
+      std::sort(model.begin(), model.end(), model_order);
+      const auto e = q.pop();
+      EXPECT_EQ(e.at, model.front().at) << "seed " << seed;
+      EXPECT_EQ(e.seq, model.front().handle) << "seed " << seed;
+      model.erase(model.begin());
+    }
+    EXPECT_TRUE(q.empty()) << "seed " << seed;
+  }
 }
 
 TEST(SchedulerPropertyTest, EventLoopCancellableTimers) {

@@ -176,6 +176,52 @@ TEST(GeoPropertyTest, ScaledMultipliesEveryRttClass) {
       EXPECT_DOUBLE_EQ(g3.rtt[i][j], 3.0 * g.rtt[i][j]);
 }
 
+TEST(GeoPropertyTest, ScaledPreservesEverythingButRtt) {
+  const GeoParams g = GeoParams::internet();
+  const GeoParams g1 = g.scaled(1.0);
+  ASSERT_EQ(g1.regions.size(), g.regions.size());
+  for (std::size_t i = 0; i < g.regions.size(); ++i) {
+    EXPECT_EQ(g1.regions[i].name, g.regions[i].name);
+    EXPECT_DOUBLE_EQ(g1.regions[i].weight, g.regions[i].weight);
+  }
+  EXPECT_EQ(g1.rtt, g.rtt);  // scaled(1.0) is the identity
+  const GeoParams g2 = g.scaled(2.5);
+  EXPECT_DOUBLE_EQ(g2.jitter_scale, g.jitter_scale);
+  EXPECT_DOUBLE_EQ(g2.jitter_sigma, g.jitter_sigma);
+  EXPECT_EQ(g2.seed, g.seed);
+  // same seed + same regions => identical placement regardless of scale
+  const GeoModel a(g, 128);
+  const GeoModel b(g2, 128);
+  for (std::uint32_t n = 0; n < 128; ++n)
+    EXPECT_EQ(a.region_of(n), b.region_of(n));
+}
+
+TEST(GeoPropertyTest, ScaledGeoScalesScaleSimLookaheadFloor) {
+  // the epoch bound is (min cross-shard geo one-way RTT) + relay_delay, so
+  // scaling every RTT class by k must scale exactly the geo part of the
+  // lookahead — a seeded sweep over internet() profiles
+  for (const std::uint64_t seed : {3ull, 17ull, 4242ull}) {
+    sim::ScaleParams p;
+    p.nodes = 96;
+    p.topology.degree = 6;
+    p.geo = GeoParams::internet();
+    p.geo.enabled = true;
+    p.geo.seed = seed;
+    p.num_shards = 4;
+    p.seed = seed;
+    const double base = sim::ScaleSim(p).lookahead() - p.relay_delay;
+    ASSERT_GT(base, 0.0);
+    for (const double k : {0.25, 2.0, 10.0}) {
+      sim::ScaleParams scaled = p;
+      scaled.geo = p.geo.scaled(k);
+      scaled.geo.enabled = true;
+      const double got = sim::ScaleSim(scaled).lookahead();
+      EXPECT_NEAR(got, base * k + p.relay_delay, 1e-12)
+          << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
 TEST(GeoPropertyTest, ValidationNamesOffendingField) {
   GeoParams g;
   g.enabled = true;
@@ -223,6 +269,12 @@ TEST(GeoPropertyTest, ChaosParamsValidateCoversTopologyAndGeo) {
   expect_invalid("regions", [&] { chaos.validate(); });
   chaos.scenario.geo = GeoParams::internet();
   chaos.scenario.geo.enabled = true;
+  ASSERT_NO_THROW(chaos.validate());
+  chaos.scenario.num_shards = 0;
+  expect_invalid("num_shards", [&] { chaos.validate(); });
+  chaos.scenario.num_shards = 21;  // > the default 20 nodes
+  expect_invalid("num_shards", [&] { chaos.validate(); });
+  chaos.scenario.num_shards = 4;
   ASSERT_NO_THROW(chaos.validate());
 }
 
