@@ -19,11 +19,20 @@
 // --disk-faults makes each crash corrupt the disk (torn writes, tail
 // truncation, bit rot at the given rate) before recovery runs.
 //
+// With --clients, that fraction of the nodes runs the parity (minority)
+// client family carrying an injected validation quirk: inside the bug
+// window (default [400, 700), override with --bug-window onset,patch) the
+// quirky nodes dispute otherwise-valid blocks, fall behind on a competing
+// view, and — once the hotfix ships at patch time — deep-reorg back onto
+// the honest chain through full revalidation.
+//
 //   ./build/examples/chaos_soak [seed] [--byzantine <fraction>]
 //       [--cold-restarts <prob>] [--disk-faults <rate>]
+//       [--clients <minority fraction>] [--bug-window <onset,patch>]
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <string>
 
 #include "sim/chaos.hpp"
 #include "support/table.hpp"
@@ -62,9 +71,36 @@ int main(int argc, char** argv) {
       cp.storage_faults.torn_write_prob = rate;
       cp.storage_faults.tail_truncate_prob = rate;
       cp.storage_faults.bit_rot_prob = rate * 0.6;
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      const double minority = std::strtod(argv[++i], nullptr);
+      ClientMixParams& clients = cp.scenario.clients;
+      clients.enabled = true;
+      clients.mix = {{ClientFamily::kGeth, 1.0 - minority},
+                     {ClientFamily::kParity, minority}};
+      clients.buggy_family = ClientFamily::kParity;
+      if (clients.patch_time < 0.0) {  // keep an explicit --bug-window
+        clients.onset_time = 400.0;
+        clients.patch_time = 700.0;
+      }
+    } else if (std::strcmp(argv[i], "--bug-window") == 0 && i + 1 < argc) {
+      const std::string window(argv[++i]);
+      const std::size_t comma = window.find(',');
+      cp.scenario.clients.onset_time =
+          std::strtod(window.substr(0, comma).c_str(), nullptr);
+      if (comma != std::string::npos)
+        cp.scenario.clients.patch_time =
+            std::strtod(window.substr(comma + 1).c_str(), nullptr);
     } else {
       cp.scenario.seed = std::strtoull(argv[i], nullptr, 10);
     }
+  }
+
+  if (cp.scenario.clients.enabled) {
+    // Per-family availability rides on the probe; pin its phase window to
+    // the bug window (the bisection would otherwise win the derivation).
+    cp.probe.enabled = true;
+    cp.probe.failure_start = cp.scenario.clients.onset_time;
+    cp.probe.failure_end = cp.scenario.clients.patch_time;
   }
 
   std::cout << cp.scenario.nodes_eth + cp.scenario.nodes_etc
@@ -82,6 +118,12 @@ int main(int argc, char** argv) {
       std::cout << " on " << fmt(cp.storage_faults.torn_write_prob * 100.0, 0)
                 << "%-faulty disks";
   }
+  if (cp.scenario.clients.enabled)
+    std::cout << ", " << fmt(cp.scenario.clients.mix.back().fraction * 100.0, 0)
+              << "% " << to_string(cp.scenario.clients.buggy_family)
+              << " minority with a consensus bug in ["
+              << fmt(cp.scenario.clients.onset_time, 0) << ", "
+              << fmt(cp.scenario.clients.patch_time, 0) << ")";
   std::cout << "\n\n";
 
   ChaosRunner runner(cp);
@@ -137,6 +179,24 @@ int main(int argc, char** argv) {
     at.add_row({"rate-limited messages", std::to_string(r.rate_limited)});
     at.add_row({"txpool evictions", std::to_string(r.txpool_evictions)});
     at.print(std::cout);
+  }
+
+  if (cp.scenario.clients.enabled) {
+    std::cout << "\n-- client diversity (" << r.client_families.size()
+              << " families) --\n";
+    Table ct({"family", "nodes", "avail during", "diverged s"});
+    for (const auto& f : r.client_families)
+      ct.add_row({to_string(f.family), std::to_string(f.nodes),
+                  fmt(f.availability.during_failure, 3),
+                  fmt(f.divergence_seconds, 0)});
+    ct.print(std::cout);
+    Table qt({"metric", "value"});
+    qt.add_row({"disputed blocks", std::to_string(r.disputed_blocks)});
+    qt.add_row({"divergence events", std::to_string(r.divergence_events)});
+    qt.add_row({"consensus patches", std::to_string(r.consensus_patches)});
+    qt.add_row(
+        {"honest-honest ban events", std::to_string(r.honest_ban_events)});
+    qt.print(std::cout);
   }
 
   if (cp.cold_restart_prob > 0.0) {

@@ -5,11 +5,17 @@
 //
 //   ./build/examples/matrix_sweep [seed]
 //       [--byz 0,0.1,0.25] [--off 0,0.2,0.4] [--part 0,0.5] [--dur 30,60]
+//       [--clients 0,0.25,0.5] [--bug-window 200,320]
 //       [--quorum 0.6] [--interval 5] [--cold 1.0] [--disk-faults 0.3]
 //
-// Axes are comma-separated lists; every combination becomes one cell. The
-// whole sweep replays bit-identically from the seed (the matrix
-// fingerprint proves it).
+// Axes are comma-separated lists; every combination becomes one cell.
+// --clients adds the minority-share axis: cells with a nonzero share run
+// that fraction of nodes as a buggy parity minority whose validation
+// quirk is live across the failure episode until the hotfix lands.
+// --bug-window onset,patch moves the episode start to `onset` and
+// replaces the duration axis with {patch - onset}. The whole sweep
+// replays bit-identically from the seed (the matrix fingerprint proves
+// it).
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -83,6 +89,16 @@ int main(int argc, char** argv) {
       mp.axes.partitioned_share = parse_list(next("--part"));
     } else if (std::strcmp(argv[i], "--dur") == 0) {
       mp.axes.partition_duration = parse_list(next("--dur"));
+    } else if (std::strcmp(argv[i], "--clients") == 0) {
+      mp.axes.minority_share = parse_list(next("--clients"));
+    } else if (std::strcmp(argv[i], "--bug-window") == 0) {
+      const std::vector<double> window = parse_list(next("--bug-window"));
+      if (window.size() != 2 || window[1] <= window[0]) {
+        std::cerr << "--bug-window needs onset,patch with patch > onset\n";
+        std::exit(2);
+      }
+      mp.failure_start = window[0];
+      mp.axes.partition_duration = {window[1] - window[0]};
     } else if (std::strcmp(argv[i], "--quorum") == 0) {
       cp.probe.quorum_fraction = std::strtod(next("--quorum"), nullptr);
     } else if (std::strcmp(argv[i], "--interval") == 0) {
@@ -104,7 +120,8 @@ int main(int argc, char** argv) {
             << mp.axes.byzantine_share.size() << " byzantine x "
             << mp.axes.offline_share.size() << " offline x "
             << mp.axes.partitioned_share.size() << " partitioned x "
-            << mp.axes.partition_duration.size() << " duration), "
+            << mp.axes.partition_duration.size() << " duration x "
+            << mp.axes.minority_share.size() << " minority), "
             << cp.scenario.nodes_eth + cp.scenario.nodes_etc
             << " nodes per cell, seed " << cp.scenario.seed
             << ", quorum " << fmt(cp.probe.quorum_fraction, 2)
@@ -113,17 +130,20 @@ int main(int argc, char** argv) {
   MatrixRunner runner(mp);
   const MatrixReport report = runner.run(&std::cout);
 
-  Table table({"byz", "off", "part", "dur s", "conv", "avail pre", "during",
-               "post", "degraded s", "heal s", "banned", "replayed"});
+  Table table({"byz", "off", "part", "dur s", "min", "conv", "avail pre",
+               "during", "post", "degraded s", "heal s", "banned",
+               "disputed", "replayed"});
   for (const MatrixCell& c : report.cells) {
     const AvailabilityStats& a = c.report.availability;
     table.add_row(
         {fmt(c.spec.byzantine_share, 2), fmt(c.spec.offline_share, 2),
          fmt(c.spec.partitioned_share, 2), fmt(c.spec.partition_duration, 0),
+         fmt(c.spec.minority_share, 2),
          c.report.converged ? "yes" : "NO", fmt(a.pre, 3),
          fmt(a.during_failure, 3), fmt(a.post, 3),
          fmt(a.degraded_seconds, 0), fmt(a.time_to_heal, 0),
          std::to_string(c.report.peers_banned),
+         std::to_string(c.report.disputed_blocks),
          std::to_string(c.report.store_blocks_replayed)});
   }
   std::cout << "\n";

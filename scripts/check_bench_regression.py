@@ -51,6 +51,7 @@ RECORDS = [
     "BENCH_ablate_topology.json",
     "BENCH_ablate_geo.json",
     "BENCH_ablate_parallel.json",
+    "BENCH_ablate_clients.json",
 ]
 
 # Absolute slack (ns) added to every timing limit: benchmarks that resolve

@@ -15,6 +15,7 @@ std::string to_string(ImportResult r) {
     case ImportResult::kInvalidBody: return "invalid body";
     case ImportResult::kInvalidOmmers: return "invalid ommers";
     case ImportResult::kWrongFork: return "wrong fork";
+    case ImportResult::kDisputed: return "disputed";
   }
   return "unknown";
 }
@@ -242,6 +243,7 @@ const char* result_slug(ImportResult r) {
     case ImportResult::kInvalidBody: return "invalid_body";
     case ImportResult::kInvalidOmmers: return "invalid_ommers";
     case ImportResult::kWrongFork: return "wrong_fork";
+    case ImportResult::kDisputed: return "disputed";
   }
   return "unknown";
 }
@@ -254,6 +256,10 @@ void Blockchain::attach_telemetry(obs::Registry& reg) {
     tm_results_[i] =
         &reg.counter(std::string("chain.import.") + result_slug(r));
   }
+  // chain.import.disputed stays lazily registered (first dispute creates
+  // it): attaching must not change the metric set — and so the registry
+  // fingerprint — of runs without a validation overlay.
+  tm_reg_ = &reg;
   tm_reorg_ = &reg.histogram("chain.reorg_depth",
                              obs::Histogram::linear_bounds(1.0, 1.0, 16));
   tm_produced_ = &reg.counter("chain.blocks_produced");
@@ -261,7 +267,13 @@ void Blockchain::attach_telemetry(obs::Registry& reg) {
 
 ImportOutcome Blockchain::import(const Block& block) {
   const ImportOutcome outcome = import_impl(block);
-  obs::inc(tm_results_[static_cast<std::size_t>(outcome.result)]);
+  if (outcome.result == ImportResult::kDisputed) {
+    if (tm_disputed_ == nullptr && tm_reg_ != nullptr)
+      tm_disputed_ = &tm_reg_->counter("chain.import.disputed");
+    obs::inc(tm_disputed_);
+  } else {
+    obs::inc(tm_results_[static_cast<std::size_t>(outcome.result)]);
+  }
   if (outcome.reorg_depth > 0)
     obs::observe(tm_reorg_, static_cast<double>(outcome.reorg_depth));
   return outcome;
@@ -276,7 +288,11 @@ ImportOutcome Blockchain::import_impl(const Block& block) {
   if (parent->post_state == nullptr)
     return {ImportResult::kUnknownParent};  // pruned ancestor; cannot verify
 
-  const ImportResult header_check = validate_header(block.header, *parent);
+  ImportResult header_check = validate_header(block.header, *parent);
+  // The validation overlay (when installed) reviews every built-in verdict;
+  // a quirk inside its bug window overturns kImported into kDisputed here.
+  if (rules_ != nullptr)
+    header_check = rules_->review_header(block.header, hash, header_check);
   if (header_check != ImportResult::kImported) return {header_check};
 
   const ImportResult ommer_check = validate_ommers(block);

@@ -33,9 +33,33 @@ enum class ImportResult {
   kInvalidBody,      // tx root mismatch or tx execution mismatch
   kInvalidOmmers,    // ommer rules violated (count, kinship, reuse)
   kWrongFork,        // DAO fork-block rule violated (the partition rule)
+  /// A validation-rule overlay overturned an otherwise-valid verdict: the
+  /// block is consensus-valid to the rest of the network but this
+  /// implementation's (buggy) rules refuse it. Distinct from
+  /// kInvalidHeader so callers can treat validity *disagreement* — an
+  /// honest peer on the other side of a consensus bug — differently from
+  /// forged garbage (it must never feed the ban machinery).
+  kDisputed,
 };
 
 std::string to_string(ImportResult r);
+
+/// Pluggable validation overlay — the consensus-bug fault injector,
+/// analogous to db::SimDisk for storage faults. Installed on a chain via
+/// Blockchain::set_validation_rules, it reviews every header verdict the
+/// built-in rules produce and may overturn it; a quirk flipping an
+/// otherwise-valid rule returns kDisputed inside its bug window. With no
+/// overlay installed (the default) import behavior is byte-identical to
+/// builds without this hook.
+class ValidationRuleSet {
+ public:
+  virtual ~ValidationRuleSet() = default;
+  /// `hash` is the header's hash (memoized by the chain), `builtin` the
+  /// built-in rules' verdict. Return the verdict the chain should use.
+  virtual ImportResult review_header(const BlockHeader& header,
+                                     const Hash256& hash,
+                                     ImportResult builtin) const = 0;
+};
 
 struct ImportOutcome {
   ImportResult result;
@@ -81,6 +105,17 @@ class Blockchain {
 
   // ---- mutation -----------------------------------------------------------
   ImportOutcome import(const Block& block);
+
+  /// Install (or clear, with nullptr) a validation-rule overlay. Non-owning:
+  /// `rules` must outlive the chain or be cleared first. The overlay is
+  /// consulted on every header the built-in rules judge during import; a
+  /// null overlay leaves import behavior byte-identical to builds without
+  /// the hook. Survives reset_to_genesis (the implementation's rules are
+  /// code, not process state).
+  void set_validation_rules(const ValidationRuleSet* rules) noexcept {
+    rules_ = rules;
+  }
+  const ValidationRuleSet* validation_rules() const noexcept { return rules_; }
 
   /// Forget every block except genesis — the cold-restart primitive: a
   /// crashed process lost its in-memory chain, and recovery re-imports
@@ -159,6 +194,7 @@ class Blockchain {
 
   ChainConfig config_;
   Executor& executor_;
+  const ValidationRuleSet* rules_ = nullptr;  // non-owning overlay (nullable)
   std::unordered_map<Hash256, Record, Hash256Hasher> records_;
   std::map<BlockNumber, Hash256> canonical_;
   Hash256 head_hash_;
@@ -167,7 +203,13 @@ class Blockchain {
   /// Memoized header hashes (mutable: hashing is pure; the cache is not
   /// observable state). Sized for the ancestry windows partitions re-walk.
   mutable HeaderHashCache header_hashes_{4096};
+  /// Eager counters for the seven pre-overlay outcomes; kDisputed is
+  /// lazily registered on the first dispute (see tm_disputed_) so the
+  /// metric set — and golden registry fingerprints — of overlay-free runs
+  /// stays unchanged.
   std::array<obs::Counter*, 7> tm_results_{};
+  obs::Counter* tm_disputed_ = nullptr;  // lazily registered
+  obs::Registry* tm_reg_ = nullptr;
   obs::Histogram* tm_reorg_ = nullptr;
   obs::Counter* tm_produced_ = nullptr;
 };

@@ -35,6 +35,10 @@ void ChaosParams::validate() const {
   if (scenario.topology.enabled)
     scenario.topology.validate(scenario.nodes_eth + scenario.nodes_etc);
   if (scenario.geo.enabled) scenario.geo.validate();
+  // client-mix / consensus-bug layer: inverted bug windows, mix fractions
+  // that don't sum to 1, unknown families etc. die here by name, like the
+  // degree/region configs above (no-op while the layer is disabled)
+  scenario.clients.validate();
   if (scenario.num_shards == 0 ||
       scenario.num_shards > scenario.nodes_eth + scenario.nodes_etc)
     throw std::invalid_argument(
@@ -356,13 +360,25 @@ void ChaosRunner::install_adversaries() {
 void ChaosRunner::install_probe() {
   probe_ = params_.probe;
   if (!probe_.enabled) return;
+  // Per-family sampling rides on the probe: one timeline per mix slice.
+  if (params_.scenario.clients.enabled) {
+    for (const ClientShare& share : params_.scenario.clients.mix)
+      family_list_.push_back(share.family);
+    family_samples_.resize(family_list_.size());
+    family_divergence_seconds_.assign(family_list_.size(), 0.0);
+  }
   // Derive the phase window when the caller left it implicit: the cut
-  // window when a partition is scheduled, else the churn window. Both
+  // window when a partition is scheduled, else the consensus-bug window
+  // when the clients layer schedules a patch, else the churn window. All
   // absent leaves a zero-width window at t=0 (everything is "post").
   if (probe_.failure_start < 0) {
     if (params_.cut_start >= 0) {
       probe_.failure_start = params_.cut_start;
       probe_.failure_end = params_.cut_start + params_.cut_duration;
+    } else if (params_.scenario.clients.enabled &&
+               params_.scenario.clients.patch_time >= 0) {
+      probe_.failure_start = params_.scenario.clients.onset_time;
+      probe_.failure_end = params_.scenario.clients.patch_time;
     } else if (params_.churn_fraction > 0) {
       probe_.failure_start = params_.churn_start;
       probe_.failure_end = params_.churn_end;
@@ -386,6 +402,17 @@ void ChaosRunner::probe_tick() {
   s.eth_ok = side_meets_quorum(/*eth_side=*/true);
   s.etc_ok = side_meets_quorum(/*eth_side=*/false);
   availability_samples_.push_back(s);
+  for (std::size_t f = 0; f < family_list_.size(); ++f) {
+    AvailabilitySample fs;
+    fs.t = s.t;
+    // a family sample is a single verdict ("the family's honest members
+    // meet quorum against their own sides' best heights"), mirrored into
+    // both slots so summarize_availability folds it unchanged
+    fs.eth_ok = fs.etc_ok = family_meets_quorum(family_list_[f]);
+    family_samples_[f].push_back(fs);
+    if (family_diverged(family_list_[f]))
+      family_divergence_seconds_[f] += probe_.interval;
+  }
   if (loop.now() + probe_.interval <=
       params_.mining_duration + params_.settle_deadline)
     loop.schedule(probe_.interval, [this] { probe_tick(); });
@@ -415,6 +442,56 @@ bool ChaosRunner::side_meets_quorum(bool eth_side) const {
   // epsilon guards exact-threshold quorums (0.6 * 5 = 3.0000000000000004)
   return static_cast<double>(live_and_synced) + 1e-9 >=
          probe_.quorum_fraction * static_cast<double>(honest);
+}
+
+bool ChaosRunner::family_meets_quorum(ClientFamily family) const {
+  // Like side_meets_quorum, but the population is the family's honest
+  // members across BOTH fork sides, each judged against its own side's
+  // best height (an ETC-side parity node lagging the ETH tip is not
+  // degraded — the fork, not the bug, put it there).
+  core::BlockNumber best_eth = 0, best_etc = 0;
+  for (std::size_t i = 0; i < scenario_->node_count(); ++i) {
+    if (adversary_hosts_.contains(i)) continue;
+    const FullNode& node = scenario_->node(i);
+    if (!node.running()) continue;
+    auto& best = scenario_->is_eth_node(i) ? best_eth : best_etc;
+    best = std::max(best, node.chain().height());
+  }
+  std::size_t members = 0, live_and_synced = 0;
+  for (std::size_t i = 0; i < scenario_->node_count(); ++i) {
+    if (adversary_hosts_.contains(i)) continue;
+    if (scenario_->client_family_of(i) != family) continue;
+    ++members;
+    const FullNode& node = scenario_->node(i);
+    const core::BlockNumber best =
+        scenario_->is_eth_node(i) ? best_eth : best_etc;
+    if (node.running() && node.chain().height() + probe_.max_head_lag >= best)
+      ++live_and_synced;
+  }
+  if (members == 0) return false;
+  return static_cast<double>(live_and_synced) + 1e-9 >=
+         probe_.quorum_fraction * static_cast<double>(members);
+}
+
+bool ChaosRunner::family_diverged(ClientFamily family) const {
+  // The family is diverged while any running honest member holds a head
+  // its own side's anchor does not consider canonical: behind-but-on-chain
+  // heads are canonical in the anchor's view, competing-branch heads are
+  // not. (Anchors are churn-exempt, so "anchor down" only happens in
+  // hand-built tests; treat it as no evidence.)
+  for (std::size_t i = 0; i < scenario_->node_count(); ++i) {
+    if (adversary_hosts_.contains(i)) continue;
+    if (scenario_->client_family_of(i) != family) continue;
+    const FullNode& node = scenario_->node(i);
+    if (!node.running()) continue;
+    const std::size_t anchor_index =
+        scenario_->is_eth_node(i) ? 0 : params_.scenario.nodes_eth;
+    if (i == anchor_index) continue;
+    const FullNode& anchor = scenario_->node(anchor_index);
+    if (!anchor.running()) continue;
+    if (!anchor.chain().is_canonical(node.chain().head().hash())) return true;
+  }
+  return false;
 }
 
 void ChaosRunner::set_node_mining(std::size_t node_index, bool on) {
@@ -511,6 +588,33 @@ Hash256 ChaosRunner::fingerprint(const obs::Snapshot& telemetry) const {
     u64(fx(probe_.failure_start));
     u64(fx(probe_.failure_end));
   }
+  // Folded only for client-diversity runs, so clients-off fingerprints
+  // stay byte-identical to those produced before this layer existed.
+  if (params_.scenario.clients.enabled) {
+    const auto fx = [](double v) {
+      return static_cast<std::uint64_t>(std::llround(v * 1e6));
+    };
+    u64(scenario_->node_count());
+    for (std::size_t i = 0; i < scenario_->node_count(); ++i) {
+      const FullNode& node = scenario_->node(i);
+      u64(static_cast<std::uint64_t>(scenario_->client_family_of(i)));
+      u64(node.disputed_blocks());
+      u64(node.divergence_events());
+      u64(node.consensus_patches());
+    }
+    if (scenario_->quirk_rules() != nullptr) {
+      u64(scenario_->quirk_rules()->disputes());
+      u64(scenario_->quirk_rules()->patched() ? 1 : 0);
+    }
+    for (std::size_t f = 0; f < family_list_.size(); ++f) {
+      u64(family_samples_[f].size());
+      for (const AvailabilitySample& s : family_samples_[f]) {
+        u64(fx(s.t));
+        u64(s.eth_ok ? 1 : 0);
+      }
+      u64(fx(family_divergence_seconds_[f]));
+    }
+  }
   // Folded only for attack runs, so adversary-free fingerprints stay
   // byte-identical to those produced before this layer existed.
   if (!adversaries_.empty()) {
@@ -562,6 +666,9 @@ ChaosReport ChaosRunner::run() {
     report.sync_retries += node.sync_retries();
     report.dial_attempts += node.dial_attempts();
     report.peers_banned += node.peers_banned();
+    report.disputed_blocks += node.disputed_blocks();
+    report.divergence_events += node.divergence_events();
+    report.consensus_patches += node.consensus_patches();
   }
   report.crashes = crashes_;
   report.restarts = restarts_;
@@ -599,11 +706,6 @@ ChaosReport ChaosRunner::run() {
       report.invalid_cache_hits += node.invalid_cache_hits();
       report.rate_limited += node.rate_limited();
       report.txpool_evictions += node.txpool().evictions();
-      for (std::size_t j = 0; j < scenario_->node_count(); ++j) {
-        if (j == i || adversary_hosts_.contains(j)) continue;
-        if (node.peers().ever_banned(scenario_->node(j).id()))
-          ++report.honest_ban_events;
-      }
     }
     for (const auto& adv : adversaries_) {
       bool banned = false;
@@ -616,6 +718,29 @@ ChaosReport ChaosRunner::run() {
       }
       if (banned) ++report.attackers_banned;
     }
+  }
+  // Friendly-fire oracle: counted whenever something could cause it — an
+  // attack run (defenses active) or a consensus-bug run (validity
+  // disagreement between honest peers must NOT feed the ban machinery).
+  if (!adversaries_.empty() || params_.scenario.clients.enabled) {
+    for (std::size_t i = 0; i < scenario_->node_count(); ++i) {
+      if (adversary_hosts_.contains(i)) continue;
+      const FullNode& node = scenario_->node(i);
+      for (std::size_t j = 0; j < scenario_->node_count(); ++j) {
+        if (j == i || adversary_hosts_.contains(j)) continue;
+        if (node.peers().ever_banned(scenario_->node(j).id()))
+          ++report.honest_ban_events;
+      }
+    }
+  }
+  for (std::size_t f = 0; f < family_list_.size(); ++f) {
+    ChaosReport::ClientFamilyReport fr;
+    fr.family = family_list_[f];
+    for (std::size_t i = 0; i < scenario_->node_count(); ++i)
+      if (scenario_->client_family_of(i) == fr.family) ++fr.nodes;
+    fr.availability = summarize_availability(family_samples_[f], probe_);
+    fr.divergence_seconds = family_divergence_seconds_[f];
+    report.client_families.push_back(fr);
   }
   report.availability = summarize_availability(availability_samples_, probe_);
   report.telemetry = registry_.snapshot();

@@ -199,6 +199,25 @@ struct ChaosReport {
   p2p::FaultCounters faults;
   /// Availability probe results (all -1 / 0 when the probe is disabled).
   AvailabilityStats availability;
+  // Client-diversity layer (all zero/empty when scenario.clients is off).
+  /// Fork-monitor totals summed over all nodes: blocks refused as disputed
+  /// (header-followed, never blamed), `divergence` events raised, and
+  /// consensus patches applied.
+  std::uint64_t disputed_blocks = 0;
+  std::uint64_t divergence_events = 0;
+  std::uint64_t consensus_patches = 0;
+  /// Per-family scoring (probe samples folded per family; one entry per
+  /// mix slice, in mix order). divergence_seconds is the sim-time during
+  /// which at least one running member of the family held a head its fork
+  /// side's anchor does not consider canonical — the family was off on a
+  /// competing branch.
+  struct ClientFamilyReport {
+    ClientFamily family = ClientFamily::kGeth;
+    std::size_t nodes = 0;
+    AvailabilityStats availability;
+    double divergence_seconds = 0.0;
+  };
+  std::vector<ClientFamilyReport> client_families;
   /// Full telemetry snapshot of the run (every layer's registry metrics).
   obs::Snapshot telemetry;
   /// Digest of the end state (per-node heads, heights, counters, and the
@@ -242,6 +261,14 @@ class ChaosRunner {
       const noexcept {
     return availability_samples_;
   }
+  /// Per-family sample timelines, indexed like scenario.clients.mix (empty
+  /// unless both the probe and the clients layer are enabled). A family
+  /// sample sets eth_ok == etc_ok == "quorum of the family's honest
+  /// members is live and synced to its own side's best height".
+  const std::vector<std::vector<AvailabilitySample>>& family_samples()
+      const noexcept {
+    return family_samples_;
+  }
   /// The phase window the probe actually used ([failure_start,
   /// failure_end), explicit or derived from the cut/churn windows).
   const ChaosParams::AvailabilityProbe& effective_probe() const noexcept {
@@ -264,6 +291,8 @@ class ChaosRunner {
   void install_probe();
   void probe_tick();
   bool side_meets_quorum(bool eth_side) const;
+  bool family_meets_quorum(ClientFamily family) const;
+  bool family_diverged(ClientFamily family) const;
   void set_node_mining(std::size_t node_index, bool on);
   Hash256 fingerprint(const obs::Snapshot& telemetry) const;
 
@@ -286,6 +315,11 @@ class ChaosRunner {
   /// Resolved probe config (phase window derived when not explicit).
   ChaosParams::AvailabilityProbe probe_;
   std::vector<AvailabilitySample> availability_samples_;
+  /// Per-family probe state, indexed like scenario.clients.mix (all empty
+  /// unless both the probe and the clients layer are enabled).
+  std::vector<ClientFamily> family_list_;
+  std::vector<std::vector<AvailabilitySample>> family_samples_;
+  std::vector<double> family_divergence_seconds_;
   std::size_t crashes_ = 0;
   std::size_t restarts_ = 0;
   std::size_t cold_restarts_ = 0;

@@ -1,0 +1,123 @@
+#include "sim/clients.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace forksim::sim {
+
+const char* to_string(ClientFamily family) {
+  switch (family) {
+    case ClientFamily::kGeth: return "geth";
+    case ClientFamily::kParity: return "parity";
+    case ClientFamily::kBesu: return "besu";
+    case ClientFamily::kNethermind: return "nethermind";
+  }
+  return "unknown";
+}
+
+ClientProfile profile_for(ClientFamily family) {
+  // Mild, fixed per-family deltas: gossip fanout and maintenance cadence
+  // differ between real clients, protocol semantics do not (the quirk is
+  // the only semantic difference, and it is injected, not profiled).
+  switch (family) {
+    case ClientFamily::kGeth: return {family, 1.0, 1.0};
+    case ClientFamily::kParity: return {family, 0.9, 1.2};
+    case ClientFamily::kBesu: return {family, 1.1, 1.1};
+    case ClientFamily::kNethermind: return {family, 1.0, 0.9};
+  }
+  return {family, 1.0, 1.0};
+}
+
+namespace {
+
+void require_known_family(ClientFamily family, const char* field) {
+  if (static_cast<std::size_t>(family) >= kClientFamilyCount)
+    throw std::invalid_argument(
+        std::string("ClientMixParams::") + field + " names unknown family " +
+        std::to_string(static_cast<unsigned>(family)));
+}
+
+}  // namespace
+
+void ClientMixParams::validate() const {
+  if (!enabled) return;
+  if (mix.empty())
+    throw std::invalid_argument(
+        "ClientMixParams::mix is empty: nothing to assign");
+  double sum = 0.0;
+  for (const ClientShare& share : mix) {
+    require_known_family(share.family, "mix");
+    if (!(share.fraction >= 0.0 && share.fraction <= 1.0))
+      throw std::invalid_argument(
+          "ClientMixParams::mix fraction for " + std::string(to_string(
+              share.family)) + " must be in [0, 1], got " +
+          std::to_string(share.fraction));
+    sum += share.fraction;
+  }
+  if (std::abs(sum - 1.0) > 1e-9)
+    throw std::invalid_argument(
+        "ClientMixParams::mix fractions must sum to 1, got " +
+        std::to_string(sum));
+  require_known_family(buggy_family, "buggy_family");
+  if (!(onset_time >= 0.0))
+    throw std::invalid_argument("ClientMixParams::onset_time must be >= 0, got " +
+                                std::to_string(onset_time));
+  // patch_time < 0 is the documented "never patched" flag; a scheduled
+  // patch must not precede the onset (an inverted bug window)
+  if (patch_time >= 0.0 && patch_time < onset_time)
+    throw std::invalid_argument(
+        "ClientMixParams: patch_time (" + std::to_string(patch_time) +
+        ") precedes onset_time (" + std::to_string(onset_time) + ")");
+  if (trigger_modulus == 0)
+    throw std::invalid_argument("ClientMixParams::trigger_modulus must be >= 1");
+  if (trigger_residue >= trigger_modulus)
+    throw std::invalid_argument(
+        "ClientMixParams::trigger_residue (" + std::to_string(trigger_residue) +
+        ") must be < trigger_modulus (" + std::to_string(trigger_modulus) +
+        ")");
+}
+
+std::vector<ClientFamily> assign_client_families(const ClientMixParams& mix,
+                                                 std::size_t n, Rng& rng) {
+  std::vector<double> weights;
+  weights.reserve(mix.mix.size());
+  for (const ClientShare& share : mix.mix) weights.push_back(share.fraction);
+  std::vector<ClientFamily> families;
+  families.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    families.push_back(mix.mix[rng.weighted_index(weights)].family);
+  return families;
+}
+
+QuirkRuleSet::QuirkRuleSet(ClientMixParams config, std::function<double()> now)
+    : config_(std::move(config)), now_(std::move(now)) {}
+
+bool QuirkRuleSet::would_dispute(const Hash256& hash,
+                                 core::BlockNumber number) const {
+  if (patched_) return false;
+  if (number < config_.onset_height) return false;
+  const double t = now_();
+  if (t < config_.onset_time) return false;
+  if (config_.patch_time >= 0.0 && t >= config_.patch_time) return false;
+  // last 8 hash bytes, big-endian: uniform over blocks, identical on every
+  // node (the bug is deterministic — all buggy clients refuse the same
+  // blocks, which is what makes it a consensus split and not noise)
+  std::uint64_t v = 0;
+  for (std::size_t i = 24; i < 32; ++i)
+    v = (v << 8) | hash.data()[i];
+  return v % config_.trigger_modulus == config_.trigger_residue;
+}
+
+core::ImportResult QuirkRuleSet::review_header(
+    const core::BlockHeader& header, const Hash256& hash,
+    core::ImportResult builtin) const {
+  // only otherwise-valid verdicts are flipped: a block the built-in rules
+  // already condemned stays condemned for its real reason
+  if (builtin != core::ImportResult::kImported) return builtin;
+  if (!would_dispute(hash, header.number)) return builtin;
+  ++disputes_;
+  return core::ImportResult::kDisputed;
+}
+
+}  // namespace forksim::sim

@@ -1,0 +1,138 @@
+// Client-diversity substrate: heterogeneous client families with gossip /
+// timing profiles and an injectable consensus bug.
+//
+// The paper's partition was an *intentional* validity split; the modern
+// replay ("Unveiling Ethereum's P2P Network", and the 2020 OpenEthereum
+// incident) is a split caused by implementation divergence — a minority
+// client family whose validation rules disagree with the majority's inside
+// a bug window, until a hotfix ships. This layer models exactly that:
+//
+//   - ClientProfile: per-family gossip fanout and maintenance-timing
+//     multipliers (clients really do differ here), plus whether the family
+//     carries the injected validation quirk.
+//   - ClientMixParams: a seeded client-mix distribution assigned per node,
+//     a [onset, patch_time) bug window, and a deterministic per-block
+//     trigger predicate.
+//   - QuirkRuleSet: the core::ValidationRuleSet implementation that flips
+//     an otherwise-valid header verdict to kDisputed while the bug is
+//     live — the consensus-bug fault injector, analogous to db::SimDisk
+//     for storage faults.
+//
+// Strictly opt-in: with ClientMixParams::enabled false (the default),
+// nothing here consumes Rng draws, installs overlays, or registers
+// telemetry, so client-mix-off runs replay bit-identically to builds
+// without this layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/chain.hpp"
+#include "support/rng.hpp"
+
+namespace forksim::sim {
+
+/// Client implementation families (named after the real ecosystem's
+/// majority/minority split; behavior differences live in ClientProfile).
+enum class ClientFamily : std::uint8_t {
+  kGeth = 0,
+  kParity = 1,
+  kBesu = 2,
+  kNethermind = 3,
+};
+inline constexpr std::size_t kClientFamilyCount = 4;
+
+const char* to_string(ClientFamily family);
+
+/// Per-family behavior profile: multipliers applied to a node's gossip
+/// fanout exponent and maintenance tick interval (1.0 = the baseline
+/// node). Kept mild — families differ in timing and fanout, not protocol.
+struct ClientProfile {
+  ClientFamily family = ClientFamily::kGeth;
+  double fanout_multiplier = 1.0;  // scales GossipPolicy::push_exponent
+  double tick_multiplier = 1.0;    // scales NodeOptions::tick_interval
+};
+
+/// The built-in profile for a family.
+ClientProfile profile_for(ClientFamily family);
+
+/// One slice of the client-mix distribution.
+struct ClientShare {
+  ClientFamily family = ClientFamily::kGeth;
+  double fraction = 0.0;
+};
+
+/// Client-mix + consensus-bug configuration (carried by ScenarioParams).
+struct ClientMixParams {
+  bool enabled = false;
+  /// The seeded per-node family distribution; fractions must sum to 1.
+  /// The default mirrors the 2020 incident shape: a geth majority with a
+  /// parity minority.
+  std::vector<ClientShare> mix{{ClientFamily::kGeth, 0.75},
+                               {ClientFamily::kParity, 0.25}};
+  /// The family carrying the injected validation quirk.
+  ClientFamily buggy_family = ClientFamily::kParity;
+  /// The bug window: the quirk is live for headers at height >=
+  /// onset_height, between sim-time onset_time (inclusive) and patch_time
+  /// (exclusive). patch_time < 0 means the hotfix never ships.
+  core::BlockNumber onset_height = 0;
+  double onset_time = 0.0;
+  double patch_time = -1.0;
+  /// Deterministic trigger: a header trips the bug iff its hash (last 8
+  /// bytes, big-endian) % trigger_modulus == trigger_residue. modulus 1
+  /// disputes every in-window block (the 2020 "minority client stalls"
+  /// shape); larger values dispute roughly one block in N.
+  std::uint64_t trigger_modulus = 16;
+  std::uint64_t trigger_residue = 0;
+
+  /// Throws std::invalid_argument naming the offending field: inverted bug
+  /// window (patch before onset), mix fractions outside [0,1] or not
+  /// summing to 1, an empty mix, an unknown family, residue >= modulus,
+  /// or a zero modulus. No-op while disabled (a latent config is allowed
+  /// to be nonsense until someone switches it on — matching the cut_start
+  /// convention would hide typos, so we validate eagerly once enabled).
+  void validate() const;
+};
+
+/// Seeded per-node family assignment: one weighted draw per node from
+/// `mix` (exactly `n` draws — callers rely on this for draw-order
+/// stability). Fractions are used as weights.
+std::vector<ClientFamily> assign_client_families(const ClientMixParams& mix,
+                                                 std::size_t n, Rng& rng);
+
+/// The consensus-bug fault injector: a ValidationRuleSet that flips an
+/// otherwise-valid header verdict to kDisputed while the bug window is
+/// live. One instance is shared (const) by every buggy-family node in a
+/// scenario; `now` supplies sim time (the core chain stays clock-free).
+/// apply_patch() is the hotfix: from then on every verdict passes through
+/// untouched, regardless of the window.
+class QuirkRuleSet : public core::ValidationRuleSet {
+ public:
+  QuirkRuleSet(ClientMixParams config, std::function<double()> now);
+
+  core::ImportResult review_header(const core::BlockHeader& header,
+                                   const Hash256& hash,
+                                   core::ImportResult builtin) const override;
+
+  /// Would the quirk dispute `hash` at height `number` right now? (The
+  /// trigger predicate and window check, exposed for tests.)
+  bool would_dispute(const Hash256& hash, core::BlockNumber number) const;
+
+  /// The hotfix: permanently disables the quirk.
+  void apply_patch() noexcept { patched_ = true; }
+  bool patched() const noexcept { return patched_; }
+
+  /// Verdicts this rule set overturned (kImported -> kDisputed).
+  std::uint64_t disputes() const noexcept { return disputes_; }
+
+  const ClientMixParams& config() const noexcept { return config_; }
+
+ private:
+  ClientMixParams config_;
+  std::function<double()> now_;
+  bool patched_ = false;
+  mutable std::uint64_t disputes_ = 0;
+};
+
+}  // namespace forksim::sim

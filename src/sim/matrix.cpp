@@ -33,6 +33,7 @@ void MatrixParams::validate() const {
                /*is_share=*/true);
   require_axis(axes.partition_duration, "partition_duration",
                /*is_share=*/false);
+  require_axis(axes.minority_share, "minority_share", /*is_share=*/true);
   if (!(failure_start >= 0.0))
     throw std::invalid_argument("MatrixParams::failure_start must be >= 0");
   // every composed cell must be a valid ChaosParams; checking the extreme
@@ -47,6 +48,8 @@ void MatrixParams::validate() const {
     corner.partitioned_share = std::max(corner.partitioned_share, p);
   for (double d : axes.partition_duration)
     corner.partition_duration = std::max(corner.partition_duration, d);
+  for (double m : axes.minority_share)
+    corner.minority_share = std::max(corner.minority_share, m);
   compose_cell(*this, corner).validate();
 }
 
@@ -77,6 +80,20 @@ ChaosParams compose_cell(const MatrixParams& mp, const MatrixCellSpec& spec) {
     p.cut_start = -1.0;
   }
 
+  // Client-mix axis: that share of the population runs the minority
+  // (buggy) family, with the quirk's bug window spanning the failure
+  // episode — the hotfix ships when the episode closes. Share zero leaves
+  // the layer off entirely (no draws, no overlay, fingerprints unchanged).
+  if (spec.minority_share > 0) {
+    p.scenario.clients.enabled = true;
+    p.scenario.clients.mix = {
+        {ClientFamily::kGeth, 1.0 - spec.minority_share},
+        {ClientFamily::kParity, spec.minority_share}};
+    p.scenario.clients.buggy_family = ClientFamily::kParity;
+    p.scenario.clients.onset_time = mp.failure_start;
+    p.scenario.clients.patch_time = failure_end;
+  }
+
   // Every cell is scored by the availability probe over the same phase
   // window, so pre/during/post read across the grid.
   p.probe.enabled = true;
@@ -92,7 +109,8 @@ MatrixRunner::MatrixRunner(MatrixParams params) : params_(std::move(params)) {
     for (double o : params_.axes.offline_share)
       for (double p : params_.axes.partitioned_share)
         for (double d : params_.axes.partition_duration)
-          specs_.push_back({b, o, p, d});
+          for (double m : params_.axes.minority_share)
+            specs_.push_back({b, o, p, d, m});
 }
 
 std::size_t MatrixReport::converged_cells() const {
@@ -124,6 +142,9 @@ MatrixReport MatrixRunner::run(std::ostream* progress) {
     fold(fx(spec.offline_share));
     fold(fx(spec.partitioned_share));
     fold(fx(spec.partition_duration));
+    // folded only when the axis is active, so legacy four-axis sweeps
+    // keep their pinned fingerprints byte-identical
+    if (spec.minority_share > 0) fold(fx(spec.minority_share));
     h.update(cell.report.fingerprint.view());
 
     if (progress) {
@@ -131,7 +152,8 @@ MatrixReport MatrixRunner::run(std::ostream* progress) {
       *progress << "cell " << (i + 1) << "/" << specs_.size() << "  byz="
                 << spec.byzantine_share << " off=" << spec.offline_share
                 << " part=" << spec.partitioned_share << " dur="
-                << spec.partition_duration << "  -> "
+                << spec.partition_duration << " min="
+                << spec.minority_share << "  -> "
                 << (cell.report.converged ? "converged" : "NO CONVERGENCE")
                 << ", avail pre/during/post = " << a.pre << "/"
                 << a.during_failure << "/" << a.post << ", heal "

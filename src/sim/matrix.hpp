@@ -20,17 +20,24 @@
 
 namespace forksim::sim {
 
-/// The four swept axes. Every combination becomes one cell; empty lists
-/// are invalid (there would be nothing to sweep).
+/// The swept axes. Every combination becomes one cell; empty lists are
+/// invalid (there would be nothing to sweep).
 struct MatrixAxes {
   std::vector<double> byzantine_share{0.0};
   std::vector<double> offline_share{0.0};
   std::vector<double> partitioned_share{0.0};
   std::vector<double> partition_duration{60.0};
+  /// Client-mix axis: the fraction of nodes running the minority (buggy)
+  /// client family. 0 (the default) leaves the clients layer entirely off
+  /// for that cell; > 0 enables a geth/parity mix with the parity quirk's
+  /// bug window spanning the cell's failure episode (onset at
+  /// failure_start, patch at failure_end).
+  std::vector<double> minority_share{0.0};
 
   std::size_t cell_count() const noexcept {
     return byzantine_share.size() * offline_share.size() *
-           partitioned_share.size() * partition_duration.size();
+           partitioned_share.size() * partition_duration.size() *
+           minority_share.size();
   }
 };
 
@@ -40,6 +47,7 @@ struct MatrixCellSpec {
   double offline_share = 0.0;
   double partitioned_share = 0.0;
   double partition_duration = 0.0;
+  double minority_share = 0.0;
 };
 
 struct MatrixParams {

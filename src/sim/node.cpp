@@ -91,6 +91,12 @@ void FullNode::attach_telemetry(obs::Registry& reg, obs::EventTracer* tracer,
                 "node.ingress.equivocations"},
            Fold{withheld_, &tm_withheld_, "node.ingress.withheld"},
            Fold{wasted_executions_, &tm_wasted_, "node.wasted_executions"},
+           Fold{disputed_blocks_, &tm_disputed_,
+                "node.fork_monitor.disputed_blocks"},
+           Fold{divergence_events_, &tm_divergence_,
+                "node.fork_monitor.divergence_events"},
+           Fold{consensus_patches_, &tm_patches_,
+                "node.fork_monitor.consensus_patches"},
            Fold{cold_restarts_, &tm_cold_restarts_, "node.cold_restarts"},
            Fold{recovery_scanned_, &tm_rec_scanned_,
                 "db.recovery.records_scanned"},
@@ -135,6 +141,10 @@ RecoveryOutcome FullNode::cold_restart(
   rechallenged_at_fork_ = false;
   orphans_.clear();
   orphan_order_.clear();
+  disputed_hashes_.clear();
+  disputed_order_.clear();
+  disputed_headers_.clear();
+  disputed_ = DisputedRange{};
   update_orphan_gauge();
 
   RecoveryOutcome out;
@@ -357,9 +367,79 @@ void FullNode::mark_rejected(const Hash256& hash) {
   }
 }
 
+void FullNode::note_disputed(const core::BlockHeader& header,
+                             const Hash256& hash) {
+  if (!disputed_hashes_.insert(hash).second) return;
+  disputed_order_.push_back(hash);
+  disputed_headers_.emplace(hash, header);
+  while (disputed_order_.size() > 4096) {
+    disputed_hashes_.erase(disputed_order_.front());
+    disputed_headers_.erase(disputed_order_.front());
+    disputed_order_.pop_front();
+  }
+  ++disputed_blocks_;
+  bump_defense(tm_disputed_, "node.fork_monitor.disputed_blocks");
+  if (disputed_.count == 0) {
+    disputed_.min_number = header.number;
+    disputed_.max_number = header.number;
+    disputed_.tip = hash;
+  } else {
+    disputed_.min_number = std::min(disputed_.min_number, header.number);
+    if (header.number >= disputed_.max_number) {
+      disputed_.max_number = header.number;
+      disputed_.tip = hash;
+    }
+  }
+  ++disputed_.count;
+  // Persistent competing head, not a transient race: raise `divergence`
+  // once. The node keeps following the branch header-only — no execution,
+  // no blame — until a consensus patch resolves which rules were right.
+  if (!disputed_.divergence_raised &&
+      disputed_.count >= options_.divergence_threshold) {
+    disputed_.divergence_raised = true;
+    ++divergence_events_;
+    bump_defense(tm_divergence_, "node.fork_monitor.divergence_events");
+    if (tracer_ != nullptr)
+      tracer_->instant(
+          "fork_monitor", "divergence", lane_,
+          {{"min", static_cast<std::int64_t>(disputed_.min_number)},
+           {"max", static_cast<std::int64_t>(disputed_.max_number)}});
+  }
+}
+
+void FullNode::apply_consensus_patch() {
+  ++consensus_patches_;
+  bump_defense(tm_patches_, "node.fork_monitor.consensus_patches");
+  if (tracer_ != nullptr)
+    tracer_->instant(
+        "fork_monitor", "patch", lane_,
+        {{"disputed", static_cast<std::int64_t>(disputed_.count)}});
+  const DisputedRange range = disputed_;
+  // Forget the dispute entirely (unlike rejected_, which is permanent):
+  // the formerly-disputed hashes must be fetchable again so full
+  // revalidation — and the deep reorg back to the majority chain — can run.
+  disputed_hashes_.clear();
+  disputed_order_.clear();
+  disputed_headers_.clear();
+  disputed_ = DisputedRange{};
+  if (range.count == 0 || !running_) return;
+  const std::vector<NodeId> active = peers_.active_peers();
+  if (active.empty()) return;  // the anti-entropy tick will pull us back
+  // Pull the whole formerly-disputed branch from one active peer;
+  // pending_fetch_ dedups concurrent asks, timeouts retry elsewhere, and
+  // the still_orphaned deepening in the Blocks handler extends the window
+  // if the branch outgrew what we tracked.
+  const std::uint64_t span = range.max_number - range.min_number + 1;
+  const std::uint32_t want = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(span + options_.sync_batch, 256));
+  request_blocks(active[rng_.uniform(active.size())], range.tip, want);
+}
+
 void FullNode::request_blocks(const NodeId& peer, const Hash256& head,
                               std::uint32_t count) {
-  if (chain_.contains(head) || rejected_.contains(head)) return;
+  if (chain_.contains(head) || rejected_.contains(head) ||
+      disputed_hashes_.contains(head))
+    return;
   // Backpressure: the in-flight table is bounded so an announcement flood
   // of never-resolving hashes can't grow it (and its timer population)
   // without limit. Honest sync needs a handful of entries.
@@ -507,6 +587,7 @@ void FullNode::handle_eth(const NodeId& from, const Message& msg) {
             obs::inc(tm_dup_push_);
           }
           resolve_fetch(hash);
+          if (disputed_hashes_.contains(hash)) return;  // header-followed
           import_and_relay(from, m.block);
         } else if constexpr (std::is_same_v<T, NewBlockHashes>) {
           if (hardened() && session != nullptr &&
@@ -575,6 +656,7 @@ void FullNode::handle_eth(const NodeId& from, const Message& msg) {
             const Hash256 hash = b.hash();
             if (session) session->mark_known(hash);
             resolve_fetch(hash);
+            if (disputed_hashes_.contains(hash)) continue;  // header-followed
             if (hardened()) {
               if (rejected_.contains(hash)) {
                 ++invalid_cache_hits_;
@@ -598,6 +680,13 @@ void FullNode::handle_eth(const NodeId& from, const Message& msg) {
               useful = true;
               if (outcome.became_head) after_head_change();
             } else if (outcome.result == core::ImportResult::kUnknownParent) {
+              if (disputed_hashes_.contains(b.header.parent_hash)) {
+                // a descendant of a block our rules dispute: follow the
+                // branch header-only instead of orphaning and chasing
+                // ancestors we would refuse to execute anyway
+                note_disputed(b.header, hash);
+                continue;
+              }
               add_orphan(b, solicited);
               if (!still_orphaned) {
                 still_orphaned = true;
@@ -606,6 +695,11 @@ void FullNode::handle_eth(const NodeId& from, const Message& msg) {
             } else if (outcome.result == core::ImportResult::kWrongFork) {
               wrong_fork = true;
               mark_rejected(hash);
+            } else if (outcome.result == core::ImportResult::kDisputed) {
+              // validity disagreement with an honest peer — degrade to
+              // header-only following; emphatically NOT garbage (this path
+              // must never feed the ban machinery)
+              note_disputed(b.header, hash);
             } else if (outcome.result != core::ImportResult::kAlreadyKnown) {
               garbage = true;  // structurally invalid block
               note_import_reject(hash, outcome.result);
@@ -676,6 +770,12 @@ void FullNode::import_and_relay(const NodeId& from, const core::Block& block) {
       break;
     }
     case core::ImportResult::kUnknownParent: {
+      if (disputed_hashes_.contains(block.header.parent_hash)) {
+        // extends a branch our rules dispute: header-only follow, don't
+        // chase ancestors we'd refuse to execute
+        note_disputed(block.header, block.hash());
+        break;
+      }
       add_orphan(block, /*solicited=*/false);
       request_blocks(from, block.header.parent_hash,
                      static_cast<std::uint32_t>(options_.sync_batch));
@@ -686,6 +786,12 @@ void FullNode::import_and_relay(const NodeId& from, const core::Block& block) {
       mark_rejected(block.hash());
       if (options_.drop_wrong_fork_peers)
         peers_.disconnect(from, DisconnectReason::kWrongFork);
+      break;
+    case core::ImportResult::kDisputed:
+      // an honest peer on the other side of a consensus bug: track the
+      // competing head, no demerit, no disconnect (the friendly-fire
+      // failure mode the fork monitor exists to prevent)
+      note_disputed(block.header, block.hash());
       break;
     case core::ImportResult::kAlreadyKnown:
       break;
@@ -768,6 +874,10 @@ void FullNode::try_orphans() {
           relay_block(block, outcome.became_head);
           if (outcome.became_head) after_head_change();
           progress = true;
+        } else if (outcome.result == core::ImportResult::kDisputed) {
+          // an orphan our rules dispute now that its parent arrived:
+          // header-only follow, no blame
+          note_disputed(block.header, block.hash());
         } else if (outcome.result != core::ImportResult::kAlreadyKnown &&
                    outcome.result != core::ImportResult::kUnknownParent) {
           // an orphan that turned out invalid once its parent arrived (a

@@ -78,6 +78,10 @@ struct NodeOptions {
   bool drop_wrong_fork_peers = true;
   /// Byzantine-resistance layer (off by default; see HardeningOptions).
   HardeningOptions hardening;
+  /// Fork monitor: distinct disputed blocks tracked from one competing
+  /// branch before the node raises a `divergence` event (persistent
+  /// peer-head disagreement, not a transient race).
+  std::size_t divergence_threshold = 3;
   /// Modeled cost of a cold restart: sim-seconds per block replayed from
   /// the attached store (log scan + re-execution latency stand-in). The
   /// node rejoins the network only after this much recovery time.
@@ -163,6 +167,41 @@ class FullNode {
 
   /// Fired after every canonical-head change (miners re-target on this).
   std::function<void()> on_head_changed;
+
+  /// Install a validation-rule overlay on this node's chain (the
+  /// consensus-bug fault injector; see core::ValidationRuleSet). Non-owning;
+  /// never consumes Rng draws.
+  void set_validation_rules(const core::ValidationRuleSet* rules) noexcept {
+    chain_.set_validation_rules(rules);
+  }
+
+  /// The hotfix: clear the fork monitor's disputed-range state and pull the
+  /// disputed tip from active peers so full revalidation (and the deep
+  /// reorg back to the majority chain) can begin. The caller is expected to
+  /// have already disabled the quirk (e.g. QuirkRuleSet::apply_patch).
+  void apply_consensus_patch();
+
+  /// Summary of the headers this node refused to execute but kept
+  /// following (header-only) because its rules disputed them.
+  struct DisputedRange {
+    core::BlockNumber min_number = 0;
+    core::BlockNumber max_number = 0;
+    Hash256 tip{};          // highest disputed header seen
+    std::size_t count = 0;  // distinct disputed blocks tracked
+    bool divergence_raised = false;
+  };
+  const DisputedRange& disputed_range() const noexcept { return disputed_; }
+
+  /// Fork-monitor telemetry: blocks our rules disputed (header-followed,
+  /// never executed, never blamed on the peer), divergence events raised
+  /// (persistent competing head detected), and consensus patches applied.
+  std::uint64_t disputed_blocks() const noexcept { return disputed_blocks_; }
+  std::uint64_t divergence_events() const noexcept {
+    return divergence_events_;
+  }
+  std::uint64_t consensus_patches() const noexcept {
+    return consensus_patches_;
+  }
 
   // telemetry
   std::uint64_t blocks_imported() const noexcept { return blocks_imported_; }
@@ -295,6 +334,22 @@ class FullNode {
   std::deque<Hash256> rejected_order_;
   void mark_rejected(const Hash256& hash);
 
+  /// Fork monitor (empty unless a validation overlay disputes something).
+  /// Disputed hashes are tracked separately from rejected_: both suppress
+  /// re-fetching, but a dispute is a validity *disagreement* with an honest
+  /// peer — it carries no blame, and the cache is cleared (not kept) by
+  /// apply_consensus_patch so the blocks can be re-fetched and revalidated.
+  /// Headers are kept (header-only following) so the monitor knows the
+  /// competing branch's shape and the patch knows which tip to pull.
+  std::unordered_set<Hash256, Hash256Hasher> disputed_hashes_;
+  std::deque<Hash256> disputed_order_;
+  std::unordered_map<Hash256, core::BlockHeader, Hash256Hasher>
+      disputed_headers_;
+  DisputedRange disputed_;
+  /// Track a disputed header: header-only follow, fetch-suppress, extend
+  /// the range, raise `divergence` once the competing branch persists.
+  void note_disputed(const core::BlockHeader& header, const Hash256& hash);
+
   std::uint64_t blocks_imported_ = 0;
   std::uint64_t txs_received_ = 0;
   std::uint64_t duplicate_block_pushes_ = 0;
@@ -309,6 +364,9 @@ class FullNode {
   std::uint64_t equivocations_ = 0;
   std::uint64_t withheld_ = 0;
   std::uint64_t wasted_executions_ = 0;
+  std::uint64_t disputed_blocks_ = 0;
+  std::uint64_t divergence_events_ = 0;
+  std::uint64_t consensus_patches_ = 0;
   bool rechallenged_at_fork_ = false;
 
   /// Durability layer (null / zero unless a store is attached).
@@ -356,6 +414,9 @@ class FullNode {
   obs::Counter* tm_equivocations_ = nullptr;
   obs::Counter* tm_withheld_ = nullptr;
   obs::Counter* tm_wasted_ = nullptr;
+  obs::Counter* tm_disputed_ = nullptr;
+  obs::Counter* tm_divergence_ = nullptr;
+  obs::Counter* tm_patches_ = nullptr;
   obs::Registry* reg_ = nullptr;
   obs::EventTracer* tracer_ = nullptr;
   std::uint32_t lane_ = 0;

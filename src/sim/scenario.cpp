@@ -59,6 +59,16 @@ ForkScenario::ForkScenario(ScenarioParams params)
     topology_ = p2p::generate_topology(params_.topology, total_nodes);
   if (params_.geo.enabled) geo_.emplace(params_.geo, total_nodes);
 
+  // Client-diversity layer (also strictly opt-in): seeded per-node family
+  // assignment plus one shared quirk rule set for the buggy family.
+  if (params_.clients.enabled) {
+    params_.clients.validate();
+    client_families_ =
+        assign_client_families(params_.clients, total_nodes, rng_);
+    quirk_rules_ = std::make_unique<QuirkRuleSet>(
+        params_.clients, [this] { return loop_.now(); });
+  }
+
   for (std::size_t i = 0; i < total_nodes; ++i) {
     // Both sides share network id 1 pre-fork (they are the same network —
     // only the fork rule separates them), so use the pre-fork id for the
@@ -67,9 +77,17 @@ ForkScenario::ForkScenario(ScenarioParams params)
     config.chain_id = 1;  // devp2p network id stayed 1 for both ETH and ETC
     NodeOptions options = params_.node_options;
     options.genesis_difficulty = params_.genesis_difficulty;
+    if (params_.clients.enabled) {
+      const ClientProfile profile = profile_for(client_families_[i]);
+      options.tick_interval *= profile.tick_multiplier;
+      options.gossip.push_exponent *= profile.fanout_multiplier;
+    }
     auto node = std::make_unique<FullNode>(
         network_, node_id_for(i), std::move(config), executor_, alloc,
         rng_.fork(), options);
+    if (quirk_rules_ != nullptr &&
+        client_families_[i] == params_.clients.buggy_family)
+      node->set_validation_rules(quirk_rules_.get());
     nodes_.push_back(std::move(node));
   }
 
@@ -127,6 +145,20 @@ ForkScenario::ForkScenario(ScenarioParams params)
         rng_.fork()));
   }
   for (auto& miner : miners_) miner->start();
+
+  // The hotfix: at patch_time the buggy family's quirk disables and every
+  // buggy-family node clears its fork monitor and pulls the formerly-
+  // disputed branch back for full revalidation (the deep reorg). Scheduled
+  // at construction (now == 0), so the delay is the absolute sim time.
+  if (quirk_rules_ != nullptr && params_.clients.patch_time >= 0.0) {
+    loop_.schedule(params_.clients.patch_time, [this] {
+      quirk_rules_->apply_patch();
+      for (std::size_t i = 0; i < nodes_.size(); ++i)
+        if (client_families_[i] == params_.clients.buggy_family &&
+            nodes_[i]->running())
+          nodes_[i]->apply_consensus_patch();
+    });
+  }
 }
 
 ForkScenario::~ForkScenario() {

@@ -18,6 +18,7 @@
 #include "evm/executor.hpp"
 #include "p2p/geo.hpp"
 #include "p2p/topology.hpp"
+#include "sim/clients.hpp"
 #include "sim/miner.hpp"
 #include "sim/node.hpp"
 
@@ -46,6 +47,14 @@ struct ScenarioParams {
   /// every link's base delay comes from the seeded region placement's
   /// RTT-class pair instead of the uniform `latency` model.
   p2p::GeoParams geo;
+  /// Client-diversity + consensus-bug layer (sim/clients.hpp). Disabled by
+  /// default; enabled, each node draws a client family from the seeded mix
+  /// (fanout/tick multipliers applied), buggy-family nodes share a
+  /// QuirkRuleSet overlay, and — when clients.patch_time >= 0 — the hotfix
+  /// is scheduled at that sim time (the quirk disables, patched nodes pull
+  /// the disputed branch back for full revalidation). Strictly opt-in:
+  /// zero extra Rng draws while disabled.
+  ClientMixParams clients;
   NodeOptions node_options;
   std::uint64_t seed = 1;
   /// Conservative-PDES epoch batching for the event loop. 1 (the default)
@@ -88,6 +97,20 @@ class ForkScenario {
   /// Funded account keys (same on every node — pre-fork state).
   const std::vector<PrivateKey>& accounts() const noexcept {
     return accounts_;
+  }
+
+  /// Node i's client family (kGeth for every node when the clients layer
+  /// is disabled), the full seeded assignment (empty while disabled), and
+  /// the shared quirk rule set (null while disabled).
+  ClientFamily client_family_of(std::size_t i) const {
+    return client_families_.empty() ? ClientFamily::kGeth
+                                    : client_families_[i];
+  }
+  const std::vector<ClientFamily>& client_families() const noexcept {
+    return client_families_;
+  }
+  const QuirkRuleSet* quirk_rules() const noexcept {
+    return quirk_rules_.get();
   }
 
   /// Advance the simulation. With params.num_shards > 1 this drives the
@@ -134,6 +157,8 @@ class ForkScenario {
   p2p::Topology topology_;            // empty unless params.topology.enabled
   std::optional<p2p::GeoModel> geo_;  // engaged iff params.geo.enabled
   std::vector<PrivateKey> accounts_;
+  std::vector<ClientFamily> client_families_;   // empty unless clients on
+  std::unique_ptr<QuirkRuleSet> quirk_rules_;   // null unless clients on
   std::vector<std::unique_ptr<FullNode>> nodes_;
   std::vector<std::unique_ptr<Miner>> miners_;
   double epoch_lookahead_ = 0.0;

@@ -12,6 +12,7 @@
 #include "evm/executor.hpp"
 #include "obs/metrics.hpp"
 #include "sim/adversary.hpp"
+#include "sim/clients.hpp"
 #include "sim/miner.hpp"
 #include "sim/node.hpp"
 
@@ -333,6 +334,70 @@ TEST(AdversaryBaselineTest, UnhardenedNodeRevalidatesEveryRepush) {
   EXPECT_EQ(victim.precheck_rejections(), 0u);
   EXPECT_EQ(victim.rate_limited(), 0u);
   // but invalid blocks still cost garbage demerits -> the attacker is banned
+  EXPECT_TRUE(victim.peers().ever_banned(attacker_host.id()));
+}
+
+// Validity disagreement is not misbehavior — the client-diversity layer's
+// core guarantee. A peer serving blocks that are valid under its own rules
+// but disputed by the receiver's buggy quirk must never feed the ban
+// machinery in either direction, even with hardened ingress on; a real
+// forger attacking a clean node in the same network must still end banned.
+TEST(AdversaryBaselineTest, QuirkDisputeIsNeverBannedButForgerStillIs) {
+  p2p::EventLoop loop;
+  p2p::Network network(loop, Rng(5), LatencyModel{0.01, 0.0, 0.0, 0.0});
+  evm::EvmExecutor executor;
+  NodeOptions options;
+  options.genesis_difficulty = U256(100'000);
+  options.hardening.enabled = true;
+
+  // pair one: an honest producer feeding a buggy-family disputer whose
+  // quirk refuses every block the producer mines
+  FullNode producer(network, test_id(20), core::ChainConfig::mainnet_pre_fork(),
+                    executor, core::GenesisAlloc{}, Rng(1), options);
+  FullNode disputer(network, test_id(21), core::ChainConfig::mainnet_pre_fork(),
+                    executor, core::GenesisAlloc{}, Rng(2), options);
+  ClientMixParams cfg;
+  cfg.enabled = true;
+  cfg.trigger_modulus = 1;
+  QuirkRuleSet rules(cfg, [&loop] { return loop.now(); });
+  disputer.set_validation_rules(&rules);
+
+  // pair two, a disjoint component of the same network: a forger
+  // attacking a clean victim
+  FullNode victim(network, test_id(22), core::ChainConfig::mainnet_pre_fork(),
+                  executor, core::GenesisAlloc{}, Rng(3), options);
+  FullNode attacker_host(network, test_id(23),
+                         core::ChainConfig::mainnet_pre_fork(), executor,
+                         core::GenesisAlloc{}, Rng(4), options);
+
+  producer.start({});
+  disputer.start({producer.id()});
+  victim.start({});
+  attacker_host.start({victim.id()});
+  loop.run_until(30.0);
+
+  Miner miner(producer, Address::left_padded(Bytes{0x01}), 1e5, Rng(7));
+  miner.start();
+  AdversaryOptions opt;
+  opt.kind = AdversaryKind::kInvalidForger;
+  opt.interval = 5.0;
+  Adversary adv(attacker_host, opt, Rng(9));
+  adv.start();
+  loop.run_until(240.0);
+  adv.stop();
+  miner.stop();
+  loop.run_until(260.0);
+
+  // the disputer refused the producer's entire chain...
+  EXPECT_GT(producer.chain().height(), 5u);
+  EXPECT_EQ(disputer.chain().height(), 0u);
+  EXPECT_GT(disputer.disputed_blocks(), 0u);
+  EXPECT_GT(rules.disputes(), 0u);
+  // ...yet neither side of the disagreement ever banned the other
+  EXPECT_FALSE(disputer.peers().ever_banned(producer.id()));
+  EXPECT_FALSE(producer.peers().ever_banned(disputer.id()));
+  // while the forger in the same network is still score-banned
+  EXPECT_GT(adv.counters().blocks_forged, 0u);
   EXPECT_TRUE(victim.peers().ever_banned(attacker_host.id()));
 }
 

@@ -300,6 +300,52 @@ TEST(MatrixComposeTest, MatrixValidationRejectsBadAxes) {
   EXPECT_THROW(MatrixRunner{mp}, std::invalid_argument);
 }
 
+TEST(MatrixComposeTest, MinorityShareComposesTheClientLayer) {
+  MatrixParams mp;
+  mp.failure_start = 200.0;
+  const ChaosParams on = compose_cell(mp, {0.0, 0.0, 0.0, 60.0, 0.25});
+  EXPECT_TRUE(on.scenario.clients.enabled);
+  ASSERT_EQ(on.scenario.clients.mix.size(), 2u);
+  EXPECT_EQ(on.scenario.clients.mix[0].family, ClientFamily::kGeth);
+  EXPECT_DOUBLE_EQ(on.scenario.clients.mix[0].fraction, 0.75);
+  EXPECT_EQ(on.scenario.clients.mix[1].family, ClientFamily::kParity);
+  EXPECT_DOUBLE_EQ(on.scenario.clients.mix[1].fraction, 0.25);
+  EXPECT_EQ(on.scenario.clients.buggy_family, ClientFamily::kParity);
+  // the bug window spans the cell's failure episode: onset when it opens,
+  // hotfix when it closes
+  EXPECT_DOUBLE_EQ(on.scenario.clients.onset_time, 200.0);
+  EXPECT_DOUBLE_EQ(on.scenario.clients.patch_time, 260.0);
+
+  // share zero leaves the layer entirely off (a legacy four-axis cell)
+  const ChaosParams off = compose_cell(mp, {0.0, 0.0, 0.0, 60.0, 0.0});
+  EXPECT_FALSE(off.scenario.clients.enabled);
+}
+
+TEST(MatrixComposeTest, MinorityShareIsTheInnermostAxis) {
+  MatrixParams mp;
+  mp.axes.partition_duration = {30.0, 60.0};
+  mp.axes.minority_share = {0.0, 0.25};
+  EXPECT_EQ(mp.axes.cell_count(), 4u);
+  MatrixRunner runner(mp);
+  ASSERT_EQ(runner.specs().size(), 4u);
+  EXPECT_DOUBLE_EQ(runner.specs()[0].minority_share, 0.0);
+  EXPECT_DOUBLE_EQ(runner.specs()[1].minority_share, 0.25);
+  EXPECT_DOUBLE_EQ(runner.specs()[1].partition_duration, 30.0);
+  EXPECT_DOUBLE_EQ(runner.specs()[2].partition_duration, 60.0);
+  EXPECT_DOUBLE_EQ(runner.specs()[3].minority_share, 0.25);
+}
+
+TEST(MatrixComposeTest, MinorityShareAxisValidated) {
+  MatrixParams mp;
+  mp.axes.minority_share = {1.5};
+  EXPECT_THROW(MatrixRunner{mp}, std::invalid_argument);
+  mp.axes.minority_share.clear();
+  EXPECT_THROW(MatrixRunner{mp}, std::invalid_argument);
+  // the share bounds are inclusive: 0 (layer off) and 1 (all-minority)
+  mp.axes.minority_share = {0.0, 1.0};
+  EXPECT_NO_THROW(MatrixRunner{mp});
+}
+
 // ------------------------------------------------------- probe plumbing
 
 TEST(AvailabilityProbeTest, DisabledProbeTakesNoSamples) {
@@ -357,6 +403,43 @@ TEST(MatrixEndToEndTest, SmallSweepConvergesAndScoresEveryPhase) {
   // fingerprints must too
   EXPECT_NE(report.cells[0].report.fingerprint,
             report.cells[1].report.fingerprint);
+}
+
+// A one-cell sweep along the client-mix axis: the composed cell runs the
+// consensus-bug episode (families assigned, patch applied, per-family
+// scores) and the matrix fingerprint replays bit-identically.
+TEST(MatrixEndToEndTest, MinorityShareCellRunsTheConsensusBugEpisode) {
+  MatrixParams mp;
+  ChaosParams& cp = mp.base;
+  cp.scenario.nodes_eth = 5;
+  cp.scenario.nodes_etc = 3;
+  cp.scenario.miners_per_side_eth = 2;
+  cp.scenario.miners_per_side_etc = 1;
+  cp.scenario.total_hashrate = 3e4;
+  cp.scenario.etc_hashpower_fraction = 0.25;
+  cp.scenario.fork_block = 6;
+  cp.scenario.seed = 99;
+  cp.extra_loss = 0.0;
+  cp.mining_duration = 500.0;
+  cp.settle_deadline = 500.0;
+  mp.failure_start = 150.0;
+  mp.axes.offline_share = {0.0};
+  mp.axes.partition_duration = {60.0};
+  mp.axes.minority_share = {0.5};
+
+  MatrixRunner runner(mp);
+  const MatrixReport report = runner.run();
+  ASSERT_EQ(report.cells.size(), 1u);
+  const ChaosReport& r = report.cells[0].report;
+  EXPECT_TRUE(r.converged);
+  // the hotfix reached at least one running parity node
+  EXPECT_GE(r.consensus_patches, 1u);
+  EXPECT_EQ(r.honest_ban_events, 0u);
+  ASSERT_EQ(r.client_families.size(), 2u);
+  EXPECT_EQ(r.client_families[0].nodes + r.client_families[1].nodes, 8u);
+
+  MatrixRunner rerun(mp);
+  EXPECT_EQ(rerun.run().fingerprint, report.fingerprint);
 }
 
 }  // namespace

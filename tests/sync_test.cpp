@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <unordered_set>
+#include <vector>
 
+#include "core/txpool.hpp"
 #include "db/blockstore.hpp"
 #include "evm/assembler.hpp"
 #include "evm/executor.hpp"
@@ -386,6 +389,156 @@ TEST(Eip150Test, CallForwardsAtMostAllButOne64th) {
   const CallResult r2 = vm2.call(params);
   EXPECT_FALSE(r2.success);
   EXPECT_EQ(r2.error, VmError::kOutOfGas);
+}
+
+// --------------------- revalidation-driven deep reorg (consensus hotfix)
+
+// A ValidationRuleSet overlay refusing a fixed set of block hashes as
+// disputed — the test's stand-in for a buggy client family's quirk, with
+// the hash set playing the role of the trigger predicate.
+struct DisputedSetRules final : core::ValidationRuleSet {
+  std::unordered_set<Hash256, Hash256Hasher> disputed;
+  bool active = true;
+  core::ImportResult review_header(const core::BlockHeader&,
+                                   const Hash256& hash,
+                                   core::ImportResult builtin) const override {
+    if (active && builtin == core::ImportResult::kImported &&
+        disputed.contains(hash))
+      return core::ImportResult::kDisputed;
+    return builtin;
+  }
+};
+
+// The post-patch recovery contract: a node whose quirk refused the
+// majority chain from height 30 and mined 34 blocks of its own must, once
+// the rules are fixed, re-import the disputed range through FULL
+// revalidation and deep-reorg (>= 32 blocks) back onto the majority
+// branch — ending with head, state, receipts, and txpool contents
+// identical to a replica that never diverged.
+TEST(DeepReorgTest, RevalidationReorgMatchesNeverDivergedReplica) {
+  core::TransferExecutor exec;
+  const PrivateKey alice = PrivateKey::from_seed(1);
+  const PrivateKey bob = PrivateKey::from_seed(2);
+  const core::GenesisAlloc alloc = {
+      {derive_address(alice), core::ether(1000)},
+      {derive_address(bob), core::ether(1000)}};
+  const Address miner_m = derive_address(PrivateKey::from_seed(50));
+  const Address miner_q = derive_address(PrivateKey::from_seed(51));
+  const core::ChainConfig config = core::ChainConfig::mainnet_pre_fork();
+
+  // the majority chain: 70 blocks carrying transfers both before the
+  // split point and inside the soon-to-be-disputed range
+  core::Blockchain majority(config, exec, alloc);
+  std::vector<core::Block> blocks;
+  std::vector<core::Transaction> included;
+  std::uint64_t nonce = 0;
+  for (core::BlockNumber n = 1; n <= 70; ++n) {
+    std::vector<core::Transaction> txs;
+    if (n <= 20 || (n >= 31 && n <= 40))
+      txs.push_back(core::make_transaction(alice, nonce++,
+                                           derive_address(bob),
+                                           core::Wei(1'000'000),
+                                           std::nullopt));
+    core::Block b = majority.produce_block(
+        miner_m, majority.head().header.timestamp + 14, txs);
+    ASSERT_EQ(b.transactions.size(), txs.size());
+    ASSERT_EQ(majority.import(b).result, core::ImportResult::kImported);
+    blocks.push_back(b);
+    included.insert(included.end(), txs.begin(), txs.end());
+  }
+
+  // six transfers that never get mined: the txpool differential witness
+  std::vector<core::Transaction> pending;
+  for (std::uint64_t i = 0; i < 6; ++i)
+    pending.push_back(core::make_transaction(bob, i, derive_address(alice),
+                                             core::Wei(5), std::nullopt));
+  const auto seed_pool = [&](core::TxPool& pool, core::Blockchain& chain) {
+    for (const core::Transaction& t : included)
+      ASSERT_EQ(pool.add(t, chain.head_state(), chain.height()),
+                core::PoolAddResult::kAdded);
+    for (const core::Transaction& t : pending)
+      ASSERT_EQ(pool.add(t, chain.head_state(), chain.height()),
+                core::PoolAddResult::kAdded);
+  };
+  // mirror FullNode: on every import that moves the head, drop included
+  // txs and prune nonces the new head state made stale
+  const auto feed = [](core::Blockchain& chain, core::TxPool& pool,
+                       const core::Block& b) {
+    const auto out = chain.import(b);
+    if (out.became_head) pool.remove_included(b.transactions,
+                                              chain.head_state());
+    return out;
+  };
+
+  // the clean replica: imports the majority chain, never diverges
+  core::Blockchain clean(config, exec, alloc);
+  core::TxPool clean_pool(clean.config());
+  seed_pool(clean_pool, clean);
+  for (const core::Block& b : blocks)
+    ASSERT_EQ(feed(clean, clean_pool, b).result,
+              core::ImportResult::kImported);
+
+  // the quirky node: follows the majority to height 29, disputes
+  // everything above it, and mines a 34-block branch of its own
+  core::Blockchain quirky(config, exec, alloc);
+  core::TxPool quirky_pool(quirky.config());
+  seed_pool(quirky_pool, quirky);
+  DisputedSetRules rules;
+  for (std::size_t i = 29; i < blocks.size(); ++i)
+    rules.disputed.insert(blocks[i].hash());
+  quirky.set_validation_rules(&rules);
+
+  for (std::size_t i = 0; i < 29; ++i)
+    ASSERT_EQ(feed(quirky, quirky_pool, blocks[i]).result,
+              core::ImportResult::kImported);
+  ASSERT_EQ(quirky.import(blocks[29]).result,
+            core::ImportResult::kDisputed);
+  ASSERT_EQ(quirky.height(), 29u);
+  for (int i = 0; i < 34; ++i) {
+    core::Block b = quirky.produce_block(
+        miner_q, quirky.head().header.timestamp + 14, {});
+    ASSERT_EQ(quirky.import(b).result, core::ImportResult::kImported);
+  }
+  ASSERT_EQ(quirky.height(), 63u);
+  ASSERT_NE(quirky.head().hash(), blocks[62].hash());
+
+  // the hotfix ships: the quirk is gone and the disputed range re-imports
+  // through full execution; total difficulty flips the node back onto the
+  // majority branch in one deep reorg
+  rules.active = false;
+  std::size_t max_reorg = 0;
+  for (std::size_t i = 29; i < blocks.size(); ++i) {
+    const auto out = feed(quirky, quirky_pool, blocks[i]);
+    ASSERT_EQ(out.result, core::ImportResult::kImported) << "block " << i + 1;
+    max_reorg = std::max(max_reorg, out.reorg_depth);
+  }
+  EXPECT_GE(max_reorg, 32u);
+
+  // differential vs the never-diverged replica: head, state, receipts,
+  // and pool contents all restored
+  EXPECT_EQ(quirky.head().hash(), clean.head().hash());
+  EXPECT_EQ(quirky.height(), clean.height());
+  EXPECT_EQ(quirky.head().header.state_root, clean.head().header.state_root);
+  for (const Address& a :
+       {derive_address(alice), derive_address(bob), miner_m, miner_q})
+    EXPECT_EQ(quirky.head_state().balance(a), clean.head_state().balance(a));
+  EXPECT_EQ(quirky.head_state().nonce(derive_address(alice)), 30u);
+  // the divergent branch's rewards are gone from canonical state
+  EXPECT_TRUE(quirky.head_state().balance(miner_q).is_zero());
+  for (const core::Block& b : blocks) {
+    const auto* rq = quirky.receipts_of(b.hash());
+    const auto* rc = clean.receipts_of(b.hash());
+    ASSERT_NE(rq, nullptr);
+    ASSERT_NE(rc, nullptr);
+    EXPECT_EQ(rq->size(), rc->size());
+  }
+  EXPECT_EQ(quirky_pool.size(), clean_pool.size());
+  for (const core::Transaction& t : pending) {
+    EXPECT_TRUE(quirky_pool.contains(t.hash()));
+    EXPECT_TRUE(clean_pool.contains(t.hash()));
+  }
+  for (const core::Transaction& t : included)
+    EXPECT_FALSE(quirky_pool.contains(t.hash()));
 }
 
 }  // namespace
