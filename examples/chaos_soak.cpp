@@ -26,9 +26,18 @@
 // view, and — once the hotfix ships at patch time — deep-reorg back onto
 // the honest chain through full revalidation.
 //
+// With --eclipse, a sybil swarm (budget set by --sybil-budget, default 32)
+// attacks one victim's peer discovery: identities ground into the victim's
+// routing-table buckets, table poisoning, connection-slot flooding at
+// restart, sybil-only lookup answers, and block withholding. The hardened
+// dial policy, diversity caps, persisted anchors, and the isolation
+// detector defend; --no-eclipse-defenses switches them off to watch the
+// victim get starved.
+//
 //   ./build/examples/chaos_soak [seed] [--byzantine <fraction>]
 //       [--cold-restarts <prob>] [--disk-faults <rate>]
 //       [--clients <minority fraction>] [--bug-window <onset,patch>]
+//       [--eclipse] [--sybil-budget <n>] [--no-eclipse-defenses]
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -82,6 +91,14 @@ int main(int argc, char** argv) {
         clients.onset_time = 400.0;
         clients.patch_time = 700.0;
       }
+    } else if (std::strcmp(argv[i], "--eclipse") == 0) {
+      if (cp.eclipse.budget == 0) cp.eclipse.budget = 32;
+      cp.eclipse.start = 100.0;
+    } else if (std::strcmp(argv[i], "--sybil-budget") == 0 && i + 1 < argc) {
+      cp.eclipse.budget = std::strtoull(argv[++i], nullptr, 10);
+      cp.eclipse.start = 100.0;
+    } else if (std::strcmp(argv[i], "--no-eclipse-defenses") == 0) {
+      cp.eclipse.defenses = false;
     } else if (std::strcmp(argv[i], "--bug-window") == 0 && i + 1 < argc) {
       const std::string window(argv[++i]);
       const std::size_t comma = window.find(',');
@@ -118,6 +135,10 @@ int main(int argc, char** argv) {
       std::cout << " on " << fmt(cp.storage_faults.torn_write_prob * 100.0, 0)
                 << "%-faulty disks";
   }
+  if (cp.eclipse.budget > 0)
+    std::cout << ", a " << cp.eclipse.budget << "-sybil eclipse swarm from t="
+              << fmt(cp.eclipse.start, 0) << " (defenses "
+              << (cp.eclipse.defenses ? "on" : "OFF") << ")";
   if (cp.scenario.clients.enabled)
     std::cout << ", " << fmt(cp.scenario.clients.mix.back().fraction * 100.0, 0)
               << "% " << to_string(cp.scenario.clients.buggy_family)
@@ -179,6 +200,31 @@ int main(int argc, char** argv) {
     at.add_row({"rate-limited messages", std::to_string(r.rate_limited)});
     at.add_row({"txpool evictions", std::to_string(r.txpool_evictions)});
     at.print(std::cout);
+  }
+
+  if (r.eclipse_victims > 0) {
+    std::cout << "\n-- eclipse layer (" << r.eclipse_sybils << " sybils vs "
+              << r.eclipse_victims << " victim"
+              << (r.eclipse_victims == 1 ? "" : "s") << ") --\n";
+    Table et({"metric", "value"});
+    et.add_row({"table-poisoning floods", std::to_string(r.eclipse_table_floods)});
+    et.add_row({"handshake floods", std::to_string(r.eclipse_status_floods)});
+    et.add_row({"lookups answered sybil-only",
+                std::to_string(r.eclipse_lookups_answered)});
+    et.add_row({"block requests withheld",
+                std::to_string(r.eclipse_withheld_requests)});
+    for (std::size_t v = 0; v < r.isolation_seconds.size(); ++v)
+      et.add_row({"victim " + std::to_string(v) + " isolated (s)",
+                  fmt(r.isolation_seconds[v], 0)});
+    et.add_row({"victims eclipsed at end",
+                std::to_string(r.victims_eclipsed_at_end) + " / " +
+                    std::to_string(r.eclipse_victims)});
+    et.add_row({"eclipse suspicions raised",
+                std::to_string(r.eclipse_suspicions)});
+    et.add_row({"detector recoveries", std::to_string(r.eclipse_recoveries)});
+    et.add_row(
+        {"honest-honest ban events", std::to_string(r.honest_ban_events)});
+    et.print(std::cout);
   }
 
   if (cp.scenario.clients.enabled) {

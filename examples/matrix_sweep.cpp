@@ -6,12 +6,16 @@
 //   ./build/examples/matrix_sweep [seed]
 //       [--byz 0,0.1,0.25] [--off 0,0.2,0.4] [--part 0,0.5] [--dur 30,60]
 //       [--clients 0,0.25,0.5] [--bug-window 200,320]
+//       [--eclipse 0,16,32]
 //       [--quorum 0.6] [--interval 5] [--cold 1.0] [--disk-faults 0.3]
 //
 // Axes are comma-separated lists; every combination becomes one cell.
 // --clients adds the minority-share axis: cells with a nonzero share run
 // that fraction of nodes as a buggy parity minority whose validation
 // quirk is live across the failure episode until the hotfix lands.
+// --eclipse adds the sybil-budget axis: cells with a nonzero budget run a
+// defended eclipse swarm of that many sybils against one victim from the
+// moment the episode opens.
 // --bug-window onset,patch moves the episode start to `onset` and
 // replaces the duration axis with {patch - onset}. The whole sweep
 // replays bit-identically from the seed (the matrix fingerprint proves
@@ -91,6 +95,8 @@ int main(int argc, char** argv) {
       mp.axes.partition_duration = parse_list(next("--dur"));
     } else if (std::strcmp(argv[i], "--clients") == 0) {
       mp.axes.minority_share = parse_list(next("--clients"));
+    } else if (std::strcmp(argv[i], "--eclipse") == 0) {
+      mp.axes.eclipse_budget = parse_list(next("--eclipse"));
     } else if (std::strcmp(argv[i], "--bug-window") == 0) {
       const std::vector<double> window = parse_list(next("--bug-window"));
       if (window.size() != 2 || window[1] <= window[0]) {
@@ -121,7 +127,8 @@ int main(int argc, char** argv) {
             << mp.axes.offline_share.size() << " offline x "
             << mp.axes.partitioned_share.size() << " partitioned x "
             << mp.axes.partition_duration.size() << " duration x "
-            << mp.axes.minority_share.size() << " minority), "
+            << mp.axes.minority_share.size() << " minority x "
+            << mp.axes.eclipse_budget.size() << " eclipse), "
             << cp.scenario.nodes_eth + cp.scenario.nodes_etc
             << " nodes per cell, seed " << cp.scenario.seed
             << ", quorum " << fmt(cp.probe.quorum_fraction, 2)
@@ -130,15 +137,15 @@ int main(int argc, char** argv) {
   MatrixRunner runner(mp);
   const MatrixReport report = runner.run(&std::cout);
 
-  Table table({"byz", "off", "part", "dur s", "min", "conv", "avail pre",
-               "during", "post", "degraded s", "heal s", "banned",
-               "disputed", "replayed"});
+  Table table({"byz", "off", "part", "dur s", "min", "ecl", "conv",
+               "avail pre", "during", "post", "degraded s", "heal s",
+               "banned", "disputed", "replayed"});
   for (const MatrixCell& c : report.cells) {
     const AvailabilityStats& a = c.report.availability;
     table.add_row(
         {fmt(c.spec.byzantine_share, 2), fmt(c.spec.offline_share, 2),
          fmt(c.spec.partitioned_share, 2), fmt(c.spec.partition_duration, 0),
-         fmt(c.spec.minority_share, 2),
+         fmt(c.spec.minority_share, 2), fmt(c.spec.eclipse_budget, 0),
          c.report.converged ? "yes" : "NO", fmt(a.pre, 3),
          fmt(a.during_failure, 3), fmt(a.post, 3),
          fmt(a.degraded_seconds, 0), fmt(a.time_to_heal, 0),

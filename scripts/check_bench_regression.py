@@ -52,6 +52,7 @@ RECORDS = [
     "BENCH_ablate_geo.json",
     "BENCH_ablate_parallel.json",
     "BENCH_ablate_clients.json",
+    "BENCH_ablate_eclipse.json",
 ]
 
 # Absolute slack (ns) added to every timing limit: benchmarks that resolve

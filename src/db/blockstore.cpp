@@ -37,7 +37,44 @@ std::uint32_t get_u32be(BytesView b) {
 BlockStore::BlockStore(SimDisk& disk, std::string name)
     : disk_(disk),
       log_file_(name + ".blocks.log"),
-      head_file_(name + ".head.ptr") {}
+      head_file_(name + ".head.ptr"),
+      anchors_file_(name + ".anchors") {}
+
+void BlockStore::save_anchors(const std::vector<Hash256>& anchors) {
+  Bytes record;
+  record.reserve(kLengthBytes + anchors.size() * 32 + kChecksumBytes);
+  put_u32be(record, static_cast<std::uint32_t>(anchors.size()));
+  for (const Hash256& id : anchors)
+    record.insert(record.end(), id.begin(), id.end());
+  const Checksum sum =
+      truncated_keccak(BytesView(record.data(), record.size()));
+  record.insert(record.end(), sum.begin(), sum.end());
+  disk_.truncate(anchors_file_, 0);
+  disk_.append(anchors_file_, record);
+}
+
+std::vector<Hash256> BlockStore::load_anchors() const {
+  const Bytes& image = disk_.read(anchors_file_);
+  if (image.size() < kLengthBytes + kChecksumBytes) return {};
+  const std::uint32_t count =
+      get_u32be(BytesView(image.data(), kLengthBytes));
+  const std::size_t expect =
+      kLengthBytes + static_cast<std::size_t>(count) * 32 + kChecksumBytes;
+  if (image.size() != expect) return {};
+  const Checksum sum =
+      truncated_keccak(BytesView(image.data(), expect - kChecksumBytes));
+  if (!std::equal(sum.begin(), sum.end(),
+                  image.data() + expect - kChecksumBytes))
+    return {};
+  std::vector<Hash256> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Hash256 id;
+    std::copy_n(image.data() + kLengthBytes + i * 32, 32, id.data());
+    out.push_back(id);
+  }
+  return out;
+}
 
 void BlockStore::attach_telemetry(obs::Registry& reg) {
   tm_appends_ = &reg.counter("db.appends");

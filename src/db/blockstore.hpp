@@ -70,6 +70,23 @@ class BlockStore {
   /// Rng draws.
   void attach_telemetry(obs::Registry& reg);
 
+  /// Persist the node's anchor peer ids (<name>.anchors), rewritten whole
+  /// on every change — anchors are a handful of ids, not a log:
+  ///
+  ///   [u32 BE count][count * 32-byte ids][8-byte truncated keccak of the
+  ///   preceding bytes]
+  ///
+  /// Eclipse-defended nodes redial these long-lived peers after a cold
+  /// restart, so a reboot never depends solely on (poisonable) bootstrap
+  /// seeds.
+  void save_anchors(const std::vector<Hash256>& anchors);
+
+  /// The persisted anchor set; empty when the file is missing, torn, or
+  /// fails its checksum (a corrupt anchor record is dropped, never trusted).
+  std::vector<Hash256> load_anchors() const;
+
+  const std::string& anchors_file() const noexcept { return anchors_file_; }
+
   /// Pure scan of a log image (no disk, no repair): verify records until
   /// the first invalid one, appending surviving blocks to `out`. Returns
   /// the byte offset of the valid prefix. Exposed for the fuzz suite.
@@ -92,6 +109,7 @@ class BlockStore {
   SimDisk& disk_;
   std::string log_file_;
   std::string head_file_;
+  std::string anchors_file_;
   std::uint64_t head_seq_ = 0;
   std::uint64_t record_count_ = 0;
   obs::Counter* tm_appends_ = nullptr;

@@ -1,11 +1,59 @@
 #include "p2p/discovery.hpp"
 
+#include <vector>
+
 namespace forksim::p2p {
 
-void DiscoveryService::observe(const NodeId& id) {
-  if (id == table_.self()) return;
+bool DiscoveryService::observe(const NodeId& id) {
+  if (id == table_.self() || id.is_zero()) {
+    ++invalid_rejects_;
+    return false;
+  }
   const bool fresh = !table_.contains(id);
-  if (table_.observe(id) && fresh && on_discovered_) on_discovered_(id);
+  if (fresh && over_diversity_caps(id)) {
+    ++diversity_rejects_;
+    return false;
+  }
+  if (table_.observe(id)) {
+    if (defense_.enabled) {
+      // Liveness proven: the id is no longer an eviction or feeler suspect.
+      pending_evictions_.erase(id);
+      pending_feelers_.erase(id);
+    }
+    if (fresh && on_discovered_) on_discovered_(id);
+    return true;
+  }
+  // Bucket full. Classic Kademlia keeps the long-lived incumbent; with the
+  // defense on we first challenge the least-recently-seen entry with a
+  // Ping — if it stays silent the newcomer takes its slot in maintain().
+  if (defense_.enabled && fresh) {
+    if (auto incumbent = table_.eviction_candidate(id)) {
+      if (!pending_evictions_.contains(*incumbent)) {
+        pending_evictions_.emplace(*incumbent, PendingEviction{id, 0});
+        send_(*incumbent, Message{Ping{}});
+        ++evictions_challenged_;
+      }
+    }
+  }
+  return false;
+}
+
+bool DiscoveryService::over_diversity_caps(const NodeId& id) const {
+  if (!defense_.enabled || !group_fn_) return false;
+  const std::uint32_t group = group_fn_(id);
+  if (defense_.bucket_group_cap > 0) {
+    std::size_t same = 0;
+    for (const NodeId& entry : table_.bucket_entries(id))
+      if (group_fn_(entry) == group) ++same;
+    if (same >= defense_.bucket_group_cap) return true;
+  }
+  if (defense_.table_group_cap > 0) {
+    std::size_t same = 0;
+    for (const NodeId& entry : table_.all())
+      if (group_fn_(entry) == group) ++same;
+    if (same >= defense_.table_group_cap) return true;
+  }
+  return false;
 }
 
 void DiscoveryService::bootstrap(const std::vector<NodeId>& seeds) {
@@ -18,6 +66,51 @@ void DiscoveryService::refresh() {
   for (std::size_t i = 0; i < 32; ++i)
     target[i] = static_cast<std::uint8_t>(rng_.uniform(256));
   start_lookup(target);
+}
+
+void DiscoveryService::on_peer_dead(const NodeId& id) {
+  table_.remove(id);
+  if (defense_.enabled) {
+    pending_evictions_.erase(id);
+    pending_feelers_.erase(id);
+  }
+}
+
+void DiscoveryService::maintain() {
+  if (!defense_.enabled) return;
+  std::vector<NodeId> evicted;
+  for (auto& [incumbent, pending] : pending_evictions_)
+    if (++pending.age > defense_.pending_ticks) evicted.push_back(incumbent);
+  for (const NodeId& incumbent : evicted) {
+    const NodeId challenger = pending_evictions_.at(incumbent).challenger;
+    pending_evictions_.erase(incumbent);
+    table_.remove(incumbent);
+    ++evictions_completed_;
+    observe(challenger);  // re-checks diversity caps on admission
+  }
+  std::vector<NodeId> dead;
+  for (auto& [id, age] : pending_feelers_)
+    if (++age > defense_.pending_ticks) dead.push_back(id);
+  for (const NodeId& id : dead) {
+    pending_feelers_.erase(id);
+    table_.remove(id);
+    ++feeler_drops_;
+  }
+}
+
+void DiscoveryService::send_feeler(const NodeId& id) {
+  if (!defense_.enabled || !table_.contains(id)) return;
+  if (pending_feelers_.contains(id) || pending_evictions_.contains(id)) return;
+  pending_feelers_.emplace(id, 0);
+  send_(id, Message{Ping{}});
+  ++feelers_sent_;
+}
+
+void DiscoveryService::flush() {
+  table_.clear();
+  pending_evictions_.clear();
+  pending_feelers_.clear();
+  lookup_.reset();
 }
 
 void DiscoveryService::start_lookup(const NodeId& target) {
@@ -33,6 +126,15 @@ void DiscoveryService::drive_lookup() {
 }
 
 bool DiscoveryService::handle(const NodeId& from, const Message& msg) {
+  // A self-echo or the zero id is never a legitimate discovery source:
+  // reject it outright rather than silently observing it into the table.
+  if (from == table_.self() || from.is_zero()) {
+    if (std::holds_alternative<Ping>(msg) || std::holds_alternative<Pong>(msg) ||
+        std::holds_alternative<FindNode>(msg) ||
+        std::holds_alternative<Neighbors>(msg))
+      ++invalid_rejects_;
+    return false;
+  }
   return std::visit(
       [&](const auto& m) -> bool {
         using T = std::decay_t<decltype(m)>;

@@ -2,20 +2,45 @@
 // runs one of these; it maintains the routing table, answers PING and
 // FIND_NODE, runs iterative lookups to populate its buckets, and surfaces
 // discovered nodes to the peer layer as connection candidates.
+//
+// The service carries an optional eclipse-resistance layer
+// (DiscoveryDefense): ping-before-evict for full buckets, group diversity
+// caps (the sim analog of geth's IP-prefix limits, keyed on an injected
+// region oracle), and feeler pings that validate long-idle table entries.
+// With the defense disabled (the default) behavior is identical to the
+// unhardened service — no extra state, messages, or rng draws.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <unordered_map>
 
 #include "p2p/kademlia.hpp"
 #include "p2p/messages.hpp"
 
 namespace forksim::p2p {
 
+/// Eclipse-resistance knobs for the discovery layer. Strictly opt-in.
+struct DiscoveryDefense {
+  bool enabled = false;
+  /// Max table entries sharing one group across the whole table (geth's
+  /// table-wide IP-prefix limit, with the sim's region oracle standing in
+  /// for address prefixes). 0 = unlimited.
+  std::size_t table_group_cap = 6;
+  /// Max entries sharing one group within a single k-bucket. 0 = unlimited.
+  std::size_t bucket_group_cap = 2;
+  /// maintain() passes a challenged incumbent (or feeler target) may stay
+  /// silent before it is declared dead.
+  std::uint32_t pending_ticks = 2;
+};
+
 class DiscoveryService {
  public:
   using SendFn = std::function<void(const NodeId& to, const Message&)>;
   /// Fired whenever a fresh node id lands in the routing table.
   using DiscoveredFn = std::function<void(const NodeId&)>;
+  /// Region/AS oracle for the diversity caps.
+  using GroupFn = std::function<std::uint32_t(const NodeId&)>;
 
   DiscoveryService(NodeId self, Rng rng, SendFn send)
       : table_(self), rng_(rng), send_(std::move(send)) {}
@@ -23,6 +48,8 @@ class DiscoveryService {
   const RoutingTable& table() const noexcept { return table_; }
 
   void set_on_discovered(DiscoveredFn fn) { on_discovered_ = std::move(fn); }
+  void set_defense(const DiscoveryDefense& defense) { defense_ = defense; }
+  void set_group_fn(GroupFn fn) { group_fn_ = std::move(fn); }
 
   /// Seed the table (bootstrap nodes) and start a self-lookup.
   void bootstrap(const std::vector<NodeId>& seeds);
@@ -31,23 +58,70 @@ class DiscoveryService {
   void refresh();
 
   /// Handle one discovery message; returns true if it consumed the message.
+  /// Self-echoes and zero ids are rejected outright (returns false).
   bool handle(const NodeId& from, const Message& msg);
 
   /// Peer failed to respond / disconnected: drop it from the table.
-  void on_peer_dead(const NodeId& id) { table_.remove(id); }
+  void on_peer_dead(const NodeId& id);
+
+  /// Age pending evictions and feelers; expired incumbents are removed and
+  /// their challengers admitted. Call once per node tick when the defense
+  /// is enabled.
+  void maintain();
+
+  /// Ping a table entry to validate it is still alive (feeler dial). The
+  /// entry is removed if it stays silent for `pending_ticks` maintains.
+  void send_feeler(const NodeId& id);
+
+  /// Drop the whole table and all pending challenges (eclipse recovery).
+  void flush();
 
   std::size_t known_nodes() const noexcept { return table_.size(); }
 
+  // Defense observability (plain counters; the node folds them into its
+  // telemetry only when non-zero).
+  std::uint64_t evictions_challenged() const noexcept {
+    return evictions_challenged_;
+  }
+  std::uint64_t evictions_completed() const noexcept {
+    return evictions_completed_;
+  }
+  std::uint64_t feelers_sent() const noexcept { return feelers_sent_; }
+  std::uint64_t feeler_drops() const noexcept { return feeler_drops_; }
+  std::uint64_t diversity_rejects() const noexcept {
+    return diversity_rejects_;
+  }
+  std::uint64_t invalid_rejects() const noexcept { return invalid_rejects_; }
+
  private:
-  void observe(const NodeId& id);
+  /// Returns true when the id landed in (or refreshed) the table.
+  bool observe(const NodeId& id);
+  bool over_diversity_caps(const NodeId& id) const;
   void start_lookup(const NodeId& target);
   void drive_lookup();
+
+  struct PendingEviction {
+    NodeId challenger;
+    std::uint32_t age = 0;
+  };
 
   RoutingTable table_;
   Rng rng_;
   SendFn send_;
   DiscoveredFn on_discovered_;
   std::optional<Lookup> lookup_;
+  DiscoveryDefense defense_;
+  GroupFn group_fn_;
+  /// incumbent -> challenger waiting on the incumbent's Pong.
+  std::unordered_map<NodeId, PendingEviction, NodeIdHasher> pending_evictions_;
+  /// feeler target -> maintains waited so far.
+  std::unordered_map<NodeId, std::uint32_t, NodeIdHasher> pending_feelers_;
+  std::uint64_t evictions_challenged_ = 0;
+  std::uint64_t evictions_completed_ = 0;
+  std::uint64_t feelers_sent_ = 0;
+  std::uint64_t feeler_drops_ = 0;
+  std::uint64_t diversity_rejects_ = 0;
+  std::uint64_t invalid_rejects_ = 0;
 };
 
 }  // namespace forksim::p2p

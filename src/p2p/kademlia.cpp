@@ -79,6 +79,18 @@ std::optional<NodeId> RoutingTable::eviction_candidate(const NodeId& id) const {
   return bucket.front();  // least-recently-seen
 }
 
+std::vector<NodeId> RoutingTable::bucket_entries(const NodeId& id) const {
+  const int bucket_index = distance_bucket(self_, id);
+  if (bucket_index < 0) return {};
+  const auto& bucket = buckets_[static_cast<std::size_t>(bucket_index)];
+  return std::vector<NodeId>(bucket.begin(), bucket.end());
+}
+
+void RoutingTable::clear() {
+  for (auto& bucket : buckets_) bucket.clear();
+  size_ = 0;
+}
+
 std::vector<NodeId> RoutingTable::all() const {
   std::vector<NodeId> out;
   out.reserve(size_);

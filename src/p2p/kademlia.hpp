@@ -48,6 +48,15 @@ class RoutingTable {
   /// candidate), if that bucket is full.
   std::optional<NodeId> eviction_candidate(const NodeId& id) const;
 
+  /// Entries of the bucket `id` falls in, least-recently-seen first (empty
+  /// for self). The diversity caps in DiscoveryService count group members
+  /// per bucket through this.
+  std::vector<NodeId> bucket_entries(const NodeId& id) const;
+
+  /// Forget everything (eclipse recovery: a poisoned table is rebuilt from
+  /// the bootstrap seeds, not repaired in place).
+  void clear();
+
   std::size_t size() const noexcept { return size_; }
 
   /// All known ids (unordered).

@@ -50,6 +50,20 @@ std::size_t PeerSet::active_count() const {
   return n;
 }
 
+std::size_t PeerSet::inbound_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, s] : sessions_)
+    if (s.inbound) ++n;
+  return n;
+}
+
+std::vector<NodeId> PeerSet::session_ids() const {
+  std::vector<NodeId> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, _] : sessions_) out.push_back(id);
+  return out;
+}
+
 PeerSession* PeerSet::session(const NodeId& id) {
   auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : &it->second;
@@ -94,10 +108,34 @@ void PeerSet::drop(const NodeId& id, DisconnectReason reason,
   if (cb_.on_drop) cb_.on_drop(id, reason);
 }
 
+bool PeerSet::inbound_over_caps(const NodeId& from) const {
+  if (policy_.max_inbound == 0 && policy_.inbound_group_cap == 0) return false;
+  std::size_t inbound_total = 0;
+  std::size_t same_group = 0;
+  const std::uint32_t group = group_fn_ ? group_fn_(from) : 0;
+  for (const auto& [id, s] : sessions_) {
+    if (!s.inbound) continue;
+    ++inbound_total;
+    if (group_fn_ && group_fn_(id) == group) ++same_group;
+  }
+  if (policy_.max_inbound > 0 && inbound_total >= policy_.max_inbound)
+    return true;
+  return policy_.inbound_group_cap > 0 && group_fn_ &&
+         same_group >= policy_.inbound_group_cap;
+}
+
 void PeerSet::on_status(const NodeId& from, const Status& status) {
   auto it = sessions_.find(from);
   const bool inbound = it == sessions_.end();
   if (inbound) {
+    if (inbound_over_caps(from)) {
+      ++inbound_rejections_;
+      if (!tm_inbound_rej_ && reg_)
+        tm_inbound_rej_ = &reg_->counter("peers.inbound_rejections");
+      obs::inc(tm_inbound_rej_);
+      cb_.send(from, Message{Disconnect{DisconnectReason::kTooManyPeers}});
+      return;
+    }
     if (!has_capacity() || is_banned(from)) {
       cb_.send(from, Message{Disconnect{DisconnectReason::kTooManyPeers}});
       return;
@@ -268,6 +306,10 @@ void PeerSet::attach_telemetry(obs::Registry& reg) {
   if (spam_penalties_ > 0) {
     tm_spam_ = &reg.counter("peers.spam_penalties");
     tm_spam_->inc(spam_penalties_);
+  }
+  if (inbound_rejections_ > 0) {
+    tm_inbound_rej_ = &reg.counter("peers.inbound_rejections");
+    tm_inbound_rej_->inc(inbound_rejections_);
   }
 }
 

@@ -102,6 +102,14 @@ struct PeerPolicy {
   /// is what unsticks sessions to crashed peers (churn): the remote never
   /// said goodbye, so only silence gives it away.
   double drop_after = 90.0;
+  /// Eclipse-resistance slot split: cap on concurrent inbound sessions, so
+  /// an inbound flood can never exhaust the outbound dial headroom.
+  /// 0 = unlimited (the legacy behavior).
+  std::size_t max_inbound = 0;
+  /// Cap on inbound sessions sharing one group (the sim's region oracle
+  /// standing in for IP prefixes); needs a group fn installed to bind.
+  /// 0 = unlimited.
+  std::size_t inbound_group_cap = 0;
 };
 
 class PeerSet {
@@ -132,8 +140,13 @@ class PeerSet {
         cb_(std::move(callbacks)),
         policy_(policy) {}
 
+  /// Region/AS oracle for PeerPolicy::inbound_group_cap.
+  using GroupFn = std::function<std::uint32_t(const NodeId&)>;
+  void set_group_fn(GroupFn fn) { group_fn_ = std::move(fn); }
+
   std::size_t active_count() const;
   std::size_t session_count() const noexcept { return sessions_.size(); }
+  std::size_t inbound_count() const;
   bool connected_to(const NodeId& id) const { return sessions_.contains(id); }
   bool has_capacity() const { return sessions_.size() < max_peers_; }
 
@@ -198,6 +211,14 @@ class PeerSet {
   std::uint64_t liveness_drops() const noexcept { return liveness_drops_; }
   /// Telemetry: spam demerits handed out (rate-limit / flood rejections).
   std::uint64_t spam_penalties() const noexcept { return spam_penalties_; }
+  /// Telemetry: inbound handshakes bounced by the slot split / group caps.
+  std::uint64_t inbound_rejections() const noexcept {
+    return inbound_rejections_;
+  }
+
+  /// Ids of every session, whatever its state (eclipse recovery drops the
+  /// whole set, handshaking sybils included).
+  std::vector<NodeId> session_ids() const;
 
   /// Register peers.* counters in `reg`. Multiple PeerSets (one per node)
   /// may attach to the same registry; the named counters then aggregate
@@ -206,6 +227,7 @@ class PeerSet {
 
  private:
   void on_status(const NodeId& from, const Status& status);
+  bool inbound_over_caps(const NodeId& from) const;
   void activate(const NodeId& id);
   void drop(const NodeId& id, DisconnectReason reason, bool notify_remote);
   void penalize(const NodeId& id, int amount);
@@ -221,10 +243,12 @@ class PeerSet {
   std::unordered_map<NodeId, SimTime, NodeIdHasher> banned_;
   /// Every peer this set has ever score-banned (never pruned).
   std::unordered_set<NodeId, NodeIdHasher> ban_history_;
+  GroupFn group_fn_;
   std::uint64_t wrong_fork_drops_ = 0;
   std::uint64_t bans_ = 0;
   std::uint64_t liveness_drops_ = 0;
   std::uint64_t spam_penalties_ = 0;
+  std::uint64_t inbound_rejections_ = 0;
   obs::Counter* tm_wrong_fork_ = nullptr;
   obs::Counter* tm_bans_ = nullptr;
   obs::Counter* tm_liveness_ = nullptr;
@@ -232,6 +256,9 @@ class PeerSet {
   /// adversaries keep exactly the pre-existing metric set (golden
   /// fingerprints hash every registered name).
   obs::Counter* tm_spam_ = nullptr;
+  /// Lazily registered for the same reason: only eclipse-defended runs
+  /// ever bounce an inbound handshake.
+  obs::Counter* tm_inbound_rej_ = nullptr;
   obs::Registry* reg_ = nullptr;
 };
 

@@ -1,5 +1,7 @@
 #include "sim/adversary.hpp"
 
+#include <algorithm>
+
 #include "core/difficulty.hpp"
 #include "crypto/keccak.hpp"
 
@@ -226,6 +228,215 @@ void Adversary::run_equivocator() {
     // disjoint halves of the peer set get alternating clones
     for (std::size_t i = 0; i < t.size(); ++i)
       if (i % 2 == k % 2) send_raw(t[i], Message{NewBlock{clone, td}});
+  }
+}
+
+// ------------------------------------------------------------------ eclipse
+
+NodeId EclipseAdversary::mint_sybil(const NodeId& victim, std::uint64_t k) {
+  const int target_bucket = 240 + static_cast<int>(k % 8);
+  const auto bk = be_fixed64(k);
+  for (std::uint64_t nonce = 0;; ++nonce) {
+    Keccak256 h;
+    h.update(std::string_view("forksim/sybil"));
+    h.update(victim.view());
+    h.update(BytesView(bk.data(), bk.size()));
+    const auto bn = be_fixed64(nonce);
+    h.update(BytesView(bn.data(), bn.size()));
+    const NodeId id = h.digest();
+    // Expected 2^(255-target_bucket) keccaks per sybil (2^8..2^15): cheap,
+    // which is exactly the point — grinding ids into a victim's near
+    // buckets costs an attacker almost nothing.
+    if (distance_bucket(victim, id) == target_bucket) return id;
+  }
+}
+
+EclipseAdversary::EclipseAdversary(FullNode& host, EclipseOptions options)
+    : host_(host), options_(std::move(options)) {
+  sybils_.reserve(options_.sybil_budget);
+  for (std::uint64_t k = 0; k < options_.sybil_budget; ++k) {
+    const NodeId id = mint_sybil(options_.victim, k);
+    sybil_index_.emplace(id, sybils_.size());
+    sybils_.push_back(id);
+  }
+  engaged_.resize(sybils_.size());
+}
+
+EclipseAdversary::~EclipseAdversary() { stop(); }
+
+void EclipseAdversary::attach_telemetry(obs::Registry& reg) {
+  tm_rounds_ = &reg.counter("adversary.eclipse.rounds");
+  tm_table_floods_ = &reg.counter("adversary.eclipse.table_floods");
+  tm_status_floods_ = &reg.counter("adversary.eclipse.status_floods");
+  tm_lookups_ = &reg.counter("adversary.eclipse.lookups_answered");
+  tm_withheld_ = &reg.counter("adversary.eclipse.withheld_requests");
+  tm_rounds_->inc(counters_.rounds);
+  tm_table_floods_->inc(counters_.table_floods);
+  tm_status_floods_->inc(counters_.status_floods);
+  tm_lookups_->inc(counters_.lookups_answered);
+  tm_withheld_->inc(counters_.withheld_requests);
+}
+
+void EclipseAdversary::start() {
+  if (running_) return;
+  running_ = true;
+  Network& net = host_.network();
+  for (std::size_t i = 0; i < sybils_.size(); ++i) {
+    const NodeId sybil = sybils_[i];
+    if (net.is_attached(sybil)) continue;  // paranoia: minted collision
+    net.attach(sybil, [this, i](const NodeId& from, const Bytes& wire) {
+      on_sybil_message(i, from, wire);
+    });
+  }
+  schedule_next();
+}
+
+void EclipseAdversary::stop() {
+  if (!running_) return;
+  running_ = false;
+  ++generation_;
+  Network& net = host_.network();
+  for (const NodeId& sybil : sybils_) net.detach(sybil);
+  for (auto& set : engaged_) set.clear();
+}
+
+void EclipseAdversary::schedule_next() {
+  const std::uint64_t gen = generation_;
+  host_.network().loop().schedule(options_.interval, [this, gen] {
+    if (gen != generation_ || !running_) return;
+    tick();
+  });
+}
+
+void EclipseAdversary::send_from(const NodeId& sybil, const NodeId& to,
+                                 const Message& msg) {
+  host_.network().send(sybil, to, encode_message(msg));
+}
+
+Status EclipseAdversary::crafted_status() const {
+  // The genesis persona: chain-id and genesis hash are real (so the
+  // network check and the DAO challenge pass) but the claimed head is
+  // genesis itself. A victim therefore never requests blocks from a sybil
+  // — and never sees it time out or misbehave, so peer scoring has nothing
+  // to penalize. The eclipse starves quietly.
+  const auto& chain = host_.chain();
+  const core::Block& genesis = chain.genesis();
+  Status s;
+  s.network_id = chain.config().chain_id;
+  s.genesis_hash = genesis.hash();
+  s.head_hash = genesis.hash();
+  s.head_number = 0;
+  s.total_difficulty = chain.total_difficulty_of(genesis.hash());
+  return s;
+}
+
+std::vector<NodeId> EclipseAdversary::sybils_closest_to(
+    const NodeId& target) const {
+  std::vector<NodeId> out = sybils_;
+  std::sort(out.begin(), out.end(), [&](const NodeId& a, const NodeId& b) {
+    return closer_to(target, a, b);
+  });
+  if (out.size() > RoutingTable::kBucketSize)
+    out.resize(RoutingTable::kBucketSize);
+  return out;
+}
+
+void EclipseAdversary::on_sybil_message(std::size_t index, const NodeId& from,
+                                        const Bytes& wire) {
+  if (!running_) return;
+  const NodeId& sybil = sybils_[index];
+  const auto msg = decode_message(BytesView(wire.data(), wire.size()));
+  if (!msg) return;
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Ping>) {
+          // answer liveness probes: sybils must look alive to survive
+          // ping-before-evict challenges and feeler dials
+          send_from(sybil, from, Message{Pong{}});
+        } else if constexpr (std::is_same_v<T, FindNode>) {
+          ++counters_.lookups_answered;
+          obs::inc(tm_lookups_);
+          Neighbors reply;
+          reply.nodes = sybils_closest_to(m.target);
+          std::erase(reply.nodes, from);  // never echo the asker back
+          send_from(sybil, from, Message{std::move(reply)});
+        } else if constexpr (std::is_same_v<T, Status>) {
+          // Reply only to a handshake we did not initiate this engagement
+          // cycle (the victim dialing us). Answering every Status would
+          // echo against the victim's re-handshake path forever.
+          if (engaged_[index].insert(from).second) {
+            ++counters_.status_floods;
+            obs::inc(tm_status_floods_);
+            send_from(sybil, from, Message{crafted_status()});
+          }
+        } else if constexpr (std::is_same_v<T, GetDaoHeader>) {
+          engaged_[index].insert(from);
+          // A node honestly parked at genesis has not reached the fork
+          // height; "no header yet" passes the cross-examination on either
+          // side of the partition.
+          send_from(sybil, from, Message{DaoHeader{}});
+        } else if constexpr (std::is_same_v<T, GetBlocks>) {
+          ++counters_.withheld_requests;
+          obs::inc(tm_withheld_);
+          // never served: the starvation half of the eclipse
+        }
+      },
+      *msg);
+}
+
+void EclipseAdversary::tick() {
+  ++counters_.rounds;
+  obs::inc(tm_rounds_);
+  // Periodically forget who we already handshook so reaped sessions get
+  // re-established; without this one unlucky loss would free a victim slot
+  // for an honest peer permanently.
+  if (options_.reengage_rounds != 0 &&
+      counters_.rounds % options_.reengage_rounds == 0)
+    for (auto& set : engaged_) set.clear();
+
+  const NodeId& victim = options_.victim;
+  // Table poisoning: every sybil pings the victim (observe() on the Pong
+  // path inserts the sender), and one rotating "teller" pushes an
+  // unsolicited Neighbors packet of the sybils nearest the victim's own id
+  // — the ids its dialer will prefer.
+  for (const NodeId& sybil : sybils_) {
+    send_from(sybil, victim, Message{Ping{}});
+    ++counters_.table_floods;
+    obs::inc(tm_table_floods_);
+  }
+  if (!sybils_.empty()) {
+    const NodeId& teller = sybils_[counters_.rounds % sybils_.size()];
+    Neighbors n;
+    n.nodes = sybils_closest_to(victim);
+    send_from(teller, victim, Message{std::move(n)});
+    ++counters_.table_floods;
+    obs::inc(tm_table_floods_);
+  }
+  // Slot monopoly: un-engaged sybils push handshakes at the victim (filling
+  // its inbound slots) and at its seeds (so the victim's own outbound dials
+  // bounce with kTooManyPeers).
+  for (std::size_t i = 0; i < sybils_.size(); ++i) {
+    push_handshake(i, victim);
+    for (const NodeId& seed : options_.slot_targets) push_handshake(i, seed);
+  }
+  schedule_next();
+}
+
+void EclipseAdversary::push_handshake(std::size_t index,
+                                      const NodeId& target) {
+  if (!engaged_[index].insert(target).second) return;
+  ++counters_.status_floods;
+  obs::inc(tm_status_floods_);
+  send_from(sybils_[index], target, Message{crafted_status()});
+}
+
+void EclipseAdversary::reengage() {
+  if (!running_) return;
+  for (auto& set : engaged_) set.clear();
+  for (std::size_t i = 0; i < sybils_.size(); ++i) {
+    push_handshake(i, options_.victim);
+    for (const NodeId& seed : options_.slot_targets) push_handshake(i, seed);
   }
 }
 

@@ -70,6 +70,17 @@ void ChaosParams::validate() const {
   require_non_negative(mining_duration, "mining_duration");
   require_non_negative(settle_deadline, "settle_deadline");
   require_prob(adversaries.fraction, "adversaries.fraction");
+  require_non_negative(eclipse.start, "eclipse.start");
+  if (eclipse.budget > 0) {
+    if (!(eclipse.interval > 0.0))
+      throw std::invalid_argument(
+          "ChaosParams::eclipse.interval must be > 0, got " +
+          std::to_string(eclipse.interval));
+    if (eclipse.victims == 0)
+      throw std::invalid_argument(
+          "ChaosParams::eclipse.victims must be >= 1 when eclipse.budget "
+          "> 0");
+  }
   if (probe.enabled) {
     if (!(probe.interval > 0.0))
       throw std::invalid_argument(
@@ -150,6 +161,16 @@ ChaosParams apply_adversary_hardening(ChaosParams p) {
   return p;
 }
 
+// An eclipse run with defenses requested switches every honest node's
+// eclipse-resistance stack on; a defenses-off (or eclipse-free) run leaves
+// the scenario params untouched so fingerprints match builds without the
+// eclipse layer.
+ChaosParams apply_eclipse_defenses(ChaosParams p) {
+  if (p.eclipse.budget > 0 && p.eclipse.defenses)
+    p.scenario.node_options.eclipse.enabled = true;
+  return p;
+}
+
 // Validation runs before any member that could do work is built, so a bad
 // sweep config fails at construction with a named field, not mid-run.
 ChaosParams validated(ChaosParams p) {
@@ -160,7 +181,8 @@ ChaosParams validated(ChaosParams p) {
 }  // namespace
 
 ChaosRunner::ChaosRunner(ChaosParams params)
-    : params_(apply_adversary_hardening(validated(std::move(params)))),
+    : params_(apply_eclipse_defenses(
+          apply_adversary_hardening(validated(std::move(params))))),
       rng_(params_.scenario.seed ^ 0xc8a05f4d2b179e63ull),
       tracer_([this] { return scenario_->loop().now(); }),
       scenario_(std::make_unique<ForkScenario>(params_.scenario)) {
@@ -176,16 +198,21 @@ ChaosRunner::ChaosRunner(ChaosParams params)
   // exempt adversary hosts) without shifting the adversary-free draw
   // sequence; the draw-consuming install comes after churn.
   select_adversary_hosts();
+  // Cast selection draws no rng either; it must precede churn so victims
+  // and swarm hosts can be exempted.
+  select_eclipse_cast();
   // Stores fork one disk Rng per node, so this must come before churn for a
   // stable draw order — and does nothing (zero draws) when the durability
   // layer is off.
   install_stores();
   install_churn();
   install_adversaries();
+  install_eclipse();
   install_probe();
   scenario_->attach_telemetry(registry_, &tracer_);
   faults_->attach_telemetry(registry_);
   for (auto& adv : adversaries_) adv->attach_telemetry(registry_);
+  for (auto& adv : eclipse_adversaries_) adv->attach_telemetry(registry_);
   for (auto& store : stores_) store->attach_telemetry(registry_);
 }
 
@@ -264,7 +291,8 @@ void ChaosRunner::select_adversary_hosts() {
 void ChaosRunner::install_churn() {
   const std::size_t n = scenario_->node_count();
   // exempt the bootstrap anchors (first node on each side), miner hosts,
-  // and adversary hosts (an attacker that crashes is no test of defenses)
+  // adversary hosts (an attacker that crashes is no test of defenses), and
+  // the eclipse cast (the runner schedules the victim's reboot itself)
   std::unordered_set<const FullNode*> hosts;
   for (std::size_t m = 0; m < scenario_->miner_count(); ++m)
     hosts.insert(&scenario_->miner(m).node());
@@ -273,6 +301,7 @@ void ChaosRunner::install_churn() {
     if (i == 0 || i == params_.scenario.nodes_eth) continue;
     if (hosts.contains(&scenario_->node(i))) continue;
     if (adversary_hosts_.contains(i)) continue;
+    if (eclipse_protected_.contains(i)) continue;
     candidates.push_back(i);
   }
   const auto count = static_cast<std::size_t>(
@@ -355,6 +384,139 @@ void ChaosRunner::install_adversaries() {
     loop.schedule(mix.start, [raw] { raw->start(); });
     adversaries_.push_back(std::move(adv));
   }
+}
+
+void ChaosRunner::select_eclipse_cast() {
+  if (params_.eclipse.budget == 0) return;
+  const std::size_t n = scenario_->node_count();
+  std::unordered_set<const FullNode*> miner_hosts;
+  for (std::size_t m = 0; m < scenario_->miner_count(); ++m)
+    miner_hosts.insert(&scenario_->miner(m).node());
+  const auto eligible = [&](std::size_t i) {
+    if (i == 0 || i == params_.scenario.nodes_eth) return false;  // anchors
+    if (miner_hosts.contains(&scenario_->node(i))) return false;
+    if (adversary_hosts_.contains(i)) return false;
+    return true;
+  };
+  // Victims: the lowest-indexed eligible ETH-side nodes; swarm hosts: the
+  // highest-indexed eligible nodes (either side). Both picks are
+  // deterministic and draw-free, mirroring select_adversary_hosts.
+  for (std::size_t i = 0;
+       i < params_.scenario.nodes_eth &&
+       eclipse_victims_.size() < params_.eclipse.victims;
+       ++i)
+    if (eligible(i)) eclipse_victims_.push_back(i);
+  if (eclipse_victims_.size() < params_.eclipse.victims)
+    throw std::invalid_argument(
+        "ChaosParams::eclipse.victims: only " +
+        std::to_string(eclipse_victims_.size()) +
+        " eligible ETH-side nodes for " +
+        std::to_string(params_.eclipse.victims) + " victims");
+  std::unordered_set<std::size_t> victim_set(eclipse_victims_.begin(),
+                                             eclipse_victims_.end());
+  for (std::size_t i = n; i-- > 0 &&
+                          eclipse_hosts_.size() < eclipse_victims_.size();)
+    if (eligible(i) && !victim_set.contains(i)) eclipse_hosts_.push_back(i);
+  if (eclipse_hosts_.size() < eclipse_victims_.size())
+    throw std::invalid_argument(
+        "ChaosParams::eclipse: not enough eligible nodes to host " +
+        std::to_string(eclipse_victims_.size()) + " sybil swarms");
+  for (std::size_t i : eclipse_victims_) eclipse_protected_.insert(i);
+  for (std::size_t i : eclipse_hosts_) eclipse_protected_.insert(i);
+  isolation_seconds_.assign(eclipse_victims_.size(), 0.0);
+}
+
+void ChaosRunner::install_eclipse() {
+  if (eclipse_victims_.empty()) return;
+  auto& loop = scenario_->loop();
+  const std::size_t n = scenario_->node_count();
+
+  for (std::size_t v = 0; v < eclipse_victims_.size(); ++v) {
+    EclipseOptions opt;
+    opt.victim = scenario_->node(eclipse_victims_[v]).id();
+    // flooding the victim's seed makes its own outbound bootstrap dials
+    // bounce with kTooManyPeers on an undefended network
+    opt.slot_targets = rejoin_bootstrap_for(eclipse_victims_[v]);
+    opt.sybil_budget = params_.eclipse.budget;
+    opt.interval = params_.eclipse.interval;
+    eclipse_adversaries_.push_back(std::make_unique<EclipseAdversary>(
+        scenario_->node(eclipse_hosts_[v]), std::move(opt)));
+  }
+
+  // Region oracle (the IP-prefix analog): every honest node is its own
+  // group — an honest peer set never looks homogeneous — while all sybils
+  // of swarm k share group 100+k, which is exactly what the diversity caps
+  // and the isolation detector key on. Unknown ids (none in practice) fall
+  // back to a stable id-derived group.
+  auto regions = std::make_shared<
+      std::unordered_map<p2p::NodeId, std::uint32_t, p2p::NodeIdHasher>>();
+  for (std::size_t i = 0; i < n; ++i)
+    (*regions)[scenario_->node(i).id()] =
+        1000u + static_cast<std::uint32_t>(i);
+  for (std::size_t k = 0; k < eclipse_adversaries_.size(); ++k)
+    for (const p2p::NodeId& sybil : eclipse_adversaries_[k]->sybils())
+      (*regions)[sybil] = 100u + static_cast<std::uint32_t>(k);
+  const auto region_fn = [regions](const p2p::NodeId& id) -> std::uint32_t {
+    const auto it = regions->find(id);
+    if (it != regions->end()) return it->second;
+    return 0x80000000u | (static_cast<std::uint32_t>(id.data()[0]) << 8) |
+           id.data()[1];
+  };
+  for (std::size_t i = 0; i < n; ++i)
+    scenario_->node(i).set_region_fn(region_fn);
+
+  // The attack opens at `start`; three rounds later the runner reboots each
+  // victim into the entrenched swarm — the canonical reboot-then-eclipse
+  // (an established honest session can't be displaced, but a rebooting
+  // node's empty slots are up for grabs). reengage() fires the swarm's
+  // handshakes at the same instant, so they land while the slots are still
+  // empty.
+  for (std::size_t v = 0; v < eclipse_victims_.size(); ++v) {
+    EclipseAdversary* raw = eclipse_adversaries_[v].get();
+    loop.schedule(params_.eclipse.start, [raw] { raw->start(); });
+    const std::size_t idx = eclipse_victims_[v];
+    const double strike = params_.eclipse.start +
+                          3.0 * params_.eclipse.interval;
+    loop.schedule(strike, [this, raw, idx] {
+      FullNode& node = scenario_->node(idx);
+      if (!node.running()) return;
+      set_node_mining(idx, false);
+      node.shutdown();
+      raw->reengage();
+      node.start(rejoin_bootstrap_for(idx));
+      set_node_mining(idx, true);
+    });
+  }
+  loop.schedule(params_.eclipse.interval, [this] { eclipse_probe_tick(); });
+}
+
+bool ChaosRunner::is_sybil_id(const p2p::NodeId& id) const {
+  for (const auto& adv : eclipse_adversaries_)
+    if (adv->is_sybil(id)) return true;
+  return false;
+}
+
+bool ChaosRunner::victim_isolated(std::size_t idx) const {
+  const FullNode& node = scenario_->node(idx);
+  if (!node.running()) return false;
+  // isolated = no honest active peer: a sybil-only set and an empty set
+  // both mean the victim cannot hear the honest network
+  for (const p2p::NodeId& peer : node.peers().active_peers())
+    if (!is_sybil_id(peer)) return false;
+  return true;
+}
+
+// Reads node state only — no messages, no rng draws — so the accounting
+// never perturbs the attack timeline it measures.
+void ChaosRunner::eclipse_probe_tick() {
+  auto& loop = scenario_->loop();
+  for (std::size_t v = 0; v < eclipse_victims_.size(); ++v)
+    if (victim_isolated(eclipse_victims_[v]))
+      isolation_seconds_[v] += params_.eclipse.interval;
+  if (loop.now() + params_.eclipse.interval <=
+      params_.mining_duration + params_.settle_deadline)
+    loop.schedule(params_.eclipse.interval,
+                  [this] { eclipse_probe_tick(); });
 }
 
 void ChaosRunner::install_probe() {
@@ -629,6 +791,30 @@ Hash256 ChaosRunner::fingerprint(const obs::Snapshot& telemetry) const {
       u64(c.equivocations);
     }
   }
+  // Folded only for eclipse runs, so eclipse-free fingerprints stay
+  // byte-identical to those produced before this layer existed.
+  if (!eclipse_adversaries_.empty()) {
+    const auto fx = [](double v) {
+      return static_cast<std::uint64_t>(std::llround(v * 1e6));
+    };
+    u64(eclipse_adversaries_.size());
+    for (std::size_t v = 0; v < eclipse_adversaries_.size(); ++v) {
+      const EclipseCounters& c = eclipse_adversaries_[v]->counters();
+      u64(eclipse_victims_[v]);
+      u64(eclipse_hosts_[v]);
+      u64(c.rounds);
+      u64(c.table_floods);
+      u64(c.status_floods);
+      u64(c.lookups_answered);
+      u64(c.withheld_requests);
+      u64(fx(isolation_seconds_[v]));
+    }
+    for (std::size_t i = 0; i < scenario_->node_count(); ++i) {
+      const FullNode& node = scenario_->node(i);
+      u64(node.eclipse_suspicions());
+      u64(node.eclipse_recoveries());
+    }
+  }
   return h.digest();
 }
 
@@ -641,6 +827,11 @@ ChaosReport ChaosRunner::run() {
   // miners keeps the settle phase honest-only: with no fresh blocks, an
   // equivocated total-difficulty tie could otherwise pin a lagging node on
   // a clone forever (ties never displace a head).
+  //
+  // Eclipse swarms are the exception: a real eclipse doesn't politely end
+  // when mining does, so they keep flooding through the settle window — an
+  // undefended victim must stay eclipsed (and the run unconverged), while
+  // defended nodes must converge THROUGH the ongoing attack.
   for (auto& adv : adversaries_) adv->stop();
   const double mining_stopped = loop.now();
 
@@ -719,10 +910,33 @@ ChaosReport ChaosRunner::run() {
       if (banned) ++report.attackers_banned;
     }
   }
+  report.eclipse_victims = eclipse_victims_.size();
+  for (const auto& adv : eclipse_adversaries_) {
+    const EclipseCounters& c = adv->counters();
+    report.eclipse_sybils += adv->sybils().size();
+    report.eclipse_table_floods += c.table_floods;
+    report.eclipse_status_floods += c.status_floods;
+    report.eclipse_lookups_answered += c.lookups_answered;
+    report.eclipse_withheld_requests += c.withheld_requests;
+  }
+  if (!eclipse_adversaries_.empty()) {
+    for (std::size_t i = 0; i < scenario_->node_count(); ++i) {
+      if (adversary_hosts_.contains(i)) continue;
+      const FullNode& node = scenario_->node(i);
+      report.eclipse_suspicions += node.eclipse_suspicions();
+      report.eclipse_recoveries += node.eclipse_recoveries();
+    }
+    report.isolation_seconds = isolation_seconds_;
+    for (std::size_t idx : eclipse_victims_)
+      if (victim_isolated(idx)) ++report.victims_eclipsed_at_end;
+  }
+
   // Friendly-fire oracle: counted whenever something could cause it — an
-  // attack run (defenses active) or a consensus-bug run (validity
-  // disagreement between honest peers must NOT feed the ban machinery).
-  if (!adversaries_.empty() || params_.scenario.clients.enabled) {
+  // attack run (defenses active), a consensus-bug run (validity
+  // disagreement between honest peers must NOT feed the ban machinery), or
+  // an eclipse run (recovery drops sessions, it must never ban them).
+  if (!adversaries_.empty() || params_.scenario.clients.enabled ||
+      !eclipse_adversaries_.empty()) {
     for (std::size_t i = 0; i < scenario_->node_count(); ++i) {
       if (adversary_hosts_.contains(i)) continue;
       const FullNode& node = scenario_->node(i);

@@ -89,6 +89,28 @@ struct ChaosParams {
     bool equivocators = true;
   } adversaries;
 
+  /// Eclipse layer: with budget > 0, each of `victims` nodes gets a
+  /// dedicated sybil swarm (an EclipseAdversary hosted on a high-indexed
+  /// eligible node) grinding `budget` NodeIds into the victim's near
+  /// buckets, poisoning its table, monopolizing its slots and its seeds',
+  /// and withholding every block. Three attack rounds after `start` the
+  /// runner warm-reboots each victim into the entrenched swarm — the
+  /// canonical reboot-then-eclipse. With `defenses` true every honest node
+  /// switches EclipseDefenseOptions on (diversity caps, slot split,
+  /// ping-before-evict, feelers, anchors, the isolation detector); false
+  /// measures the undefended baseline. Victims and swarm hosts are
+  /// churn-exempt (a victim that happens to crash is no test of an
+  /// eclipse). With budget == 0 nothing here consumes rng draws, installs
+  /// region oracles, or registers telemetry: eclipse-free runs replay
+  /// bit-identically to builds without this layer.
+  struct EclipseParams {
+    std::size_t budget = 0;
+    std::size_t victims = 1;
+    bool defenses = true;
+    double start = 30.0;
+    double interval = 2.0;
+  } eclipse;
+
   /// Availability probe: a sim-time sampler that, every `interval`
   /// seconds, scores each fork side against a quorum threshold — the side
   /// is "available" when at least `quorum_fraction` of its honest nodes
@@ -197,6 +219,22 @@ struct ChaosReport {
   std::uint64_t rate_limited = 0;
   std::uint64_t txpool_evictions = 0;
   p2p::FaultCounters faults;
+  // Eclipse layer (all zero/empty when EclipseParams::budget == 0)
+  std::size_t eclipse_victims = 0;
+  std::size_t eclipse_sybils = 0;
+  std::uint64_t eclipse_table_floods = 0;
+  std::uint64_t eclipse_status_floods = 0;
+  std::uint64_t eclipse_lookups_answered = 0;
+  std::uint64_t eclipse_withheld_requests = 0;
+  /// Isolation detector firings across honest nodes (one-shot per episode).
+  std::uint64_t eclipse_suspicions = 0;
+  std::uint64_t eclipse_recoveries = 0;
+  /// Per-victim sim-seconds spent running with no honest active peer,
+  /// indexed in victim order.
+  std::vector<double> isolation_seconds;
+  /// Victims still holding a sybil-only (or empty) peer set at run end —
+  /// the attack's success count. Defended runs must drive this to zero.
+  std::size_t victims_eclipsed_at_end = 0;
   /// Availability probe results (all -1 / 0 when the probe is disabled).
   AvailabilityStats availability;
   // Client-diversity layer (all zero/empty when scenario.clients is off).
@@ -240,6 +278,19 @@ class ChaosRunner {
   bool is_adversary(std::size_t i) const {
     return adversary_hosts_.contains(i);
   }
+  const std::vector<std::unique_ptr<EclipseAdversary>>& eclipse_adversaries()
+      const noexcept {
+    return eclipse_adversaries_;
+  }
+  /// Node indices under sybil attack, in victim order (empty when the
+  /// eclipse layer is off).
+  const std::vector<std::size_t>& eclipse_victims() const noexcept {
+    return eclipse_victims_;
+  }
+  /// Is `id` a minted sybil of any swarm in this run?
+  bool is_sybil_id(const p2p::NodeId& id) const;
+  /// Is victim node `idx` currently running with no honest active peer?
+  bool victim_isolated(std::size_t idx) const;
   /// Node `i`'s block store (null when the durability layer is off).
   db::BlockStore* store(std::size_t i) {
     return i < stores_.size() ? stores_[i].get() : nullptr;
@@ -285,9 +336,12 @@ class ChaosRunner {
  private:
   void install_cut();
   void select_adversary_hosts();
+  void select_eclipse_cast();
   void install_stores();
   void install_churn();
   void install_adversaries();
+  void install_eclipse();
+  void eclipse_probe_tick();
   void install_probe();
   void probe_tick();
   bool side_meets_quorum(bool eth_side) const;
@@ -307,6 +361,15 @@ class ChaosRunner {
   p2p::ChurnSchedule churn_;
   std::vector<std::unique_ptr<Adversary>> adversaries_;
   std::unordered_set<std::size_t> adversary_hosts_;
+  /// Eclipse layer state (all empty when EclipseParams::budget == 0).
+  /// Declared after scenario_ like adversaries_: swarms detach before the
+  /// nodes they ride on are destroyed.
+  std::vector<std::unique_ptr<EclipseAdversary>> eclipse_adversaries_;
+  std::vector<std::size_t> eclipse_victims_;
+  std::vector<std::size_t> eclipse_hosts_;
+  /// Victims + swarm hosts: exempt from churn.
+  std::unordered_set<std::size_t> eclipse_protected_;
+  std::vector<double> isolation_seconds_;
   /// Per-node durable storage, indexed by node (empty when the durability
   /// layer is off; one SimDisk per node so crash faults stay independent).
   std::vector<std::unique_ptr<db::SimDisk>> disks_;

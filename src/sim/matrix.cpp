@@ -34,6 +34,7 @@ void MatrixParams::validate() const {
   require_axis(axes.partition_duration, "partition_duration",
                /*is_share=*/false);
   require_axis(axes.minority_share, "minority_share", /*is_share=*/true);
+  require_axis(axes.eclipse_budget, "eclipse_budget", /*is_share=*/false);
   if (!(failure_start >= 0.0))
     throw std::invalid_argument("MatrixParams::failure_start must be >= 0");
   // every composed cell must be a valid ChaosParams; checking the extreme
@@ -50,6 +51,8 @@ void MatrixParams::validate() const {
     corner.partition_duration = std::max(corner.partition_duration, d);
   for (double m : axes.minority_share)
     corner.minority_share = std::max(corner.minority_share, m);
+  for (double e : axes.eclipse_budget)
+    corner.eclipse_budget = std::max(corner.eclipse_budget, e);
   compose_cell(*this, corner).validate();
 }
 
@@ -94,6 +97,16 @@ ChaosParams compose_cell(const MatrixParams& mp, const MatrixCellSpec& spec) {
     p.scenario.clients.patch_time = failure_end;
   }
 
+  // Eclipse axis: one defended sybil swarm of that budget attacking from
+  // the moment the episode opens. Budget zero leaves the layer off (no
+  // victims, no draws, fingerprints unchanged).
+  if (spec.eclipse_budget > 0) {
+    p.eclipse.budget = static_cast<std::size_t>(spec.eclipse_budget);
+    p.eclipse.victims = 1;
+    p.eclipse.defenses = true;
+    p.eclipse.start = mp.failure_start;
+  }
+
   // Every cell is scored by the availability probe over the same phase
   // window, so pre/during/post read across the grid.
   p.probe.enabled = true;
@@ -110,7 +123,8 @@ MatrixRunner::MatrixRunner(MatrixParams params) : params_(std::move(params)) {
       for (double p : params_.axes.partitioned_share)
         for (double d : params_.axes.partition_duration)
           for (double m : params_.axes.minority_share)
-            specs_.push_back({b, o, p, d, m});
+            for (double e : params_.axes.eclipse_budget)
+              specs_.push_back({b, o, p, d, m, e});
 }
 
 std::size_t MatrixReport::converged_cells() const {
@@ -145,6 +159,7 @@ MatrixReport MatrixRunner::run(std::ostream* progress) {
     // folded only when the axis is active, so legacy four-axis sweeps
     // keep their pinned fingerprints byte-identical
     if (spec.minority_share > 0) fold(fx(spec.minority_share));
+    if (spec.eclipse_budget > 0) fold(fx(spec.eclipse_budget));
     h.update(cell.report.fingerprint.view());
 
     if (progress) {
@@ -153,7 +168,8 @@ MatrixReport MatrixRunner::run(std::ostream* progress) {
                 << spec.byzantine_share << " off=" << spec.offline_share
                 << " part=" << spec.partitioned_share << " dur="
                 << spec.partition_duration << " min="
-                << spec.minority_share << "  -> "
+                << spec.minority_share << " ecl="
+                << spec.eclipse_budget << "  -> "
                 << (cell.report.converged ? "converged" : "NO CONVERGENCE")
                 << ", avail pre/during/post = " << a.pre << "/"
                 << a.during_failure << "/" << a.post << ", heal "

@@ -33,11 +33,17 @@ struct MatrixAxes {
   /// bug window spanning the cell's failure episode (onset at
   /// failure_start, patch at failure_end).
   std::vector<double> minority_share{0.0};
+  /// Eclipse axis: sybil identities minted per victim. 0 (the default)
+  /// leaves the eclipse layer entirely off for that cell; > 0 installs one
+  /// defended sybil swarm (ChaosParams::eclipse, budget = the axis value,
+  /// attack opening at failure_start) so the grid reads how discovery-layer
+  /// pressure composes with the other failure modes.
+  std::vector<double> eclipse_budget{0.0};
 
   std::size_t cell_count() const noexcept {
     return byzantine_share.size() * offline_share.size() *
            partitioned_share.size() * partition_duration.size() *
-           minority_share.size();
+           minority_share.size() * eclipse_budget.size();
   }
 };
 
@@ -48,6 +54,7 @@ struct MatrixCellSpec {
   double partitioned_share = 0.0;
   double partition_duration = 0.0;
   double minority_share = 0.0;
+  double eclipse_budget = 0.0;
 };
 
 struct MatrixParams {

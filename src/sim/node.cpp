@@ -7,6 +7,23 @@ namespace forksim::sim {
 
 using namespace p2p;
 
+namespace {
+
+/// The eclipse defense owns the inbound slot split; fold it into the peer
+/// policy before the PeerSet is constructed. Explicit PeerPolicy caps win
+/// over the eclipse defaults.
+PeerPolicy effective_peer_policy(const NodeOptions& options) {
+  PeerPolicy policy = options.peer_policy;
+  if (options.eclipse.enabled) {
+    if (policy.max_inbound == 0) policy.max_inbound = options.eclipse.max_inbound;
+    if (policy.inbound_group_cap == 0)
+      policy.inbound_group_cap = options.eclipse.inbound_group_cap;
+  }
+  return policy;
+}
+
+}  // namespace
+
 FullNode::FullNode(Network& network, NodeId id, core::ChainConfig config,
                    core::Executor& executor, const core::GenesisAlloc& alloc,
                    Rng rng, NodeOptions options)
@@ -38,14 +55,32 @@ FullNode::FullNode(Network& network, NodeId id, core::ChainConfig config,
                    // in the table, exactly as on mainnet
                    if (reason == DisconnectReason::kIncompatibleNetwork)
                      discovery_.on_peer_dead(peer);
+                   peer_first_seen_.erase(peer);
                  },
                  [this] { return network_.loop().now(); },
              },
-             options.peer_policy) {
+             effective_peer_policy(options)) {
   discovery_.set_on_discovered([this](const NodeId& candidate) {
-    if (running_ && peers_.active_count() < options_.target_peers)
+    if (running_ && peers_.active_count() < options_.target_peers) {
+      if (options_.eclipse.enabled && dial_over_group_cap(candidate)) return;
       peers_.connect(candidate);
+    }
   });
+  if (options_.eclipse.enabled) {
+    DiscoveryDefense defense;
+    defense.enabled = true;
+    defense.table_group_cap = options_.eclipse.table_group_cap;
+    defense.bucket_group_cap = options_.eclipse.bucket_group_cap;
+    defense.pending_ticks = options_.eclipse.pending_ticks;
+    discovery_.set_defense(defense);
+  }
+}
+
+void FullNode::set_region_fn(
+    std::function<std::uint32_t(const p2p::NodeId&)> fn) {
+  region_fn_ = fn;
+  discovery_.set_group_fn(fn);
+  peers_.set_group_fn(std::move(fn));
 }
 
 FullNode::~FullNode() { shutdown(); }
@@ -97,6 +132,10 @@ void FullNode::attach_telemetry(obs::Registry& reg, obs::EventTracer* tracer,
                 "node.fork_monitor.divergence_events"},
            Fold{consensus_patches_, &tm_patches_,
                 "node.fork_monitor.consensus_patches"},
+           Fold{eclipse_suspicions_, &tm_eclipse_suspicions_,
+                "node.eclipse.suspicions"},
+           Fold{eclipse_recoveries_, &tm_eclipse_recoveries_,
+                "node.eclipse.recoveries"},
            Fold{cold_restarts_, &tm_cold_restarts_, "node.cold_restarts"},
            Fold{recovery_scanned_, &tm_rec_scanned_,
                 "db.recovery.records_scanned"},
@@ -195,12 +234,22 @@ RecoveryOutcome FullNode::cold_restart(
         {{"replayed", static_cast<std::int64_t>(out.blocks_replayed)},
          {"corrupt", static_cast<std::int64_t>(out.store.corrupt_records)}});
 
+  // An eclipse-defended node redials its persisted anchors alongside the
+  // bootstrap seeds: a reboot is exactly the moment an eclipse attacker
+  // waits for, and the anchors are live peers the attacker never chose.
+  std::vector<p2p::NodeId> rejoin = bootstrap;
+  if (options_.eclipse.enabled && store_ != nullptr) {
+    for (const Hash256& anchor : store_->load_anchors())
+      if (std::find(rejoin.begin(), rejoin.end(), anchor) == rejoin.end())
+        rejoin.push_back(anchor);
+  }
+
   // Replaying happened "during the outage"; the network join waits out the
   // modeled recovery time. The generation token keeps a crash scheduled in
   // the gap from resurrecting a stale start.
   const std::uint64_t gen = generation_;
-  network_.loop().schedule(out.resume_delay, [this, gen, bootstrap] {
-    if (gen == generation_ && !running_) start(bootstrap);
+  network_.loop().schedule(out.resume_delay, [this, gen, rejoin] {
+    if (gen == generation_ && !running_) start(rejoin);
   });
   return out;
 }
@@ -213,6 +262,9 @@ void FullNode::start(const std::vector<NodeId>& bootstrap) {
   // and in-flight fetches from the previous life are meaningless
   peers_.reset();
   pending_fetch_.clear();
+  peer_first_seen_.clear();
+  last_head_change_time_ = network_.loop().now();
+  eclipse_suspected_ = false;
   network_.attach(id_, [this](const NodeId& from, const Bytes& wire) {
     on_message(from, wire);
   });
@@ -238,11 +290,14 @@ void FullNode::tick() {
   // a node that lost everyone re-seeds from its bootstrap list
   if (discovery_.known_nodes() == 0 && !bootstrap_.empty())
     discovery_.bootstrap(bootstrap_);
+  if (options_.eclipse.enabled) eclipse_tick();
   // top up peer sessions from the routing table
   if (peers_.active_count() < options_.target_peers) {
     for (const NodeId& candidate :
          discovery_.table().closest(id_, options_.target_peers * 2)) {
       if (peers_.connected_to(candidate)) continue;
+      if (options_.eclipse.enabled && dial_over_group_cap(candidate))
+        continue;
       if (peers_.connect(candidate)) {
         ++dial_attempts_;
         obs::inc(tm_dials_);
@@ -267,6 +322,100 @@ void FullNode::tick() {
   network_.loop().schedule(options_.tick_interval, [this, gen] {
     if (gen == generation_) tick();
   });
+}
+
+void FullNode::eclipse_tick() {
+  // age ping-before-evict challenges and feelers
+  discovery_.maintain();
+  // feeler dial: ping one random table entry; silence gets it removed, so
+  // poisoned entries that never answer are gradually flushed
+  if (rng_.chance(options_.eclipse.feeler_chance)) {
+    const std::vector<NodeId> known = discovery_.table().all();
+    if (!known.empty()) discovery_.send_feeler(known[rng_.uniform(known.size())]);
+  }
+  update_anchors();
+  check_isolation();
+}
+
+bool FullNode::dial_over_group_cap(const NodeId& candidate) const {
+  if (options_.eclipse.dial_group_cap == 0 || !region_fn_) return false;
+  const std::uint32_t group = region_fn_(candidate);
+  std::size_t same = 0;
+  for (const NodeId& id : peers_.session_ids())
+    if (region_fn_(id) == group) ++same;
+  return same >= options_.eclipse.dial_group_cap;
+}
+
+double FullNode::peer_homogeneity() const {
+  if (!region_fn_) return 0.0;
+  const std::vector<NodeId> active = peers_.active_peers();
+  if (active.empty()) return 0.0;
+  std::unordered_map<std::uint32_t, std::size_t> counts;
+  std::size_t worst = 0;
+  for (const NodeId& peer : active)
+    worst = std::max(worst, ++counts[region_fn_(peer)]);
+  return static_cast<double>(worst) / static_cast<double>(active.size());
+}
+
+void FullNode::check_isolation() {
+  const auto& e = options_.eclipse;
+  if (eclipse_suspected_ || !region_fn_) return;
+  if (network_.loop().now() - last_head_change_time_ < e.stale_after) return;
+  if (peers_.active_count() < e.min_peers_for_detection) return;
+  const double homogeneity = peer_homogeneity();
+  if (homogeneity + 1e-9 < e.homogeneity_threshold) return;
+  // Stale head + a near-monoculture peer set: everything we hear comes
+  // from one place, which honest topology never produces. One-shot until
+  // the head moves again.
+  eclipse_suspected_ = true;
+  ++eclipse_suspicions_;
+  bump_defense(tm_eclipse_suspicions_, "node.eclipse.suspicions");
+  if (tracer_ != nullptr)
+    tracer_->instant(
+        "eclipse", "suspicion", lane_,
+        {{"peers", static_cast<std::int64_t>(peers_.active_count())},
+         {"homogeneity_pct",
+          static_cast<std::int64_t>(homogeneity * 100.0)}});
+  recover_from_eclipse();
+}
+
+void FullNode::recover_from_eclipse() {
+  ++eclipse_recoveries_;
+  bump_defense(tm_eclipse_recoveries_, "node.eclipse.recoveries");
+  if (tracer_ != nullptr) tracer_->instant("eclipse", "recovery", lane_);
+  // Drop every session — disconnect, never ban: a suspicion is not proof
+  // of guilt against any individual peer, and honest peers caught in the
+  // set must be redialable immediately.
+  for (const NodeId& peer : peers_.session_ids())
+    peers_.disconnect(peer, DisconnectReason::kUselessPeer);
+  // The table is presumed poisoned: rebuild from scratch rather than
+  // repair in place, seeding from the configured bootstrap list plus any
+  // anchors not already in it.
+  discovery_.flush();
+  std::vector<NodeId> seeds = bootstrap_;
+  for (const NodeId& anchor : anchors_)
+    if (std::find(seeds.begin(), seeds.end(), anchor) == seeds.end())
+      seeds.push_back(anchor);
+  discovery_.bootstrap(seeds);
+}
+
+void FullNode::update_anchors() {
+  const auto& e = options_.eclipse;
+  if (e.anchor_count == 0) return;
+  // anchors = the longest-lived currently-active peers, oldest first
+  std::vector<std::pair<double, NodeId>> aged;
+  for (const NodeId& peer : peers_.active_peers()) {
+    auto it = peer_first_seen_.find(peer);
+    if (it != peer_first_seen_.end()) aged.emplace_back(it->second, peer);
+  }
+  std::sort(aged.begin(), aged.end());
+  if (aged.size() > e.anchor_count) aged.resize(e.anchor_count);
+  std::vector<NodeId> next;
+  next.reserve(aged.size());
+  for (const auto& [_, peer] : aged) next.push_back(peer);
+  if (next == anchors_) return;
+  anchors_ = std::move(next);
+  if (store_ != nullptr) store_->save_anchors(anchors_);
 }
 
 void FullNode::send(const NodeId& to, const Message& msg) {
@@ -320,6 +469,8 @@ bool FullNode::check_dao_header(
 
 void FullNode::on_peer_active(const NodeId& peer, const Status& status) {
   init_session_buckets(peer);
+  if (options_.eclipse.enabled)
+    peer_first_seen_.try_emplace(peer, network_.loop().now());
   // start syncing if the peer's chain is heavier
   if (status.total_difficulty > chain_.head_total_difficulty())
     request_blocks(peer, status.head_hash,
@@ -803,6 +954,10 @@ void FullNode::import_and_relay(const NodeId& from, const core::Block& block) {
 }
 
 void FullNode::after_head_change() {
+  // head progress is the isolation detector's liveness signal: it both
+  // resets the staleness clock and re-arms the one-shot suspicion
+  last_head_change_time_ = network_.loop().now();
+  eclipse_suspected_ = false;
   // crossing the fork height: cross-examine every existing peer once, the
   // way geth re-checked established sessions when the DAO fork activated
   const auto& config = chain_.config();

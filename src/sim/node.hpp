@@ -44,6 +44,45 @@ struct HardeningOptions {
   std::size_t equivocation_threshold = 3;
 };
 
+/// Eclipse-resistance knobs: discovery diversity caps, an inbound/outbound
+/// slot split, ping-before-evict, feeler dials, persisted anchor peers, and
+/// the isolation detector. Like HardeningOptions, everything is strictly
+/// opt-in: with `enabled` false (the default) the node behaves draw-for-draw
+/// exactly like the unhardened implementation, keeping eclipse-free golden
+/// fingerprints bit-identical.
+struct EclipseDefenseOptions {
+  bool enabled = false;
+  /// Slot split: at most this many of NodeOptions::max_peers sessions may
+  /// be inbound, so an inbound handshake flood can never exhaust the
+  /// outbound dial headroom…
+  std::size_t max_inbound = 8;
+  /// …and at most this many inbound sessions per group (the geo/region
+  /// layer standing in for IP prefixes — a sybil swarm shares a group the
+  /// way a real one shares a /24).
+  std::size_t inbound_group_cap = 2;
+  /// Discovery diversity caps (see DiscoveryDefense).
+  std::size_t bucket_group_cap = 2;
+  std::size_t table_group_cap = 6;
+  /// Outbound dial diversity: skip dial candidates whose group already has
+  /// this many sessions — XOR-ground sybils dominate closest() ordering,
+  /// so the table caps alone don't protect the dialer. 0 = uncapped.
+  std::size_t dial_group_cap = 2;
+  /// Maintenance ticks a ping-before-evict challenge or feeler waits.
+  std::uint32_t pending_ticks = 2;
+  /// Per-tick probability of one feeler ping validating a table entry.
+  double feeler_chance = 0.25;
+  /// Long-lived active peers persisted through the attached store and
+  /// redialed after a cold restart (0 disables anchors).
+  std::size_t anchor_count = 2;
+  /// Isolation detector: head stale for this long AND the active peer set
+  /// at least this homogeneous (largest single-group share) with at least
+  /// `min_peers_for_detection` active peers -> one-shot eclipse suspicion,
+  /// drop every session, flush the table, re-bootstrap from seeds+anchors.
+  double stale_after = 90.0;
+  double homogeneity_threshold = 0.75;
+  std::size_t min_peers_for_detection = 2;
+};
+
 struct NodeOptions {
   std::size_t max_peers = 25;
   /// Keep dialing until this many active sessions.
@@ -78,6 +117,8 @@ struct NodeOptions {
   bool drop_wrong_fork_peers = true;
   /// Byzantine-resistance layer (off by default; see HardeningOptions).
   HardeningOptions hardening;
+  /// Eclipse-resistance layer (off by default; see EclipseDefenseOptions).
+  EclipseDefenseOptions eclipse;
   /// Fork monitor: distinct disputed blocks tracked from one competing
   /// branch before the node raises a `divergence` event (persistent
   /// peer-head disagreement, not a transient race).
@@ -251,6 +292,29 @@ class FullNode {
     return wasted_executions_;
   }
 
+  /// Install the group (region/AS) oracle shared by the eclipse defenses:
+  /// discovery diversity caps, the inbound group cap, the dial cap, and the
+  /// isolation detector's homogeneity score all key on it. Without one the
+  /// group caps never bind and the detector never fires. Never consumes
+  /// Rng draws.
+  void set_region_fn(std::function<std::uint32_t(const p2p::NodeId&)> fn);
+
+  /// Eclipse telemetry: one-shot isolation suspicions raised and
+  /// drop-and-re-bootstrap recoveries performed.
+  std::uint64_t eclipse_suspicions() const noexcept {
+    return eclipse_suspicions_;
+  }
+  std::uint64_t eclipse_recoveries() const noexcept {
+    return eclipse_recoveries_;
+  }
+  /// Current anchor set (longest-lived active peers; persisted via the
+  /// attached store when the eclipse defense is on).
+  const std::vector<p2p::NodeId>& anchors() const noexcept { return anchors_; }
+  /// Largest single-group share of the active peer set (0 with no region
+  /// oracle or no active peers) — the detector's homogeneity score,
+  /// exposed for tests and probes.
+  double peer_homogeneity() const;
+
   /// Register node.*/peers.* metrics in `reg` (shared across nodes: named
   /// counters aggregate over the population) and, when `tracer` is given,
   /// emit sync/lifecycle instants on display lane `lane` (one lane per
@@ -264,6 +328,13 @@ class FullNode {
   void handle_eth(const p2p::NodeId& from, const p2p::Message& msg);
   void on_peer_active(const p2p::NodeId& peer, const p2p::Status& status);
   void tick();
+  /// Eclipse-defense tick work (feelers, detector, anchors); only called
+  /// when the defense is enabled.
+  void eclipse_tick();
+  void check_isolation();
+  void recover_from_eclipse();
+  void update_anchors();
+  bool dial_over_group_cap(const p2p::NodeId& candidate) const;
 
   p2p::Status make_status() const;
   std::optional<core::BlockHeader> dao_header() const;
@@ -369,6 +440,16 @@ class FullNode {
   std::uint64_t consensus_patches_ = 0;
   bool rechallenged_at_fork_ = false;
 
+  /// Eclipse-defense state (inert while the layer is disabled).
+  std::function<std::uint32_t(const p2p::NodeId&)> region_fn_;
+  double last_head_change_time_ = 0.0;
+  bool eclipse_suspected_ = false;  // one-shot until the head moves again
+  std::uint64_t eclipse_suspicions_ = 0;
+  std::uint64_t eclipse_recoveries_ = 0;
+  /// When each currently-known peer first went active (anchor aging).
+  std::unordered_map<p2p::NodeId, double, p2p::NodeIdHasher> peer_first_seen_;
+  std::vector<p2p::NodeId> anchors_;
+
   /// Durability layer (null / zero unless a store is attached).
   db::BlockStore* store_ = nullptr;
   bool replaying_ = false;  // recovery replay must not re-append its input
@@ -417,6 +498,8 @@ class FullNode {
   obs::Counter* tm_disputed_ = nullptr;
   obs::Counter* tm_divergence_ = nullptr;
   obs::Counter* tm_patches_ = nullptr;
+  obs::Counter* tm_eclipse_suspicions_ = nullptr;
+  obs::Counter* tm_eclipse_recoveries_ = nullptr;
   obs::Registry* reg_ = nullptr;
   obs::EventTracer* tracer_ = nullptr;
   std::uint32_t lane_ = 0;

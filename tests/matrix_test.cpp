@@ -346,6 +346,44 @@ TEST(MatrixComposeTest, MinorityShareAxisValidated) {
   EXPECT_NO_THROW(MatrixRunner{mp});
 }
 
+TEST(MatrixComposeTest, EclipseBudgetComposesTheEclipseLayer) {
+  MatrixParams mp;
+  mp.failure_start = 200.0;
+  const ChaosParams on = compose_cell(mp, {0.0, 0.0, 0.0, 60.0, 0.0, 16.0});
+  EXPECT_EQ(on.eclipse.budget, 16u);
+  EXPECT_EQ(on.eclipse.victims, 1u);
+  EXPECT_TRUE(on.eclipse.defenses);
+  // the swarm opens with the failure episode
+  EXPECT_DOUBLE_EQ(on.eclipse.start, 200.0);
+  // budget zero leaves the layer untouched (off, base defaults)
+  const ChaosParams off = compose_cell(mp, {0.0, 0.0, 0.0, 60.0, 0.0, 0.0});
+  EXPECT_EQ(off.eclipse.budget, 0u);
+}
+
+TEST(MatrixComposeTest, EclipseBudgetIsTheInnermostAxis) {
+  MatrixParams mp;
+  mp.axes.minority_share = {0.0, 0.25};
+  mp.axes.eclipse_budget = {0.0, 16.0};
+  EXPECT_EQ(mp.axes.cell_count(), 4u);
+  MatrixRunner runner(mp);
+  ASSERT_EQ(runner.specs().size(), 4u);
+  EXPECT_DOUBLE_EQ(runner.specs()[0].eclipse_budget, 0.0);
+  EXPECT_DOUBLE_EQ(runner.specs()[1].eclipse_budget, 16.0);
+  EXPECT_DOUBLE_EQ(runner.specs()[1].minority_share, 0.0);
+  EXPECT_DOUBLE_EQ(runner.specs()[2].minority_share, 0.25);
+  EXPECT_DOUBLE_EQ(runner.specs()[3].eclipse_budget, 16.0);
+}
+
+TEST(MatrixComposeTest, EclipseBudgetAxisValidated) {
+  MatrixParams mp;
+  mp.axes.eclipse_budget = {-1.0};
+  EXPECT_THROW(MatrixRunner{mp}, std::invalid_argument);
+  mp.axes.eclipse_budget.clear();
+  EXPECT_THROW(MatrixRunner{mp}, std::invalid_argument);
+  mp.axes.eclipse_budget = {0.0, 32.0};
+  EXPECT_NO_THROW(MatrixRunner{mp});
+}
+
 // ------------------------------------------------------- probe plumbing
 
 TEST(AvailabilityProbeTest, DisabledProbeTakesNoSamples) {
